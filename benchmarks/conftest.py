@@ -1,0 +1,63 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Each benchmark module regenerates one table or figure from the paper's evaluation
+section (see DESIGN.md's experiment index).  Benchmarks are run once per session
+(``benchmark.pedantic`` with a single round): the goal is regenerating the numbers
+and printing the same rows/series the paper reports, not micro-benchmarking.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SynthesisConfig
+from repro.corpus.corpus import TableCorpus
+from repro.evaluation.experiments import (
+    ExperimentScale,
+    experiment_config,
+    make_enterprise_corpus,
+    make_web_corpus,
+)
+
+#: Scale used by the headline benchmarks.  Five tables per relation keeps the full
+#: harness to a few minutes while preserving the paper's ordering of methods; raise
+#: to ``ExperimentScale.default()`` for a denser corpus (and update EXPERIMENTS.md).
+BENCH_SCALE = ExperimentScale(tables_per_relation=5, max_rows=22, seed=7)
+
+#: Smaller scale for the parameter sweeps (scalability, sensitivity), which run the
+#: pipeline many times.
+SWEEP_SCALE = ExperimentScale.small()
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> SynthesisConfig:
+    """Synthesis configuration shared by all benchmarks."""
+    return experiment_config()
+
+
+@pytest.fixture(scope="session")
+def web_corpus() -> TableCorpus:
+    """The synthetic Web corpus used across benchmarks."""
+    return make_web_corpus(BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def sweep_corpus() -> TableCorpus:
+    """A smaller Web corpus used by the repeated-run sweeps (Figure 9, §5.4)."""
+    return make_web_corpus(SWEEP_SCALE)
+
+
+@pytest.fixture(scope="session")
+def enterprise_corpus() -> TableCorpus:
+    """The synthetic Enterprise corpus used by the §5.5 benchmarks.
+
+    Enterprise relations are short, so the per-table row cap is kept low — real
+    spreadsheet fragments cover only part of a code list, which is exactly why the
+    paper's EntTable baseline loses recall to Synthesis.
+    """
+    return make_enterprise_corpus(ExperimentScale(tables_per_relation=5, max_rows=8, seed=7))
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

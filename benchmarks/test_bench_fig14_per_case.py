@@ -1,0 +1,56 @@
+"""E6 — Figure 14: per-case F-score for individual benchmark cases.
+
+Paper shape: sorted by the Synthesis score, a large fraction of cases sit near the
+top (high-quality synthesis), and Synthesis dominates the single-table baseline on
+most cases while losing only on relations with little corpus presence.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.baselines import (
+    SynthesisMethod,
+    SynthesisPosMethod,
+    UnionWebBaseline,
+    WebTableBaseline,
+)
+from repro.evaluation.experiments import run_method_comparison
+from repro.evaluation.reporting import format_per_case_table
+
+
+def test_fig14_per_case_comparison(benchmark, web_corpus, bench_config):
+    methods = {
+        "Synthesis": SynthesisMethod(bench_config),
+        "SynthesisPos": SynthesisPosMethod(bench_config),
+        "UnionWeb": UnionWebBaseline(bench_config),
+        "WebTable": WebTableBaseline(bench_config),
+    }
+    result = run_once(
+        benchmark,
+        run_method_comparison,
+        corpus=web_corpus,
+        config=bench_config,
+        methods=methods,
+    )
+
+    print()
+    print(
+        format_per_case_table(
+            result.evaluations, sort_by="Synthesis", title="Figure 14 — per-case F-scores"
+        )
+    )
+
+    synthesis = result.evaluations["Synthesis"]
+    web_table = result.evaluations["WebTable"]
+    per_case = result.per_case_rows(sort_by="Synthesis")
+
+    # A majority of cases reach a high F-score with Synthesis.
+    strong_cases = [case for case, scores in per_case if scores["Synthesis"] >= 0.8]
+    assert len(strong_cases) >= len(per_case) // 2
+    # Synthesis beats (or ties) the raw-table baseline on most cases.
+    wins = sum(
+        1 for _, scores in per_case if scores["Synthesis"] >= scores["WebTable"] - 1e-9
+    )
+    assert wins >= 0.6 * len(per_case)
+    assert synthesis.avg_f_score > web_table.avg_f_score

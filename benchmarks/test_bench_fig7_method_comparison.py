@@ -1,0 +1,45 @@
+"""E1 — Figure 7: average F-score / precision / recall of every method.
+
+Paper shape: Synthesis has the best average F-score and recall; WikiTable has the
+best precision but poor recall; the union baselines are the best existing methods;
+SynthesisPos and the schema-matching aggregations trail Synthesis; knowledge bases
+have decent precision but low recall.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.evaluation.experiments import default_methods, run_method_comparison
+from repro.evaluation.reporting import format_comparison_table
+
+
+def test_fig7_method_comparison(benchmark, web_corpus, bench_config):
+    result = run_once(
+        benchmark,
+        run_method_comparison,
+        corpus=web_corpus,
+        config=bench_config,
+        methods=default_methods(bench_config),
+    )
+
+    print()
+    print(format_comparison_table(result.evaluations, title="Figure 7 — method comparison"))
+
+    evaluations = result.evaluations
+    synthesis = evaluations["Synthesis"]
+
+    # Synthesis leads on F-score and recall among corpus-driven methods.
+    for name, evaluation in evaluations.items():
+        if name in ("Synthesis",):
+            continue
+        assert synthesis.avg_f_score >= evaluation.avg_f_score - 0.02, (
+            f"{name} unexpectedly beats Synthesis"
+        )
+    # Raw single tables have high precision but much lower recall than Synthesis.
+    assert evaluations["WebTable"].avg_precision >= 0.9
+    assert synthesis.avg_recall > evaluations["WebTable"].avg_recall + 0.1
+    # Dropping the FD-induced negative signal hurts (SynthesisPos).
+    assert synthesis.avg_f_score > evaluations["SynthesisPos"].avg_f_score
+    # Knowledge bases miss relations and synonyms: recall well below Synthesis.
+    assert synthesis.avg_recall > evaluations["YAGO"].avg_recall

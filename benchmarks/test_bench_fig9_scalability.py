@@ -1,0 +1,45 @@
+"""E3 — Figure 9: pipeline runtime versus fraction of input tables.
+
+Paper shape: runtime grows close to linearly with the input size because edge
+sparsity keeps the number of scored pairs near-linear in the number of tables.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.evaluation.experiments import run_scalability
+from repro.evaluation.reporting import format_simple_table
+
+
+def test_fig9_scalability(benchmark, sweep_corpus, bench_config):
+    result = run_once(
+        benchmark,
+        run_scalability,
+        corpus=sweep_corpus,
+        fractions=(0.2, 0.4, 0.6, 0.8, 1.0),
+        config=bench_config,
+    )
+
+    print()
+    rows = [
+        [f"{fraction:.0%}", tables, candidates, f"{seconds:.2f}s"]
+        for fraction, tables, candidates, seconds in result.rows()
+    ]
+    print(
+        format_simple_table(
+            ["input fraction", "tables", "candidates", "runtime"],
+            rows,
+            title="Figure 9 — scalability",
+        )
+    )
+
+    # Runtime must grow with input size...
+    assert result.runtimes[-1] >= result.runtimes[0]
+    # ...and should stay well below quadratic growth: going from 20% to 100% of the
+    # input (5x) should cost far less than 25x (quadratic) — allow up to ~3x linear.
+    if result.runtimes[0] > 0.05:
+        ratio = result.runtimes[-1] / result.runtimes[0]
+        assert ratio < 15, f"runtime grew {ratio:.1f}x for a 5x input increase"
+    # Candidate counts grow monotonically with the corpus sample.
+    assert result.candidate_counts == sorted(result.candidate_counts)

@@ -1,0 +1,50 @@
+"""Synthesizing enterprise-specific mappings from spreadsheet-like tables (paper §5.5).
+
+Run with::
+
+    python examples/enterprise_corpus.py
+
+Enterprise corpora contain mappings (cost centers, profit centers, data-center
+regions) that no public knowledge base covers.  This example generates an
+enterprise-flavoured corpus — including pivot-table extraction artifacts — runs the
+same pipeline used for the web corpus, and prints the synthesized mappings in the
+style of the paper's Figure 11.
+"""
+
+from __future__ import annotations
+
+from repro.core import SynthesisConfig, SynthesisPipeline
+from repro.corpus import CorpusGenerationSpec, EnterpriseCorpusGenerator
+from repro.evaluation.benchmark import build_enterprise_benchmark
+from repro.evaluation.metrics import best_mapping_score
+
+
+def main() -> None:
+    spec = CorpusGenerationSpec(tables_per_relation=6, max_rows=12, seed=31)
+    corpus = EnterpriseCorpusGenerator(spec, pivot_corruption_rate=0.15).generate()
+    print(f"enterprise corpus: {len(corpus)} spreadsheet tables from "
+          f"{len(corpus.domains())} file shares")
+
+    config = SynthesisConfig(min_domains=2, min_mapping_size=5)
+    result = SynthesisPipeline(config).run(corpus)
+
+    print(f"\nsynthesized {len(result.mappings)} relationships "
+          f"({len(result.curated)} curated)\n")
+    print("example mapping relationships (cf. paper Figure 11):")
+    for mapping in result.top_mappings(6):
+        instances = "; ".join(
+            f"({pair.left}, {pair.right})" for pair in list(mapping.pairs)[:2]
+        )
+        print(f"  columns={mapping.column_names}  size={len(mapping)}  "
+              f"shares={mapping.popularity}")
+        print(f"      {instances}, ...")
+
+    # Quality against the best-effort enterprise benchmark (paper Figure 10).
+    benchmark = build_enterprise_benchmark(corpus)
+    scores = [best_mapping_score(result.mappings, case.truth) for case in benchmark]
+    avg_f = sum(score.f_score for score in scores) / len(scores)
+    print(f"\naverage F-score over {len(benchmark)} enterprise benchmark cases: {avg_f:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""repro — reproduction of *Synthesizing Mapping Relationships Using Table Corpus*.
+
+The package implements the full pipeline from Wang & He (SIGMOD 2017):
+
+* :mod:`repro.corpus` — table corpus substrate (synthetic web / enterprise corpora).
+* :mod:`repro.extraction` — candidate two-column table extraction (PMI + FD filters).
+* :mod:`repro.text` — approximate string matching used throughout.
+* :mod:`repro.graph` — compatibility graph construction and partitioning.
+* :mod:`repro.synthesis` — table synthesis, conflict resolution, expansion, curation.
+* :mod:`repro.core` — configuration, pipeline orchestration, result model.
+* :mod:`repro.baselines` — every comparison method from the paper's evaluation.
+* :mod:`repro.mapreduce` — a small local map/shuffle/reduce engine.
+* :mod:`repro.applications` — auto-correction, auto-fill, auto-join on top of mappings.
+* :mod:`repro.evaluation` — metrics, benchmarks, and experiment drivers.
+"""
+
+from repro.core.config import SynthesisConfig
+from repro.core.binary_table import BinaryTable, ValuePair
+from repro.core.mapping import MappingRelationship
+from repro.core.pipeline import SynthesisPipeline
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SynthesisConfig",
+    "BinaryTable",
+    "ValuePair",
+    "MappingRelationship",
+    "SynthesisPipeline",
+    "__version__",
+]

@@ -1,0 +1,26 @@
+"""Applications powered by synthesized mapping tables (paper §1).
+
+The paper motivates mapping tables with three applications: auto-correction,
+auto-fill, and auto-join.  All three are implemented here on top of a
+:class:`~repro.applications.index.MappingIndex` that finds the relevant mapping via
+value containment, using bloom filters for cheap membership pre-checks (as the
+paper suggests for indexing materialized mappings).
+"""
+
+from repro.applications.bloom import BloomFilter
+from repro.applications.index import MappingIndex, MappingMatch
+from repro.applications.autocorrect import AutoCorrector, CorrectionSuggestion
+from repro.applications.autofill import AutoFiller, FillResult
+from repro.applications.autojoin import AutoJoiner, JoinResult
+
+__all__ = [
+    "BloomFilter",
+    "MappingIndex",
+    "MappingMatch",
+    "AutoCorrector",
+    "CorrectionSuggestion",
+    "AutoFiller",
+    "FillResult",
+    "AutoJoiner",
+    "JoinResult",
+]

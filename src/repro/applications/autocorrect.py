@@ -1,0 +1,123 @@
+"""Auto-correction: detect and fix inconsistent values in a column (paper Table 3).
+
+If a user column mixes values from both sides of a mapping (e.g. full state names
+and state abbreviations), the corrector detects the inconsistency and suggests
+rewriting the minority representation into the majority one using the mapping.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.applications.index import MappingIndex
+from repro.core.mapping import MappingRelationship
+from repro.text.matching import normalize_value
+
+__all__ = ["CorrectionSuggestion", "AutoCorrector"]
+
+
+@dataclass(frozen=True)
+class CorrectionSuggestion:
+    """A suggested rewrite for one cell."""
+
+    row_index: int
+    original: str
+    suggestion: str
+    mapping_id: str
+    reason: str
+
+
+class AutoCorrector:
+    """Detects mixed-representation columns and suggests corrections."""
+
+    def __init__(self, index: MappingIndex, min_containment: float = 0.6) -> None:
+        self.index = index
+        self.min_containment = min_containment
+
+    # -- Internals ---------------------------------------------------------------------
+    @staticmethod
+    def _split_by_side(
+        values: list[str], mapping: MappingRelationship
+    ) -> tuple[list[int], list[int]]:
+        """Partition row indices into those matching the left vs right column."""
+        left_side = {normalize_value(pair.left) for pair in mapping.pairs}
+        right_side = {normalize_value(pair.right) for pair in mapping.pairs}
+        left_rows: list[int] = []
+        right_rows: list[int] = []
+        for row_index, value in enumerate(values):
+            normalized = normalize_value(value)
+            if normalized in left_side:
+                left_rows.append(row_index)
+            elif normalized in right_side:
+                right_rows.append(row_index)
+        return left_rows, right_rows
+
+    # -- Public API ------------------------------------------------------------------------
+    def detect(self, values: Iterable[str]) -> MappingRelationship | None:
+        """Return the mapping that best explains a mixed column, if any.
+
+        A column is "mixed" when a substantial share of its values comes from each
+        side of one mapping relationship.
+        """
+        values = [value for value in values if value.strip()]
+        if not values:
+            return None
+        combined_best: tuple[float, MappingRelationship] | None = None
+        for match in self.index.lookup(values, min_containment=0.0, top_k=20):
+            left_rows, right_rows = self._split_by_side(values, match.mapping)
+            coverage = (len(left_rows) + len(right_rows)) / len(values)
+            minority = min(len(left_rows), len(right_rows))
+            if coverage >= self.min_containment and minority > 0:
+                if combined_best is None or coverage > combined_best[0]:
+                    combined_best = (coverage, match.mapping)
+        return combined_best[1] if combined_best else None
+
+    def suggest(self, values: Iterable[str]) -> list[CorrectionSuggestion]:
+        """Suggest corrections that normalize the minority representation.
+
+        Returns an empty list when no mixed-representation mapping is detected.
+        """
+        values = [value for value in values]
+        mapping = self.detect(values)
+        if mapping is None:
+            return []
+        left_rows, right_rows = self._split_by_side(values, mapping)
+        if not left_rows or not right_rows:
+            return []
+        # Convert the minority side into the majority side.
+        convert_to_left = len(left_rows) >= len(right_rows)
+        rows_to_fix = right_rows if convert_to_left else left_rows
+
+        forward = {}
+        backward = {}
+        for pair in mapping.pairs:
+            forward.setdefault(normalize_value(pair.left), pair.right)
+            backward.setdefault(normalize_value(pair.right), pair.left)
+        lookup = backward if convert_to_left else forward
+        direction = "right->left" if convert_to_left else "left->right"
+
+        suggestions: list[CorrectionSuggestion] = []
+        for row_index in rows_to_fix:
+            original = values[row_index]
+            replacement = lookup.get(normalize_value(original))
+            if replacement is None or normalize_value(replacement) == normalize_value(original):
+                continue
+            suggestions.append(
+                CorrectionSuggestion(
+                    row_index=row_index,
+                    original=original,
+                    suggestion=replacement,
+                    mapping_id=mapping.mapping_id,
+                    reason=f"column mixes both sides of {mapping.mapping_id} ({direction})",
+                )
+            )
+        return suggestions
+
+    def apply(self, values: Iterable[str]) -> list[str]:
+        """Return a corrected copy of the column (non-matching rows unchanged)."""
+        values = list(values)
+        corrected = list(values)
+        for suggestion in self.suggest(values):
+            corrected[suggestion.row_index] = suggestion.suggestion
+        return corrected

@@ -1,0 +1,104 @@
+"""Auto-fill: populate a target column from a few example pairs (paper Table 4).
+
+The user supplies a key column (e.g. city names), a couple of example values for
+the desired output column (e.g. their states), and the system finds the mapping
+that is consistent with the examples and fills in the remaining rows.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.applications.index import MappingIndex
+from repro.core.mapping import MappingRelationship
+from repro.text.matching import normalize_value
+
+__all__ = ["FillResult", "AutoFiller"]
+
+
+@dataclass
+class FillResult:
+    """The outcome of an auto-fill request."""
+
+    filled: dict[int, str] = field(default_factory=dict)
+    mapping_id: str | None = None
+    unmatched_rows: list[int] = field(default_factory=list)
+
+    @property
+    def fill_rate(self) -> float:
+        """Fraction of requested rows that received a value."""
+        total = len(self.filled) + len(self.unmatched_rows)
+        return len(self.filled) / total if total else 0.0
+
+
+class AutoFiller:
+    """Fills a column using synthesized mappings and user-provided examples."""
+
+    def __init__(self, index: MappingIndex, min_example_agreement: float = 0.99) -> None:
+        if not 0.0 < min_example_agreement <= 1.0:
+            raise ValueError(
+                f"min_example_agreement must be in (0, 1], got {min_example_agreement}"
+            )
+        self.index = index
+        self.min_example_agreement = min_example_agreement
+
+    def _select_mapping(
+        self, keys: list[str], examples: dict[int, str]
+    ) -> tuple[MappingRelationship, str] | None:
+        example_pairs = [(keys[row], value) for row, value in examples.items() if row < len(keys)]
+        if example_pairs:
+            matches = self.index.lookup_pairs(
+                example_pairs, min_containment=self.min_example_agreement, top_k=3
+            )
+            if matches:
+                best = matches[0]
+                return best.mapping, best.direction
+            return None
+        # Without examples fall back to key containment alone.
+        matches = self.index.lookup(keys, min_containment=0.6, top_k=3)
+        if matches:
+            best = matches[0]
+            return best.mapping, best.direction
+        return None
+
+    def fill(
+        self,
+        keys: Iterable[str],
+        examples: dict[int, str] | None = None,
+    ) -> FillResult:
+        """Fill the output column for ``keys``.
+
+        Parameters
+        ----------
+        keys:
+            The user's key column values, in row order.
+        examples:
+            Optional ``row index -> example output value`` hints; the chosen mapping
+            must agree with (almost) all of them.
+        """
+        keys = list(keys)
+        examples = examples or {}
+        selection = self._select_mapping(keys, examples)
+        if selection is None:
+            return FillResult(unmatched_rows=list(range(len(keys))))
+        mapping, direction = selection
+
+        lookup: dict[str, str] = {}
+        for pair in mapping.pairs:
+            if direction == "forward":
+                lookup.setdefault(normalize_value(pair.left), pair.right)
+            else:
+                lookup.setdefault(normalize_value(pair.right), pair.left)
+
+        result = FillResult(mapping_id=mapping.mapping_id)
+        for row_index, key in enumerate(keys):
+            if row_index in examples:
+                result.filled[row_index] = examples[row_index]
+                continue
+            value = lookup.get(normalize_value(key))
+            if value is None:
+                result.unmatched_rows.append(row_index)
+            else:
+                result.filled[row_index] = value
+        return result

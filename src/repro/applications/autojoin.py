@@ -1,0 +1,117 @@
+"""Auto-join: join two tables whose key columns use different representations
+(paper Table 5).
+
+A mapping relationship acts as a bridge table: the left user table joins to the
+mapping's one side, the right user table to its other side, producing a three-way
+join without the user supplying an explicit correspondence.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.applications.index import MappingIndex
+from repro.core.mapping import MappingRelationship
+from repro.text.matching import normalize_value
+
+__all__ = ["JoinResult", "AutoJoiner"]
+
+
+@dataclass
+class JoinResult:
+    """The outcome of an auto-join between two key columns."""
+
+    row_pairs: list[tuple[int, int]] = field(default_factory=list)
+    mapping_id: str | None = None
+    unmatched_left: list[int] = field(default_factory=list)
+    unmatched_right: list[int] = field(default_factory=list)
+
+    @property
+    def join_rate(self) -> float:
+        """Fraction of left rows that found a join partner."""
+        total = len(self.row_pairs) + len(self.unmatched_left)
+        return len(self.row_pairs) / total if total else 0.0
+
+
+class AutoJoiner:
+    """Joins two key columns through a synthesized mapping."""
+
+    def __init__(self, index: MappingIndex, min_containment: float = 0.5) -> None:
+        self.index = index
+        self.min_containment = min_containment
+
+    def _select_mapping(
+        self, left_keys: Sequence[str], right_keys: Sequence[str]
+    ) -> tuple[MappingRelationship, bool] | None:
+        """Pick the mapping that best covers both key columns.
+
+        Returns the mapping and a flag indicating whether the left user column
+        matches the mapping's left side (``True``) or its right side (``False``).
+        """
+        best: tuple[float, MappingRelationship, bool] | None = None
+        left_matches = self.index.lookup(list(left_keys), self.min_containment, top_k=10)
+        for match in left_matches:
+            mapping = match.mapping
+            left_values = {normalize_value(pair.left) for pair in mapping.pairs}
+            right_values = {normalize_value(pair.right) for pair in mapping.pairs}
+            normalized_right_keys = [normalize_value(key) for key in right_keys]
+            if match.direction == "forward":
+                other_containment = (
+                    sum(1 for key in normalized_right_keys if key in right_values)
+                    / max(1, len(normalized_right_keys))
+                )
+                orientation = True
+            else:
+                other_containment = (
+                    sum(1 for key in normalized_right_keys if key in left_values)
+                    / max(1, len(normalized_right_keys))
+                )
+                orientation = False
+            if other_containment < self.min_containment:
+                continue
+            score = match.score + other_containment
+            if best is None or score > best[0]:
+                best = (score, mapping, orientation)
+        if best is None:
+            return None
+        return best[1], best[2]
+
+    def join(self, left_keys: Sequence[str], right_keys: Sequence[str]) -> JoinResult:
+        """Join the two key columns; returns matched row-index pairs."""
+        selection = self._select_mapping(left_keys, right_keys)
+        if selection is None:
+            return JoinResult(
+                unmatched_left=list(range(len(left_keys))),
+                unmatched_right=list(range(len(right_keys))),
+            )
+        mapping, left_is_left_side = selection
+
+        bridge: dict[str, str] = {}
+        for pair in mapping.pairs:
+            left_norm = normalize_value(pair.left)
+            right_norm = normalize_value(pair.right)
+            if left_is_left_side:
+                bridge.setdefault(left_norm, right_norm)
+            else:
+                bridge.setdefault(right_norm, left_norm)
+
+        right_rows_by_value: dict[str, list[int]] = {}
+        for row_index, key in enumerate(right_keys):
+            right_rows_by_value.setdefault(normalize_value(key), []).append(row_index)
+
+        result = JoinResult(mapping_id=mapping.mapping_id)
+        matched_right: set[int] = set()
+        for left_row, key in enumerate(left_keys):
+            target = bridge.get(normalize_value(key))
+            partners = right_rows_by_value.get(target, []) if target is not None else []
+            if not partners:
+                result.unmatched_left.append(left_row)
+                continue
+            for right_row in partners:
+                result.row_pairs.append((left_row, right_row))
+                matched_right.add(right_row)
+        result.unmatched_right = [
+            row_index for row_index in range(len(right_keys)) if row_index not in matched_right
+        ]
+        return result

@@ -1,0 +1,80 @@
+"""A simple bloom filter for value-containment pre-checks.
+
+The paper argues that materialized mapping tables are easy to index with hash-based
+techniques such as bloom filters so applications can cheaply test whether their
+values are covered by a mapping before doing exact lookups.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from collections.abc import Iterable
+
+__all__ = ["BloomFilter"]
+
+
+class BloomFilter:
+    """A classic bloom filter over strings.
+
+    Parameters
+    ----------
+    expected_items:
+        Number of items the filter is sized for.
+    false_positive_rate:
+        Target false-positive probability at the expected load.
+    """
+
+    def __init__(self, expected_items: int = 1000, false_positive_rate: float = 0.01) -> None:
+        if expected_items < 1:
+            raise ValueError(f"expected_items must be >= 1, got {expected_items}")
+        if not 0.0 < false_positive_rate < 1.0:
+            raise ValueError(
+                f"false_positive_rate must be in (0, 1), got {false_positive_rate}"
+            )
+        self.expected_items = expected_items
+        self.false_positive_rate = false_positive_rate
+        size = -expected_items * math.log(false_positive_rate) / (math.log(2) ** 2)
+        self.num_bits = max(8, int(math.ceil(size)))
+        self.num_hashes = max(1, int(round(self.num_bits / expected_items * math.log(2))))
+        self._bits = bytearray((self.num_bits + 7) // 8)
+        self._count = 0
+
+    # -- Hashing -------------------------------------------------------------------------
+    def _positions(self, value: str) -> list[int]:
+        digest = hashlib.sha256(value.encode("utf-8")).digest()
+        h1 = int.from_bytes(digest[:8], "big")
+        h2 = int.from_bytes(digest[8:16], "big") | 1
+        return [(h1 + i * h2) % self.num_bits for i in range(self.num_hashes)]
+
+    def _get_bit(self, position: int) -> bool:
+        return bool(self._bits[position // 8] & (1 << (position % 8)))
+
+    def _set_bit(self, position: int) -> None:
+        self._bits[position // 8] |= 1 << (position % 8)
+
+    # -- Public API ------------------------------------------------------------------------
+    def add(self, value: str) -> None:
+        """Insert a value."""
+        for position in self._positions(value):
+            self._set_bit(position)
+        self._count += 1
+
+    def update(self, values: Iterable[str]) -> None:
+        """Insert many values."""
+        for value in values:
+            self.add(value)
+
+    def __contains__(self, value: object) -> bool:
+        if not isinstance(value, str):
+            return False
+        return all(self._get_bit(position) for position in self._positions(value))
+
+    def __len__(self) -> int:
+        return self._count
+
+    def estimated_false_positive_rate(self) -> float:
+        """Estimate the current false-positive rate from the fill ratio."""
+        set_bits = sum(bin(byte).count("1") for byte in self._bits)
+        fill = set_bits / self.num_bits
+        return fill ** self.num_hashes

@@ -1,0 +1,157 @@
+"""Mapping index: find the synthesized mapping that covers a set of user values.
+
+Applications (auto-correct, auto-fill, auto-join) all start from the same question:
+*given values from a user's column(s), which mapping relationship are they from?*
+The index answers it by value containment — the fraction of (normalized) user
+values found in a mapping's left or right column — with bloom filters as a cheap
+pre-filter before exact containment is computed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.applications.bloom import BloomFilter
+from repro.core.mapping import MappingRelationship
+from repro.text.matching import normalize_value
+
+__all__ = ["MappingMatch", "MappingIndex"]
+
+
+@dataclass(frozen=True)
+class MappingMatch:
+    """One candidate mapping for a lookup, with its containment scores."""
+
+    mapping: MappingRelationship
+    left_containment: float
+    right_containment: float
+    direction: str  # "forward" (values matched the left column) or "reverse"
+
+    @property
+    def score(self) -> float:
+        """The containment in the matched direction."""
+        return self.left_containment if self.direction == "forward" else self.right_containment
+
+
+class MappingIndex:
+    """Index of synthesized mappings supporting containment-based lookup."""
+
+    def __init__(
+        self,
+        mappings: Iterable[MappingRelationship],
+        bloom_false_positive_rate: float = 0.01,
+    ) -> None:
+        self.mappings = list(mappings)
+        self._left_sets: list[set[str]] = []
+        self._right_sets: list[set[str]] = []
+        self._left_blooms: list[BloomFilter] = []
+        self._right_blooms: list[BloomFilter] = []
+        for mapping in self.mappings:
+            left = {normalize_value(pair.left) for pair in mapping.pairs}
+            right = {normalize_value(pair.right) for pair in mapping.pairs}
+            self._left_sets.append(left)
+            self._right_sets.append(right)
+            left_bloom = BloomFilter(max(1, len(left)), bloom_false_positive_rate)
+            left_bloom.update(left)
+            right_bloom = BloomFilter(max(1, len(right)), bloom_false_positive_rate)
+            right_bloom.update(right)
+            self._left_blooms.append(left_bloom)
+            self._right_blooms.append(right_bloom)
+
+    def __len__(self) -> int:
+        return len(self.mappings)
+
+    # -- Lookup ---------------------------------------------------------------------------
+    @staticmethod
+    def _containment(values: list[str], target: set[str]) -> float:
+        if not values:
+            return 0.0
+        hits = sum(1 for value in values if value in target)
+        return hits / len(values)
+
+    def lookup(
+        self,
+        values: Iterable[str],
+        min_containment: float = 0.5,
+        top_k: int = 5,
+    ) -> list[MappingMatch]:
+        """Return mappings whose left or right column covers the given values.
+
+        Results are sorted by containment (best first) and include the direction in
+        which the values matched.
+        """
+        if not 0.0 <= min_containment <= 1.0:
+            raise ValueError(f"min_containment must be in [0, 1], got {min_containment}")
+        normalized = [normalize_value(value) for value in values if value.strip()]
+        if not normalized:
+            return []
+        matches: list[MappingMatch] = []
+        for position, mapping in enumerate(self.mappings):
+            # Bloom pre-check: skip mappings that cannot possibly reach the cutoff.
+            bloom_left_hits = sum(
+                1 for value in normalized if value in self._left_blooms[position]
+            )
+            bloom_right_hits = sum(
+                1 for value in normalized if value in self._right_blooms[position]
+            )
+            best_possible = max(bloom_left_hits, bloom_right_hits) / len(normalized)
+            if best_possible < min_containment:
+                continue
+            left_containment = self._containment(normalized, self._left_sets[position])
+            right_containment = self._containment(normalized, self._right_sets[position])
+            if max(left_containment, right_containment) < min_containment:
+                continue
+            direction = "forward" if left_containment >= right_containment else "reverse"
+            matches.append(
+                MappingMatch(
+                    mapping=mapping,
+                    left_containment=left_containment,
+                    right_containment=right_containment,
+                    direction=direction,
+                )
+            )
+        matches.sort(key=lambda match: match.score, reverse=True)
+        return matches[:top_k]
+
+    def lookup_pairs(
+        self,
+        pairs: Iterable[tuple[str, str]],
+        min_containment: float = 0.5,
+        top_k: int = 5,
+    ) -> list[MappingMatch]:
+        """Find mappings that cover example ``(left, right)`` pairs.
+
+        Used by auto-fill, where the user provides a few example pairs and the
+        system infers the intended mapping.
+        """
+        pair_list = [
+            (normalize_value(left), normalize_value(right)) for left, right in pairs
+        ]
+        if not pair_list:
+            return []
+        matches: list[MappingMatch] = []
+        for position, mapping in enumerate(self.mappings):
+            normalized_pairs = {
+                (normalize_value(pair.left), normalize_value(pair.right))
+                for pair in mapping.pairs
+            }
+            forward_hits = sum(1 for pair in pair_list if pair in normalized_pairs)
+            reverse_hits = sum(
+                1 for left, right in pair_list if (right, left) in normalized_pairs
+            )
+            forward = forward_hits / len(pair_list)
+            reverse = reverse_hits / len(pair_list)
+            if max(forward, reverse) < min_containment:
+                continue
+            direction = "forward" if forward >= reverse else "reverse"
+            matches.append(
+                MappingMatch(
+                    mapping=mapping,
+                    left_containment=forward,
+                    right_containment=reverse,
+                    direction=direction,
+                )
+            )
+        matches.sort(key=lambda match: match.score, reverse=True)
+        return matches[:top_k]

@@ -1,0 +1,39 @@
+"""Every comparison method from the paper's evaluation (§5.1 "Methods compared")."""
+
+from repro.baselines.base import BaselineMethod, candidates_from_corpus
+from repro.baselines.single_table import (
+    EntTableBaseline,
+    SingleTableBaseline,
+    WebTableBaseline,
+    WikiTableBaseline,
+)
+from repro.baselines.union_tables import UnionDomainBaseline, UnionWebBaseline
+from repro.baselines.schema_matching import SchemaCCBaseline, WiseIntegratorBaseline
+from repro.baselines.correlation import CorrelationClusteringBaseline
+from repro.baselines.knowledge_base import (
+    FreebaseBaseline,
+    KnowledgeBaseBaseline,
+    SyntheticKnowledgeBase,
+    YagoBaseline,
+)
+from repro.baselines.synthesis_method import SynthesisMethod, SynthesisPosMethod
+
+__all__ = [
+    "BaselineMethod",
+    "candidates_from_corpus",
+    "SingleTableBaseline",
+    "WikiTableBaseline",
+    "WebTableBaseline",
+    "EntTableBaseline",
+    "UnionDomainBaseline",
+    "UnionWebBaseline",
+    "SchemaCCBaseline",
+    "WiseIntegratorBaseline",
+    "CorrelationClusteringBaseline",
+    "SyntheticKnowledgeBase",
+    "KnowledgeBaseBaseline",
+    "FreebaseBaseline",
+    "YagoBaseline",
+    "SynthesisMethod",
+    "SynthesisPosMethod",
+]

@@ -1,0 +1,81 @@
+"""Common interface for all evaluated methods.
+
+Every method — the paper's Synthesis approach and every baseline — implements
+:class:`BaselineMethod`: given a table corpus (and optionally pre-extracted
+candidate binary tables, so expensive extraction is shared across methods in the
+experiment harness), produce a list of candidate
+:class:`~repro.core.mapping.MappingRelationship` objects.  The evaluation then
+scores each benchmark case against the best-matching relationship each method
+produced, exactly as the paper does ("we score each benchmark case by picking the
+relationship in each data set that has the best f-score").
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.core.binary_table import BinaryTable
+from repro.core.config import SynthesisConfig
+from repro.core.mapping import MappingRelationship
+from repro.corpus.corpus import TableCorpus
+from repro.extraction.candidates import CandidateExtractor
+
+__all__ = ["BaselineMethod", "candidates_from_corpus"]
+
+
+def candidates_from_corpus(
+    corpus: TableCorpus, config: SynthesisConfig | None = None
+) -> list[BinaryTable]:
+    """Extract candidate binary tables once, for sharing across methods."""
+    extractor = CandidateExtractor(config or SynthesisConfig())
+    candidates, _ = extractor.extract(corpus)
+    return candidates
+
+
+class BaselineMethod(ABC):
+    """A method that produces candidate mapping relationships from a corpus."""
+
+    #: Display name used in experiment reports (matches the paper's method names).
+    name: str = "method"
+
+    @abstractmethod
+    def synthesize(
+        self,
+        corpus: TableCorpus,
+        candidates: list[BinaryTable] | None = None,
+    ) -> list[MappingRelationship]:
+        """Produce candidate mapping relationships.
+
+        Parameters
+        ----------
+        corpus:
+            The input table corpus.
+        candidates:
+            Optionally, candidate binary tables already extracted from ``corpus``;
+            methods that operate on candidates should use them instead of
+            re-running extraction.
+        """
+
+    # -- Helpers shared by subclasses ---------------------------------------------------
+    def _ensure_candidates(
+        self,
+        corpus: TableCorpus,
+        candidates: list[BinaryTable] | None,
+        config: SynthesisConfig | None = None,
+    ) -> list[BinaryTable]:
+        if candidates is not None:
+            return candidates
+        return candidates_from_corpus(corpus, config)
+
+    @staticmethod
+    def _tables_to_mappings(
+        tables: list[BinaryTable], prefix: str
+    ) -> list[MappingRelationship]:
+        """Wrap raw binary tables as (single-table) mapping relationships."""
+        return [
+            MappingRelationship.from_tables(f"{prefix}-{index:06d}", [table])
+            for index, table in enumerate(tables)
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} name={self.name!r}>"

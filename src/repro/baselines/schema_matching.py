@@ -1,0 +1,206 @@
+"""Schema-matching-style baselines (paper §5.1).
+
+* ``SchemaCC`` mimics a pairwise schema matcher that uses the *same* positive and
+  negative signals as Synthesis, but aggregates pairwise match decisions by
+  transitivity — connected components over edges whose thresholded combination of
+  scores says "match".  Transitive closure over-groups, which is the point the
+  paper makes.
+* ``SchemaPosCC`` is the same without the FD-induced negative signal (schema
+  matching literature does not use it).
+* ``WiseIntegrator`` represents the collective web-form schema matchers [22, 23]:
+  it clusters candidate columns greedily by linguistic similarity of attribute
+  names plus value-type similarity.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.baselines.base import BaselineMethod
+from repro.core.binary_table import BinaryTable
+from repro.core.config import SynthesisConfig
+from repro.core.mapping import MappingRelationship
+from repro.corpus.corpus import TableCorpus
+from repro.graph.build import GraphBuilder
+from repro.graph.connected import UnionFind
+from repro.text.edit_distance import edit_distance
+from repro.text.matching import normalize_value
+
+__all__ = ["SchemaCCBaseline", "WiseIntegratorBaseline"]
+
+
+class SchemaCCBaseline(BaselineMethod):
+    """Pairwise matching + transitive (connected-component) aggregation.
+
+    Parameters
+    ----------
+    threshold:
+        Minimum combined score for an edge to count as a pairwise "match".  The
+        paper sweeps thresholds in [0, 1] and reports the best; the experiment
+        runner does the same via :meth:`sweep_thresholds`.
+    use_negative:
+        When ``True`` the combined score is ``w+ + w−`` (SchemaCC); when ``False``
+        only ``w+`` is used (SchemaPosCC).
+    """
+
+    name = "SchemaCC"
+
+    def __init__(
+        self,
+        threshold: float = 0.5,
+        use_negative: bool = True,
+        config: SynthesisConfig | None = None,
+    ) -> None:
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+        self.threshold = threshold
+        self.use_negative = use_negative
+        self.config = config or SynthesisConfig()
+        if not use_negative:
+            self.name = "SchemaPosCC"
+
+    def synthesize(
+        self,
+        corpus: TableCorpus,
+        candidates: list[BinaryTable] | None = None,
+    ) -> list[MappingRelationship]:
+        tables = self._ensure_candidates(corpus, candidates, self.config)
+        # Build the same sparse scored graph Synthesis uses (including edges below
+        # θ_edge, since the matcher applies its own threshold): reuse the builder
+        # with θ_edge = 0 so all blocked positive edges are materialized.
+        graph_config = self.config.with_overrides(edge_threshold=0.0)
+        graph = GraphBuilder(graph_config).build(tables)
+
+        finder = UnionFind(range(len(tables)))
+        for (first, second), positive in graph.positive_edges.items():
+            combined = positive
+            if self.use_negative:
+                combined = positive + graph.negative(first, second)
+            if combined >= self.threshold:
+                finder.union(first, second)
+        mappings: list[MappingRelationship] = []
+        for index, group in enumerate(finder.groups()):
+            members = [tables[vertex] for vertex in group]
+            mappings.append(
+                MappingRelationship.from_tables(f"{self.name.lower()}-{index:06d}", members)
+            )
+        return mappings
+
+    @classmethod
+    def sweep_thresholds(
+        cls,
+        use_negative: bool,
+        thresholds: tuple[float, ...] = (0.1, 0.3, 0.5, 0.7, 0.9),
+        config: SynthesisConfig | None = None,
+    ) -> list["SchemaCCBaseline"]:
+        """Instantiate one baseline per threshold (the runner keeps the best)."""
+        return [cls(threshold, use_negative, config) for threshold in thresholds]
+
+
+def _value_type(values: list[str]) -> str:
+    """Crude value-type detector: numeric, short-code, or text."""
+    if not values:
+        return "text"
+    numeric = sum(1 for value in values if value.strip().replace(".", "", 1).isdigit())
+    if numeric / len(values) > 0.8:
+        return "numeric"
+    short = sum(1 for value in values if len(value.strip()) <= 4)
+    if short / len(values) > 0.8:
+        return "code"
+    return "text"
+
+
+def _name_similarity(first: str, second: str) -> float:
+    """Linguistic similarity of attribute names: token overlap + edit distance."""
+    a, b = normalize_value(first), normalize_value(second)
+    if not a or not b:
+        return 0.0
+    if a == b:
+        return 1.0
+    tokens_a, tokens_b = set(a.split()), set(b.split())
+    jaccard = len(tokens_a & tokens_b) / len(tokens_a | tokens_b)
+    max_len = max(len(a), len(b))
+    edit_similarity = 1.0 - edit_distance(a, b) / max_len
+    return max(jaccard, edit_similarity)
+
+
+class WiseIntegratorBaseline(BaselineMethod):
+    """Greedy clustering on attribute-name and value-type similarity [22, 23]."""
+
+    name = "WiseIntegrator"
+
+    def __init__(
+        self,
+        similarity_threshold: float = 0.75,
+        config: SynthesisConfig | None = None,
+    ) -> None:
+        if not 0.0 <= similarity_threshold <= 1.0:
+            raise ValueError(
+                f"similarity_threshold must be in [0, 1], got {similarity_threshold}"
+            )
+        self.similarity_threshold = similarity_threshold
+        self.config = config or SynthesisConfig()
+
+    def _table_signature(self, table: BinaryTable) -> tuple[str, str, str, str]:
+        left_values = table.left_values
+        right_values = table.right_values
+        return (
+            normalize_value(table.left_name),
+            normalize_value(table.right_name),
+            _value_type(left_values),
+            _value_type(right_values),
+        )
+
+    def _similarity(self, first: tuple, second: tuple) -> float:
+        name_score = 0.5 * (
+            _name_similarity(first[0], second[0]) + _name_similarity(first[1], second[1])
+        )
+        type_score = 0.5 * ((first[2] == second[2]) + (first[3] == second[3]))
+        return 0.7 * name_score + 0.3 * type_score
+
+    def synthesize(
+        self,
+        corpus: TableCorpus,
+        candidates: list[BinaryTable] | None = None,
+    ) -> list[MappingRelationship]:
+        tables = self._ensure_candidates(corpus, candidates, self.config)
+        signatures = [self._table_signature(table) for table in tables]
+
+        # Greedy clustering: each table joins the first existing cluster whose
+        # centroid signature is similar enough, otherwise starts a new cluster.
+        clusters: list[list[int]] = []
+        centroid_signatures: list[tuple] = []
+        for index, signature in enumerate(signatures):
+            best_cluster = -1
+            best_score = self.similarity_threshold
+            for cluster_index, centroid in enumerate(centroid_signatures):
+                score = self._similarity(signature, centroid)
+                if score >= best_score:
+                    best_score = score
+                    best_cluster = cluster_index
+            if best_cluster < 0:
+                clusters.append([index])
+                centroid_signatures.append(signature)
+            else:
+                clusters[best_cluster].append(index)
+                centroid_signatures[best_cluster] = self._centroid(
+                    [signatures[i] for i in clusters[best_cluster]]
+                )
+        mappings: list[MappingRelationship] = []
+        for cluster_index, members in enumerate(clusters):
+            mappings.append(
+                MappingRelationship.from_tables(
+                    f"wiseintegrator-{cluster_index:06d}",
+                    [tables[index] for index in members],
+                )
+            )
+        return mappings
+
+    @staticmethod
+    def _centroid(signatures: list[tuple]) -> tuple:
+        """Most common value per signature position (mode)."""
+        result = []
+        for position in range(4):
+            counter = Counter(signature[position] for signature in signatures)
+            result.append(counter.most_common(1)[0][0])
+        return tuple(result)

@@ -1,0 +1,93 @@
+"""Single-table baselines: WikiTable, WebTable, EntTable (paper §5.1).
+
+These methods perform no synthesis: every candidate binary table is offered as a
+mapping relationship on its own, and the evaluation picks the single best table per
+benchmark case.  ``WikiTable`` restricts the corpus to Wikipedia tables;
+``WebTable`` uses the whole web corpus; ``EntTable`` is the same idea on the
+enterprise corpus.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.baselines.base import BaselineMethod
+from repro.core.binary_table import BinaryTable
+from repro.core.config import SynthesisConfig
+from repro.core.mapping import MappingRelationship
+from repro.corpus.corpus import TableCorpus
+from repro.corpus.table import Table
+
+__all__ = [
+    "SingleTableBaseline",
+    "WikiTableBaseline",
+    "WebTableBaseline",
+    "EntTableBaseline",
+]
+
+
+class SingleTableBaseline(BaselineMethod):
+    """Offer each candidate binary table, unsynthesized, as a mapping."""
+
+    name = "SingleTable"
+
+    def __init__(
+        self,
+        table_filter: Callable[[Table], bool] | None = None,
+        config: SynthesisConfig | None = None,
+        name: str | None = None,
+    ) -> None:
+        self.table_filter = table_filter
+        self.config = config or SynthesisConfig()
+        if name is not None:
+            self.name = name
+
+    def synthesize(
+        self,
+        corpus: TableCorpus,
+        candidates: list[BinaryTable] | None = None,
+    ) -> list[MappingRelationship]:
+        if self.table_filter is not None:
+            corpus = corpus.filter(self.table_filter)
+            # Filtering the corpus invalidates shared candidates extracted from the
+            # full corpus, unless they can be filtered by source table id.
+            if candidates is not None:
+                allowed = set(corpus.table_ids())
+                candidates = [
+                    candidate
+                    for candidate in candidates
+                    if candidate.source_table_id in allowed
+                ]
+        tables = self._ensure_candidates(corpus, candidates, self.config)
+        return self._tables_to_mappings(tables, self.name.lower())
+
+
+class WikiTableBaseline(SingleTableBaseline):
+    """Only tables from the Wikipedia domain (high precision, low coverage)."""
+
+    name = "WikiTable"
+
+    def __init__(self, config: SynthesisConfig | None = None, wiki_domain: str = "en.wikipedia.org") -> None:
+        super().__init__(
+            table_filter=lambda table: table.domain == wiki_domain,
+            config=config,
+            name=self.name,
+        )
+
+
+class WebTableBaseline(SingleTableBaseline):
+    """Every table of the web corpus, offered individually."""
+
+    name = "WebTable"
+
+    def __init__(self, config: SynthesisConfig | None = None) -> None:
+        super().__init__(table_filter=None, config=config, name=self.name)
+
+
+class EntTableBaseline(SingleTableBaseline):
+    """Every table of the enterprise corpus, offered individually (paper §5.5)."""
+
+    name = "EntTable"
+
+    def __init__(self, config: SynthesisConfig | None = None) -> None:
+        super().__init__(table_filter=None, config=config, name=self.name)

@@ -1,0 +1,54 @@
+"""The paper's Synthesis approach (and its SynthesisPos ablation) wrapped as methods.
+
+Wrapping the pipeline in the same :class:`~repro.baselines.base.BaselineMethod`
+interface lets the experiment runner treat Synthesis uniformly with every baseline.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineMethod
+from repro.core.binary_table import BinaryTable
+from repro.core.config import SynthesisConfig
+from repro.core.mapping import MappingRelationship
+from repro.corpus.corpus import TableCorpus
+from repro.synthesis.synthesizer import TableSynthesizer
+from repro.text.synonyms import SynonymDictionary
+
+__all__ = ["SynthesisMethod", "SynthesisPosMethod"]
+
+
+class SynthesisMethod(BaselineMethod):
+    """The full approach of the paper (Section 4)."""
+
+    name = "Synthesis"
+
+    def __init__(
+        self,
+        config: SynthesisConfig | None = None,
+        synonyms: SynonymDictionary | None = None,
+    ) -> None:
+        self.config = config or SynthesisConfig()
+        self.synonyms = synonyms
+
+    def synthesize(
+        self,
+        corpus: TableCorpus,
+        candidates: list[BinaryTable] | None = None,
+    ) -> list[MappingRelationship]:
+        tables = self._ensure_candidates(corpus, candidates, self.config)
+        synthesizer = TableSynthesizer(self.config, self.synonyms)
+        return synthesizer.synthesize(tables).mappings
+
+
+class SynthesisPosMethod(SynthesisMethod):
+    """Synthesis without FD-induced negative signals (ablation, paper §5.2)."""
+
+    name = "SynthesisPos"
+
+    def __init__(
+        self,
+        config: SynthesisConfig | None = None,
+        synonyms: SynonymDictionary | None = None,
+    ) -> None:
+        base = config or SynthesisConfig()
+        super().__init__(base.with_overrides(use_negative_edges=False), synonyms)

@@ -1,0 +1,64 @@
+"""Union-table baselines (Ling & Halevy et al. [30], paper §5.1).
+
+``UnionDomain`` unions candidate tables that share identical column names *within
+the same web domain*; ``UnionWeb`` relaxes the domain restriction and unions by
+column names across the whole corpus.  Because column headers are frequently
+generic (``name`` / ``code``), the web-wide variant over-groups unrelated relations
+— the failure mode the paper demonstrates experimentally.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.baselines.base import BaselineMethod
+from repro.core.binary_table import BinaryTable
+from repro.core.config import SynthesisConfig
+from repro.core.mapping import MappingRelationship
+from repro.corpus.corpus import TableCorpus
+from repro.text.matching import normalize_value
+
+__all__ = ["UnionDomainBaseline", "UnionWebBaseline"]
+
+
+def _header_key(table: BinaryTable) -> tuple[str, str]:
+    return (normalize_value(table.left_name), normalize_value(table.right_name))
+
+
+class UnionDomainBaseline(BaselineMethod):
+    """Union tables with identical column names within the same domain."""
+
+    name = "UnionDomain"
+
+    def __init__(self, config: SynthesisConfig | None = None) -> None:
+        self.config = config or SynthesisConfig()
+
+    def _group_key(self, table: BinaryTable) -> tuple:
+        return (table.domain, *_header_key(table))
+
+    def synthesize(
+        self,
+        corpus: TableCorpus,
+        candidates: list[BinaryTable] | None = None,
+    ) -> list[MappingRelationship]:
+        tables = self._ensure_candidates(corpus, candidates, self.config)
+        groups: dict[tuple, list[BinaryTable]] = defaultdict(list)
+        for table in tables:
+            groups[self._group_key(table)].append(table)
+        mappings: list[MappingRelationship] = []
+        for index, key in enumerate(sorted(groups, key=str)):
+            mappings.append(
+                MappingRelationship.from_tables(
+                    f"{self.name.lower()}-{index:06d}", groups[key]
+                )
+            )
+        return mappings
+
+
+class UnionWebBaseline(UnionDomainBaseline):
+    """Union tables with identical column names across the whole corpus."""
+
+    name = "UnionWeb"
+
+    def _group_key(self, table: BinaryTable) -> tuple:
+        return _header_key(table)

@@ -1,0 +1,15 @@
+"""Core data model, configuration, and the end-to-end synthesis pipeline."""
+
+from repro.core.binary_table import BinaryTable, ValuePair
+from repro.core.config import SynthesisConfig
+from repro.core.mapping import MappingRelationship
+from repro.core.pipeline import PipelineResult, SynthesisPipeline
+
+__all__ = [
+    "BinaryTable",
+    "ValuePair",
+    "SynthesisConfig",
+    "MappingRelationship",
+    "SynthesisPipeline",
+    "PipelineResult",
+]

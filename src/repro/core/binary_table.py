@@ -1,0 +1,167 @@
+"""Binary (two-column) candidate tables — the unit of synthesis.
+
+A :class:`BinaryTable` is an ordered pair of columns extracted from a source table,
+stored as a set of ``(left, right)`` value pairs together with provenance (source
+table identifier and web/file domain).  These are the vertices of the synthesis
+graph in §4 of the paper.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+__all__ = ["ValuePair", "BinaryTable"]
+
+
+@dataclass(frozen=True, order=True)
+class ValuePair:
+    """A single ``(left, right)`` row of a binary table."""
+
+    left: str
+    right: str
+
+    def reversed(self) -> "ValuePair":
+        """Return the pair with left and right swapped."""
+        return ValuePair(self.right, self.left)
+
+    def as_tuple(self) -> tuple[str, str]:
+        """Return the pair as a plain tuple."""
+        return (self.left, self.right)
+
+
+@dataclass
+class BinaryTable:
+    """A candidate two-column table.
+
+    Attributes
+    ----------
+    table_id:
+        Unique identifier, typically ``"<source table id>#<left col>-><right col>"``.
+    pairs:
+        The distinct ``(left, right)`` value pairs of this table.
+    left_name / right_name:
+        Column headers from the source table (often undescriptive, e.g. ``name``).
+    source_table_id:
+        Identifier of the table this candidate was extracted from.
+    domain:
+        Web domain or file share the source table came from; used for popularity
+        statistics during curation (§4.3) and by the UnionDomain baseline.
+    """
+
+    table_id: str
+    pairs: list[ValuePair]
+    left_name: str = ""
+    right_name: str = ""
+    source_table_id: str = ""
+    domain: str = ""
+    metadata: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # Deduplicate pairs while preserving order.
+        seen: set[tuple[str, str]] = set()
+        unique: list[ValuePair] = []
+        for pair in self.pairs:
+            if not isinstance(pair, ValuePair):
+                pair = ValuePair(*pair)
+            key = pair.as_tuple()
+            if key not in seen:
+                seen.add(key)
+                unique.append(pair)
+        self.pairs = unique
+
+    # -- Basic container protocol ----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self) -> Iterator[ValuePair]:
+        return iter(self.pairs)
+
+    def __contains__(self, pair: object) -> bool:
+        if isinstance(pair, tuple):
+            pair = ValuePair(*pair)
+        return pair in set(self.pairs)
+
+    def __hash__(self) -> int:
+        return hash(self.table_id)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BinaryTable):
+            return NotImplemented
+        return self.table_id == other.table_id
+
+    # -- Views ------------------------------------------------------------------------
+    @property
+    def left_values(self) -> list[str]:
+        """All left-hand-side values (with duplicates removed, order preserved)."""
+        seen: set[str] = set()
+        result = []
+        for pair in self.pairs:
+            if pair.left not in seen:
+                seen.add(pair.left)
+                result.append(pair.left)
+        return result
+
+    @property
+    def right_values(self) -> list[str]:
+        """All right-hand-side values (with duplicates removed, order preserved)."""
+        seen: set[str] = set()
+        result = []
+        for pair in self.pairs:
+            if pair.right not in seen:
+                seen.add(pair.right)
+                result.append(pair.right)
+        return result
+
+    def pair_set(self) -> set[tuple[str, str]]:
+        """Return the pairs as a set of tuples."""
+        return {pair.as_tuple() for pair in self.pairs}
+
+    def mapping_dict(self) -> dict[str, str]:
+        """Return a ``left -> right`` dict (last pair wins for duplicate lefts)."""
+        return {pair.left: pair.right for pair in self.pairs}
+
+    # -- Functional-dependency support ------------------------------------------------
+    def fd_ratio(self) -> float:
+        """Fraction of rows consistent with the best right value for each left value.
+
+        This is the instance-level degree to which ``left -> right`` holds: for each
+        left value keep the most frequent right value; the ratio is the number of
+        kept rows divided by the total number of rows (paper Definition 2).
+        """
+        if not self.pairs:
+            return 1.0
+        by_left: dict[str, Counter[str]] = {}
+        for pair in self.pairs:
+            by_left.setdefault(pair.left, Counter())[pair.right] += 1
+        kept = sum(counter.most_common(1)[0][1] for counter in by_left.values())
+        return kept / len(self.pairs)
+
+    def is_functional(self, theta: float = 0.95) -> bool:
+        """Return ``True`` if this table is a θ-approximate mapping (Definition 2)."""
+        return self.fd_ratio() >= theta
+
+    def reversed(self) -> "BinaryTable":
+        """Return a new binary table with the column order flipped."""
+        return BinaryTable(
+            table_id=f"{self.table_id}::reversed",
+            pairs=[pair.reversed() for pair in self.pairs],
+            left_name=self.right_name,
+            right_name=self.left_name,
+            source_table_id=self.source_table_id,
+            domain=self.domain,
+            metadata=dict(self.metadata),
+        )
+
+    # -- Constructors -----------------------------------------------------------------
+    @classmethod
+    def from_rows(
+        cls,
+        table_id: str,
+        rows: Iterable[tuple[str, str]],
+        **kwargs: str | dict,
+    ) -> "BinaryTable":
+        """Build a binary table from an iterable of ``(left, right)`` tuples."""
+        pairs = [ValuePair(left, right) for left, right in rows]
+        return cls(table_id=table_id, pairs=pairs, **kwargs)

@@ -1,0 +1,138 @@
+"""Configuration for the synthesis pipeline.
+
+Every threshold and switch from the paper is collected in one
+:class:`SynthesisConfig` dataclass so experiments (sensitivity analysis, ablations)
+can vary a single parameter while holding the rest fixed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+__all__ = ["SynthesisConfig"]
+
+
+@dataclass(frozen=True)
+class SynthesisConfig:
+    """Parameters controlling candidate extraction, synthesis, and post-processing.
+
+    Attributes
+    ----------
+    fd_theta:
+        ``θ`` — minimum fraction of rows that must respect the functional dependency
+        for a column pair to count as an approximate mapping (paper §2.1, default 0.95).
+    min_rows:
+        Minimum number of distinct value pairs for a candidate binary table.
+    coherence_threshold:
+        Minimum average NPMI coherence ``S(C)`` for a column to survive the PMI
+        filter (paper §3.1).
+    edge_threshold:
+        ``θ_edge`` — minimum positive compatibility ``w+`` for an edge to be added to
+        the synthesis graph.  The paper tunes this to 0.85 on the 100M-table web
+        corpus; on the smaller synthetic corpus the default is 0.5 (the sensitivity
+        bench sweeps the full range, including 0.85).
+    conflict_threshold:
+        ``τ`` — negative-compatibility threshold below which two tables are treated
+        as hard-incompatible (paper §4.2 uses −0.2 and §5.4 reports the quality peak
+        near −0.05; the default here, −0.1, sits at the same peak on the synthetic
+        corpus — the sensitivity bench sweeps the full range).
+    overlap_threshold:
+        ``θ_overlap`` — minimum number of shared value pairs (for ``w+``) or shared
+        left values (for ``w−``) before a pair of tables is even scored (paper §4.1).
+    edit_fraction:
+        ``f_ed`` — fractional edit-distance threshold for approximate value matching.
+    edit_cap:
+        ``k_ed`` — absolute cap on the edit-distance threshold.
+    use_approximate_matching:
+        Whether to use approximate string matching when computing compatibility.
+    use_negative_edges:
+        Whether FD-conflict (negative) edges constrain the partitioning.  Setting
+        this to ``False`` yields the ``SynthesisPos`` ablation from the paper.
+    use_pmi_filter / use_fd_filter:
+        Toggles for the two candidate-extraction filters (§3.1, §3.2).
+    resolve_conflicts:
+        Whether to run the conflict-resolution post-processing step (§4.2, Alg. 4).
+    conflict_strategy:
+        ``"greedy"`` (Algorithm 4) or ``"majority"`` (majority-voting alternative
+        evaluated in §5.6).
+    expand_tables:
+        Whether to run the optional table-expansion step (Appendix I).
+    min_domains:
+        Minimum number of distinct source domains contributing to a synthesized
+        mapping for it to be retained during curation (§4.3 uses 8 for the Web).
+    min_mapping_size:
+        Minimum number of value pairs in a synthesized mapping for curation.
+    """
+
+    # --- Candidate extraction (§3) -------------------------------------------------
+    fd_theta: float = 0.95
+    min_rows: int = 4
+    coherence_threshold: float = 0.05
+    use_pmi_filter: bool = True
+    use_fd_filter: bool = True
+
+    # --- Compatibility and synthesis (§4.1, §4.2) ----------------------------------
+    edge_threshold: float = 0.3
+    conflict_threshold: float = -0.1
+    overlap_threshold: int = 2
+    edit_fraction: float = 0.2
+    edit_cap: int = 10
+    use_approximate_matching: bool = True
+    use_negative_edges: bool = True
+
+    # --- Post-processing (§4.2 conflict resolution, Appendix I) --------------------
+    resolve_conflicts: bool = True
+    conflict_strategy: str = "greedy"
+    expand_tables: bool = False
+
+    # --- Curation (§4.3) ------------------------------------------------------------
+    min_domains: int = 2
+    min_mapping_size: int = 5
+
+    # --- Extra knobs for experiments -------------------------------------------------
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fd_theta <= 1.0:
+            raise ValueError(f"fd_theta must be in (0, 1], got {self.fd_theta}")
+        if self.min_rows < 1:
+            raise ValueError(f"min_rows must be >= 1, got {self.min_rows}")
+        if not 0.0 <= self.edge_threshold <= 1.0:
+            raise ValueError(
+                f"edge_threshold must be in [0, 1], got {self.edge_threshold}"
+            )
+        if self.conflict_threshold > 0.0:
+            raise ValueError(
+                "conflict_threshold is a negative-weight threshold and must be <= 0, "
+                f"got {self.conflict_threshold}"
+            )
+        if self.overlap_threshold < 1:
+            raise ValueError(
+                f"overlap_threshold must be >= 1, got {self.overlap_threshold}"
+            )
+        if self.conflict_strategy not in {"greedy", "majority"}:
+            raise ValueError(
+                "conflict_strategy must be 'greedy' or 'majority', "
+                f"got {self.conflict_strategy!r}"
+            )
+        if self.edit_fraction < 0:
+            raise ValueError(
+                f"edit_fraction must be non-negative, got {self.edit_fraction}"
+            )
+        if self.min_domains < 1:
+            raise ValueError(f"min_domains must be >= 1, got {self.min_domains}")
+
+    def with_overrides(self, **kwargs: Any) -> "SynthesisConfig":
+        """Return a copy of this configuration with selected fields replaced."""
+        return replace(self, **kwargs)
+
+    @classmethod
+    def paper_defaults(cls) -> "SynthesisConfig":
+        """Configuration matching the parameter values reported in the paper."""
+        return cls()
+
+    @classmethod
+    def positive_only(cls) -> "SynthesisConfig":
+        """The ``SynthesisPos`` ablation: ignore FD-induced negative signals."""
+        return cls(use_negative_edges=False)

@@ -1,0 +1,159 @@
+"""Synthesized mapping relationships — the pipeline's output model.
+
+A :class:`MappingRelationship` is the union of all value pairs from a partition of
+compatible binary tables, after conflict resolution.  It carries the provenance
+statistics (contributing tables, distinct source domains) that the paper uses to
+rank mappings by popularity for human curation (§4.3).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+from repro.core.binary_table import BinaryTable, ValuePair
+
+__all__ = ["MappingRelationship"]
+
+
+@dataclass
+class MappingRelationship:
+    """A synthesized mapping relationship ``X -> Y``.
+
+    Attributes
+    ----------
+    mapping_id:
+        Stable identifier for the relationship.
+    pairs:
+        The distinct ``(left, right)`` value pairs of the mapping.
+    source_tables:
+        Identifiers of the binary tables that contributed pairs.
+    domains:
+        Distinct source domains contributing to the mapping (popularity signal).
+    column_names:
+        Most common (left, right) column-header pair among contributing tables,
+        used only for display — never for synthesis decisions.
+    """
+
+    mapping_id: str
+    pairs: list[ValuePair]
+    source_tables: list[str] = field(default_factory=list)
+    domains: set[str] = field(default_factory=set)
+    column_names: tuple[str, str] = ("", "")
+    metadata: dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        seen: set[tuple[str, str]] = set()
+        unique: list[ValuePair] = []
+        for pair in self.pairs:
+            if not isinstance(pair, ValuePair):
+                pair = ValuePair(*pair)
+            key = pair.as_tuple()
+            if key not in seen:
+                seen.add(key)
+                unique.append(pair)
+        self.pairs = unique
+        self.domains = set(self.domains)
+
+    # -- Container protocol ------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self) -> Iterator[ValuePair]:
+        return iter(self.pairs)
+
+    def __contains__(self, pair: object) -> bool:
+        if isinstance(pair, tuple):
+            pair = ValuePair(*pair)
+        return pair in set(self.pairs)
+
+    # -- Views --------------------------------------------------------------------------
+    def pair_set(self) -> set[tuple[str, str]]:
+        """Return the mapping's pairs as a set of tuples."""
+        return {pair.as_tuple() for pair in self.pairs}
+
+    def as_dict(self) -> dict[str, str]:
+        """Return a ``left -> right`` lookup dict (first pair wins on conflicts)."""
+        result: dict[str, str] = {}
+        for pair in self.pairs:
+            result.setdefault(pair.left, pair.right)
+        return result
+
+    def left_values(self) -> set[str]:
+        """Set of distinct left values."""
+        return {pair.left for pair in self.pairs}
+
+    def right_values(self) -> set[str]:
+        """Set of distinct right values."""
+        return {pair.right for pair in self.pairs}
+
+    # -- Statistics -----------------------------------------------------------------------
+    @property
+    def popularity(self) -> int:
+        """Number of distinct source domains (the paper's curation signal)."""
+        return len(self.domains)
+
+    @property
+    def num_source_tables(self) -> int:
+        """Number of contributing binary tables."""
+        return len(self.source_tables)
+
+    def conflict_count(self) -> int:
+        """Number of left values that still map to more than one right value."""
+        rights_by_left: dict[str, set[str]] = {}
+        for pair in self.pairs:
+            rights_by_left.setdefault(pair.left, set()).add(pair.right)
+        return sum(1 for rights in rights_by_left.values() if len(rights) > 1)
+
+    def is_functional(self) -> bool:
+        """Return ``True`` if no left value maps to two different right values."""
+        return self.conflict_count() == 0
+
+    def fd_ratio(self) -> float:
+        """Fraction of pairs consistent with a single right value per left value."""
+        if not self.pairs:
+            return 1.0
+        by_left: dict[str, Counter[str]] = {}
+        for pair in self.pairs:
+            by_left.setdefault(pair.left, Counter())[pair.right] += 1
+        kept = sum(counter.most_common(1)[0][1] for counter in by_left.values())
+        return kept / len(self.pairs)
+
+    # -- Constructors ------------------------------------------------------------------------
+    @classmethod
+    def from_tables(
+        cls, mapping_id: str, tables: Iterable[BinaryTable]
+    ) -> "MappingRelationship":
+        """Union a collection of binary tables into a mapping relationship."""
+        tables = list(tables)
+        pairs: list[ValuePair] = []
+        source_tables: list[str] = []
+        domains: set[str] = set()
+        header_votes: Counter[tuple[str, str]] = Counter()
+        for table in tables:
+            pairs.extend(table.pairs)
+            source_tables.append(table.table_id)
+            if table.domain:
+                domains.add(table.domain)
+            if table.left_name or table.right_name:
+                header_votes[(table.left_name, table.right_name)] += 1
+        column_names = header_votes.most_common(1)[0][0] if header_votes else ("", "")
+        return cls(
+            mapping_id=mapping_id,
+            pairs=pairs,
+            source_tables=source_tables,
+            domains=domains,
+            column_names=column_names,
+        )
+
+    def to_binary_table(self) -> BinaryTable:
+        """Materialize the mapping as a single binary table."""
+        return BinaryTable(
+            table_id=self.mapping_id,
+            pairs=list(self.pairs),
+            left_name=self.column_names[0],
+            right_name=self.column_names[1],
+            source_table_id=self.mapping_id,
+            domain="synthesized",
+        )

@@ -1,0 +1,111 @@
+"""The end-to-end synthesis pipeline (paper Figure 1).
+
+``SynthesisPipeline`` chains the three steps of the paper's solution:
+
+1. **Candidate extraction** — PMI coherence filter + approximate-FD filter (§3).
+2. **Table synthesis** — compatibility graph + greedy partitioning (§4.1–4.2).
+3. **Conflict resolution** (and optional table expansion / curation) (§4.2–4.3).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.binary_table import BinaryTable
+from repro.core.config import SynthesisConfig
+from repro.core.mapping import MappingRelationship
+from repro.corpus.corpus import TableCorpus
+
+__all__ = ["PipelineResult", "SynthesisPipeline"]
+
+
+@dataclass
+class PipelineResult:
+    """Everything produced by one pipeline run."""
+
+    mappings: list[MappingRelationship]
+    curated: list[MappingRelationship]
+    candidates: list[BinaryTable]
+    extraction_stats: dict[str, float]
+    timings: dict[str, float] = field(default_factory=dict)
+    metadata: dict[str, float] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.mappings)
+
+    def top_mappings(self, count: int = 10) -> list[MappingRelationship]:
+        """The most popular curated mappings (falls back to all mappings)."""
+        pool = self.curated if self.curated else self.mappings
+        ranked = sorted(
+            pool,
+            key=lambda mapping: (mapping.popularity, mapping.num_source_tables, len(mapping)),
+            reverse=True,
+        )
+        return ranked[:count]
+
+
+class SynthesisPipeline:
+    """Runs candidate extraction, synthesis, and post-processing over a corpus."""
+
+    def __init__(
+        self,
+        config: SynthesisConfig | None = None,
+        synonyms=None,
+        trusted_sources: list[BinaryTable] | None = None,
+    ) -> None:
+        self.config = config or SynthesisConfig()
+        self.synonyms = synonyms
+        self.trusted_sources = trusted_sources or []
+
+    def run(self, corpus: TableCorpus) -> PipelineResult:
+        """Execute the full pipeline on ``corpus``."""
+        # Imports are local to keep `repro.core` import-light (the pipeline pulls in
+        # every other subpackage).
+        from repro.extraction.candidates import CandidateExtractor
+        from repro.synthesis.curation import curate_mappings
+        from repro.synthesis.expansion import TableExpander
+        from repro.synthesis.synthesizer import TableSynthesizer
+
+        timings: dict[str, float] = {}
+
+        start = time.perf_counter()
+        extractor = CandidateExtractor(self.config)
+        candidates, stats = extractor.extract(corpus)
+        timings["extraction"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        synthesizer = TableSynthesizer(self.config, self.synonyms)
+        synthesis = synthesizer.synthesize(candidates)
+        timings["synthesis"] = time.perf_counter() - start
+
+        mappings = synthesis.mappings
+        if self.config.expand_tables and self.trusted_sources:
+            start = time.perf_counter()
+            expander = TableExpander(self.trusted_sources, self.config, self.synonyms)
+            mappings, _ = expander.expand_all(mappings)
+            timings["expansion"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        curation = curate_mappings(
+            mappings,
+            min_domains=self.config.min_domains,
+            min_size=self.config.min_mapping_size,
+        )
+        timings["curation"] = time.perf_counter() - start
+
+        return PipelineResult(
+            mappings=mappings,
+            curated=curation.kept,
+            candidates=candidates,
+            extraction_stats=stats.as_dict(),
+            timings=timings,
+            metadata={
+                "num_tables": float(len(corpus)),
+                "num_candidates": float(len(candidates)),
+                "num_mappings": float(len(mappings)),
+                "num_curated": float(len(curation.kept)),
+                "num_positive_edges": synthesis.metadata.get("num_positive_edges", 0.0),
+                "num_negative_edges": synthesis.metadata.get("num_negative_edges", 0.0),
+            },
+        )

@@ -1,0 +1,36 @@
+"""Table corpus substrate.
+
+The paper uses a 100M-table web crawl and a 500K-table enterprise spreadsheet
+corpus.  Neither is available offline, so this package provides (a) the generic
+:class:`Table` / :class:`TableCorpus` data model any corpus is expressed in, and
+(b) synthetic corpus generators that reproduce the statistical properties the
+synthesis algorithms depend on: fragmented coverage, synonymous mentions that never
+co-occur in one table, conflicting code standards, undescriptive column headers,
+low-quality and spurious columns.
+"""
+
+from repro.corpus.table import Column, Table
+from repro.corpus.corpus import TableCorpus
+from repro.corpus.seeds import SeedRelation, all_seed_relations, get_seed_relation
+from repro.corpus.noise import NoiseModel
+from repro.corpus.generator import (
+    CorpusGenerationSpec,
+    EnterpriseCorpusGenerator,
+    WebCorpusGenerator,
+)
+from repro.corpus.loader import load_corpus_json, save_corpus_json
+
+__all__ = [
+    "Column",
+    "Table",
+    "TableCorpus",
+    "SeedRelation",
+    "all_seed_relations",
+    "get_seed_relation",
+    "NoiseModel",
+    "CorpusGenerationSpec",
+    "WebCorpusGenerator",
+    "EnterpriseCorpusGenerator",
+    "load_corpus_json",
+    "save_corpus_json",
+]

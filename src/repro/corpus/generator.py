@@ -1,0 +1,396 @@
+"""Synthetic corpus generators.
+
+The paper's input corpora (100M web tables, 500K enterprise spreadsheets) are not
+available offline; these generators produce corpora with the same *structural*
+properties from the seed relations in :mod:`repro.corpus.seeds`:
+
+* every relation is fragmented across many small tables, each covering a subset of
+  the instances (web tables are "for human consumption" and therefore short);
+* different tables use different synonyms for the same entity, so a synthesized
+  mapping contains synonym combinations that never co-occur in one raw table;
+* column headers are frequently generic (``name`` / ``code``), which is what breaks
+  the UnionDomain / UnionWeb baselines;
+* some tables carry extra context columns (populations, dates, free text) so the
+  candidate extraction step has something to prune;
+* a controlled fraction of rows carries outright wrong values (extraction/quality
+  errors) so conflict resolution has work to do;
+* "spurious" tables (departure/arrival airports, month-to-month calendar layout
+  tables) locally satisfy FDs without being meaningful mappings;
+* a fraction of columns are incoherent (mis-extracted / mixed concepts) and should
+  be removed by the PMI filter.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.corpus.corpus import TableCorpus
+from repro.corpus.noise import NoiseModel
+from repro.corpus.seeds import SeedRelation, all_seed_relations
+from repro.corpus.table import Table
+
+__all__ = ["CorpusGenerationSpec", "WebCorpusGenerator", "EnterpriseCorpusGenerator"]
+
+
+@dataclass
+class CorpusGenerationSpec:
+    """Knobs controlling the size and dirtiness of a generated corpus.
+
+    Attributes
+    ----------
+    tables_per_relation:
+        Base number of tables emitted per seed relation; multiplied by the
+        relation's ``popularity`` weight.
+    min_rows / max_rows:
+        Bounds on the number of rows per generated table (before noise).
+    context_column_rate:
+        Probability that a generated table carries one or two additional context
+        columns (numbers, dates, free text).
+    reversed_rate:
+        Probability that the relation's columns are emitted right-to-left.
+    incoherent_column_rate:
+        Probability that a generated table carries an extra *incoherent* column of
+        mixed values (exercises the PMI filter).
+    spurious_tables:
+        Number of spurious-FD tables (departure/arrival style) to generate.
+    formatting_tables:
+        Number of "formatting" tables (month-to-month calendar layouts).
+    mixed_tables_per_group:
+        Number of *mixed* tables generated per group of relations that share a left
+        attribute (e.g. the country-code standards).  Each mixed table draws half
+        its rows from one relation of the group and half from another — the
+        "tables with mixed values from different mappings" the paper identifies as
+        the reason purely positive matching over-groups (§4.1).
+    noise:
+        The :class:`~repro.corpus.noise.NoiseModel` applied to cell values.
+    seed:
+        Seed for the table-structure random generator.
+    """
+
+    tables_per_relation: int = 8
+    min_rows: int = 5
+    max_rows: int = 25
+    context_column_rate: float = 0.35
+    reversed_rate: float = 0.25
+    incoherent_column_rate: float = 0.10
+    spurious_tables: int = 6
+    formatting_tables: int = 4
+    mixed_tables_per_group: int = 4
+    noise: NoiseModel = field(default_factory=NoiseModel)
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.tables_per_relation < 1:
+            raise ValueError("tables_per_relation must be >= 1")
+        if not 1 <= self.min_rows <= self.max_rows:
+            raise ValueError(
+                f"row bounds must satisfy 1 <= min_rows <= max_rows, "
+                f"got ({self.min_rows}, {self.max_rows})"
+            )
+
+    @classmethod
+    def small(cls, seed: int = 7) -> "CorpusGenerationSpec":
+        """A small, fast spec used by unit tests."""
+        return cls(tables_per_relation=4, max_rows=15, spurious_tables=2,
+                   formatting_tables=1, mixed_tables_per_group=2,
+                   seed=seed, noise=NoiseModel(seed=seed))
+
+    @classmethod
+    def benchmark(cls, seed: int = 7) -> "CorpusGenerationSpec":
+        """The default spec used by the experiment harness."""
+        return cls(tables_per_relation=10, max_rows=30, seed=seed,
+                   noise=NoiseModel(seed=seed))
+
+
+_CONTEXT_HEADERS = ("Population", "Year", "Rank", "Notes", "Area", "GDP", "Founded")
+_GENERIC_TITLES = ("reference list", "data table", "lookup", "statistics", "overview")
+
+
+class _BaseCorpusGenerator:
+    """Shared machinery for web and enterprise corpus generation."""
+
+    corpus_name = "corpus"
+    table_prefix = "tbl"
+
+    def __init__(
+        self,
+        spec: CorpusGenerationSpec | None = None,
+        relations: list[SeedRelation] | None = None,
+    ) -> None:
+        self.spec = spec or CorpusGenerationSpec()
+        self.relations = relations if relations is not None else self._default_relations()
+        self._rng = random.Random(self.spec.seed)
+        self._noise = self.spec.noise
+        self._counter = 0
+
+    def _default_relations(self) -> list[SeedRelation]:
+        raise NotImplementedError
+
+    # -- Helpers -------------------------------------------------------------------------
+    def _next_table_id(self, relation_name: str) -> str:
+        self._counter += 1
+        return f"{self.table_prefix}-{relation_name}-{self._counter:05d}"
+
+    def _pick_rows(self, relation: SeedRelation) -> list[tuple[str, str]]:
+        """Sample a popularity-skewed subset of the relation's pairs.
+
+        Web tables overwhelmingly list *popular* entities (the paper notes tables
+        are short and "for human consumption"), so two tables about the same
+        relation share most of their rows.  Rows are drawn with Zipf-like weights
+        over the relation's canonical order, which yields the high pairwise
+        containment the compatibility graph relies on.
+        """
+        pairs = list(relation.pairs)
+        size = self._rng.randint(
+            min(self.spec.min_rows, len(pairs)),
+            min(self.spec.max_rows, len(pairs)),
+        )
+        weights = [1.0 / (rank + 1.0) for rank in range(len(pairs))]
+        chosen: list[tuple[str, str]] = []
+        chosen_set: set[tuple[str, str]] = set()
+        attempts = 0
+        while len(chosen) < size and attempts < 50 * size:
+            pick = self._rng.choices(pairs, weights=weights, k=1)[0]
+            attempts += 1
+            if pick not in chosen_set:
+                chosen_set.add(pick)
+                chosen.append(pick)
+        if len(chosen) < size:
+            for pair in pairs:
+                if len(chosen) >= size:
+                    break
+                if pair not in chosen_set:
+                    chosen_set.add(pair)
+                    chosen.append(pair)
+        return chosen
+
+    def _render_pair(
+        self, relation: SeedRelation, left: str, right: str
+    ) -> tuple[str, str]:
+        """Apply synonym substitution, noise, and occasional corruption to a row."""
+        left_out = self._noise.perturb_value(left, relation.left_synonyms.get(left, ()))
+        right_out = self._noise.perturb_value(right, relation.right_synonyms.get(right, ()))
+        if self._noise.should_corrupt():
+            alternatives = [r for _, r in relation.pairs]
+            right_out = self._noise.corrupt_value(right, alternatives)
+        return left_out, right_out
+
+    def _context_column(self, header: str, num_rows: int) -> list[str]:
+        if header in ("Population", "Area", "GDP"):
+            return [str(self._rng.randint(10_000, 90_000_000)) for _ in range(num_rows)]
+        if header in ("Year", "Founded"):
+            return [str(self._rng.randint(1800, 2020)) for _ in range(num_rows)]
+        if header == "Rank":
+            return [str(i + 1) for i in range(num_rows)]
+        return [
+            self._rng.choice(("see notes", "estimated", "n/a", "updated", "verified"))
+            for _ in range(num_rows)
+        ]
+
+    def _incoherent_column(self, num_rows: int) -> list[str]:
+        """A column of values drawn at random across unrelated relations."""
+        pool: list[str] = []
+        for relation in self._rng.sample(self.relations, min(4, len(self.relations))):
+            pool.extend(left for left, _ in relation.pairs[:10])
+            pool.extend(right for _, right in relation.pairs[:10])
+        pool.extend(f"cell {self._rng.randint(0, 10_000)}" for _ in range(20))
+        return [self._rng.choice(pool) for _ in range(num_rows)]
+
+    # -- Table emitters -----------------------------------------------------------------
+    def _relation_table(self, relation: SeedRelation) -> Table:
+        rows = self._pick_rows(relation)
+        rendered = [self._render_pair(relation, left, right) for left, right in rows]
+        left_header, right_header = self._rng.choice(relation.header_variants)
+        headers = [left_header, right_header]
+        columns = [[left for left, _ in rendered], [right for _, right in rendered]]
+
+        if self._rng.random() < self.spec.reversed_rate:
+            headers.reverse()
+            columns.reverse()
+
+        if self._rng.random() < self.spec.context_column_rate:
+            extra = self._rng.choice(_CONTEXT_HEADERS)
+            headers.append(extra)
+            columns.append(self._context_column(extra, len(rendered)))
+
+        if self._rng.random() < self.spec.incoherent_column_rate:
+            headers.append("Location")
+            columns.append(self._incoherent_column(len(rendered)))
+
+        domain = self._rng.choice(relation.domain_pool) if relation.domain_pool else "unknown"
+        table = Table.from_rows(
+            table_id=self._next_table_id(relation.name),
+            header=headers,
+            rows=list(zip(*columns)),
+            domain=domain,
+            title=f"{relation.left_attr} {self._rng.choice(_GENERIC_TITLES)}",
+        )
+        table.metadata["seed_relation"] = relation.name
+        return table
+
+    def _spurious_table(self, index: int) -> Table:
+        """A table whose column pair satisfies an FD locally but is meaningless.
+
+        Mirrors the paper's departure-airport / arrival-airport example: each left
+        value appears once, so the FD trivially holds, but the relationship is not a
+        conceptual mapping (different such tables conflict heavily with each other).
+        """
+        airports = [left for left, _ in all_seed_relations()[0].pairs]  # placeholder pool
+        airport_relation = next(
+            (relation for relation in self.relations if relation.name == "airport_iata"),
+            None,
+        )
+        if airport_relation is not None:
+            airports = [left for left, _ in airport_relation.pairs]
+        size = min(len(airports), self._rng.randint(6, 14))
+        departures = self._rng.sample(airports, size)
+        arrivals = self._rng.sample(airports, size)
+        rows = [
+            (dep, arr if arr != dep else self._rng.choice(airports))
+            for dep, arr in zip(departures, arrivals)
+        ]
+        table = Table.from_rows(
+            table_id=f"{self.table_prefix}-spurious-{index:04d}",
+            header=["Departure", "Arrival"],
+            rows=rows,
+            domain=self._rng.choice(("flightstats.example", "travelboard.example")),
+            title="flight schedule",
+        )
+        table.metadata["seed_relation"] = "__spurious__"
+        return table
+
+    def _mixed_table(self, first: SeedRelation, second: SeedRelation, index: int) -> Table:
+        """A table whose rows mix two relations that share the same left attribute.
+
+        These are the "mixed values from different mappings" tables of §4.1: they
+        have substantial positive overlap with *both* pure relations, so methods
+        that only use positive similarity chain the two relations together, while
+        the FD-conflict signal correctly flags the mixture.
+        """
+        half = max(2, self._rng.randint(self.spec.min_rows, self.spec.max_rows) // 2)
+        rows_first = self._pick_rows(first)[:half]
+        used_lefts = {left for left, _ in rows_first}
+        # Keep the two halves disjoint on the left side so the table still satisfies
+        # the local FD (which is what makes these tables slip past the §3.2 filter
+        # and confuse purely positive matching).
+        rows_second = [
+            (left, right)
+            for left, right in self._pick_rows(second)
+            if left not in used_lefts
+        ][:half]
+        rendered = [self._render_pair(first, left, right) for left, right in rows_first]
+        rendered += [self._render_pair(second, left, right) for left, right in rows_second]
+        self._rng.shuffle(rendered)
+        left_header = self._rng.choice(first.header_variants)[0]
+        right_header = self._rng.choice((first.header_variants[0][1], "code", "value"))
+        domain = self._rng.choice(first.domain_pool) if first.domain_pool else "unknown"
+        table = Table.from_rows(
+            table_id=f"{self.table_prefix}-mixed-{first.name}-{second.name}-{index:04d}",
+            header=[left_header, right_header],
+            rows=rendered,
+            domain=domain,
+            title=f"{first.left_attr} reference (mixed)",
+        )
+        table.metadata["seed_relation"] = f"__mixed__:{first.name}+{second.name}"
+        return table
+
+    def _mixed_tables(self) -> list[Table]:
+        """Emit mixed tables for every group of relations sharing a left attribute."""
+        groups: dict[str, list[SeedRelation]] = {}
+        for relation in self.relations:
+            groups.setdefault(relation.left_attr, []).append(relation)
+        tables: list[Table] = []
+        counter = 0
+        for left_attr in sorted(groups):
+            members = groups[left_attr]
+            if len(members) < 2:
+                continue
+            for _ in range(self.spec.mixed_tables_per_group):
+                first, second = self._rng.sample(members, 2)
+                tables.append(self._mixed_table(first, second, counter))
+                counter += 1
+        return tables
+
+    def _formatting_table(self, index: int) -> Table:
+        """A calendar-layout table that maps each month to the month six later."""
+        months = ["January", "February", "March", "April", "May", "June",
+                  "July", "August", "September", "October", "November", "December"]
+        rows = [(months[i], months[(i + 6) % 12]) for i in range(6)]
+        table = Table.from_rows(
+            table_id=f"{self.table_prefix}-format-{index:04d}",
+            header=["Month", "Month"],
+            rows=rows,
+            domain=self._rng.choice(("calendar.example", "printables.example")),
+            title="calendar layout",
+        )
+        table.metadata["seed_relation"] = "__formatting__"
+        return table
+
+    # -- Public API ------------------------------------------------------------------------
+    def generate(self) -> TableCorpus:
+        """Generate the corpus."""
+        corpus = TableCorpus(name=self.corpus_name)
+        for relation in self.relations:
+            count = max(1, int(round(self.spec.tables_per_relation * relation.popularity)))
+            for _ in range(count):
+                corpus.add(self._relation_table(relation))
+        for table in self._mixed_tables():
+            corpus.add(table)
+        for index in range(self.spec.spurious_tables):
+            corpus.add(self._spurious_table(index))
+        for index in range(self.spec.formatting_tables):
+            corpus.add(self._formatting_table(index))
+        return corpus
+
+
+class WebCorpusGenerator(_BaseCorpusGenerator):
+    """Generates a web-table-like corpus from the geocoding + query-log seeds."""
+
+    corpus_name = "web"
+    table_prefix = "web"
+
+    def _default_relations(self) -> list[SeedRelation]:
+        return [
+            relation
+            for relation in all_seed_relations()
+            if relation.category in ("geocoding", "querylog")
+        ]
+
+
+class EnterpriseCorpusGenerator(_BaseCorpusGenerator):
+    """Generates an enterprise-spreadsheet-like corpus.
+
+    On top of the base behaviour, a fraction of tables receive pivot-table-style
+    corruption — header strings leaking into value cells — which the paper reports
+    as a common quality issue in spreadsheet corpora (§5.5).
+    """
+
+    corpus_name = "enterprise"
+    table_prefix = "ent"
+
+    def __init__(
+        self,
+        spec: CorpusGenerationSpec | None = None,
+        relations: list[SeedRelation] | None = None,
+        pivot_corruption_rate: float = 0.10,
+    ) -> None:
+        if not 0.0 <= pivot_corruption_rate <= 1.0:
+            raise ValueError(
+                f"pivot_corruption_rate must be in [0, 1], got {pivot_corruption_rate}"
+            )
+        super().__init__(spec=spec, relations=relations)
+        self.pivot_corruption_rate = pivot_corruption_rate
+
+    def _default_relations(self) -> list[SeedRelation]:
+        return all_seed_relations(category="enterprise")
+
+    def _relation_table(self, relation: SeedRelation) -> Table:
+        table = super()._relation_table(relation)
+        if self._rng.random() < self.pivot_corruption_rate and table.num_rows >= 2:
+            # Simulate a pivot-table extraction error: the header row leaks into the
+            # first data row of every column.
+            for column in table.columns:
+                column.values[0] = column.name
+            table.metadata["pivot_corrupted"] = "true"
+        return table

@@ -1,0 +1,126 @@
+"""Persistence for table corpora (JSON lines and CSV directory formats)."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.corpus.corpus import TableCorpus
+from repro.corpus.table import Table
+
+__all__ = [
+    "save_corpus_json",
+    "load_corpus_json",
+    "save_corpus_csv_dir",
+    "load_corpus_csv_dir",
+]
+
+
+def _table_to_record(table: Table) -> dict:
+    return {
+        "table_id": table.table_id,
+        "domain": table.domain,
+        "title": table.title,
+        "metadata": table.metadata,
+        "columns": [
+            {"name": column.name, "values": column.values} for column in table.columns
+        ],
+    }
+
+
+def _table_from_record(record: dict) -> Table:
+    table = Table(
+        table_id=record["table_id"],
+        columns=[
+            # Import here to avoid a circular import at module load time.
+            _column_from_record(col)
+            for col in record["columns"]
+        ],
+        domain=record.get("domain", ""),
+        title=record.get("title", ""),
+    )
+    table.metadata.update(record.get("metadata", {}))
+    return table
+
+
+def _column_from_record(record: dict):
+    from repro.corpus.table import Column
+
+    return Column(name=record["name"], values=list(record["values"]))
+
+
+def save_corpus_json(corpus: TableCorpus, path: str | Path) -> None:
+    """Write a corpus to a JSON-lines file, one table per line."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        for table in corpus:
+            handle.write(json.dumps(_table_to_record(table), ensure_ascii=False))
+            handle.write("\n")
+
+
+def load_corpus_json(path: str | Path, name: str | None = None) -> TableCorpus:
+    """Load a corpus from a JSON-lines file written by :func:`save_corpus_json`."""
+    path = Path(path)
+    corpus = TableCorpus(name=name or path.stem)
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            corpus.add(_table_from_record(json.loads(line)))
+    return corpus
+
+
+def save_corpus_csv_dir(corpus: TableCorpus, directory: str | Path) -> None:
+    """Write each table of the corpus as an individual CSV file in ``directory``.
+
+    The table identifier and domain are stored in a sidecar ``manifest.json`` so the
+    corpus round-trips through :func:`load_corpus_csv_dir`.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest = {}
+    for index, table in enumerate(corpus):
+        filename = f"table_{index:06d}.csv"
+        manifest[filename] = {
+            "table_id": table.table_id,
+            "domain": table.domain,
+            "title": table.title,
+            "metadata": table.metadata,
+        }
+        with (directory / filename).open("w", encoding="utf-8", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(table.column_names())
+            for row in table.rows():
+                writer.writerow(row)
+    with (directory / "manifest.json").open("w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, ensure_ascii=False, indent=2)
+
+
+def load_corpus_csv_dir(directory: str | Path, name: str | None = None) -> TableCorpus:
+    """Load a corpus from a directory written by :func:`save_corpus_csv_dir`."""
+    directory = Path(directory)
+    manifest_path = directory / "manifest.json"
+    if not manifest_path.exists():
+        raise FileNotFoundError(f"no manifest.json in {directory}")
+    with manifest_path.open("r", encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    corpus = TableCorpus(name=name or directory.name)
+    for filename in sorted(manifest):
+        info = manifest[filename]
+        with (directory / filename).open("r", encoding="utf-8", newline="") as handle:
+            reader = csv.reader(handle)
+            rows = list(reader)
+        header, data = rows[0], rows[1:]
+        table = Table.from_rows(
+            table_id=info["table_id"],
+            header=header,
+            rows=data,
+            domain=info.get("domain", ""),
+            title=info.get("title", ""),
+        )
+        table.metadata.update(info.get("metadata", {}))
+        corpus.add(table)
+    return corpus

@@ -1,0 +1,125 @@
+"""Noise models for the synthetic corpus generators.
+
+Real web tables and spreadsheets are dirty in characteristic ways: footnote markers
+pasted into cells, inconsistent casing, typos, occasional outright wrong values
+(paper Figure 4 shows wrong chemical symbols), and synonymous mentions of the same
+entity across tables.  The :class:`NoiseModel` applies these perturbations with
+configurable rates so the downstream pipeline faces the same issues the paper's
+algorithms were designed to survive.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from dataclasses import dataclass
+
+__all__ = ["NoiseModel"]
+
+_FOOTNOTES = ("[1]", "[2]", "[3]", "[a]", "*")
+
+
+@dataclass
+class NoiseModel:
+    """Randomized cell-value perturbations.
+
+    Attributes
+    ----------
+    typo_rate:
+        Probability of introducing a single-character edit into a value.
+    footnote_rate:
+        Probability of appending a footnote marker such as ``[1]``.
+    case_rate:
+        Probability of changing the casing of a value (upper/lower/title).
+    synonym_rate:
+        Probability of replacing a value that has known synonyms with one of them.
+    error_rate:
+        Probability of corrupting a right-hand-side value into a *wrong* mapping
+        (a genuine data error; these are what conflict resolution removes).
+    seed:
+        Seed for the internal random generator.  Two models constructed with the
+        same seed produce identical perturbation sequences.
+    """
+
+    typo_rate: float = 0.01
+    footnote_rate: float = 0.03
+    case_rate: float = 0.05
+    synonym_rate: float = 0.25
+    error_rate: float = 0.005
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("typo_rate", "footnote_rate", "case_rate", "synonym_rate", "error_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        self._rng = random.Random(self.seed)
+
+    # -- Individual perturbations -----------------------------------------------------
+    def _typo(self, value: str) -> str:
+        if len(value) < 4:
+            return value
+        position = self._rng.randrange(len(value))
+        operation = self._rng.choice(("drop", "swap", "insert"))
+        if operation == "drop":
+            return value[:position] + value[position + 1:]
+        if operation == "swap" and position + 1 < len(value):
+            chars = list(value)
+            chars[position], chars[position + 1] = chars[position + 1], chars[position]
+            return "".join(chars)
+        letter = self._rng.choice(string.ascii_lowercase)
+        return value[:position] + letter + value[position:]
+
+    def _recase(self, value: str) -> str:
+        choice = self._rng.choice(("upper", "lower", "title"))
+        if choice == "upper":
+            return value.upper()
+        if choice == "lower":
+            return value.lower()
+        return value.title()
+
+    # -- Public API ----------------------------------------------------------------------
+    def perturb_value(self, value: str, synonyms: tuple[str, ...] = ()) -> str:
+        """Return a possibly-perturbed copy of ``value``.
+
+        ``synonyms`` are alternative surface forms of the same entity; when present
+        the synonym substitution fires with :attr:`synonym_rate`.
+        """
+        result = value
+        if synonyms and self._rng.random() < self.synonym_rate:
+            result = self._rng.choice(synonyms)
+        if self._rng.random() < self.typo_rate:
+            result = self._typo(result)
+        if self._rng.random() < self.case_rate:
+            result = self._recase(result)
+        if self._rng.random() < self.footnote_rate:
+            result = result + self._rng.choice(_FOOTNOTES)
+        return result
+
+    def should_corrupt(self) -> bool:
+        """Return ``True`` if the current row's right value should be corrupted."""
+        return self._rng.random() < self.error_rate
+
+    def corrupt_value(self, value: str, alternatives: list[str]) -> str:
+        """Return a wrong value drawn from ``alternatives`` (or a typo'd original)."""
+        candidates = [alt for alt in alternatives if alt != value]
+        if candidates:
+            return self._rng.choice(candidates)
+        return self._typo(value) if len(value) >= 4 else value + "X"
+
+    def clone(self, seed: int) -> "NoiseModel":
+        """Return a copy of this model with a different seed (same rates)."""
+        return NoiseModel(
+            typo_rate=self.typo_rate,
+            footnote_rate=self.footnote_rate,
+            case_rate=self.case_rate,
+            synonym_rate=self.synonym_rate,
+            error_rate=self.error_rate,
+            seed=seed,
+        )
+
+    @classmethod
+    def clean(cls, seed: int = 0) -> "NoiseModel":
+        """A noise model that never perturbs anything (useful in unit tests)."""
+        return cls(typo_rate=0.0, footnote_rate=0.0, case_rate=0.0,
+                   synonym_rate=0.0, error_rate=0.0, seed=seed)

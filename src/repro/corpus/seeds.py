@@ -1,0 +1,1075 @@
+"""Seed ground-truth relations used by the synthetic corpus generators.
+
+The paper's Web benchmark has 80 hand-curated mapping relationships drawn from a
+Wikipedia list of geocoding systems and from "list of A and B" query-log patterns.
+The real WDC-scale crawl is not available offline, so this module ships a set of
+seed relations — with canonical pairs *and* synonymous surface forms — from which
+the generators fabricate fragmented, noisy web/enterprise tables, and from which
+the evaluation builds its benchmark ground truth.
+
+The seeds are deliberately designed to reproduce the confusion patterns the paper
+exercises:
+
+* several country-code standards (ISO3 / ISO2 / IOC / FIFA) that agree on many
+  countries but disagree on others — the motivating case for FD-induced negative
+  edges (paper Figure 2, Table 8);
+* ``state -> capital`` vs ``state -> largest city``, which disagree only on a few
+  values — the motivating case for conflict resolution (§5.6);
+* rich synonym sets for countries so synthesized mappings contain synonymous
+  mentions that never co-occur in one raw table (paper Table 6);
+* generic, undescriptive headers (``name``/``code``) shared across unrelated
+  relations, which break the UnionDomain/UnionWeb baselines;
+* ``city -> state`` ambiguity (Portland) so FDs only hold approximately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SeedRelation", "all_seed_relations", "get_seed_relation", "seed_relation_names"]
+
+
+@dataclass(frozen=True)
+class SeedRelation:
+    """A ground-truth binary relation with synonyms and presentation metadata.
+
+    Attributes
+    ----------
+    name:
+        Unique relation identifier, e.g. ``"country_iso3"``.
+    left_attr / right_attr:
+        Human-readable attribute names of the conceptual relation.
+    pairs:
+        Canonical ``(left, right)`` pairs.
+    left_synonyms / right_synonyms:
+        Alternative surface forms for canonical left/right values.  Each synonym
+        inherits the mapping of its canonical form.
+    header_variants:
+        Column-header pairs under which web tables publish this relation.  Several
+        relations intentionally share generic headers such as ``("name", "code")``.
+    category:
+        ``"geocoding"``, ``"querylog"``, or ``"enterprise"`` — mirrors the paper's
+        two Web benchmark sources plus the enterprise corpus.
+    one_to_one:
+        Whether the reverse direction is also functional.
+    popularity:
+        Relative weight controlling how many tables the generators emit for the
+        relation (popular relations appear on many more web domains).
+    domain_pool:
+        Candidate web domains / file shares that publish this relation.
+    """
+
+    name: str
+    left_attr: str
+    right_attr: str
+    pairs: tuple[tuple[str, str], ...]
+    left_synonyms: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    right_synonyms: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    header_variants: tuple[tuple[str, str], ...] = (("name", "code"),)
+    category: str = "querylog"
+    one_to_one: bool = True
+    popularity: float = 1.0
+    domain_pool: tuple[str, ...] = ()
+
+    def canonical_pairs(self) -> set[tuple[str, str]]:
+        """Return the canonical pairs as a set."""
+        return set(self.pairs)
+
+    def ground_truth_pairs(self, include_synonyms: bool = True) -> set[tuple[str, str]]:
+        """Return the full ground truth, optionally expanded with synonyms.
+
+        Synonym expansion mirrors the paper's benchmark construction, where the
+        curated ground truth contains many synonymous mentions of the same entity
+        (e.g. every way of writing "South Korea" maps to ``KOR``).
+        """
+        truth = set(self.pairs)
+        if not include_synonyms:
+            return truth
+        for left, right in self.pairs:
+            left_forms = (left,) + self.left_synonyms.get(left, ())
+            right_forms = (right,) + self.right_synonyms.get(right, ())
+            for lf in left_forms:
+                for rf in right_forms:
+                    truth.add((lf, rf))
+        return truth
+
+    def left_values(self) -> set[str]:
+        """Distinct canonical left values."""
+        return {left for left, _ in self.pairs}
+
+    def right_values(self) -> set[str]:
+        """Distinct canonical right values."""
+        return {right for _, right in self.pairs}
+
+
+# ---------------------------------------------------------------------------
+# Country data: name, ISO3, ISO2, IOC, FIFA, capital, currency code, calling code
+# The IOC/FIFA/ISO columns intentionally agree for most countries and disagree for
+# some (as in the paper's Figure 2).
+# ---------------------------------------------------------------------------
+_COUNTRIES: list[tuple[str, str, str, str, str, str, str, str]] = [
+    # name, iso3, iso2, ioc, fifa, capital, currency, calling
+    ("United States", "USA", "US", "USA", "USA", "Washington", "USD", "1"),
+    ("Canada", "CAN", "CA", "CAN", "CAN", "Ottawa", "CAD", "1"),
+    ("Mexico", "MEX", "MX", "MEX", "MEX", "Mexico City", "MXN", "52"),
+    ("Brazil", "BRA", "BR", "BRA", "BRA", "Brasilia", "BRL", "55"),
+    ("Argentina", "ARG", "AR", "ARG", "ARG", "Buenos Aires", "ARS", "54"),
+    ("Chile", "CHL", "CL", "CHI", "CHI", "Santiago", "CLP", "56"),
+    ("Colombia", "COL", "CO", "COL", "COL", "Bogota", "COP", "57"),
+    ("Peru", "PER", "PE", "PER", "PER", "Lima", "PEN", "51"),
+    ("United Kingdom", "GBR", "GB", "GBR", "ENG", "London", "GBP", "44"),
+    ("France", "FRA", "FR", "FRA", "FRA", "Paris", "EUR", "33"),
+    ("Germany", "DEU", "DE", "GER", "GER", "Berlin", "EUR", "49"),
+    ("Italy", "ITA", "IT", "ITA", "ITA", "Rome", "EUR", "39"),
+    ("Spain", "ESP", "ES", "ESP", "ESP", "Madrid", "EUR", "34"),
+    ("Portugal", "PRT", "PT", "POR", "POR", "Lisbon", "EUR", "351"),
+    ("Netherlands", "NLD", "NL", "NED", "NED", "Amsterdam", "EUR", "31"),
+    ("Belgium", "BEL", "BE", "BEL", "BEL", "Brussels", "EUR", "32"),
+    ("Switzerland", "CHE", "CH", "SUI", "SUI", "Bern", "CHF", "41"),
+    ("Austria", "AUT", "AT", "AUT", "AUT", "Vienna", "EUR", "43"),
+    ("Sweden", "SWE", "SE", "SWE", "SWE", "Stockholm", "SEK", "46"),
+    ("Norway", "NOR", "NO", "NOR", "NOR", "Oslo", "NOK", "47"),
+    ("Denmark", "DNK", "DK", "DEN", "DEN", "Copenhagen", "DKK", "45"),
+    ("Finland", "FIN", "FI", "FIN", "FIN", "Helsinki", "EUR", "358"),
+    ("Iceland", "ISL", "IS", "ISL", "ISL", "Reykjavik", "ISK", "354"),
+    ("Ireland", "IRL", "IE", "IRL", "IRL", "Dublin", "EUR", "353"),
+    ("Poland", "POL", "PL", "POL", "POL", "Warsaw", "PLN", "48"),
+    ("Czech Republic", "CZE", "CZ", "CZE", "CZE", "Prague", "CZK", "420"),
+    ("Hungary", "HUN", "HU", "HUN", "HUN", "Budapest", "HUF", "36"),
+    ("Greece", "GRC", "GR", "GRE", "GRE", "Athens", "EUR", "30"),
+    ("Romania", "ROU", "RO", "ROU", "ROU", "Bucharest", "RON", "40"),
+    ("Bulgaria", "BGR", "BG", "BUL", "BUL", "Sofia", "BGN", "359"),
+    ("Croatia", "HRV", "HR", "CRO", "CRO", "Zagreb", "EUR", "385"),
+    ("Russia", "RUS", "RU", "RUS", "RUS", "Moscow", "RUB", "7"),
+    ("Ukraine", "UKR", "UA", "UKR", "UKR", "Kyiv", "UAH", "380"),
+    ("Turkey", "TUR", "TR", "TUR", "TUR", "Ankara", "TRY", "90"),
+    ("China", "CHN", "CN", "CHN", "CHN", "Beijing", "CNY", "86"),
+    ("Japan", "JPN", "JP", "JPN", "JPN", "Tokyo", "JPY", "81"),
+    ("South Korea", "KOR", "KR", "KOR", "KOR", "Seoul", "KRW", "82"),
+    ("North Korea", "PRK", "KP", "PRK", "PRK", "Pyongyang", "KPW", "850"),
+    ("India", "IND", "IN", "IND", "IND", "New Delhi", "INR", "91"),
+    ("Indonesia", "IDN", "ID", "INA", "IDN", "Jakarta", "IDR", "62"),
+    ("Malaysia", "MYS", "MY", "MAS", "MAS", "Kuala Lumpur", "MYR", "60"),
+    ("Singapore", "SGP", "SG", "SGP", "SIN", "Singapore", "SGD", "65"),
+    ("Thailand", "THA", "TH", "THA", "THA", "Bangkok", "THB", "66"),
+    ("Vietnam", "VNM", "VN", "VIE", "VIE", "Hanoi", "VND", "84"),
+    ("Philippines", "PHL", "PH", "PHI", "PHI", "Manila", "PHP", "63"),
+    ("Australia", "AUS", "AU", "AUS", "AUS", "Canberra", "AUD", "61"),
+    ("New Zealand", "NZL", "NZ", "NZL", "NZL", "Wellington", "NZD", "64"),
+    ("South Africa", "ZAF", "ZA", "RSA", "RSA", "Pretoria", "ZAR", "27"),
+    ("Nigeria", "NGA", "NG", "NGR", "NGA", "Abuja", "NGN", "234"),
+    ("Egypt", "EGY", "EG", "EGY", "EGY", "Cairo", "EGP", "20"),
+    ("Kenya", "KEN", "KE", "KEN", "KEN", "Nairobi", "KES", "254"),
+    ("Morocco", "MAR", "MA", "MAR", "MAR", "Rabat", "MAD", "212"),
+    ("Algeria", "DZA", "DZ", "ALG", "ALG", "Algiers", "DZD", "213"),
+    ("Saudi Arabia", "SAU", "SA", "KSA", "KSA", "Riyadh", "SAR", "966"),
+    ("United Arab Emirates", "ARE", "AE", "UAE", "UAE", "Abu Dhabi", "AED", "971"),
+    ("Israel", "ISR", "IL", "ISR", "ISR", "Jerusalem", "ILS", "972"),
+    ("Iran", "IRN", "IR", "IRI", "IRN", "Tehran", "IRR", "98"),
+    ("Iraq", "IRQ", "IQ", "IRQ", "IRQ", "Baghdad", "IQD", "964"),
+    ("Pakistan", "PAK", "PK", "PAK", "PAK", "Islamabad", "PKR", "92"),
+    ("Afghanistan", "AFG", "AF", "AFG", "AFG", "Kabul", "AFN", "93"),
+    ("Albania", "ALB", "AL", "ALB", "ALB", "Tirana", "ALL", "355"),
+    ("American Samoa", "ASM", "AS", "ASA", "ASA", "Pago Pago", "USD", "1684"),
+    ("US Virgin Islands", "VIR", "VI", "ISV", "VIR", "Charlotte Amalie", "USD", "1340"),
+    ("Democratic Republic of the Congo", "COD", "CD", "COD", "COD", "Kinshasa", "CDF", "243"),
+    ("Greenland", "GRL", "GL", "GRL", "GRL", "Nuuk", "DKK", "299"),
+]
+
+_COUNTRY_SYNONYMS: dict[str, tuple[str, ...]] = {
+    "United States": (
+        "United States of America",
+        "USA (United States)",
+        "U.S.A.",
+        "US of America",
+    ),
+    "South Korea": (
+        "Korea (Republic)",
+        "Korea (South)",
+        "Korea, Republic of",
+        "Republic of Korea",
+        "Korea, South",
+        "KOREA REPUBLIC OF",
+    ),
+    "North Korea": (
+        "Korea (Democratic People's Republic)",
+        "Korea, North",
+        "DPR Korea",
+    ),
+    "United Kingdom": (
+        "UK",
+        "Great Britain",
+        "United Kingdom of Great Britain",
+    ),
+    "Democratic Republic of the Congo": (
+        "Congo (Democratic Rep.)",
+        "Congo, Democratic Republic of the",
+        "DR Congo",
+        "Congo-Kinshasa",
+    ),
+    "Russia": ("Russian Federation",),
+    "Iran": ("Iran, Islamic Republic of", "Islamic Republic of Iran"),
+    "Vietnam": ("Viet Nam",),
+    "Czech Republic": ("Czechia",),
+    "US Virgin Islands": ("United States Virgin Islands", "Virgin Islands (US)"),
+    "American Samoa": ("American Samoa (US)",),
+    "United Arab Emirates": ("UAE", "Emirates"),
+    "Netherlands": ("The Netherlands", "Holland"),
+}
+
+# ---------------------------------------------------------------------------
+# US state data: name, USPS abbreviation, capital, largest city, FIPS code
+# ---------------------------------------------------------------------------
+_US_STATES: list[tuple[str, str, str, str, str]] = [
+    ("Alabama", "AL", "Montgomery", "Huntsville", "01"),
+    ("Alaska", "AK", "Juneau", "Anchorage", "02"),
+    ("Arizona", "AZ", "Phoenix", "Phoenix", "04"),
+    ("Arkansas", "AR", "Little Rock", "Little Rock", "05"),
+    ("California", "CA", "Sacramento", "Los Angeles", "06"),
+    ("Colorado", "CO", "Denver", "Denver", "08"),
+    ("Connecticut", "CT", "Hartford", "Bridgeport", "09"),
+    ("Delaware", "DE", "Dover", "Wilmington", "10"),
+    ("Florida", "FL", "Tallahassee", "Jacksonville", "12"),
+    ("Georgia", "GA", "Atlanta", "Atlanta", "13"),
+    ("Hawaii", "HI", "Honolulu", "Honolulu", "15"),
+    ("Idaho", "ID", "Boise", "Boise", "16"),
+    ("Illinois", "IL", "Springfield", "Chicago", "17"),
+    ("Indiana", "IN", "Indianapolis", "Indianapolis", "18"),
+    ("Iowa", "IA", "Des Moines", "Des Moines", "19"),
+    ("Kansas", "KS", "Topeka", "Wichita", "20"),
+    ("Kentucky", "KY", "Frankfort", "Louisville", "21"),
+    ("Louisiana", "LA", "Baton Rouge", "New Orleans", "22"),
+    ("Maine", "ME", "Augusta", "Portland", "23"),
+    ("Maryland", "MD", "Annapolis", "Baltimore", "24"),
+    ("Massachusetts", "MA", "Boston", "Boston", "25"),
+    ("Michigan", "MI", "Lansing", "Detroit", "26"),
+    ("Minnesota", "MN", "Saint Paul", "Minneapolis", "27"),
+    ("Mississippi", "MS", "Jackson", "Jackson", "28"),
+    ("Missouri", "MO", "Jefferson City", "Kansas City", "29"),
+    ("Montana", "MT", "Helena", "Billings", "30"),
+    ("Nebraska", "NE", "Lincoln", "Omaha", "31"),
+    ("Nevada", "NV", "Carson City", "Las Vegas", "32"),
+    ("New Hampshire", "NH", "Concord", "Manchester", "33"),
+    ("New Jersey", "NJ", "Trenton", "Newark", "34"),
+    ("New Mexico", "NM", "Santa Fe", "Albuquerque", "35"),
+    ("New York", "NY", "Albany", "New York City", "36"),
+    ("North Carolina", "NC", "Raleigh", "Charlotte", "37"),
+    ("North Dakota", "ND", "Bismarck", "Fargo", "38"),
+    ("Ohio", "OH", "Columbus", "Columbus", "39"),
+    ("Oklahoma", "OK", "Oklahoma City", "Oklahoma City", "40"),
+    ("Oregon", "OR", "Salem", "Portland", "41"),
+    ("Pennsylvania", "PA", "Harrisburg", "Philadelphia", "42"),
+    ("Rhode Island", "RI", "Providence", "Providence", "44"),
+    ("South Carolina", "SC", "Columbia", "Charleston", "45"),
+    ("South Dakota", "SD", "Pierre", "Sioux Falls", "46"),
+    ("Tennessee", "TN", "Nashville", "Nashville", "47"),
+    ("Texas", "TX", "Austin", "Houston", "48"),
+    ("Utah", "UT", "Salt Lake City", "Salt Lake City", "49"),
+    ("Vermont", "VT", "Montpelier", "Burlington", "50"),
+    ("Virginia", "VA", "Richmond", "Virginia Beach", "51"),
+    ("Washington", "WA", "Olympia", "Seattle", "53"),
+    ("West Virginia", "WV", "Charleston", "Charleston", "54"),
+    ("Wisconsin", "WI", "Madison", "Milwaukee", "55"),
+    ("Wyoming", "WY", "Cheyenne", "Cheyenne", "56"),
+]
+
+# ---------------------------------------------------------------------------
+# City -> state (many-to-one, with the Portland ambiguity).
+# ---------------------------------------------------------------------------
+_CITIES: list[tuple[str, str]] = [
+    ("New York City", "New York"),
+    ("Los Angeles", "California"),
+    ("Chicago", "Illinois"),
+    ("Houston", "Texas"),
+    ("Phoenix", "Arizona"),
+    ("Philadelphia", "Pennsylvania"),
+    ("San Antonio", "Texas"),
+    ("San Diego", "California"),
+    ("Dallas", "Texas"),
+    ("San Jose", "California"),
+    ("Austin", "Texas"),
+    ("Jacksonville", "Florida"),
+    ("Fort Worth", "Texas"),
+    ("Columbus", "Ohio"),
+    ("Charlotte", "North Carolina"),
+    ("San Francisco", "California"),
+    ("Indianapolis", "Indiana"),
+    ("Seattle", "Washington"),
+    ("Denver", "Colorado"),
+    ("Boston", "Massachusetts"),
+    ("Nashville", "Tennessee"),
+    ("Detroit", "Michigan"),
+    ("Oklahoma City", "Oklahoma"),
+    ("Portland", "Oregon"),
+    ("Las Vegas", "Nevada"),
+    ("Memphis", "Tennessee"),
+    ("Louisville", "Kentucky"),
+    ("Baltimore", "Maryland"),
+    ("Milwaukee", "Wisconsin"),
+    ("Albuquerque", "New Mexico"),
+    ("Tucson", "Arizona"),
+    ("Fresno", "California"),
+    ("Sacramento", "California"),
+    ("Kansas City", "Missouri"),
+    ("Atlanta", "Georgia"),
+    ("Miami", "Florida"),
+    ("Raleigh", "North Carolina"),
+    ("Omaha", "Nebraska"),
+    ("Minneapolis", "Minnesota"),
+    ("New Orleans", "Louisiana"),
+    ("Cleveland", "Ohio"),
+    ("Tampa", "Florida"),
+    ("Pittsburgh", "Pennsylvania"),
+    ("Cincinnati", "Ohio"),
+    ("Saint Paul", "Minnesota"),
+    ("Anchorage", "Alaska"),
+    ("Honolulu", "Hawaii"),
+    ("Boise", "Idaho"),
+    ("Salt Lake City", "Utah"),
+    ("Richmond", "Virginia"),
+]
+
+# ---------------------------------------------------------------------------
+# Airports: name, IATA, ICAO, city
+# ---------------------------------------------------------------------------
+_AIRPORTS: list[tuple[str, str, str, str]] = [
+    ("Los Angeles International Airport", "LAX", "KLAX", "Los Angeles"),
+    ("San Francisco International Airport", "SFO", "KSFO", "San Francisco"),
+    ("John F Kennedy International Airport", "JFK", "KJFK", "New York City"),
+    ("LaGuardia Airport", "LGA", "KLGA", "New York City"),
+    ("O'Hare International Airport", "ORD", "KORD", "Chicago"),
+    ("Hartsfield-Jackson Atlanta International Airport", "ATL", "KATL", "Atlanta"),
+    ("Dallas/Fort Worth International Airport", "DFW", "KDFW", "Dallas"),
+    ("Denver International Airport", "DEN", "KDEN", "Denver"),
+    ("Seattle-Tacoma International Airport", "SEA", "KSEA", "Seattle"),
+    ("Miami International Airport", "MIA", "KMIA", "Miami"),
+    ("Boston Logan International Airport", "BOS", "KBOS", "Boston"),
+    ("Phoenix Sky Harbor International Airport", "PHX", "KPHX", "Phoenix"),
+    ("George Bush Intercontinental Airport", "IAH", "KIAH", "Houston"),
+    ("Minneapolis-Saint Paul International Airport", "MSP", "KMSP", "Minneapolis"),
+    ("Detroit Metropolitan Airport", "DTW", "KDTW", "Detroit"),
+    ("Philadelphia International Airport", "PHL", "KPHL", "Philadelphia"),
+    ("Charlotte Douglas International Airport", "CLT", "KCLT", "Charlotte"),
+    ("Orlando International Airport", "MCO", "KMCO", "Orlando"),
+    ("Las Vegas Harry Reid International Airport", "LAS", "KLAS", "Las Vegas"),
+    ("Salt Lake City International Airport", "SLC", "KSLC", "Salt Lake City"),
+    ("London Heathrow Airport", "LHR", "EGLL", "London"),
+    ("London Gatwick Airport", "LGW", "EGKK", "London"),
+    ("Paris Charles de Gaulle Airport", "CDG", "LFPG", "Paris"),
+    ("Frankfurt Airport", "FRA", "EDDF", "Frankfurt"),
+    ("Amsterdam Schiphol Airport", "AMS", "EHAM", "Amsterdam"),
+    ("Madrid Barajas Airport", "MAD", "LEMD", "Madrid"),
+    ("Rome Fiumicino Airport", "FCO", "LIRF", "Rome"),
+    ("Zurich Airport", "ZRH", "LSZH", "Zurich"),
+    ("Vienna International Airport", "VIE", "LOWW", "Vienna"),
+    ("Tokyo Haneda Airport", "HND", "RJTT", "Tokyo"),
+    ("Tokyo Narita International Airport", "NRT", "RJAA", "Tokyo"),
+    ("Beijing Capital International Airport", "PEK", "ZBAA", "Beijing"),
+    ("Shanghai Pudong International Airport", "PVG", "ZSPD", "Shanghai"),
+    ("Singapore Changi Airport", "SIN", "WSSS", "Singapore"),
+    ("Hong Kong International Airport", "HKG", "VHHH", "Hong Kong"),
+    ("Incheon International Airport", "ICN", "RKSI", "Seoul"),
+    ("Sydney Kingsford Smith Airport", "SYD", "YSSY", "Sydney"),
+    ("Dubai International Airport", "DXB", "OMDB", "Dubai"),
+    ("Toronto Pearson International Airport", "YYZ", "CYYZ", "Toronto"),
+    ("Vancouver International Airport", "YVR", "CYVR", "Vancouver"),
+]
+
+_AIRPORT_SYNONYMS: dict[str, tuple[str, ...]] = {
+    "Los Angeles International Airport": ("LAX Airport", "Los Angeles Intl"),
+    "John F Kennedy International Airport": ("JFK Airport", "Kennedy International"),
+    "O'Hare International Airport": ("Chicago O'Hare", "Chicago O'Hare International"),
+    "Hartsfield-Jackson Atlanta International Airport": ("Atlanta Hartsfield", "Atlanta Intl"),
+    "London Heathrow Airport": ("Heathrow", "Heathrow Airport"),
+    "Paris Charles de Gaulle Airport": ("Charles de Gaulle", "Paris CDG"),
+    "Tokyo Haneda Airport": ("Haneda Airport", "Tokyo International Airport"),
+}
+
+# ---------------------------------------------------------------------------
+# Companies and stock tickers.
+# ---------------------------------------------------------------------------
+_COMPANIES: list[tuple[str, str]] = [
+    ("Microsoft Corp", "MSFT"),
+    ("Apple Inc", "AAPL"),
+    ("Alphabet Inc", "GOOGL"),
+    ("Amazon.com Inc", "AMZN"),
+    ("Meta Platforms", "META"),
+    ("Oracle", "ORCL"),
+    ("Intel", "INTC"),
+    ("General Electric", "GE"),
+    ("United Parcel Service", "UPS"),
+    ("Walmart", "WMT"),
+    ("AT&T Inc", "T"),
+    ("Verizon Communications", "VZ"),
+    ("Exxon Mobil", "XOM"),
+    ("Chevron", "CVX"),
+    ("Johnson & Johnson", "JNJ"),
+    ("Pfizer", "PFE"),
+    ("Coca-Cola Company", "KO"),
+    ("PepsiCo", "PEP"),
+    ("Procter & Gamble", "PG"),
+    ("Boeing", "BA"),
+    ("Caterpillar", "CAT"),
+    ("Ford Motor Company", "F"),
+    ("General Motors", "GM"),
+    ("Tesla Inc", "TSLA"),
+    ("Netflix", "NFLX"),
+    ("Nvidia", "NVDA"),
+    ("Adobe Inc", "ADBE"),
+    ("Salesforce", "CRM"),
+    ("International Business Machines", "IBM"),
+    ("Cisco Systems", "CSCO"),
+    ("JPMorgan Chase", "JPM"),
+    ("Bank of America", "BAC"),
+    ("Goldman Sachs", "GS"),
+    ("Morgan Stanley", "MS"),
+    ("Wells Fargo", "WFC"),
+    ("Walt Disney Company", "DIS"),
+    ("Nike Inc", "NKE"),
+    ("McDonald's", "MCD"),
+    ("Starbucks", "SBUX"),
+    ("Home Depot", "HD"),
+]
+
+_COMPANY_SYNONYMS: dict[str, tuple[str, ...]] = {
+    "Microsoft Corp": ("Microsoft", "Microsoft Corporation", "MSFT Corp"),
+    "Apple Inc": ("Apple", "Apple Computer"),
+    "Alphabet Inc": ("Google", "Alphabet"),
+    "Amazon.com Inc": ("Amazon", "Amazon.com"),
+    "Meta Platforms": ("Facebook", "Meta"),
+    "International Business Machines": ("IBM Corp", "IBM Corporation"),
+    "General Electric": ("GE Company",),
+    "United Parcel Service": ("UPS Inc", "United Parcel Services"),
+    "Walt Disney Company": ("Disney", "The Walt Disney Company"),
+    "Ford Motor Company": ("Ford",),
+}
+
+# ---------------------------------------------------------------------------
+# Chemical elements: name, symbol, atomic number.
+# ---------------------------------------------------------------------------
+_ELEMENTS: list[tuple[str, str, str]] = [
+    ("Hydrogen", "H", "1"), ("Helium", "He", "2"), ("Lithium", "Li", "3"),
+    ("Beryllium", "Be", "4"), ("Boron", "B", "5"), ("Carbon", "C", "6"),
+    ("Nitrogen", "N", "7"), ("Oxygen", "O", "8"), ("Fluorine", "F", "9"),
+    ("Neon", "Ne", "10"), ("Sodium", "Na", "11"), ("Magnesium", "Mg", "12"),
+    ("Aluminium", "Al", "13"), ("Silicon", "Si", "14"), ("Phosphorus", "P", "15"),
+    ("Sulfur", "S", "16"), ("Chlorine", "Cl", "17"), ("Argon", "Ar", "18"),
+    ("Potassium", "K", "19"), ("Calcium", "Ca", "20"), ("Scandium", "Sc", "21"),
+    ("Titanium", "Ti", "22"), ("Vanadium", "V", "23"), ("Chromium", "Cr", "24"),
+    ("Manganese", "Mn", "25"), ("Iron", "Fe", "26"), ("Cobalt", "Co", "27"),
+    ("Nickel", "Ni", "28"), ("Copper", "Cu", "29"), ("Zinc", "Zn", "30"),
+    ("Gallium", "Ga", "31"), ("Germanium", "Ge", "32"), ("Arsenic", "As", "33"),
+    ("Selenium", "Se", "34"), ("Bromine", "Br", "35"), ("Krypton", "Kr", "36"),
+    ("Silver", "Ag", "47"), ("Tin", "Sn", "50"), ("Tellurium", "Te", "52"),
+    ("Iodine", "I", "53"), ("Gold", "Au", "79"), ("Mercury", "Hg", "80"),
+    ("Lead", "Pb", "82"), ("Uranium", "U", "92"),
+]
+
+_ELEMENT_SYNONYMS: dict[str, tuple[str, ...]] = {
+    "Aluminium": ("Aluminum",),
+    "Sulfur": ("Sulphur",),
+}
+
+# ---------------------------------------------------------------------------
+# Currencies: name, ISO 4217 alphabetic code, numeric code.
+# ---------------------------------------------------------------------------
+_CURRENCIES: list[tuple[str, str, str]] = [
+    ("US Dollar", "USD", "840"), ("Euro", "EUR", "978"), ("Japanese Yen", "JPY", "392"),
+    ("British Pound", "GBP", "826"), ("Swiss Franc", "CHF", "756"),
+    ("Canadian Dollar", "CAD", "124"), ("Australian Dollar", "AUD", "036"),
+    ("Chinese Yuan", "CNY", "156"), ("Indian Rupee", "INR", "356"),
+    ("Brazilian Real", "BRL", "986"), ("Mexican Peso", "MXN", "484"),
+    ("South Korean Won", "KRW", "410"), ("Russian Ruble", "RUB", "643"),
+    ("Turkish Lira", "TRY", "949"), ("South African Rand", "ZAR", "710"),
+    ("Swedish Krona", "SEK", "752"), ("Norwegian Krone", "NOK", "578"),
+    ("Danish Krone", "DKK", "208"), ("Polish Zloty", "PLN", "985"),
+    ("Singapore Dollar", "SGD", "702"), ("Hong Kong Dollar", "HKD", "344"),
+    ("New Zealand Dollar", "NZD", "554"), ("Thai Baht", "THB", "764"),
+    ("Indonesian Rupiah", "IDR", "360"), ("Israeli Shekel", "ILS", "376"),
+]
+
+# ---------------------------------------------------------------------------
+# Car models -> makes (many-to-one).
+# ---------------------------------------------------------------------------
+_CAR_MODELS: list[tuple[str, str]] = [
+    ("F-150", "Ford"), ("Mustang", "Ford"), ("Explorer", "Ford"), ("Escape", "Ford"),
+    ("Accord", "Honda"), ("Civic", "Honda"), ("CR-V", "Honda"), ("Pilot", "Honda"),
+    ("Camry", "Toyota"), ("Corolla", "Toyota"), ("RAV4", "Toyota"), ("Highlander", "Toyota"),
+    ("Charger", "Dodge"), ("Challenger", "Dodge"), ("Durango", "Dodge"),
+    ("Silverado", "Chevrolet"), ("Malibu", "Chevrolet"), ("Equinox", "Chevrolet"),
+    ("Altima", "Nissan"), ("Sentra", "Nissan"), ("Rogue", "Nissan"),
+    ("Model 3", "Tesla"), ("Model S", "Tesla"), ("Model Y", "Tesla"),
+    ("Wrangler", "Jeep"), ("Grand Cherokee", "Jeep"),
+    ("3 Series", "BMW"), ("5 Series", "BMW"), ("X5", "BMW"),
+    ("C-Class", "Mercedes-Benz"), ("E-Class", "Mercedes-Benz"),
+    ("A4", "Audi"), ("Q5", "Audi"),
+    ("Outback", "Subaru"), ("Forester", "Subaru"),
+    ("Elantra", "Hyundai"), ("Sonata", "Hyundai"), ("Tucson", "Hyundai"),
+    ("Sportage", "Kia"), ("Sorento", "Kia"),
+]
+
+# ---------------------------------------------------------------------------
+# Greek alphabet, months, Beaufort scale, ASCII control codes.
+# ---------------------------------------------------------------------------
+_GREEK_LETTERS: list[tuple[str, str]] = [
+    ("Alpha", "α"), ("Beta", "β"), ("Gamma", "γ"), ("Delta", "δ"), ("Epsilon", "ε"),
+    ("Zeta", "ζ"), ("Eta", "η"), ("Theta", "θ"), ("Iota", "ι"), ("Kappa", "κ"),
+    ("Lambda", "λ"), ("Mu", "μ"), ("Nu", "ν"), ("Xi", "ξ"), ("Omicron", "ο"),
+    ("Pi", "π"), ("Rho", "ρ"), ("Sigma", "σ"), ("Tau", "τ"), ("Upsilon", "υ"),
+    ("Phi", "φ"), ("Chi", "χ"), ("Psi", "ψ"), ("Omega", "ω"),
+]
+
+_MONTHS: list[tuple[str, str]] = [
+    ("January", "01"), ("February", "02"), ("March", "03"), ("April", "04"),
+    ("May", "05"), ("June", "06"), ("July", "07"), ("August", "08"),
+    ("September", "09"), ("October", "10"), ("November", "11"), ("December", "12"),
+]
+
+_MONTH_ABBREVS: list[tuple[str, str]] = [
+    ("January", "Jan"), ("February", "Feb"), ("March", "Mar"), ("April", "Apr"),
+    ("May", "May"), ("June", "Jun"), ("July", "Jul"), ("August", "Aug"),
+    ("September", "Sep"), ("October", "Oct"), ("November", "Nov"), ("December", "Dec"),
+]
+
+_BEAUFORT: list[tuple[str, str]] = [
+    ("calm", "0"), ("light air", "1"), ("light breeze", "2"), ("gentle breeze", "3"),
+    ("moderate breeze", "4"), ("fresh breeze", "5"), ("strong breeze", "6"),
+    ("near gale", "7"), ("gale", "8"), ("strong gale", "9"), ("storm", "10"),
+    ("violent storm", "11"), ("hurricane", "12"),
+]
+
+_ASCII_CODES: list[tuple[str, str]] = [
+    ("NUL", "0"), ("SOH", "1"), ("STX", "2"), ("ETX", "3"), ("EOT", "4"),
+    ("ENQ", "5"), ("ACK", "6"), ("BEL", "7"), ("BS", "8"), ("TAB", "9"),
+    ("LF", "10"), ("VT", "11"), ("FF", "12"), ("CR", "13"), ("SO", "14"),
+    ("SI", "15"), ("DLE", "16"), ("ESC", "27"), ("SP", "32"), ("DEL", "127"),
+]
+
+_AMINO_ACIDS: list[tuple[str, str]] = [
+    ("Alanine", "Ala"), ("Arginine", "Arg"), ("Asparagine", "Asn"), ("Aspartate", "Asp"),
+    ("Cysteine", "Cys"), ("Glutamine", "Gln"), ("Glutamate", "Glu"), ("Glycine", "Gly"),
+    ("Histidine", "His"), ("Isoleucine", "Ile"), ("Leucine", "Leu"), ("Lysine", "Lys"),
+    ("Methionine", "Met"), ("Phenylalanine", "Phe"), ("Proline", "Pro"), ("Serine", "Ser"),
+    ("Threonine", "Thr"), ("Tryptophan", "Trp"), ("Tyrosine", "Tyr"), ("Valine", "Val"),
+]
+
+# ---------------------------------------------------------------------------
+# Enterprise-flavoured relations (paper §5.5, Figure 11).
+# ---------------------------------------------------------------------------
+_PRODUCT_FAMILIES: list[tuple[str, str]] = [
+    ("Access", "ACCES"), ("Consumer Productivity", "CORPO"), ("Cloud Services", "CLOUD"),
+    ("Developer Tools", "DEVTO"), ("Gaming", "GAMIN"), ("Hardware", "HARDW"),
+    ("Search Advertising", "SRCHA"), ("Enterprise Mobility", "ENTMO"),
+    ("Business Applications", "BUSAP"), ("Data Platform", "DATAP"),
+    ("Security Services", "SECUR"), ("Modern Workplace", "MODWK"),
+    ("AI Platform", "AIPLT"), ("Edge Computing", "EDGEC"), ("Quantum Research", "QUANT"),
+]
+
+_PROFIT_CENTERS: list[tuple[str, str]] = [
+    ("P10018", "EQ-RU - Partner Support"), ("P10021", "EQ-NA - PFE CPM"),
+    ("P10034", "EQ-EU - Field Engineering"), ("P10042", "EQ-AP - Cloud Sales"),
+    ("P10055", "EQ-LA - Consulting"), ("P10063", "EQ-NA - Premier Support"),
+    ("P10071", "EQ-EU - Data Centers"), ("P10088", "EQ-AP - Research"),
+    ("P10092", "EQ-NA - Marketing Ops"), ("P10105", "EQ-GL - Supply Chain"),
+    ("P10113", "EQ-GL - Legal Affairs"), ("P10127", "EQ-NA - Developer Relations"),
+]
+
+_DATA_CENTERS: list[tuple[str, str]] = [
+    ("Singapore IDC", "APAC"), ("Dublin IDC3", "EMEA"), ("Amsterdam IDC1", "EMEA"),
+    ("Quincy DC2", "AMER"), ("San Antonio DC1", "AMER"), ("Chicago DC4", "AMER"),
+    ("Hong Kong IDC", "APAC"), ("Sydney IDC2", "APAC"), ("Tokyo IDC1", "APAC"),
+    ("London IDC2", "EMEA"), ("Frankfurt IDC1", "EMEA"), ("Sao Paulo DC1", "AMER"),
+    ("Pune IDC1", "APAC"), ("Johannesburg IDC1", "EMEA"), ("Toronto DC1", "AMER"),
+]
+
+_INDUSTRY_VERTICALS: list[tuple[str, str]] = [
+    ("Accommodation", "Hospitality"), ("Accounting", "Professional Services"),
+    ("Aerospace", "Manufacturing"), ("Agriculture", "Primary Industries"),
+    ("Automotive", "Manufacturing"), ("Banking", "Financial Services"),
+    ("Construction", "Engineering"), ("Education", "Public Sector"),
+    ("Healthcare", "Health"), ("Insurance", "Financial Services"),
+    ("Logistics", "Transportation"), ("Media", "Entertainment"),
+    ("Mining", "Primary Industries"), ("Pharmaceuticals", "Health"),
+    ("Retail", "Consumer"), ("Telecommunications", "Technology"),
+    ("Utilities", "Energy"), ("Software", "Technology"),
+]
+
+_COST_CENTERS: list[tuple[str, str]] = [
+    ("CC-1001", "Corporate Finance"), ("CC-1002", "Human Resources"),
+    ("CC-1003", "Information Technology"), ("CC-1010", "Facilities Management"),
+    ("CC-1015", "Research and Development"), ("CC-1020", "Field Sales North"),
+    ("CC-1021", "Field Sales South"), ("CC-1030", "Customer Support Tier 1"),
+    ("CC-1031", "Customer Support Tier 2"), ("CC-1040", "Cloud Operations"),
+    ("CC-1045", "Security Operations"), ("CC-1050", "Executive Office"),
+]
+
+_EMPLOYEE_ALIASES: list[tuple[str, str]] = [
+    ("Bren, Steven", "stevenb"), ("Morris, Peggy", "peggym"), ("Raynal, David", "davidra"),
+    ("Crispin, Neal", "nealc"), ("Wells, William", "willw"), ("Chen, Amy", "amychen"),
+    ("Gupta, Ravi", "ravig"), ("Olsen, Marta", "martao"), ("Kim, Daniel", "danielk"),
+    ("Ivanova, Elena", "elenai"), ("Tanaka, Hiro", "hirot"), ("Nguyen, Linh", "linhn"),
+    ("Schmidt, Lukas", "lukass"), ("Rossi, Giulia", "giuliar"), ("Patel, Nikhil", "nikhilp"),
+]
+
+_ATU_COUNTRIES: list[tuple[str, str]] = [
+    ("Australia.01.EPG", "Australia"), ("Australia.02.Commercial", "Australia"),
+    ("Canada.01.Public Sector", "Canada"), ("Canada.02.SMB", "Canada"),
+    ("Germany.01.Enterprise", "Germany"), ("Germany.02.Partner", "Germany"),
+    ("Japan.01.Enterprise", "Japan"), ("Japan.02.SMC", "Japan"),
+    ("France.01.Enterprise", "France"), ("Brazil.01.Commercial", "Brazil"),
+    ("India.01.Enterprise", "India"), ("India.02.SMC", "India"),
+    ("UK.01.Enterprise", "United Kingdom"), ("UK.02.Public Sector", "United Kingdom"),
+]
+
+
+def _pairs(rows: list[tuple[str, ...]], left: int, right: int) -> tuple[tuple[str, str], ...]:
+    """Project two columns of a row list into a pair tuple, dropping duplicates."""
+    seen: set[tuple[str, str]] = set()
+    result: list[tuple[str, str]] = []
+    for row in rows:
+        pair = (row[left], row[right])
+        if pair not in seen:
+            seen.add(pair)
+            result.append(pair)
+    return tuple(result)
+
+
+_WEB_DOMAINS = (
+    "en.wikipedia.org", "worlddata.info", "statisticstimes.com", "nationsonline.org",
+    "geonames.org", "infoplease.com", "factmonster.com", "britannica.com",
+    "kaggle-datasets.com", "opendatasoft.com", "data-world.net", "listchallenges.com",
+    "sportingnews.com", "referencetables.net", "tradingeconomics.com", "markets.ft.com",
+)
+
+_ENTERPRISE_SHARES = (
+    "finance-share", "hr-share", "sales-ops", "cloud-ops", "marketing-share",
+    "support-share", "facilities", "it-reporting",
+)
+
+
+def _build_seed_relations() -> dict[str, SeedRelation]:
+    """Construct every seed relation."""
+    country_syn = _COUNTRY_SYNONYMS
+    relations: list[SeedRelation] = [
+        # --- Geocoding-style relations (paper Figure 6 analogues) -----------------
+        SeedRelation(
+            name="country_iso3",
+            left_attr="country",
+            right_attr="iso3_code",
+            pairs=_pairs(_COUNTRIES, 0, 1),
+            left_synonyms=country_syn,
+            header_variants=(("Country", "Code"), ("Country Name", "ISO3"), ("name", "code")),
+            category="geocoding",
+            popularity=3.0,
+            domain_pool=_WEB_DOMAINS,
+        ),
+        SeedRelation(
+            name="country_iso2",
+            left_attr="country",
+            right_attr="iso2_code",
+            pairs=_pairs(_COUNTRIES, 0, 2),
+            left_synonyms=country_syn,
+            header_variants=(("Country", "Code"), ("Country", "Alpha-2"), ("name", "code")),
+            category="geocoding",
+            popularity=2.5,
+            domain_pool=_WEB_DOMAINS,
+        ),
+        SeedRelation(
+            name="country_ioc",
+            left_attr="country",
+            right_attr="ioc_code",
+            pairs=_pairs(_COUNTRIES, 0, 3),
+            left_synonyms=country_syn,
+            header_variants=(("Country", "IOC"), ("Country", "Code"), ("NOC", "Code")),
+            category="geocoding",
+            popularity=2.0,
+            domain_pool=_WEB_DOMAINS,
+        ),
+        SeedRelation(
+            name="country_fifa",
+            left_attr="country",
+            right_attr="fifa_code",
+            pairs=_pairs(_COUNTRIES, 0, 4),
+            left_synonyms=country_syn,
+            header_variants=(("Country", "FIFA"), ("Country", "Code"), ("Team", "Code")),
+            category="geocoding",
+            popularity=1.8,
+            domain_pool=_WEB_DOMAINS,
+        ),
+        SeedRelation(
+            name="country_capital",
+            left_attr="country",
+            right_attr="capital",
+            pairs=_pairs(_COUNTRIES, 0, 5),
+            left_synonyms=country_syn,
+            header_variants=(("Country", "Capital"), ("name", "capital")),
+            category="querylog",
+            popularity=2.5,
+            domain_pool=_WEB_DOMAINS,
+        ),
+        SeedRelation(
+            name="country_currency",
+            left_attr="country",
+            right_attr="currency_code",
+            pairs=_pairs(_COUNTRIES, 0, 6),
+            left_synonyms=country_syn,
+            header_variants=(("Country", "Currency"), ("name", "code")),
+            category="geocoding",
+            one_to_one=False,
+            popularity=1.5,
+            domain_pool=_WEB_DOMAINS,
+        ),
+        SeedRelation(
+            name="country_calling_code",
+            left_attr="country",
+            right_attr="calling_code",
+            pairs=_pairs(_COUNTRIES, 0, 7),
+            left_synonyms=country_syn,
+            header_variants=(("Country", "Calling Code"), ("Country", "Dial Code")),
+            category="geocoding",
+            one_to_one=False,
+            popularity=1.5,
+            domain_pool=_WEB_DOMAINS,
+        ),
+        SeedRelation(
+            name="iso3_iso2",
+            left_attr="iso3_code",
+            right_attr="iso2_code",
+            pairs=_pairs(_COUNTRIES, 1, 2),
+            header_variants=(("Alpha-3", "Alpha-2"), ("ISO3", "ISO2"), ("code", "code2")),
+            category="geocoding",
+            popularity=1.2,
+            domain_pool=_WEB_DOMAINS,
+        ),
+        SeedRelation(
+            name="state_abbrev",
+            left_attr="us_state",
+            right_attr="abbreviation",
+            pairs=_pairs(_US_STATES, 0, 1),
+            header_variants=(("State", "Abbrev."), ("State", "Code"), ("name", "code")),
+            category="geocoding",
+            popularity=3.0,
+            domain_pool=_WEB_DOMAINS,
+        ),
+        SeedRelation(
+            name="state_capital",
+            left_attr="us_state",
+            right_attr="capital",
+            pairs=_pairs(_US_STATES, 0, 2),
+            header_variants=(("State", "Capital"), ("name", "capital")),
+            category="querylog",
+            popularity=2.0,
+            domain_pool=_WEB_DOMAINS,
+        ),
+        SeedRelation(
+            name="state_largest_city",
+            left_attr="us_state",
+            right_attr="largest_city",
+            pairs=_pairs(_US_STATES, 0, 3),
+            header_variants=(("State", "Largest City"), ("State", "City"), ("name", "city")),
+            category="querylog",
+            one_to_one=False,
+            popularity=1.2,
+            domain_pool=_WEB_DOMAINS,
+        ),
+        SeedRelation(
+            name="state_fips",
+            left_attr="us_state",
+            right_attr="fips_code",
+            pairs=_pairs(_US_STATES, 0, 4),
+            header_variants=(("State", "FIPS"), ("name", "code")),
+            category="geocoding",
+            popularity=1.0,
+            domain_pool=_WEB_DOMAINS,
+        ),
+        SeedRelation(
+            name="city_state",
+            left_attr="us_city",
+            right_attr="us_state",
+            pairs=_pairs(_CITIES, 0, 1),
+            header_variants=(("City", "State"), ("city", "state")),
+            category="querylog",
+            one_to_one=False,
+            popularity=2.5,
+            domain_pool=_WEB_DOMAINS,
+        ),
+        SeedRelation(
+            name="airport_iata",
+            left_attr="airport_name",
+            right_attr="iata_code",
+            pairs=_pairs(_AIRPORTS, 0, 1),
+            left_synonyms=_AIRPORT_SYNONYMS,
+            header_variants=(("Airport Name", "IATA"), ("Airport", "Code"), ("name", "code")),
+            category="geocoding",
+            popularity=2.0,
+            domain_pool=_WEB_DOMAINS,
+        ),
+        SeedRelation(
+            name="airport_icao",
+            left_attr="airport_name",
+            right_attr="icao_code",
+            pairs=_pairs(_AIRPORTS, 0, 2),
+            left_synonyms=_AIRPORT_SYNONYMS,
+            header_variants=(("Airport Name", "ICAO"), ("Airport", "Code"), ("name", "code")),
+            category="geocoding",
+            popularity=1.2,
+            domain_pool=_WEB_DOMAINS,
+        ),
+        SeedRelation(
+            name="iata_icao",
+            left_attr="iata_code",
+            right_attr="icao_code",
+            pairs=_pairs(_AIRPORTS, 1, 2),
+            header_variants=(("IATA", "ICAO"), ("code", "code")),
+            category="geocoding",
+            popularity=0.8,
+            domain_pool=_WEB_DOMAINS,
+        ),
+        SeedRelation(
+            name="airport_city",
+            left_attr="airport_name",
+            right_attr="city",
+            pairs=_pairs(_AIRPORTS, 0, 3),
+            left_synonyms=_AIRPORT_SYNONYMS,
+            header_variants=(("Airport", "City"), ("name", "city")),
+            category="querylog",
+            one_to_one=False,
+            popularity=1.0,
+            domain_pool=_WEB_DOMAINS,
+        ),
+        # --- Query-log-style relations --------------------------------------------
+        SeedRelation(
+            name="company_ticker",
+            left_attr="company",
+            right_attr="stock_ticker",
+            pairs=tuple(_COMPANIES),
+            left_synonyms=_COMPANY_SYNONYMS,
+            header_variants=(("Company", "Ticker"), ("Company", "Symbol"), ("name", "symbol")),
+            category="querylog",
+            popularity=2.5,
+            domain_pool=_WEB_DOMAINS,
+        ),
+        SeedRelation(
+            name="element_symbol",
+            left_attr="chemical_element",
+            right_attr="symbol",
+            pairs=_pairs(_ELEMENTS, 0, 1),
+            left_synonyms=_ELEMENT_SYNONYMS,
+            header_variants=(("Element", "Symbol"), ("name", "symbol"), ("name", "code")),
+            category="querylog",
+            popularity=2.0,
+            domain_pool=_WEB_DOMAINS,
+        ),
+        SeedRelation(
+            name="element_atomic_number",
+            left_attr="chemical_element",
+            right_attr="atomic_number",
+            pairs=_pairs(_ELEMENTS, 0, 2),
+            left_synonyms=_ELEMENT_SYNONYMS,
+            header_variants=(("Element", "Atomic Number"), ("name", "number")),
+            category="querylog",
+            popularity=1.5,
+            domain_pool=_WEB_DOMAINS,
+        ),
+        SeedRelation(
+            name="currency_code",
+            left_attr="currency",
+            right_attr="iso4217_code",
+            pairs=_pairs(_CURRENCIES, 0, 1),
+            header_variants=(("Currency", "Code"), ("name", "code")),
+            category="geocoding",
+            popularity=1.8,
+            domain_pool=_WEB_DOMAINS,
+        ),
+        SeedRelation(
+            name="currency_code_numeric",
+            left_attr="iso4217_code",
+            right_attr="iso4217_numeric",
+            pairs=_pairs(_CURRENCIES, 1, 2),
+            header_variants=(("Code", "Num"), ("code", "number")),
+            category="geocoding",
+            popularity=0.8,
+            domain_pool=_WEB_DOMAINS,
+        ),
+        SeedRelation(
+            name="car_model_make",
+            left_attr="car_model",
+            right_attr="car_make",
+            pairs=tuple(_CAR_MODELS),
+            header_variants=(("Model", "Make"), ("model", "make")),
+            category="querylog",
+            one_to_one=False,
+            popularity=2.0,
+            domain_pool=_WEB_DOMAINS,
+        ),
+        SeedRelation(
+            name="greek_letter_symbol",
+            left_attr="greek_letter",
+            right_attr="symbol",
+            pairs=tuple(_GREEK_LETTERS),
+            header_variants=(("Letter", "Symbol"), ("name", "symbol")),
+            category="querylog",
+            popularity=1.0,
+            domain_pool=_WEB_DOMAINS,
+        ),
+        SeedRelation(
+            name="month_number",
+            left_attr="month",
+            right_attr="month_number",
+            pairs=tuple(_MONTHS),
+            header_variants=(("Month", "Number"), ("month", "num")),
+            category="querylog",
+            popularity=1.5,
+            domain_pool=_WEB_DOMAINS,
+        ),
+        SeedRelation(
+            name="month_abbrev",
+            left_attr="month",
+            right_attr="month_abbrev",
+            pairs=tuple(_MONTH_ABBREVS),
+            header_variants=(("Month", "Abbrev"), ("month", "abbr")),
+            category="querylog",
+            popularity=1.2,
+            domain_pool=_WEB_DOMAINS,
+        ),
+        SeedRelation(
+            name="wind_beaufort",
+            left_attr="wind",
+            right_attr="beaufort_scale",
+            pairs=tuple(_BEAUFORT),
+            header_variants=(("Wind", "Beaufort"), ("description", "force")),
+            category="querylog",
+            popularity=0.8,
+            domain_pool=_WEB_DOMAINS,
+        ),
+        SeedRelation(
+            name="ascii_code",
+            left_attr="ascii_abbrev",
+            right_attr="code",
+            pairs=tuple(_ASCII_CODES),
+            header_variants=(("ASCII", "Code"), ("abbr", "code"), ("name", "code")),
+            category="querylog",
+            popularity=1.0,
+            domain_pool=_WEB_DOMAINS,
+        ),
+        SeedRelation(
+            name="amino_acid_symbol",
+            left_attr="amino_acid",
+            right_attr="three_letter_code",
+            pairs=tuple(_AMINO_ACIDS),
+            header_variants=(("Amino Acid", "Symbol"), ("name", "code")),
+            category="querylog",
+            popularity=1.0,
+            domain_pool=_WEB_DOMAINS,
+        ),
+        # --- Enterprise relations (paper §5.5, Figure 11) ---------------------------
+        SeedRelation(
+            name="product_family_code",
+            left_attr="product_family",
+            right_attr="code",
+            pairs=tuple(_PRODUCT_FAMILIES),
+            header_variants=(("Product Family", "Code"), ("name", "code")),
+            category="enterprise",
+            popularity=2.0,
+            domain_pool=_ENTERPRISE_SHARES,
+        ),
+        SeedRelation(
+            name="profit_center_code",
+            left_attr="profit_center_code",
+            right_attr="profit_center",
+            pairs=tuple(_PROFIT_CENTERS),
+            header_variants=(("Profit Center", "Description"), ("code", "name")),
+            category="enterprise",
+            popularity=2.0,
+            domain_pool=_ENTERPRISE_SHARES,
+        ),
+        SeedRelation(
+            name="data_center_region",
+            left_attr="data_center",
+            right_attr="region",
+            pairs=tuple(_DATA_CENTERS),
+            header_variants=(("Data Center", "Region"), ("DC", "Region")),
+            category="enterprise",
+            one_to_one=False,
+            popularity=1.5,
+            domain_pool=_ENTERPRISE_SHARES,
+        ),
+        SeedRelation(
+            name="industry_vertical",
+            left_attr="industry",
+            right_attr="vertical",
+            pairs=tuple(_INDUSTRY_VERTICALS),
+            header_variants=(("Industry", "Vertical"), ("industry", "segment")),
+            category="enterprise",
+            one_to_one=False,
+            popularity=1.5,
+            domain_pool=_ENTERPRISE_SHARES,
+        ),
+        SeedRelation(
+            name="cost_center_name",
+            left_attr="cost_center_code",
+            right_attr="cost_center_name",
+            pairs=tuple(_COST_CENTERS),
+            header_variants=(("Cost Center", "Name"), ("code", "name")),
+            category="enterprise",
+            popularity=1.8,
+            domain_pool=_ENTERPRISE_SHARES,
+        ),
+        SeedRelation(
+            name="employee_alias",
+            left_attr="employee",
+            right_attr="login_alias",
+            pairs=tuple(_EMPLOYEE_ALIASES),
+            header_variants=(("Employee", "Alias"), ("name", "alias")),
+            category="enterprise",
+            popularity=1.5,
+            domain_pool=_ENTERPRISE_SHARES,
+        ),
+        SeedRelation(
+            name="atu_country",
+            left_attr="atu",
+            right_attr="country",
+            pairs=tuple(_ATU_COUNTRIES),
+            header_variants=(("ATU", "Country"), ("atu", "country")),
+            category="enterprise",
+            one_to_one=False,
+            popularity=1.2,
+            domain_pool=_ENTERPRISE_SHARES,
+        ),
+    ]
+    by_name = {relation.name: relation for relation in relations}
+    if len(by_name) != len(relations):
+        raise AssertionError("duplicate seed relation names")
+    return by_name
+
+
+_SEED_RELATIONS: dict[str, SeedRelation] = _build_seed_relations()
+
+
+def all_seed_relations(category: str | None = None) -> list[SeedRelation]:
+    """Return all seed relations, optionally restricted to one category."""
+    relations = list(_SEED_RELATIONS.values())
+    if category is not None:
+        relations = [relation for relation in relations if relation.category == category]
+    return relations
+
+
+def seed_relation_names(category: str | None = None) -> list[str]:
+    """Return the names of all seed relations, optionally restricted by category."""
+    return [relation.name for relation in all_seed_relations(category)]
+
+
+def get_seed_relation(name: str) -> SeedRelation:
+    """Return a seed relation by name.
+
+    Raises
+    ------
+    KeyError
+        If there is no seed relation with that name.
+    """
+    try:
+        return _SEED_RELATIONS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown seed relation {name!r}; available: {sorted(_SEED_RELATIONS)}"
+        )

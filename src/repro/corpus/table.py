@@ -1,0 +1,122 @@
+"""Relational tables and columns as found in a table corpus (paper Definition 3)."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass, field
+
+__all__ = ["Column", "Table"]
+
+
+@dataclass
+class Column:
+    """A single table column: a header plus a list of cell values."""
+
+    name: str
+    values: list[str]
+
+    def __post_init__(self) -> None:
+        self.values = [str(value) for value in self.values]
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.values)
+
+    def __getitem__(self, index: int) -> str:
+        return self.values[index]
+
+    def distinct_values(self) -> set[str]:
+        """Return the set of distinct cell values in this column."""
+        return set(self.values)
+
+    def distinct_count(self) -> int:
+        """Number of distinct cell values."""
+        return len(self.distinct_values())
+
+
+@dataclass
+class Table:
+    """A relational table: an identifier, a source domain, and a list of columns.
+
+    All columns are expected to have the same length (the number of rows); the
+    constructor enforces this so downstream column-pair extraction can zip columns
+    row-wise without further checks.
+    """
+
+    table_id: str
+    columns: list[Column]
+    domain: str = ""
+    title: str = ""
+    metadata: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        lengths = {len(column) for column in self.columns}
+        if len(lengths) > 1:
+            raise ValueError(
+                f"table {self.table_id!r} has columns of unequal length: "
+                f"{sorted(lengths)}"
+            )
+
+    @property
+    def num_rows(self) -> int:
+        """Number of rows (0 for a table with no columns)."""
+        return len(self.columns[0]) if self.columns else 0
+
+    @property
+    def num_columns(self) -> int:
+        """Number of columns."""
+        return len(self.columns)
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self.columns)
+
+    def column(self, name: str) -> Column:
+        """Return the first column whose header equals ``name``.
+
+        Raises
+        ------
+        KeyError
+            If no column has that header.
+        """
+        for column in self.columns:
+            if column.name == name:
+                return column
+        raise KeyError(f"table {self.table_id!r} has no column named {name!r}")
+
+    def column_names(self) -> list[str]:
+        """Return the list of column headers."""
+        return [column.name for column in self.columns]
+
+    def rows(self) -> Iterator[tuple[str, ...]]:
+        """Iterate over rows as tuples of cell values."""
+        return iter(zip(*[column.values for column in self.columns]))
+
+    def column_pair_rows(self, i: int, j: int) -> list[tuple[str, str]]:
+        """Return (value_i, value_j) rows for the ordered column pair ``(i, j)``."""
+        left, right = self.columns[i], self.columns[j]
+        return list(zip(left.values, right.values))
+
+    @classmethod
+    def from_rows(
+        cls,
+        table_id: str,
+        header: Sequence[str],
+        rows: Sequence[Sequence[str]],
+        domain: str = "",
+        title: str = "",
+    ) -> "Table":
+        """Build a table from a header and row-major data."""
+        if rows and any(len(row) != len(header) for row in rows):
+            raise ValueError(
+                f"table {table_id!r}: all rows must have {len(header)} cells"
+            )
+        columns = [
+            Column(name=name, values=[str(row[idx]) for row in rows])
+            for idx, name in enumerate(header)
+        ]
+        return cls(table_id=table_id, columns=columns, domain=domain, title=title)

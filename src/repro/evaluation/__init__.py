@@ -1,0 +1,23 @@
+"""Evaluation: metrics, benchmark construction, method runner, and experiments."""
+
+from repro.evaluation.metrics import MappingScore, best_mapping_score, score_mapping
+from repro.evaluation.benchmark import (
+    BenchmarkCase,
+    build_enterprise_benchmark,
+    build_web_benchmark,
+)
+from repro.evaluation.runner import EvaluationRunner, MethodEvaluation
+from repro.evaluation.reporting import format_comparison_table, format_per_case_table
+
+__all__ = [
+    "MappingScore",
+    "score_mapping",
+    "best_mapping_score",
+    "BenchmarkCase",
+    "build_web_benchmark",
+    "build_enterprise_benchmark",
+    "EvaluationRunner",
+    "MethodEvaluation",
+    "format_comparison_table",
+    "format_per_case_table",
+]

@@ -1,0 +1,556 @@
+"""Experiment drivers: one function per table/figure of the paper's evaluation.
+
+Every driver returns plain data structures (dataclasses / dictionaries) so that the
+benchmark harness in ``benchmarks/`` can both regenerate the numbers and print the
+same rows/series the paper reports.  See ``DESIGN.md`` for the experiment index and
+``EXPERIMENTS.md`` for paper-vs-measured notes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines import (
+    CorrelationClusteringBaseline,
+    EntTableBaseline,
+    FreebaseBaseline,
+    SchemaCCBaseline,
+    SynthesisMethod,
+    SynthesisPosMethod,
+    UnionDomainBaseline,
+    UnionWebBaseline,
+    WebTableBaseline,
+    WikiTableBaseline,
+    WiseIntegratorBaseline,
+    YagoBaseline,
+)
+from repro.baselines.base import BaselineMethod
+from repro.core.config import SynthesisConfig
+from repro.core.pipeline import SynthesisPipeline
+from repro.corpus.corpus import TableCorpus
+from repro.corpus.generator import (
+    CorpusGenerationSpec,
+    EnterpriseCorpusGenerator,
+    WebCorpusGenerator,
+)
+from repro.corpus.seeds import get_seed_relation
+from repro.core.binary_table import BinaryTable
+from repro.evaluation.benchmark import (
+    BenchmarkCase,
+    build_enterprise_benchmark,
+    build_web_benchmark,
+)
+from repro.evaluation.metrics import MappingScore, best_mapping_score
+from repro.evaluation.runner import EvaluationRunner, MethodEvaluation
+from repro.extraction.candidates import CandidateExtractor
+from repro.synthesis.curation import popularity_rank
+from repro.synthesis.expansion import TableExpander
+
+__all__ = [
+    "ExperimentScale",
+    "make_web_corpus",
+    "make_enterprise_corpus",
+    "default_methods",
+    "MethodComparisonResult",
+    "run_method_comparison",
+    "run_runtime_comparison",
+    "ScalabilityResult",
+    "run_scalability",
+    "run_enterprise_comparison",
+    "collect_enterprise_examples",
+    "run_per_case_comparison",
+    "ConflictResolutionStudy",
+    "run_conflict_resolution_study",
+    "SensitivityResult",
+    "run_sensitivity",
+    "run_extraction_stats",
+    "ExpansionStudy",
+    "run_expansion_study",
+    "collect_web_examples",
+]
+
+
+# ---------------------------------------------------------------------------------------
+# Corpus / configuration helpers
+# ---------------------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Controls the size of the generated corpora used in experiments."""
+
+    tables_per_relation: int = 6
+    max_rows: int = 25
+    seed: int = 7
+
+    @classmethod
+    def small(cls) -> "ExperimentScale":
+        """Small scale for quick runs and CI."""
+        return cls(tables_per_relation=3, max_rows=18, seed=7)
+
+    @classmethod
+    def default(cls) -> "ExperimentScale":
+        """The default scale used by the benchmark harness."""
+        return cls()
+
+    def to_spec(self) -> CorpusGenerationSpec:
+        """Convert to a corpus-generation spec."""
+        return CorpusGenerationSpec(
+            tables_per_relation=self.tables_per_relation,
+            max_rows=self.max_rows,
+            seed=self.seed,
+        )
+
+
+def make_web_corpus(scale: ExperimentScale | None = None) -> TableCorpus:
+    """Generate the synthetic Web corpus used by the Web experiments."""
+    scale = scale or ExperimentScale.default()
+    return WebCorpusGenerator(scale.to_spec()).generate()
+
+
+def make_enterprise_corpus(scale: ExperimentScale | None = None) -> TableCorpus:
+    """Generate the synthetic Enterprise corpus used by §5.5-style experiments."""
+    scale = scale or ExperimentScale.default()
+    return EnterpriseCorpusGenerator(scale.to_spec()).generate()
+
+
+def experiment_config() -> SynthesisConfig:
+    """The synthesis configuration used across experiments."""
+    return SynthesisConfig(min_domains=2, min_mapping_size=5)
+
+
+def default_methods(
+    config: SynthesisConfig | None = None,
+) -> dict[str, BaselineMethod | list[BaselineMethod]]:
+    """All methods compared in the paper's Figure 7, keyed by their display name."""
+    config = config or experiment_config()
+    return {
+        "Synthesis": SynthesisMethod(config),
+        "WikiTable": WikiTableBaseline(config),
+        "WebTable": WebTableBaseline(config),
+        "UnionDomain": UnionDomainBaseline(config),
+        "UnionWeb": UnionWebBaseline(config),
+        "SynthesisPos": SynthesisPosMethod(config),
+        "Correlation": CorrelationClusteringBaseline(config),
+        "SchemaPosCC": SchemaCCBaseline.sweep_thresholds(
+            use_negative=False, thresholds=(0.3, 0.6, 0.9), config=config
+        ),
+        "SchemaCC": SchemaCCBaseline.sweep_thresholds(
+            use_negative=True, thresholds=(0.3, 0.6, 0.9), config=config
+        ),
+        "WiseIntegrator": WiseIntegratorBaseline(config=config),
+        "Freebase": FreebaseBaseline(),
+        "YAGO": YagoBaseline(),
+    }
+
+
+# ---------------------------------------------------------------------------------------
+# E1 / E6 — Figures 7 and 14: method comparison, per-case comparison
+# ---------------------------------------------------------------------------------------
+@dataclass
+class MethodComparisonResult:
+    """Results of the Figure 7 / Figure 14 experiments."""
+
+    evaluations: dict[str, MethodEvaluation]
+    benchmark: list[BenchmarkCase]
+    corpus_stats: dict[str, float] = field(default_factory=dict)
+
+    def summary_rows(self) -> list[tuple[str, float, float, float]]:
+        """(method, avg F, avg precision, avg recall) rows, best F first."""
+        rows = [
+            (
+                name,
+                evaluation.avg_f_score,
+                evaluation.avg_precision,
+                evaluation.avg_recall,
+            )
+            for name, evaluation in self.evaluations.items()
+        ]
+        return sorted(rows, key=lambda row: row[1], reverse=True)
+
+    def per_case_rows(self, sort_by: str = "Synthesis") -> list[tuple[str, dict[str, float]]]:
+        """(case, {method: f_score}) rows sorted by the reference method's score."""
+        cases = list(self.benchmark)
+        reference = self.evaluations.get(sort_by)
+        if reference is not None:
+            cases.sort(
+                key=lambda case: reference.case_scores[case.name].f_score, reverse=True
+            )
+        rows = []
+        for case in cases:
+            rows.append(
+                (
+                    case.name,
+                    {
+                        name: evaluation.case_scores[case.name].f_score
+                        for name, evaluation in self.evaluations.items()
+                    },
+                )
+            )
+        return rows
+
+    def runtimes(self) -> dict[str, float]:
+        """Figure-8-style runtime (seconds) per method."""
+        return {
+            name: evaluation.runtime_seconds
+            for name, evaluation in self.evaluations.items()
+        }
+
+
+def run_method_comparison(
+    corpus: TableCorpus | None = None,
+    benchmark: list[BenchmarkCase] | None = None,
+    config: SynthesisConfig | None = None,
+    methods: dict[str, BaselineMethod | list[BaselineMethod]] | None = None,
+    scale: ExperimentScale | None = None,
+) -> MethodComparisonResult:
+    """Reproduce Figure 7 (and the data behind Figures 8 and 14)."""
+    config = config or experiment_config()
+    corpus = corpus if corpus is not None else make_web_corpus(scale)
+    benchmark = benchmark if benchmark is not None else build_web_benchmark(corpus)
+    methods = methods if methods is not None else default_methods(config)
+    runner = EvaluationRunner(corpus, benchmark, config)
+    evaluations = runner.evaluate_all(methods)
+    return MethodComparisonResult(
+        evaluations=evaluations,
+        benchmark=benchmark,
+        corpus_stats=corpus.stats(),
+    )
+
+
+def run_per_case_comparison(
+    result: MethodComparisonResult | None = None, **kwargs
+) -> list[tuple[str, dict[str, float]]]:
+    """Figure 14: per-case F-scores sorted by the Synthesis score."""
+    result = result or run_method_comparison(**kwargs)
+    return result.per_case_rows()
+
+
+def run_runtime_comparison(
+    result: MethodComparisonResult | None = None, **kwargs
+) -> dict[str, float]:
+    """Figure 8: runtime per method (seconds on the local substrate)."""
+    result = result or run_method_comparison(**kwargs)
+    return result.runtimes()
+
+
+# ---------------------------------------------------------------------------------------
+# E3 — Figure 9: scalability
+# ---------------------------------------------------------------------------------------
+@dataclass
+class ScalabilityResult:
+    """Runtime of the full pipeline at increasing input fractions."""
+
+    fractions: list[float]
+    runtimes: list[float]
+    table_counts: list[int]
+    candidate_counts: list[int]
+
+    def rows(self) -> list[tuple[float, int, int, float]]:
+        """(fraction, tables, candidates, runtime seconds) rows."""
+        return list(zip(self.fractions, self.table_counts, self.candidate_counts, self.runtimes))
+
+
+def run_scalability(
+    corpus: TableCorpus | None = None,
+    fractions: tuple[float, ...] = (0.2, 0.4, 0.6, 0.8, 1.0),
+    config: SynthesisConfig | None = None,
+    scale: ExperimentScale | None = None,
+) -> ScalabilityResult:
+    """Reproduce Figure 9: pipeline runtime vs fraction of input tables."""
+    config = config or experiment_config()
+    corpus = corpus if corpus is not None else make_web_corpus(scale)
+    result = ScalabilityResult(fractions=[], runtimes=[], table_counts=[], candidate_counts=[])
+    for fraction in fractions:
+        sample = corpus.sample(fraction, seed=17) if fraction < 1.0 else corpus
+        pipeline = SynthesisPipeline(config)
+        outcome = pipeline.run(sample)
+        result.fractions.append(fraction)
+        result.runtimes.append(sum(outcome.timings.values()))
+        result.table_counts.append(len(sample))
+        result.candidate_counts.append(len(outcome.candidates))
+    return result
+
+
+# ---------------------------------------------------------------------------------------
+# E4 / E5 — Figures 10 and 11: enterprise corpus
+# ---------------------------------------------------------------------------------------
+def run_enterprise_comparison(
+    corpus: TableCorpus | None = None,
+    config: SynthesisConfig | None = None,
+    scale: ExperimentScale | None = None,
+) -> MethodComparisonResult:
+    """Reproduce Figure 10: Synthesis vs EntTable on the Enterprise corpus."""
+    config = config or experiment_config()
+    corpus = corpus if corpus is not None else make_enterprise_corpus(scale)
+    benchmark = build_enterprise_benchmark(corpus)
+    methods: dict[str, BaselineMethod | list[BaselineMethod]] = {
+        "Synthesis": SynthesisMethod(config),
+        "EntTable": EntTableBaseline(config),
+    }
+    runner = EvaluationRunner(corpus, benchmark, config)
+    evaluations = runner.evaluate_all(methods)
+    return MethodComparisonResult(
+        evaluations=evaluations, benchmark=benchmark, corpus_stats=corpus.stats()
+    )
+
+
+def collect_enterprise_examples(
+    corpus: TableCorpus | None = None,
+    config: SynthesisConfig | None = None,
+    top_k: int = 8,
+    scale: ExperimentScale | None = None,
+) -> list[dict[str, object]]:
+    """Reproduce Figure 11: example enterprise mappings with sample instances."""
+    config = config or experiment_config()
+    corpus = corpus if corpus is not None else make_enterprise_corpus(scale)
+    pipeline = SynthesisPipeline(config)
+    outcome = pipeline.run(corpus)
+    examples = []
+    for mapping in outcome.top_mappings(top_k):
+        examples.append(
+            {
+                "mapping_id": mapping.mapping_id,
+                "column_names": mapping.column_names,
+                "popularity": mapping.popularity,
+                "size": len(mapping),
+                "sample_instances": [pair.as_tuple() for pair in list(mapping.pairs)[:3]],
+            }
+        )
+    return examples
+
+
+# ---------------------------------------------------------------------------------------
+# E7 — Figure 15 / §5.6: conflict resolution
+# ---------------------------------------------------------------------------------------
+@dataclass
+class ConflictResolutionStudy:
+    """Precision/recall/F with and without conflict resolution, plus majority vote."""
+
+    with_resolution: MethodEvaluation
+    without_resolution: MethodEvaluation
+    majority_voting: MethodEvaluation
+    improved_cases: list[str] = field(default_factory=list)
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        """Aggregate numbers per variant."""
+        return {
+            "with_resolution": self.with_resolution.summary(),
+            "without_resolution": self.without_resolution.summary(),
+            "majority_voting": self.majority_voting.summary(),
+        }
+
+
+def run_conflict_resolution_study(
+    corpus: TableCorpus | None = None,
+    config: SynthesisConfig | None = None,
+    scale: ExperimentScale | None = None,
+) -> ConflictResolutionStudy:
+    """Reproduce Figure 15 and §5.6: the effect of conflict resolution."""
+    config = config or experiment_config()
+    corpus = corpus if corpus is not None else make_web_corpus(scale)
+    benchmark = build_web_benchmark(corpus)
+    runner = EvaluationRunner(corpus, benchmark, config)
+
+    with_resolution = runner.evaluate_method(SynthesisMethod(config))
+    without_resolution = runner.evaluate_method(
+        SynthesisMethod(config.with_overrides(resolve_conflicts=False))
+    )
+    majority = runner.evaluate_method(
+        SynthesisMethod(config.with_overrides(conflict_strategy="majority"))
+    )
+    with_resolution.method_name = "Synthesis"
+    without_resolution.method_name = "Synthesis w/o resolution"
+    majority.method_name = "Synthesis (majority voting)"
+
+    improved = [
+        case.name
+        for case in benchmark
+        if with_resolution.case_scores[case.name].f_score
+        > without_resolution.case_scores[case.name].f_score
+    ]
+    return ConflictResolutionStudy(
+        with_resolution=with_resolution,
+        without_resolution=without_resolution,
+        majority_voting=majority,
+        improved_cases=improved,
+    )
+
+
+# ---------------------------------------------------------------------------------------
+# E8 — §5.4: sensitivity analysis
+# ---------------------------------------------------------------------------------------
+@dataclass
+class SensitivityResult:
+    """Average F-score of Synthesis under one-parameter sweeps."""
+
+    parameter: str
+    values: list[float]
+    avg_f_scores: list[float]
+    num_mappings: list[int]
+
+    def rows(self) -> list[tuple[float, float, int]]:
+        """(parameter value, avg F-score, number of synthesized mappings) rows."""
+        return list(zip(self.values, self.avg_f_scores, self.num_mappings))
+
+    def best_value(self) -> float:
+        """The parameter value with the highest average F-score."""
+        best_index = max(range(len(self.values)), key=lambda i: self.avg_f_scores[i])
+        return self.values[best_index]
+
+
+def run_sensitivity(
+    parameter: str,
+    values: tuple[float, ...],
+    corpus: TableCorpus | None = None,
+    config: SynthesisConfig | None = None,
+    scale: ExperimentScale | None = None,
+) -> SensitivityResult:
+    """Reproduce the §5.4 sensitivity sweeps for θ, τ, θ_overlap, or θ_edge.
+
+    ``parameter`` is the :class:`SynthesisConfig` field name, e.g. ``fd_theta``,
+    ``conflict_threshold``, ``overlap_threshold`` or ``edge_threshold``.
+    """
+    config = config or experiment_config()
+    corpus = corpus if corpus is not None else make_web_corpus(scale)
+    benchmark = build_web_benchmark(corpus)
+    runner = EvaluationRunner(corpus, benchmark, config)
+    result = SensitivityResult(parameter=parameter, values=[], avg_f_scores=[], num_mappings=[])
+    for value in values:
+        override = {parameter: int(value) if parameter == "overlap_threshold" else value}
+        variant = config.with_overrides(**override)
+        evaluation = runner.evaluate_method(SynthesisMethod(variant))
+        result.values.append(value)
+        result.avg_f_scores.append(evaluation.avg_f_score)
+        result.num_mappings.append(evaluation.num_relationships)
+    return result
+
+
+# ---------------------------------------------------------------------------------------
+# E9 — §3.2: candidate filtering statistics
+# ---------------------------------------------------------------------------------------
+def run_extraction_stats(
+    corpus: TableCorpus | None = None,
+    config: SynthesisConfig | None = None,
+    scale: ExperimentScale | None = None,
+) -> dict[str, float]:
+    """Reproduce the §3.2 claim that ~78% of raw column pairs are filtered out."""
+    config = config or experiment_config()
+    corpus = corpus if corpus is not None else make_web_corpus(scale)
+    extractor = CandidateExtractor(config)
+    _, stats = extractor.extract(corpus)
+    return stats.as_dict()
+
+
+# ---------------------------------------------------------------------------------------
+# E10 — Appendix I: table expansion
+# ---------------------------------------------------------------------------------------
+@dataclass
+class ExpansionStudy:
+    """F-scores before and after table expansion per benchmark case."""
+
+    before: dict[str, MappingScore]
+    after: dict[str, MappingScore]
+
+    def improved_cases(self, min_gain: float = 0.01) -> list[str]:
+        """Cases whose F-score improved by at least ``min_gain``."""
+        return [
+            case
+            for case in self.before
+            if self.after[case].f_score - self.before[case].f_score >= min_gain
+        ]
+
+    def rows(self) -> list[tuple[str, float, float]]:
+        """(case, F before, F after) rows."""
+        return [
+            (case, self.before[case].f_score, self.after[case].f_score)
+            for case in self.before
+        ]
+
+
+def _trusted_sources_from_seeds(case_names: list[str]) -> list[BinaryTable]:
+    """Build 'data.gov-style' trusted tables: complete canonical pair lists."""
+    sources = []
+    for name in case_names:
+        relation = get_seed_relation(name)
+        sources.append(
+            BinaryTable.from_rows(
+                table_id=f"trusted-{name}",
+                rows=list(relation.pairs),
+                left_name=relation.left_attr,
+                right_name=relation.right_attr,
+                source_table_id=f"trusted-{name}",
+                domain="data.gov",
+            )
+        )
+    return sources
+
+
+def run_expansion_study(
+    corpus: TableCorpus | None = None,
+    config: SynthesisConfig | None = None,
+    trusted_cases: tuple[str, ...] = ("airport_iata", "airport_icao", "country_iso3"),
+    scale: ExperimentScale | None = None,
+) -> ExpansionStudy:
+    """Reproduce Appendix I: expansion helps large relations most."""
+    config = config or experiment_config()
+    corpus = corpus if corpus is not None else make_web_corpus(scale)
+    benchmark = build_web_benchmark(corpus)
+    runner = EvaluationRunner(corpus, benchmark, config)
+
+    base_method = SynthesisMethod(config)
+    base_mappings = base_method.synthesize(corpus, candidates=runner.candidates)
+    before = {
+        case.name: best_mapping_score(base_mappings, case.truth) for case in benchmark
+    }
+
+    expander = TableExpander(_trusted_sources_from_seeds(list(trusted_cases)), config)
+    expanded, _ = expander.expand_all(base_mappings)
+    after = {
+        case.name: best_mapping_score(expanded, case.truth) for case in benchmark
+    }
+    return ExpansionStudy(before=before, after=after)
+
+
+# ---------------------------------------------------------------------------------------
+# E11 — Figures 12/13 and §4.3: qualitative examples and popularity statistics
+# ---------------------------------------------------------------------------------------
+def collect_web_examples(
+    corpus: TableCorpus | None = None,
+    config: SynthesisConfig | None = None,
+    top_k: int = 20,
+    scale: ExperimentScale | None = None,
+) -> list[dict[str, object]]:
+    """Top synthesized Web mappings by popularity, with meaningfulness labels.
+
+    The labels use the generator's provenance metadata: mappings dominated by
+    spurious/formatting source tables are flagged as "meaningless", mirroring the
+    manual classification in Appendix J.
+    """
+    config = config or experiment_config()
+    corpus = corpus if corpus is not None else make_web_corpus(scale)
+    pipeline = SynthesisPipeline(config)
+    outcome = pipeline.run(corpus)
+
+    # Map candidate table id -> seed relation (provenance; analysis only).
+    provenance = {}
+    for table in corpus:
+        provenance[table.table_id] = table.metadata.get("seed_relation", "")
+
+    examples = []
+    for mapping in popularity_rank(outcome.curated or outcome.mappings)[:top_k]:
+        seed_names = [
+            provenance.get(table_id.split("#")[0], "") for table_id in mapping.source_tables
+        ]
+        spurious = sum(1 for name in seed_names if name.startswith("__"))
+        label = "meaningless" if spurious > len(seed_names) / 2 else "meaningful"
+        examples.append(
+            {
+                "mapping_id": mapping.mapping_id,
+                "column_names": mapping.column_names,
+                "popularity": mapping.popularity,
+                "num_source_tables": mapping.num_source_tables,
+                "size": len(mapping),
+                "label": label,
+                "sample_instances": [pair.as_tuple() for pair in list(mapping.pairs)[:3]],
+            }
+        )
+    return examples

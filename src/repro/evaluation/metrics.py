@@ -1,0 +1,102 @@
+"""Precision / recall / F-score for synthesized mappings (paper §5.1 "Metrics").
+
+Given a ground-truth mapping ``B*`` and a synthesized relationship ``B``, precision
+is ``|B ∩ B*| / |B|``, recall is ``|B ∩ B*| / |B*|`` and F-score is their harmonic
+mean.  Values are compared after normalization (case, punctuation, footnote
+markers) so that cosmetic noise does not dominate the comparison; a candidate is
+also scored with its columns swapped and the better orientation is used, because
+methods emit both directions of 1:1 relationships.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.core.mapping import MappingRelationship
+from repro.text.matching import normalize_value
+
+__all__ = ["MappingScore", "score_mapping", "best_mapping_score"]
+
+
+@dataclass(frozen=True)
+class MappingScore:
+    """Precision / recall / F-score triple."""
+
+    precision: float
+    recall: float
+    f_score: float
+    mapping_id: str = ""
+
+    @classmethod
+    def zero(cls, mapping_id: str = "") -> "MappingScore":
+        """The all-zero score (used when a method produced nothing useful)."""
+        return cls(0.0, 0.0, 0.0, mapping_id)
+
+
+def _normalize_pairs(pairs: Iterable[tuple[str, str]]) -> set[tuple[str, str]]:
+    return {
+        (normalize_value(left), normalize_value(right))
+        for left, right in pairs
+        if normalize_value(left) and normalize_value(right)
+    }
+
+
+def _score_sets(
+    candidate: set[tuple[str, str]], truth: set[tuple[str, str]]
+) -> tuple[float, float, float]:
+    if not candidate or not truth:
+        return 0.0, 0.0, 0.0
+    overlap = len(candidate & truth)
+    precision = overlap / len(candidate)
+    recall = overlap / len(truth)
+    if precision + recall == 0.0:
+        return precision, recall, 0.0
+    f_score = 2.0 * precision * recall / (precision + recall)
+    return precision, recall, f_score
+
+
+def score_mapping(
+    candidate_pairs: Iterable[tuple[str, str]] | MappingRelationship,
+    truth_pairs: Iterable[tuple[str, str]],
+    allow_swapped: bool = True,
+) -> MappingScore:
+    """Score one candidate relationship against a ground-truth mapping."""
+    mapping_id = ""
+    if isinstance(candidate_pairs, MappingRelationship):
+        mapping_id = candidate_pairs.mapping_id
+        raw_pairs = [pair.as_tuple() for pair in candidate_pairs.pairs]
+    else:
+        raw_pairs = list(candidate_pairs)
+    candidate = _normalize_pairs(raw_pairs)
+    truth = _normalize_pairs(truth_pairs)
+
+    precision, recall, f_score = _score_sets(candidate, truth)
+    if allow_swapped:
+        swapped = {(right, left) for left, right in candidate}
+        s_precision, s_recall, s_f = _score_sets(swapped, truth)
+        if s_f > f_score:
+            precision, recall, f_score = s_precision, s_recall, s_f
+    return MappingScore(precision=precision, recall=recall, f_score=f_score,
+                        mapping_id=mapping_id)
+
+
+def best_mapping_score(
+    mappings: Iterable[MappingRelationship],
+    truth_pairs: Iterable[tuple[str, str]],
+    allow_swapped: bool = True,
+) -> MappingScore:
+    """Pick the candidate relationship with the best F-score for a benchmark case.
+
+    This mirrors the paper's evaluation protocol: for every method, each benchmark
+    case is scored against the single best relationship that method produced.
+    """
+    truth = list(truth_pairs)
+    best = MappingScore.zero()
+    for mapping in mappings:
+        score = score_mapping(mapping, truth, allow_swapped=allow_swapped)
+        if score.f_score > best.f_score or (
+            score.f_score == best.f_score and score.precision > best.precision
+        ):
+            best = score
+    return best

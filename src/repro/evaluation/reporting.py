@@ -1,0 +1,76 @@
+"""Plain-text reporting of evaluation results (the rows/series the paper plots)."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.evaluation.runner import MethodEvaluation
+
+__all__ = ["format_comparison_table", "format_per_case_table", "format_simple_table"]
+
+
+def format_simple_table(
+    header: Sequence[str], rows: Sequence[Sequence[object]], title: str | None = None
+) -> str:
+    """Render a list of rows as a fixed-width text table."""
+    columns = [[str(value) for value in column] for column in zip(header, *rows)]
+    widths = [max(len(value) for value in column) for column in columns]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(name.ljust(width) for name, width in zip(header, widths)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(str(value).ljust(width) for value, width in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def format_comparison_table(
+    results: Mapping[str, MethodEvaluation], title: str = "Method comparison"
+) -> str:
+    """Figure-7-style table: avg F-score / precision / recall per method."""
+    rows = []
+    ordered = sorted(results.items(), key=lambda item: item[1].avg_f_score, reverse=True)
+    for name, evaluation in ordered:
+        rows.append(
+            [
+                name,
+                f"{evaluation.avg_f_score:.3f}",
+                f"{evaluation.avg_precision:.3f}",
+                f"{evaluation.avg_recall:.3f}",
+                f"{evaluation.runtime_seconds:.2f}s",
+            ]
+        )
+    return format_simple_table(
+        ["method", "avg_fscore", "avg_precision", "avg_recall", "runtime"], rows, title
+    )
+
+
+def format_per_case_table(
+    results: Mapping[str, MethodEvaluation],
+    sort_by: str | None = None,
+    title: str = "Per-case F-scores",
+) -> str:
+    """Figure-14-style table: per-case F-score for every method.
+
+    Cases are sorted by the F-score of ``sort_by`` (descending), matching how the
+    paper sorts cases by the Synthesis score.
+    """
+    method_names = list(results)
+    if not method_names:
+        return title
+    case_names = list(next(iter(results.values())).case_scores)
+    if sort_by and sort_by in results:
+        case_names.sort(
+            key=lambda case: results[sort_by].case_scores[case].f_score, reverse=True
+        )
+    rows = []
+    for case in case_names:
+        row = [case]
+        for name in method_names:
+            score = results[name].case_scores.get(case)
+            row.append(f"{score.f_score:.2f}" if score else "-")
+        rows.append(row)
+    return format_simple_table(["case", *method_names], rows, title)

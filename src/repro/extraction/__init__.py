@@ -1,0 +1,17 @@
+"""Candidate two-column table extraction (paper §3, Algorithm 1)."""
+
+from repro.extraction.cooccurrence import CooccurrenceIndex
+from repro.extraction.pmi import column_coherence, npmi, pmi
+from repro.extraction.fd import column_pair_fd_ratio, satisfies_fd
+from repro.extraction.candidates import CandidateExtractor, ExtractionStats
+
+__all__ = [
+    "CooccurrenceIndex",
+    "pmi",
+    "npmi",
+    "column_coherence",
+    "column_pair_fd_ratio",
+    "satisfies_fd",
+    "CandidateExtractor",
+    "ExtractionStats",
+]

@@ -1,0 +1,86 @@
+"""Corpus-wide value co-occurrence statistics (paper §3.1).
+
+The coherence of a column is judged by how often its values co-occur in *other*
+columns of the corpus.  The :class:`CooccurrenceIndex` maps each (normalized) cell
+value to the set of columns containing it, from which the PMI computations obtain
+``p(u)``, ``p(v)`` and ``p(u, v)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.corpus.corpus import TableCorpus
+from repro.text.matching import normalize_value
+
+__all__ = ["CooccurrenceIndex"]
+
+
+class CooccurrenceIndex:
+    """Inverted index from cell value to the identifiers of columns containing it."""
+
+    def __init__(self) -> None:
+        self._columns_by_value: dict[str, set[int]] = {}
+        self._num_columns = 0
+
+    # -- Construction -----------------------------------------------------------------
+    def add_column(self, values: Iterable[str]) -> int:
+        """Register one column's values; returns the column's integer identifier."""
+        column_id = self._num_columns
+        self._num_columns += 1
+        for value in set(values):
+            key = normalize_value(value)
+            if not key:
+                continue
+            self._columns_by_value.setdefault(key, set()).add(column_id)
+        return column_id
+
+    @classmethod
+    def from_corpus(cls, corpus: TableCorpus) -> "CooccurrenceIndex":
+        """Build the index over every column of ``corpus``."""
+        index = cls()
+        for _, column in corpus.iter_columns():
+            index.add_column(column.values)
+        return index
+
+    # -- Statistics --------------------------------------------------------------------
+    @property
+    def num_columns(self) -> int:
+        """Total number of columns indexed (``N`` in the paper's formulas)."""
+        return self._num_columns
+
+    def columns_containing(self, value: str) -> set[int]:
+        """Return the set of column ids whose columns contain ``value``."""
+        return self._columns_by_value.get(normalize_value(value), set())
+
+    def occurrence_count(self, value: str) -> int:
+        """``|C(u)|`` — the number of columns containing ``value``."""
+        return len(self.columns_containing(value))
+
+    def cooccurrence_count(self, first: str, second: str) -> int:
+        """``|C(u) ∩ C(v)|`` — the number of columns containing both values."""
+        columns_first = self.columns_containing(first)
+        columns_second = self.columns_containing(second)
+        if len(columns_first) > len(columns_second):
+            columns_first, columns_second = columns_second, columns_first
+        return sum(1 for column_id in columns_first if column_id in columns_second)
+
+    def probability(self, value: str) -> float:
+        """``p(u) = |C(u)| / N``."""
+        if self._num_columns == 0:
+            return 0.0
+        return self.occurrence_count(value) / self._num_columns
+
+    def joint_probability(self, first: str, second: str) -> float:
+        """``p(u, v) = |C(u) ∩ C(v)| / N``."""
+        if self._num_columns == 0:
+            return 0.0
+        return self.cooccurrence_count(first, second) / self._num_columns
+
+    def __contains__(self, value: object) -> bool:
+        if not isinstance(value, str):
+            return False
+        return normalize_value(value) in self._columns_by_value
+
+    def __len__(self) -> int:
+        return len(self._columns_by_value)

@@ -1,0 +1,37 @@
+"""Approximate functional-dependency checks for column pairs (paper §3.2).
+
+A column pair ``(L, R)`` is a candidate mapping only if ``L → R`` holds for at
+least a fraction ``θ`` of the rows (Definition 2; the paper uses θ = 0.95 to allow
+name ambiguity such as the two Portlands).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Sequence
+
+__all__ = ["column_pair_fd_ratio", "satisfies_fd"]
+
+
+def column_pair_fd_ratio(rows: Sequence[tuple[str, str]]) -> float:
+    """Fraction of rows consistent with the majority right value per left value.
+
+    Duplicate identical rows are collapsed first: repeating the same correct pair
+    many times should not mask a genuine violation, and the paper's definition is
+    over the relation (a set), not the bag of rows.
+    """
+    distinct_rows = set(rows)
+    if not distinct_rows:
+        return 1.0
+    by_left: dict[str, Counter[str]] = {}
+    for left, right in distinct_rows:
+        by_left.setdefault(left, Counter())[right] += 1
+    kept = sum(counter.most_common(1)[0][1] for counter in by_left.values())
+    return kept / len(distinct_rows)
+
+
+def satisfies_fd(rows: Sequence[tuple[str, str]], theta: float = 0.95) -> bool:
+    """Return ``True`` if ``left → right`` holds for at least ``theta`` of the rows."""
+    if not 0.0 < theta <= 1.0:
+        raise ValueError(f"theta must be in (0, 1], got {theta}")
+    return column_pair_fd_ratio(rows) >= theta

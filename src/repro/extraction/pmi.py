@@ -1,0 +1,80 @@
+"""PMI / NPMI coherence scoring for table columns (paper §3.1, Equations 1–2)."""
+
+from __future__ import annotations
+
+import math
+import random
+from collections.abc import Sequence
+
+from repro.extraction.cooccurrence import CooccurrenceIndex
+
+__all__ = ["pmi", "npmi", "column_coherence"]
+
+
+def pmi(index: CooccurrenceIndex, first: str, second: str) -> float:
+    """Point-wise mutual information between two cell values (Equation 1).
+
+    Returns ``-inf``-like sentinel ``float('-inf')`` when the values never co-occur
+    (``p(u, v) = 0``), and ``0.0`` when either value never occurs at all (no
+    evidence either way).
+    """
+    p_first = index.probability(first)
+    p_second = index.probability(second)
+    if p_first == 0.0 or p_second == 0.0:
+        return 0.0
+    p_joint = index.joint_probability(first, second)
+    if p_joint == 0.0:
+        return float("-inf")
+    return math.log(p_joint / (p_first * p_second))
+
+
+def npmi(index: CooccurrenceIndex, first: str, second: str) -> float:
+    """Normalized PMI in ``[-1, 1]`` (paper's ``s(u, v)``).
+
+    * ``+1`` — the two values only ever occur together.
+    * ``0``  — independent (or no evidence).
+    * ``-1`` — never observed together.
+    """
+    p_first = index.probability(first)
+    p_second = index.probability(second)
+    if p_first == 0.0 or p_second == 0.0:
+        return 0.0
+    p_joint = index.joint_probability(first, second)
+    if p_joint == 0.0:
+        return -1.0
+    if p_joint >= 1.0:
+        return 1.0
+    value = math.log(p_joint / (p_first * p_second)) / (-math.log(p_joint))
+    return max(-1.0, min(1.0, value))
+
+
+def column_coherence(
+    index: CooccurrenceIndex,
+    values: Sequence[str],
+    max_values: int = 20,
+    max_pairs: int = 200,
+    seed: int = 0,
+) -> float:
+    """Average pairwise NPMI over the distinct values of a column (Equation 2).
+
+    The exact all-pairs average is quadratic in the number of distinct values, so
+    both the value set and the pair set are capped with a deterministic random
+    sample — the paper similarly computes coherence at corpus scale where sampling
+    is the only practical option.
+    """
+    distinct = sorted(set(values))
+    if len(distinct) < 2:
+        # A single repeated value carries no evidence of incoherence.
+        return 1.0 if distinct else 0.0
+    rng = random.Random(seed)
+    if len(distinct) > max_values:
+        distinct = sorted(rng.sample(distinct, max_values))
+    pairs: list[tuple[str, str]] = [
+        (distinct[i], distinct[j])
+        for i in range(len(distinct))
+        for j in range(i + 1, len(distinct))
+    ]
+    if len(pairs) > max_pairs:
+        pairs = rng.sample(pairs, max_pairs)
+    total = sum(npmi(index, first, second) for first, second in pairs)
+    return total / len(pairs)

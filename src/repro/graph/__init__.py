@@ -1,0 +1,33 @@
+"""Compatibility graph construction and partitioning (paper §4)."""
+
+from repro.graph.compatibility import (
+    CompatibilityScorer,
+    CompatibilityScores,
+    conflict_set,
+    negative_compatibility,
+    positive_compatibility,
+)
+from repro.graph.build import CompatibilityGraph, GraphBuilder
+from repro.graph.connected import UnionFind, connected_components
+from repro.graph.partition import GreedyPartitioner, Partition, PartitionResult
+from repro.graph.exact import exact_partition, is_feasible_partition, partition_objective
+from repro.graph.lp import lp_relaxation_partition
+
+__all__ = [
+    "CompatibilityScorer",
+    "CompatibilityScores",
+    "positive_compatibility",
+    "negative_compatibility",
+    "conflict_set",
+    "CompatibilityGraph",
+    "GraphBuilder",
+    "UnionFind",
+    "connected_components",
+    "GreedyPartitioner",
+    "Partition",
+    "PartitionResult",
+    "exact_partition",
+    "is_feasible_partition",
+    "partition_objective",
+    "lp_relaxation_partition",
+]

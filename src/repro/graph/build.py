@@ -1,0 +1,195 @@
+"""Sparse compatibility-graph construction (paper §4.1 "Efficiency").
+
+Scoring all ``O(N²)`` table pairs is infeasible, but most pairs share no values at
+all and would score zero.  The builder therefore blocks candidate pairs with an
+inverted index: pairs of tables are scored for ``w+`` only if they share at least
+``θ_overlap`` exact (normalized) value pairs, and for ``w−`` only if they share at
+least ``θ_overlap`` left-hand-side values.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.core.binary_table import BinaryTable
+from repro.core.config import SynthesisConfig
+from repro.graph.compatibility import CompatibilityScorer
+from repro.graph.connected import connected_components
+from repro.text.synonyms import SynonymDictionary
+
+__all__ = ["CompatibilityGraph", "GraphBuilder"]
+
+
+@dataclass
+class CompatibilityGraph:
+    """A weighted graph over candidate binary tables.
+
+    Vertices are table indices into :attr:`tables`; edges are stored as dictionaries
+    keyed by the ordered index pair ``(i, j)`` with ``i < j``.
+    """
+
+    tables: list[BinaryTable]
+    positive_edges: dict[tuple[int, int], float] = field(default_factory=dict)
+    negative_edges: dict[tuple[int, int], float] = field(default_factory=dict)
+
+    @staticmethod
+    def _key(first: int, second: int) -> tuple[int, int]:
+        return (first, second) if first < second else (second, first)
+
+    # -- Accessors --------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices (candidate tables)."""
+        return len(self.tables)
+
+    @property
+    def num_positive_edges(self) -> int:
+        """Number of positive edges."""
+        return len(self.positive_edges)
+
+    @property
+    def num_negative_edges(self) -> int:
+        """Number of negative edges."""
+        return len(self.negative_edges)
+
+    def positive(self, first: int, second: int) -> float:
+        """Positive weight between two vertices (0 if absent)."""
+        return self.positive_edges.get(self._key(first, second), 0.0)
+
+    def negative(self, first: int, second: int) -> float:
+        """Negative weight between two vertices (0 if absent)."""
+        return self.negative_edges.get(self._key(first, second), 0.0)
+
+    def add_positive(self, first: int, second: int, weight: float) -> None:
+        """Add (or overwrite) a positive edge."""
+        if first == second:
+            raise ValueError("self-loops are not allowed")
+        if weight < 0:
+            raise ValueError(f"positive weight must be >= 0, got {weight}")
+        self.positive_edges[self._key(first, second)] = weight
+
+    def add_negative(self, first: int, second: int, weight: float) -> None:
+        """Add (or overwrite) a negative edge."""
+        if first == second:
+            raise ValueError("self-loops are not allowed")
+        if weight > 0:
+            raise ValueError(f"negative weight must be <= 0, got {weight}")
+        self.negative_edges[self._key(first, second)] = weight
+
+    def neighbors(self, vertex: int) -> set[int]:
+        """Vertices connected to ``vertex`` by either kind of edge."""
+        result: set[int] = set()
+        for (a, b) in self.positive_edges:
+            if a == vertex:
+                result.add(b)
+            elif b == vertex:
+                result.add(a)
+        for (a, b) in self.negative_edges:
+            if a == vertex:
+                result.add(b)
+            elif b == vertex:
+                result.add(a)
+        return result
+
+    def positive_components(self) -> list[list[int]]:
+        """Connected components induced by positive edges only (Appendix F)."""
+        return connected_components(range(self.num_vertices), self.positive_edges.keys())
+
+    def subgraph(self, vertices: list[int]) -> "CompatibilityGraph":
+        """Return the induced subgraph on ``vertices`` (indices are re-numbered)."""
+        index_of = {vertex: position for position, vertex in enumerate(vertices)}
+        sub = CompatibilityGraph(tables=[self.tables[vertex] for vertex in vertices])
+        for (a, b), weight in self.positive_edges.items():
+            if a in index_of and b in index_of:
+                sub.add_positive(index_of[a], index_of[b], weight)
+        for (a, b), weight in self.negative_edges.items():
+            if a in index_of and b in index_of:
+                sub.add_negative(index_of[a], index_of[b], weight)
+        return sub
+
+
+class GraphBuilder:
+    """Builds the sparse compatibility graph from candidate tables."""
+
+    def __init__(
+        self,
+        config: SynthesisConfig | None = None,
+        synonyms: SynonymDictionary | None = None,
+        scorer: CompatibilityScorer | None = None,
+    ) -> None:
+        self.config = config or SynthesisConfig()
+        self.scorer = scorer or CompatibilityScorer(self.config, synonyms)
+
+    # -- Blocking --------------------------------------------------------------------
+    def _candidate_pairs_by_value_pair(
+        self, tables: list[BinaryTable]
+    ) -> dict[tuple[int, int], int]:
+        """Block on exact normalized value pairs; returns shared-pair counts."""
+        matcher = self.scorer.matcher
+        posting: dict[tuple[str, str], list[int]] = defaultdict(list)
+        for index, table in enumerate(tables):
+            keys = {
+                (matcher.match_key(p.left), matcher.match_key(p.right))
+                for p in table.pairs
+            }
+            for key in keys:
+                posting[key].append(index)
+        counts: dict[tuple[int, int], int] = defaultdict(int)
+        for indices in posting.values():
+            if len(indices) < 2:
+                continue
+            for i in range(len(indices)):
+                for j in range(i + 1, len(indices)):
+                    counts[(indices[i], indices[j])] += 1
+        return counts
+
+    def _candidate_pairs_by_left_value(
+        self, tables: list[BinaryTable]
+    ) -> dict[tuple[int, int], int]:
+        """Block on exact normalized left values; returns shared-left counts."""
+        matcher = self.scorer.matcher
+        posting: dict[str, list[int]] = defaultdict(list)
+        for index, table in enumerate(tables):
+            keys = {matcher.match_key(p.left) for p in table.pairs}
+            for key in keys:
+                posting[key].append(index)
+        counts: dict[tuple[int, int], int] = defaultdict(int)
+        for indices in posting.values():
+            if len(indices) < 2:
+                continue
+            for i in range(len(indices)):
+                for j in range(i + 1, len(indices)):
+                    counts[(indices[i], indices[j])] += 1
+        return counts
+
+    # -- Public API --------------------------------------------------------------------
+    def build(self, tables: list[BinaryTable]) -> CompatibilityGraph:
+        """Score blocked table pairs and assemble the compatibility graph.
+
+        Positive edges below ``θ_edge`` are dropped; negative edges are kept with
+        their raw weight (the partitioner applies the τ threshold).
+        """
+        graph = CompatibilityGraph(tables=list(tables))
+        pair_counts = self._candidate_pairs_by_value_pair(graph.tables)
+        left_counts = self._candidate_pairs_by_left_value(graph.tables)
+
+        overlap = self.config.overlap_threshold
+        positive_candidates = {
+            pair for pair, count in pair_counts.items() if count >= overlap
+        }
+        negative_candidates = {
+            pair for pair, count in left_counts.items() if count >= overlap
+        }
+
+        for first, second in sorted(positive_candidates):
+            weight = self.scorer.positive(graph.tables[first], graph.tables[second])
+            if weight >= self.config.edge_threshold:
+                graph.add_positive(first, second, weight)
+
+        if self.config.use_negative_edges:
+            for first, second in sorted(negative_candidates):
+                weight = self.scorer.negative(graph.tables[first], graph.tables[second])
+                if weight < 0.0:
+                    graph.add_negative(first, second, weight)
+        return graph

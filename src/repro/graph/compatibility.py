@@ -1,0 +1,199 @@
+"""Positive and negative compatibility between candidate tables (paper §4.1).
+
+* **Positive compatibility** ``w+`` (Equation 3) — symmetric maximum-of-containment
+  of shared value pairs: two tables describing the same relationship share many
+  ``(left, right)`` pairs even when one is much smaller than the other.
+* **Negative incompatibility** ``w−`` (Equation 4) — driven by the conflict set
+  ``F(B, B')``: left values that map to *different* right values in the two tables,
+  which violates the definition of a mapping and signals that the two tables encode
+  different relationships (e.g. IOC codes vs ISO codes).
+
+Both computations use approximate string matching so footnote markers and minor
+synonyms do not artificially depress ``w+`` or inflate ``w−``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.binary_table import BinaryTable
+from repro.core.config import SynthesisConfig
+from repro.text.matching import ValueMatcher
+from repro.text.synonyms import SynonymDictionary
+
+__all__ = [
+    "CompatibilityScores",
+    "CompatibilityScorer",
+    "positive_compatibility",
+    "negative_compatibility",
+    "conflict_set",
+]
+
+
+@dataclass(frozen=True)
+class CompatibilityScores:
+    """The pairwise scores between two candidate tables."""
+
+    positive: float
+    negative: float
+    shared_pairs: int
+    shared_lefts: int
+    conflicts: int
+
+
+class CompatibilityScorer:
+    """Computes ``w+`` and ``w−`` between binary tables.
+
+    Parameters
+    ----------
+    config:
+        Synthesis configuration (edit-distance thresholds, approximate matching).
+    synonyms:
+        Optional synonym dictionary; synonymous right-hand sides are not conflicts,
+        and synonymous values count as overlap (paper §4.1 "Synonyms").
+    """
+
+    def __init__(
+        self,
+        config: SynthesisConfig | None = None,
+        synonyms: SynonymDictionary | None = None,
+    ) -> None:
+        self.config = config or SynthesisConfig()
+        self.matcher = ValueMatcher(
+            fraction=self.config.edit_fraction,
+            cap=self.config.edit_cap,
+            synonyms=synonyms,
+            approximate=self.config.use_approximate_matching,
+        )
+
+    # -- Pair matching ------------------------------------------------------------------
+    def _pair_matches(
+        self, pair: tuple[str, str], other: tuple[str, str]
+    ) -> bool:
+        return self.matcher.matches(pair[0], other[0]) and self.matcher.matches(
+            pair[1], other[1]
+        )
+
+    def _matched_pair_count(self, source: BinaryTable, target: BinaryTable) -> int:
+        """Number of pairs of ``source`` that have a matching pair in ``target``."""
+        target_exact = {
+            (self.matcher.match_key(p.left), self.matcher.match_key(p.right))
+            for p in target.pairs
+        }
+        target_pairs = [(p.left, p.right) for p in target.pairs]
+        count = 0
+        for pair in source.pairs:
+            key = (self.matcher.match_key(pair.left), self.matcher.match_key(pair.right))
+            if key in target_exact:
+                count += 1
+                continue
+            if self.config.use_approximate_matching and any(
+                self._pair_matches((pair.left, pair.right), other)
+                for other in target_pairs
+            ):
+                count += 1
+        return count
+
+    # -- Public scores -------------------------------------------------------------------
+    def positive(self, first: BinaryTable, second: BinaryTable) -> float:
+        """``w+(B, B')`` — maximum containment of shared value pairs (Equation 3)."""
+        if not first.pairs or not second.pairs:
+            return 0.0
+        matched_first = self._matched_pair_count(first, second)
+        matched_second = self._matched_pair_count(second, first)
+        return max(matched_first / len(first), matched_second / len(second))
+
+    def conflict_lefts(self, first: BinaryTable, second: BinaryTable) -> set[str]:
+        """The conflict set ``F(B, B')`` — left values with disagreeing right values."""
+        conflicts: set[str] = set()
+        second_by_left: dict[str, list[tuple[str, str]]] = {}
+        for pair in second.pairs:
+            second_by_left.setdefault(self.matcher.match_key(pair.left), []).append(
+                (pair.left, pair.right)
+            )
+        for pair in first.pairs:
+            left_key = self.matcher.match_key(pair.left)
+            candidates = list(second_by_left.get(left_key, []))
+            if self.config.use_approximate_matching and not candidates:
+                candidates = [
+                    (other.left, other.right)
+                    for other in second.pairs
+                    if self.matcher.matches(pair.left, other.left)
+                ]
+            for _, other_right in candidates:
+                if not self.matcher.matches(pair.right, other_right):
+                    conflicts.add(pair.left)
+                    break
+        return conflicts
+
+    def negative(self, first: BinaryTable, second: BinaryTable) -> float:
+        """``w−(B, B')`` — negative incompatibility from conflicts (Equation 4)."""
+        if not first.pairs or not second.pairs:
+            return 0.0
+        conflicts = self.conflict_lefts(first, second)
+        if not conflicts:
+            return 0.0
+        return -max(len(conflicts) / len(first), len(conflicts) / len(second))
+
+    def shared_pair_count(self, first: BinaryTable, second: BinaryTable) -> int:
+        """Number of exactly-shared (normalized) value pairs — used for blocking."""
+        first_keys = {
+            (self.matcher.match_key(p.left), self.matcher.match_key(p.right))
+            for p in first.pairs
+        }
+        second_keys = {
+            (self.matcher.match_key(p.left), self.matcher.match_key(p.right))
+            for p in second.pairs
+        }
+        return len(first_keys & second_keys)
+
+    def shared_left_count(self, first: BinaryTable, second: BinaryTable) -> int:
+        """Number of exactly-shared (normalized) left values — used for blocking."""
+        first_lefts = {self.matcher.match_key(p.left) for p in first.pairs}
+        second_lefts = {self.matcher.match_key(p.left) for p in second.pairs}
+        return len(first_lefts & second_lefts)
+
+    def score(self, first: BinaryTable, second: BinaryTable) -> CompatibilityScores:
+        """Compute all pairwise scores between two tables."""
+        conflicts = self.conflict_lefts(first, second)
+        negative = 0.0
+        if conflicts and first.pairs and second.pairs:
+            negative = -max(len(conflicts) / len(first), len(conflicts) / len(second))
+        return CompatibilityScores(
+            positive=self.positive(first, second),
+            negative=negative,
+            shared_pairs=self.shared_pair_count(first, second),
+            shared_lefts=self.shared_left_count(first, second),
+            conflicts=len(conflicts),
+        )
+
+
+# -- Module-level convenience functions (used in docs, examples and tests) -------------
+def positive_compatibility(
+    first: BinaryTable,
+    second: BinaryTable,
+    config: SynthesisConfig | None = None,
+    synonyms: SynonymDictionary | None = None,
+) -> float:
+    """Compute ``w+`` with a throw-away scorer."""
+    return CompatibilityScorer(config, synonyms).positive(first, second)
+
+
+def negative_compatibility(
+    first: BinaryTable,
+    second: BinaryTable,
+    config: SynthesisConfig | None = None,
+    synonyms: SynonymDictionary | None = None,
+) -> float:
+    """Compute ``w−`` with a throw-away scorer."""
+    return CompatibilityScorer(config, synonyms).negative(first, second)
+
+
+def conflict_set(
+    first: BinaryTable,
+    second: BinaryTable,
+    config: SynthesisConfig | None = None,
+    synonyms: SynonymDictionary | None = None,
+) -> set[str]:
+    """Compute the conflict set ``F(B, B')`` with a throw-away scorer."""
+    return CompatibilityScorer(config, synonyms).conflict_lefts(first, second)

@@ -1,0 +1,91 @@
+"""Union-find and connected components (paper Appendix F).
+
+The full synthesis graph is first split into components connected by positive
+edges, and each component is partitioned independently — the divide-and-conquer
+step that lets the paper scale Algorithm 3 to Map-Reduce.  A Hash-to-Min style
+implementation over the local Map-Reduce engine lives in
+:mod:`repro.mapreduce.jobs`; this module provides the in-memory equivalents.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+
+__all__ = ["UnionFind", "connected_components"]
+
+
+class UnionFind:
+    """Disjoint-set forest with path compression and union by size.
+
+    The paper's Algorithm 3 relies on fast set union/lookup (Hopcroft & Ullman [25]);
+    this class provides exactly those operations.
+    """
+
+    def __init__(self, items: Iterable[Hashable] | None = None) -> None:
+        self._parent: dict[Hashable, Hashable] = {}
+        self._size: dict[Hashable, int] = {}
+        if items is not None:
+            for item in items:
+                self.add(item)
+
+    def add(self, item: Hashable) -> None:
+        """Register ``item`` as a singleton set if not already present."""
+        if item not in self._parent:
+            self._parent[item] = item
+            self._size[item] = 1
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._parent
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def find(self, item: Hashable) -> Hashable:
+        """Return the canonical representative of ``item``'s set."""
+        if item not in self._parent:
+            raise KeyError(f"{item!r} has not been added to the union-find")
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression.
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, first: Hashable, second: Hashable) -> Hashable:
+        """Merge the sets containing ``first`` and ``second``; return the new root."""
+        self.add(first)
+        self.add(second)
+        root_first, root_second = self.find(first), self.find(second)
+        if root_first == root_second:
+            return root_first
+        if self._size[root_first] < self._size[root_second]:
+            root_first, root_second = root_second, root_first
+        self._parent[root_second] = root_first
+        self._size[root_first] += self._size[root_second]
+        return root_first
+
+    def connected(self, first: Hashable, second: Hashable) -> bool:
+        """Return ``True`` if the two items are in the same set."""
+        return self.find(first) == self.find(second)
+
+    def groups(self) -> list[list[Hashable]]:
+        """Return all sets as lists (deterministic order by insertion)."""
+        by_root: dict[Hashable, list[Hashable]] = {}
+        for item in self._parent:
+            by_root.setdefault(self.find(item), []).append(item)
+        return list(by_root.values())
+
+
+def connected_components(
+    vertices: Iterable[Hashable],
+    edges: Iterable[tuple[Hashable, Hashable]],
+) -> list[list[Hashable]]:
+    """Return the connected components induced by ``edges`` over ``vertices``.
+
+    Vertices not touched by any edge form singleton components.
+    """
+    finder = UnionFind(vertices)
+    for first, second in edges:
+        finder.union(first, second)
+    return finder.groups()

@@ -1,0 +1,115 @@
+"""Exact solvers and checkers for the Table-Synthesis problem on small graphs.
+
+Problem 11 is NP-hard in general (reduction from multi-cut, Appendix C), but small
+instances can be solved exactly by enumerating set partitions.  The exact solver is
+used in tests to validate the greedy heuristic of Algorithm 3 and in the ablation
+benches that compare solution quality on small components.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.core.config import SynthesisConfig
+from repro.graph.build import CompatibilityGraph
+from repro.graph.partition import Partition, PartitionResult
+
+__all__ = ["partition_objective", "is_feasible_partition", "exact_partition"]
+
+_MAX_EXACT_VERTICES = 12
+
+
+def partition_objective(
+    graph: CompatibilityGraph, partitions: list[frozenset[int]] | list[Partition]
+) -> float:
+    """Sum of intra-partition positive edge weights (Equation 5)."""
+    groups = [
+        partition.vertices if isinstance(partition, Partition) else frozenset(partition)
+        for partition in partitions
+    ]
+    total = 0.0
+    for group in groups:
+        members = sorted(group)
+        for i in range(len(members)):
+            for j in range(i + 1, len(members)):
+                total += graph.positive(members[i], members[j])
+    return total
+
+
+def is_feasible_partition(
+    graph: CompatibilityGraph,
+    partitions: list[frozenset[int]] | list[Partition],
+    config: SynthesisConfig | None = None,
+) -> bool:
+    """Check the hard constraint: no intra-partition negative edge below ``τ``.
+
+    Also checks that the partitioning is a proper disjoint cover of all vertices
+    (Equations 6–8).
+    """
+    config = config or SynthesisConfig()
+    groups = [
+        partition.vertices if isinstance(partition, Partition) else frozenset(partition)
+        for partition in partitions
+    ]
+    covered: set[int] = set()
+    for group in groups:
+        if covered & group:
+            return False
+        covered |= group
+    if covered != set(range(graph.num_vertices)):
+        return False
+    if not config.use_negative_edges:
+        return True
+    for group in groups:
+        members = sorted(group)
+        for i in range(len(members)):
+            for j in range(i + 1, len(members)):
+                if graph.negative(members[i], members[j]) < config.conflict_threshold:
+                    return False
+    return True
+
+
+def _set_partitions(items: list[int]) -> Iterator[list[list[int]]]:
+    """Enumerate all set partitions of ``items`` (Bell-number many)."""
+    if not items:
+        yield []
+        return
+    first, rest = items[0], items[1:]
+    for smaller in _set_partitions(rest):
+        # Put `first` into an existing block...
+        for index in range(len(smaller)):
+            yield smaller[:index] + [[first] + smaller[index]] + smaller[index + 1:]
+        # ...or into its own block.
+        yield [[first]] + smaller
+
+
+def exact_partition(
+    graph: CompatibilityGraph, config: SynthesisConfig | None = None
+) -> PartitionResult:
+    """Solve Problem 11 exactly by enumeration (only feasible for tiny graphs).
+
+    Raises
+    ------
+    ValueError
+        If the graph has more than 12 vertices (Bell(13) ≈ 27M partitions).
+    """
+    config = config or SynthesisConfig()
+    if graph.num_vertices > _MAX_EXACT_VERTICES:
+        raise ValueError(
+            f"exact_partition only supports up to {_MAX_EXACT_VERTICES} vertices, "
+            f"got {graph.num_vertices}"
+        )
+    vertices = list(range(graph.num_vertices))
+    best_groups: list[frozenset[int]] = [frozenset({vertex}) for vertex in vertices]
+    best_objective = partition_objective(graph, best_groups)
+    for candidate in _set_partitions(vertices):
+        groups = [frozenset(block) for block in candidate]
+        if not is_feasible_partition(graph, groups, config):
+            continue
+        objective = partition_objective(graph, groups)
+        if objective > best_objective:
+            best_objective = objective
+            best_groups = groups
+    partitions = [Partition(group) for group in best_groups]
+    partitions.sort(key=lambda partition: (-len(partition), sorted(partition.vertices)))
+    return PartitionResult(partitions=partitions, objective=best_objective)

@@ -1,0 +1,148 @@
+"""LP relaxation and region-growing rounding (paper Problem 15, Appendix D).
+
+The loss-minimization view of table synthesis (Problem 14) can be written as an
+embedding over pairwise distance variables ``d_ij`` with triangle-inequality
+constraints; negative edges below ``τ`` force ``d_ij = 1``.  Relaxing integrality
+gives an LP whose optimal fractional solution can be rounded by region growing to an
+``O(log N)`` approximation.  The paper does not run this at full scale (quadratic
+variable count); we implement it for small components so its quality can be compared
+against the greedy heuristic in ablation benches.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.core.config import SynthesisConfig
+from repro.graph.build import CompatibilityGraph
+from repro.graph.connected import UnionFind
+from repro.graph.partition import Partition, PartitionResult
+
+__all__ = ["lp_relaxation_partition"]
+
+_MAX_LP_VERTICES = 40
+
+
+def _solve_lp(graph: CompatibilityGraph, config: SynthesisConfig) -> np.ndarray | None:
+    """Solve the relaxed embedding LP; returns the ``d_ij`` matrix or ``None``."""
+    n = graph.num_vertices
+    pairs = list(itertools.combinations(range(n), 2))
+    index_of = {pair: position for position, pair in enumerate(pairs)}
+    num_vars = len(pairs)
+    if num_vars == 0:
+        return np.zeros((n, n))
+
+    # Objective: minimize sum of w+(i,j) * d_ij  (positive weight "lost" by separation).
+    costs = np.zeros(num_vars)
+    for (i, j), weight in graph.positive_edges.items():
+        costs[index_of[(i, j)]] = weight
+
+    # Triangle inequalities: d_ij <= d_ik + d_kj for all ordered triples.
+    rows: list[np.ndarray] = []
+    for i, j, k in itertools.combinations(range(n), 3):
+        for (a, b), (c, d), (e, f) in (
+            ((i, j), (i, k), (k, j)),
+            ((i, k), (i, j), (j, k)),
+            ((j, k), (i, j), (i, k)),
+        ):
+            row = np.zeros(num_vars)
+            row[index_of[tuple(sorted((a, b)))]] = 1.0
+            row[index_of[tuple(sorted((c, d)))]] = -1.0
+            row[index_of[tuple(sorted((e, f)))]] = -1.0
+            rows.append(row)
+    a_ub = np.vstack(rows) if rows else None
+    b_ub = np.zeros(len(rows)) if rows else None
+
+    # Bounds: d_ij in [0, 1]; negative edges below tau are pinned to 1.
+    bounds = []
+    for pair in pairs:
+        weight = graph.negative_edges.get(pair, 0.0)
+        if config.use_negative_edges and weight < config.conflict_threshold:
+            bounds.append((1.0, 1.0))
+        else:
+            bounds.append((0.0, 1.0))
+
+    result = linprog(costs, A_ub=a_ub, b_ub=b_ub, bounds=bounds, method="highs")
+    if not result.success:
+        return None
+    distances = np.zeros((n, n))
+    for pair, position in index_of.items():
+        i, j = pair
+        distances[i, j] = distances[j, i] = result.x[position]
+    return distances
+
+
+def _region_growing(
+    graph: CompatibilityGraph,
+    distances: np.ndarray,
+    config: SynthesisConfig,
+    radius: float = 0.49,
+) -> list[frozenset[int]]:
+    """Round a fractional embedding into clusters by growing balls around pivots.
+
+    Vertices within ``radius`` of a pivot (in the LP metric) join the pivot's
+    cluster, unless doing so would violate a hard negative constraint, in which case
+    the offending vertex is left for a later pivot.
+    """
+    n = graph.num_vertices
+    unassigned = set(range(n))
+    clusters: list[frozenset[int]] = []
+    while unassigned:
+        pivot = min(unassigned)
+        ball = {pivot}
+        for vertex in sorted(unassigned - {pivot}):
+            if distances[pivot, vertex] <= radius:
+                conflict = any(
+                    config.use_negative_edges
+                    and graph.negative(member, vertex) < config.conflict_threshold
+                    for member in ball
+                )
+                if not conflict:
+                    ball.add(vertex)
+        clusters.append(frozenset(ball))
+        unassigned -= ball
+    return clusters
+
+
+def lp_relaxation_partition(
+    graph: CompatibilityGraph, config: SynthesisConfig | None = None
+) -> PartitionResult:
+    """Partition a (small) graph via LP relaxation + region growing.
+
+    Falls back to connected components of the positive graph if the LP fails.
+
+    Raises
+    ------
+    ValueError
+        If the graph is too large for the quadratic LP formulation.
+    """
+    config = config or SynthesisConfig()
+    if graph.num_vertices > _MAX_LP_VERTICES:
+        raise ValueError(
+            f"lp_relaxation_partition supports at most {_MAX_LP_VERTICES} vertices, "
+            f"got {graph.num_vertices}"
+        )
+    distances = _solve_lp(graph, config)
+    if distances is None:
+        finder = UnionFind(range(graph.num_vertices))
+        for (i, j) in graph.positive_edges:
+            if not (
+                config.use_negative_edges
+                and graph.negative(i, j) < config.conflict_threshold
+            ):
+                finder.union(i, j)
+        groups = [frozenset(group) for group in finder.groups()]
+    else:
+        groups = _region_growing(graph, distances, config)
+    objective = 0.0
+    for group in groups:
+        members = sorted(group)
+        for a in range(len(members)):
+            for b in range(a + 1, len(members)):
+                objective += graph.positive(members[a], members[b])
+    partitions = [Partition(group) for group in groups]
+    partitions.sort(key=lambda partition: (-len(partition), sorted(partition.vertices)))
+    return PartitionResult(partitions=partitions, objective=objective)

@@ -1,0 +1,215 @@
+"""Greedy table-synthesis partitioning (paper §4.2, Algorithm 3, Appendix E/F).
+
+The exact optimization (Problem 11) is NP-hard, so the paper uses a greedy
+agglomerative heuristic: start with every candidate table in its own partition and
+repeatedly merge the pair of partitions with the largest aggregate positive weight,
+provided their aggregate negative weight does not cross the hard-constraint
+threshold ``τ``.  When two partitions merge, positive weights to the rest of the
+graph add up and negative weights take the minimum (most conflicting) value.
+
+For scalability the graph is first decomposed into components connected by positive
+edges (Appendix F); each component is partitioned independently.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.core.config import SynthesisConfig
+from repro.graph.build import CompatibilityGraph
+
+__all__ = ["Partition", "PartitionResult", "GreedyPartitioner"]
+
+
+@dataclass
+class Partition:
+    """A group of vertex indices that will be synthesized into one mapping."""
+
+    vertices: frozenset[int]
+
+    def __len__(self) -> int:
+        return len(self.vertices)
+
+    def __iter__(self):
+        return iter(sorted(self.vertices))
+
+    def __contains__(self, vertex: object) -> bool:
+        return vertex in self.vertices
+
+
+@dataclass
+class PartitionResult:
+    """The outcome of partitioning a compatibility graph."""
+
+    partitions: list[Partition]
+    objective: float
+    merges: int = 0
+    metadata: dict[str, float] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.partitions)
+
+    def __iter__(self):
+        return iter(self.partitions)
+
+    def assignment(self) -> dict[int, int]:
+        """Return a map from vertex index to partition index."""
+        result: dict[int, int] = {}
+        for index, partition in enumerate(self.partitions):
+            for vertex in partition.vertices:
+                result[vertex] = index
+        return result
+
+    def non_singleton(self) -> list[Partition]:
+        """Partitions that actually merged more than one candidate table."""
+        return [partition for partition in self.partitions if len(partition) > 1]
+
+
+class GreedyPartitioner:
+    """Implements Algorithm 3 with a lazy-deletion priority queue."""
+
+    def __init__(self, config: SynthesisConfig | None = None) -> None:
+        self.config = config or SynthesisConfig()
+
+    # -- Component-level greedy merging --------------------------------------------------
+    def _partition_component(
+        self, graph: CompatibilityGraph, component: list[int]
+    ) -> tuple[list[frozenset[int]], float, int]:
+        tau = self.config.conflict_threshold
+        use_negative = self.config.use_negative_edges
+
+        # Partition state: id -> set of vertices.  Ids are recycled never; merged
+        # partitions get a fresh id so stale heap entries can be detected.
+        members: dict[int, set[int]] = {i: {vertex} for i, vertex in enumerate(component)}
+        next_id = len(component)
+        alive = set(members)
+
+        index_of = {vertex: i for i, vertex in enumerate(component)}
+        positive: dict[int, dict[int, float]] = {i: {} for i in members}
+        negative: dict[int, dict[int, float]] = {i: {} for i in members}
+
+        for (a, b), weight in graph.positive_edges.items():
+            if a in index_of and b in index_of:
+                i, j = index_of[a], index_of[b]
+                positive[i][j] = weight
+                positive[j][i] = weight
+        for (a, b), weight in graph.negative_edges.items():
+            if a in index_of and b in index_of:
+                i, j = index_of[a], index_of[b]
+                negative[i][j] = weight
+                negative[j][i] = weight
+
+        heap: list[tuple[float, int, int]] = []
+        for i in positive:
+            for j, weight in positive[i].items():
+                if i < j and weight > 0:
+                    heapq.heappush(heap, (-weight, i, j))
+
+        objective = 0.0
+        merges = 0
+        while heap:
+            neg_weight, i, j = heapq.heappop(heap)
+            weight = -neg_weight
+            if i not in alive or j not in alive:
+                continue
+            current = positive.get(i, {}).get(j, 0.0)
+            if abs(current - weight) > 1e-12:
+                continue  # stale entry
+            if weight <= 0:
+                break
+            if use_negative and negative.get(i, {}).get(j, 0.0) < tau:
+                # Hard constraint: these two partitions conflict and can never merge.
+                # Remove the edge so it is not reconsidered.
+                positive[i].pop(j, None)
+                positive[j].pop(i, None)
+                continue
+
+            # Merge i and j into a new partition.
+            new_id = next_id
+            next_id += 1
+            members[new_id] = members.pop(i) | members.pop(j)
+            alive.discard(i)
+            alive.discard(j)
+            alive.add(new_id)
+            objective += weight
+            merges += 1
+
+            new_positive: dict[int, float] = {}
+            new_negative: dict[int, float] = {}
+            for other in set(positive.get(i, {})) | set(positive.get(j, {})):
+                if other in (i, j) or other not in alive:
+                    continue
+                combined = positive.get(i, {}).get(other, 0.0) + positive.get(j, {}).get(
+                    other, 0.0
+                )
+                if combined > 0:
+                    new_positive[other] = combined
+            for other in set(negative.get(i, {})) | set(negative.get(j, {})):
+                if other in (i, j) or other not in alive:
+                    continue
+                new_negative[other] = min(
+                    negative.get(i, {}).get(other, 0.0),
+                    negative.get(j, {}).get(other, 0.0),
+                )
+
+            positive.pop(i, None)
+            positive.pop(j, None)
+            negative.pop(i, None)
+            negative.pop(j, None)
+            positive[new_id] = new_positive
+            negative[new_id] = new_negative
+            for other, weight_to_other in new_positive.items():
+                positive[other].pop(i, None)
+                positive[other].pop(j, None)
+                positive[other][new_id] = weight_to_other
+                a, b = (other, new_id) if other < new_id else (new_id, other)
+                heapq.heappush(heap, (-weight_to_other, a, b))
+            for other, weight_to_other in new_negative.items():
+                negative[other].pop(i, None)
+                negative[other].pop(j, None)
+                negative[other][new_id] = weight_to_other
+            # Drop references from neighbours that no longer have positive edges.
+            for other in list(positive):
+                if other in alive and other not in new_positive:
+                    positive[other].pop(i, None)
+                    positive[other].pop(j, None)
+            for other in list(negative):
+                if other in alive and other not in new_negative:
+                    negative[other].pop(i, None)
+                    negative[other].pop(j, None)
+
+        groups = [frozenset(members[pid]) for pid in sorted(alive)]
+        return groups, objective, merges
+
+    # -- Public API ------------------------------------------------------------------------
+    def partition(self, graph: CompatibilityGraph) -> PartitionResult:
+        """Partition the graph; returns groups of vertex indices.
+
+        The objective reported is the total intra-partition positive weight captured
+        by the merges (Equation 5 restricted to edges present in the sparse graph).
+        """
+        partitions: list[Partition] = []
+        total_objective = 0.0
+        total_merges = 0
+        for component in graph.positive_components():
+            if len(component) == 1:
+                partitions.append(Partition(frozenset(component)))
+                continue
+            groups, objective, merges = self._partition_component(graph, component)
+            partitions.extend(Partition(group) for group in groups)
+            total_objective += objective
+            total_merges += merges
+        # Vertices with no positive edges at all are already covered: they are their
+        # own singleton components.
+        partitions.sort(key=lambda partition: (-len(partition), sorted(partition.vertices)))
+        return PartitionResult(
+            partitions=partitions,
+            objective=total_objective,
+            merges=total_merges,
+            metadata={
+                "num_vertices": float(graph.num_vertices),
+                "num_positive_edges": float(graph.num_positive_edges),
+                "num_negative_edges": float(graph.num_negative_edges),
+            },
+        )

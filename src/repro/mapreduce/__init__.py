@@ -1,0 +1,16 @@
+"""A small local map/shuffle/reduce engine plus the paper's Map-Reduce jobs."""
+
+from repro.mapreduce.engine import MapReduceEngine, MapReduceJob
+from repro.mapreduce.jobs import (
+    hash_to_min_connected_components,
+    inverted_index_job,
+    pairwise_compatibility_job,
+)
+
+__all__ = [
+    "MapReduceEngine",
+    "MapReduceJob",
+    "inverted_index_job",
+    "pairwise_compatibility_job",
+    "hash_to_min_connected_components",
+]

@@ -1,0 +1,150 @@
+"""A deliberately small, single-machine Map-Reduce engine.
+
+The paper implements every stage of its pipeline as Map-Reduce jobs on a production
+cluster.  This module provides a local engine with the same programming model —
+``map(record) -> (key, value) pairs``, shuffle by key, ``reduce(key, values) ->
+results`` — so the jobs in :mod:`repro.mapreduce.jobs` read like their distributed
+counterparts and the partition/inverted-index structure of the algorithms is
+preserved, while everything runs in-process.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Callable, Hashable, Iterable, Iterator
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["MapReduceJob", "MapReduceEngine"]
+
+Mapper = Callable[[Any], Iterable[tuple[Hashable, Any]]]
+Reducer = Callable[[Hashable, list[Any]], Iterable[Any]]
+Combiner = Callable[[Hashable, list[Any]], list[Any]]
+
+
+@dataclass
+class MapReduceJob:
+    """One map/shuffle/reduce round.
+
+    Attributes
+    ----------
+    mapper:
+        Function from an input record to an iterable of ``(key, value)`` pairs.
+    reducer:
+        Function from ``(key, values)`` to an iterable of output records.
+    combiner:
+        Optional map-side combiner applied per partition before the shuffle, with
+        the same signature as a reducer but returning a list of values.
+    name:
+        Human-readable job name (appears in the engine's counters).
+    """
+
+    mapper: Mapper
+    reducer: Reducer
+    combiner: Combiner | None = None
+    name: str = "job"
+
+
+@dataclass
+class JobCounters:
+    """Bookkeeping mirroring the counters a real Map-Reduce framework exposes."""
+
+    input_records: int = 0
+    mapped_pairs: int = 0
+    shuffled_keys: int = 0
+    output_records: int = 0
+
+
+class MapReduceEngine:
+    """Runs :class:`MapReduceJob` instances over in-memory datasets."""
+
+    def __init__(self, num_partitions: int = 8) -> None:
+        if num_partitions < 1:
+            raise ValueError(f"num_partitions must be >= 1, got {num_partitions}")
+        self.num_partitions = num_partitions
+        self.counters: dict[str, JobCounters] = {}
+
+    # -- Internals --------------------------------------------------------------------
+    def _partition(self, key: Hashable) -> int:
+        return hash(key) % self.num_partitions
+
+    def _map_phase(
+        self, job: MapReduceJob, records: Iterable[Any], counters: JobCounters
+    ) -> list[dict[Hashable, list[Any]]]:
+        partitions: list[dict[Hashable, list[Any]]] = [
+            defaultdict(list) for _ in range(self.num_partitions)
+        ]
+        for record in records:
+            counters.input_records += 1
+            for key, value in job.mapper(record):
+                counters.mapped_pairs += 1
+                partitions[self._partition(key)][key].append(value)
+        if job.combiner is not None:
+            for partition in partitions:
+                for key in list(partition):
+                    partition[key] = list(job.combiner(key, partition[key]))
+        return partitions
+
+    def _shuffle(
+        self, partitions: list[dict[Hashable, list[Any]]], counters: JobCounters
+    ) -> dict[Hashable, list[Any]]:
+        shuffled: dict[Hashable, list[Any]] = defaultdict(list)
+        for partition in partitions:
+            for key, values in partition.items():
+                shuffled[key].extend(values)
+        counters.shuffled_keys = len(shuffled)
+        return shuffled
+
+    # -- Public API ----------------------------------------------------------------------
+    def run(self, job: MapReduceJob, records: Iterable[Any]) -> list[Any]:
+        """Run one job over ``records`` and return the reducer outputs as a list."""
+        counters = JobCounters()
+        partitions = self._map_phase(job, records, counters)
+        shuffled = self._shuffle(partitions, counters)
+        outputs: list[Any] = []
+        # Sort keys for determinism where the key type allows it.
+        try:
+            keys = sorted(shuffled)
+        except TypeError:
+            keys = list(shuffled)
+        for key in keys:
+            for result in job.reducer(key, shuffled[key]):
+                counters.output_records += 1
+                outputs.append(result)
+        self.counters[job.name] = counters
+        return outputs
+
+    def run_chain(self, jobs: list[MapReduceJob], records: Iterable[Any]) -> list[Any]:
+        """Run several jobs in sequence, feeding each job the previous job's output."""
+        current: Iterable[Any] = records
+        result: list[Any] = list(current)
+        for job in jobs:
+            result = self.run(job, result)
+        return result
+
+    def iterate(
+        self,
+        job_factory: Callable[[int], MapReduceJob],
+        records: Iterable[Any],
+        converged: Callable[[list[Any], list[Any]], bool],
+        max_iterations: int = 50,
+    ) -> tuple[list[Any], int]:
+        """Run an iterative job until convergence (e.g. Hash-to-Min).
+
+        ``job_factory(iteration)`` builds the job for each round; ``converged`` is
+        called with the previous and current outputs.
+        """
+        if max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        previous = list(records)
+        for iteration in range(max_iterations):
+            current = self.run(job_factory(iteration), previous)
+            if converged(previous, current):
+                return current, iteration + 1
+            previous = current
+        return previous, max_iterations
+
+
+def records_to_iterator(records: Iterable[Any]) -> Iterator[Any]:
+    """Small helper so callers can pass generators without exhausting them twice."""
+    return iter(list(records))

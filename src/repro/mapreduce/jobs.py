@@ -1,0 +1,157 @@
+"""Map-Reduce formulations of the paper's pipeline stages.
+
+Three jobs are provided:
+
+* :func:`inverted_index_job` — the inverted-index re-grouping of §4.1 ("Efficiency"):
+  map every candidate table to its (normalized) value pairs, group by value pair,
+  and emit the candidate table pairs that co-occur — exactly the blocking step that
+  avoids the ``O(N²)`` all-pairs comparison.
+* :func:`pairwise_compatibility_job` — score blocked pairs with ``w+`` / ``w−``.
+* :func:`hash_to_min_connected_components` — the Hash-to-Min algorithm of
+  Appendix F for computing connected components in logarithmic rounds.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Hashable, Iterable
+
+from repro.core.binary_table import BinaryTable
+from repro.core.config import SynthesisConfig
+from repro.graph.compatibility import CompatibilityScorer
+from repro.mapreduce.engine import MapReduceEngine, MapReduceJob
+
+__all__ = [
+    "inverted_index_job",
+    "pairwise_compatibility_job",
+    "hash_to_min_connected_components",
+]
+
+
+def inverted_index_job(
+    tables: list[BinaryTable],
+    scorer: CompatibilityScorer,
+    engine: MapReduceEngine | None = None,
+    min_shared: int = 1,
+) -> dict[tuple[int, int], int]:
+    """Block candidate table pairs by shared normalized value pairs.
+
+    Returns a dictionary from (table index, table index) to the number of exactly
+    shared value pairs, computed with one map/reduce round.
+    """
+    if min_shared < 1:
+        raise ValueError(f"min_shared must be >= 1, got {min_shared}")
+    engine = engine or MapReduceEngine()
+    matcher = scorer.matcher
+
+    def mapper(record: tuple[int, BinaryTable]):
+        index, table = record
+        keys = {
+            (matcher.match_key(pair.left), matcher.match_key(pair.right))
+            for pair in table.pairs
+        }
+        for key in keys:
+            yield key, index
+
+    def reducer(key: Hashable, values: list[int]):
+        indices = sorted(set(values))
+        for i in range(len(indices)):
+            for j in range(i + 1, len(indices)):
+                yield (indices[i], indices[j])
+
+    job = MapReduceJob(mapper=mapper, reducer=reducer, name="inverted-index")
+    pair_events = engine.run(job, list(enumerate(tables)))
+    counts: dict[tuple[int, int], int] = defaultdict(int)
+    for pair in pair_events:
+        counts[pair] += 1
+    return {pair: count for pair, count in counts.items() if count >= min_shared}
+
+
+def pairwise_compatibility_job(
+    tables: list[BinaryTable],
+    blocked_pairs: Iterable[tuple[int, int]],
+    config: SynthesisConfig | None = None,
+    scorer: CompatibilityScorer | None = None,
+    engine: MapReduceEngine | None = None,
+) -> dict[tuple[int, int], tuple[float, float]]:
+    """Score blocked pairs; returns ``(w+, w−)`` per pair via one map/reduce round."""
+    config = config or SynthesisConfig()
+    scorer = scorer or CompatibilityScorer(config)
+    engine = engine or MapReduceEngine()
+
+    def mapper(record: tuple[int, int]):
+        first, second = record
+        yield (first, second), None
+
+    def reducer(key: Hashable, values: list[None]):
+        first, second = key
+        positive = scorer.positive(tables[first], tables[second])
+        negative = scorer.negative(tables[first], tables[second])
+        yield (first, second), (positive, negative)
+
+    job = MapReduceJob(mapper=mapper, reducer=reducer, name="pairwise-compatibility")
+    outputs = engine.run(job, list(blocked_pairs))
+    return {pair: scores for pair, scores in outputs}
+
+
+def hash_to_min_connected_components(
+    vertices: Iterable[Hashable],
+    edges: Iterable[tuple[Hashable, Hashable]],
+    engine: MapReduceEngine | None = None,
+    max_iterations: int = 50,
+) -> dict[Hashable, Hashable]:
+    """Hash-to-Min connected components (Chitnis et al., paper Appendix F).
+
+    Each vertex maintains a cluster; in every round a vertex sends the minimum
+    vertex of its cluster to all members and its own cluster to the minimum vertex.
+    Convergence is reached when cluster assignments stop changing.  Returns a map
+    from vertex to its component representative (the minimum vertex).
+    """
+    engine = engine or MapReduceEngine()
+    vertices = list(vertices)
+    adjacency: dict[Hashable, set[Hashable]] = {vertex: {vertex} for vertex in vertices}
+    for first, second in edges:
+        adjacency.setdefault(first, {first}).add(second)
+        adjacency.setdefault(second, {second}).add(first)
+
+    # State records: (vertex, cluster) where cluster is a frozenset of vertices.
+    state = [(vertex, frozenset(neighbors)) for vertex, neighbors in adjacency.items()]
+
+    def job_factory(iteration: int) -> MapReduceJob:
+        def mapper(record: tuple[Hashable, frozenset]):
+            vertex, cluster = record
+            minimum = min(cluster)
+            # Send the minimum to every member, and the whole cluster to the minimum.
+            for member in cluster:
+                yield member, frozenset({minimum})
+            yield minimum, cluster
+
+        def reducer(key: Hashable, values: list[frozenset]):
+            merged: set[Hashable] = set()
+            for value in values:
+                merged |= value
+            merged.add(key)
+            yield key, frozenset(merged)
+
+        return MapReduceJob(mapper=mapper, reducer=reducer, name=f"hash-to-min-{iteration}")
+
+    def converged(previous: list, current: list) -> bool:
+        def minima(state_records: list) -> dict[Hashable, Hashable]:
+            return {vertex: min(cluster) for vertex, cluster in state_records}
+
+        return minima(previous) == minima(current)
+
+    final_state, _ = engine.iterate(job_factory, state, converged, max_iterations)
+    representative = {vertex: min(cluster) for vertex, cluster in final_state}
+    # Vertices may appear only as cluster members of another vertex after the final
+    # round; make sure every original vertex resolves to its component minimum by
+    # propagating representatives until fixpoint.
+    changed = True
+    while changed:
+        changed = False
+        for vertex in representative:
+            root = representative[vertex]
+            if root in representative and representative[root] < representative[vertex]:
+                representative[vertex] = representative[root]
+                changed = True
+    return {vertex: representative.get(vertex, vertex) for vertex in vertices}

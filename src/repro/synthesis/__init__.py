@@ -1,0 +1,22 @@
+"""Table synthesis, conflict resolution, expansion, and curation (paper §4)."""
+
+from repro.synthesis.synthesizer import SynthesisResult, TableSynthesizer
+from repro.synthesis.conflict import (
+    ConflictResolution,
+    majority_vote_resolution,
+    resolve_conflicts_greedy,
+)
+from repro.synthesis.expansion import TableExpander
+from repro.synthesis.curation import CurationReport, curate_mappings, popularity_rank
+
+__all__ = [
+    "TableSynthesizer",
+    "SynthesisResult",
+    "ConflictResolution",
+    "resolve_conflicts_greedy",
+    "majority_vote_resolution",
+    "TableExpander",
+    "curate_mappings",
+    "popularity_rank",
+    "CurationReport",
+]

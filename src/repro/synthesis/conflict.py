@@ -1,0 +1,170 @@
+"""Conflict resolution inside synthesized partitions (paper §4.2, Algorithm 4).
+
+A synthesized partition is the union of many raw tables; a small fraction of rows
+will have the same left value with *different* right values (extraction or quality
+errors, or a slightly different relationship that slipped in).  The paper resolves
+this by removing the fewest candidate tables such that no conflicts remain
+(Problem 17, NP-hard via Independent Set), using a greedy heuristic that repeatedly
+removes the table responsible for the most conflicting value pairs.
+
+A majority-voting alternative (keep, for each left value, the right value supported
+by the most tables) is provided as the comparison point used in §5.6.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.core.binary_table import BinaryTable, ValuePair
+from repro.text.matching import ValueMatcher
+from repro.text.synonyms import SynonymDictionary
+
+__all__ = ["ConflictResolution", "resolve_conflicts_greedy", "majority_vote_resolution"]
+
+
+@dataclass
+class ConflictResolution:
+    """Result of resolving conflicts within one partition."""
+
+    kept_tables: list[BinaryTable]
+    removed_tables: list[BinaryTable]
+    pairs: list[ValuePair]
+    iterations: int = 0
+    metadata: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def removed_count(self) -> int:
+        """Number of candidate tables removed."""
+        return len(self.removed_tables)
+
+
+def _conflicting_table_counts(
+    tables: list[BinaryTable], matcher: ValueMatcher, synonyms: SynonymDictionary | None
+) -> tuple[dict[int, int], int]:
+    """Per-table conflict scores following Algorithm 4.
+
+    For every value pair, count how many other value pairs it conflicts with
+    (``cntV``); a table's score is the *maximum* ``cntV`` over its pairs
+    (``cntB``).  A table whose single pair disagrees with many tables (a genuine
+    error or a mixed-in foreign relation) therefore outranks the many innocent
+    tables it disagrees with, each of which conflicts with only that one pair.
+
+    Returns the per-table scores and the number of conflicting left keys.
+    """
+    # Group every (table, pair) by the normalized left value.
+    by_left: dict[str, list[tuple[int, ValuePair]]] = {}
+    for index, table in enumerate(tables):
+        for pair in table.pairs:
+            by_left.setdefault(matcher.match_key(pair.left), []).append((index, pair))
+
+    counts: dict[int, int] = {index: 0 for index in range(len(tables))}
+    conflicting_lefts = 0
+    for entries in by_left.values():
+        if len(entries) < 2:
+            continue
+        # cntV for each entry: how many other entries under this left it disagrees with.
+        pair_conflicts = [0] * len(entries)
+        for i in range(len(entries)):
+            for j in range(i + 1, len(entries)):
+                right_i, right_j = entries[i][1].right, entries[j][1].right
+                if matcher.matches(right_i, right_j):
+                    continue
+                if synonyms is not None and synonyms.are_synonyms(right_i, right_j):
+                    continue
+                pair_conflicts[i] += 1
+                pair_conflicts[j] += 1
+        if any(pair_conflicts):
+            conflicting_lefts += 1
+            for position, conflict_count in enumerate(pair_conflicts):
+                table_index = entries[position][0]
+                counts[table_index] = max(counts[table_index], conflict_count)
+    return counts, conflicting_lefts
+
+
+def resolve_conflicts_greedy(
+    tables: list[BinaryTable],
+    matcher: ValueMatcher | None = None,
+    synonyms: SynonymDictionary | None = None,
+    max_iterations: int | None = None,
+) -> ConflictResolution:
+    """Algorithm 4: iteratively drop the table contributing the most conflicts.
+
+    The loop stops when no conflicts remain or when every table but one has been
+    removed (a degenerate partition).
+    """
+    matcher = matcher or ValueMatcher()
+    kept = list(tables)
+    removed: list[BinaryTable] = []
+    iterations = 0
+    limit = max_iterations if max_iterations is not None else len(tables)
+    while len(kept) > 1 and iterations < limit:
+        counts, conflicting_lefts = _conflicting_table_counts(kept, matcher, synonyms)
+        if conflicting_lefts == 0:
+            break
+        worst_index = max(counts, key=lambda index: (counts[index], len(kept[index]) * -1))
+        if counts[worst_index] == 0:
+            break
+        removed.append(kept.pop(worst_index))
+        iterations += 1
+
+    pairs: list[ValuePair] = []
+    for table in kept:
+        pairs.extend(table.pairs)
+    return ConflictResolution(
+        kept_tables=kept,
+        removed_tables=removed,
+        pairs=pairs,
+        iterations=iterations,
+        metadata={"input_tables": float(len(tables))},
+    )
+
+
+def majority_vote_resolution(
+    tables: list[BinaryTable],
+    matcher: ValueMatcher | None = None,
+    synonyms: SynonymDictionary | None = None,
+) -> ConflictResolution:
+    """Majority voting: for each left value keep the right value most tables agree on.
+
+    Unlike Algorithm 4 this keeps every table but drops individual minority pairs;
+    it is the alternative conflict-resolution scheme the paper compares against in
+    §5.6 (slightly lower F-score than the greedy table-removal approach).
+    """
+    matcher = matcher or ValueMatcher()
+    votes: dict[str, Counter[str]] = {}
+    surface_form: dict[tuple[str, str], ValuePair] = {}
+    for table in tables:
+        for pair in table.pairs:
+            left_key = matcher.match_key(pair.left)
+            right_key = matcher.match_key(pair.right)
+            if synonyms is not None:
+                right_key = synonyms.canonical(right_key)
+            votes.setdefault(left_key, Counter())[right_key] += 1
+            surface_form.setdefault((left_key, right_key), pair)
+
+    winners: dict[str, str] = {}
+    for left_key, counter in votes.items():
+        winners[left_key] = counter.most_common(1)[0][0]
+
+    pairs: list[ValuePair] = []
+    seen: set[tuple[str, str]] = set()
+    for table in tables:
+        for pair in table.pairs:
+            left_key = matcher.match_key(pair.left)
+            right_key = matcher.match_key(pair.right)
+            if synonyms is not None:
+                right_key = synonyms.canonical(right_key)
+            if winners.get(left_key) != right_key:
+                continue
+            key = pair.as_tuple()
+            if key not in seen:
+                seen.add(key)
+                pairs.append(pair)
+    return ConflictResolution(
+        kept_tables=list(tables),
+        removed_tables=[],
+        pairs=pairs,
+        iterations=0,
+        metadata={"input_tables": float(len(tables))},
+    )

@@ -1,0 +1,98 @@
+"""Curation support: popularity ranking and filtering of synthesized mappings (§4.3).
+
+The paper emphasizes that synthesized mappings are meant to be *curated by humans*
+before they power user-facing features.  The curation story relies on two signals:
+the number of distinct source domains contributing to a mapping (popularity) and
+the number of raw tables synthesized into it.  Only mappings popular enough (the
+paper uses ≥ 8 web domains) are surfaced, shrinking millions of raw tables into a
+reviewable list.  Numeric/temporal relationships can additionally be pruned.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.core.mapping import MappingRelationship
+
+__all__ = ["CurationReport", "popularity_rank", "curate_mappings"]
+
+_NUMERIC_RE = re.compile(r"^-?\d+(\.\d+)?$")
+
+
+def _numeric_fraction(values: list[str]) -> float:
+    if not values:
+        return 0.0
+    numeric = sum(1 for value in values if _NUMERIC_RE.match(value.strip()))
+    return numeric / len(values)
+
+
+@dataclass
+class CurationReport:
+    """Summary of what curation kept and why the rest was dropped."""
+
+    kept: list[MappingRelationship] = field(default_factory=list)
+    dropped_low_popularity: int = 0
+    dropped_small: int = 0
+    dropped_numeric: int = 0
+
+    @property
+    def total_dropped(self) -> int:
+        """Total number of mappings dropped by curation."""
+        return self.dropped_low_popularity + self.dropped_small + self.dropped_numeric
+
+
+def popularity_rank(mappings: list[MappingRelationship]) -> list[MappingRelationship]:
+    """Rank mappings by (domains, contributing tables, size), most popular first."""
+    return sorted(
+        mappings,
+        key=lambda mapping: (
+            mapping.popularity,
+            mapping.num_source_tables,
+            len(mapping),
+        ),
+        reverse=True,
+    )
+
+
+def curate_mappings(
+    mappings: list[MappingRelationship],
+    min_domains: int = 2,
+    min_size: int = 5,
+    drop_numeric_left: bool = True,
+    numeric_threshold: float = 0.9,
+) -> CurationReport:
+    """Filter synthesized mappings down to a human-curable set.
+
+    Parameters
+    ----------
+    min_domains:
+        Minimum number of distinct contributing domains (the paper uses 8 on the
+        Web corpus; smaller corpora need smaller values).
+    min_size:
+        Minimum number of value pairs.
+    drop_numeric_left:
+        Drop mappings whose left column is almost entirely numeric — these are
+        usually rank/score columns rather than entity mappings.
+    numeric_threshold:
+        Fraction of numeric left values above which a mapping counts as numeric.
+    """
+    if min_domains < 1:
+        raise ValueError(f"min_domains must be >= 1, got {min_domains}")
+    if min_size < 1:
+        raise ValueError(f"min_size must be >= 1, got {min_size}")
+    report = CurationReport()
+    for mapping in popularity_rank(mappings):
+        if len(mapping) < min_size:
+            report.dropped_small += 1
+            continue
+        if mapping.popularity < min_domains:
+            report.dropped_low_popularity += 1
+            continue
+        if drop_numeric_left:
+            left_fraction = _numeric_fraction([pair.left for pair in mapping.pairs])
+            if left_fraction >= numeric_threshold:
+                report.dropped_numeric += 1
+                continue
+        report.kept.append(mapping)
+    return report

@@ -1,0 +1,97 @@
+"""Table expansion from trusted sources (paper Appendix I).
+
+Large relationships (e.g. airport codes with >10K instances) are under-represented
+in web tables, so synthesized "cores" can be expanded with instances from trusted
+external feeds (data.gov-style files, spreadsheet exports).  A trusted table is
+merged into a synthesized mapping only if it is sufficiently similar (high positive
+compatibility) and not conflicting (no substantial negative compatibility) with the
+core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.binary_table import BinaryTable, ValuePair
+from repro.core.config import SynthesisConfig
+from repro.core.mapping import MappingRelationship
+from repro.graph.compatibility import CompatibilityScorer
+from repro.text.synonyms import SynonymDictionary
+
+__all__ = ["TableExpander", "ExpansionReport"]
+
+
+@dataclass
+class ExpansionReport:
+    """Records which trusted sources were merged into which mappings."""
+
+    merged: dict[str, list[str]] = field(default_factory=dict)
+    added_pairs: dict[str, int] = field(default_factory=dict)
+
+    def total_added(self) -> int:
+        """Total number of value pairs added across all mappings."""
+        return sum(self.added_pairs.values())
+
+
+class TableExpander:
+    """Expands synthesized mapping cores using trusted external tables."""
+
+    def __init__(
+        self,
+        trusted_sources: list[BinaryTable],
+        config: SynthesisConfig | None = None,
+        synonyms: SynonymDictionary | None = None,
+        min_overlap: float = 0.3,
+        max_conflict: float = -0.05,
+    ) -> None:
+        if not -1.0 <= max_conflict <= 0.0:
+            raise ValueError(f"max_conflict must be in [-1, 0], got {max_conflict}")
+        if not 0.0 < min_overlap <= 1.0:
+            raise ValueError(f"min_overlap must be in (0, 1], got {min_overlap}")
+        self.trusted_sources = list(trusted_sources)
+        self.config = config or SynthesisConfig()
+        self.scorer = CompatibilityScorer(self.config, synonyms)
+        self.min_overlap = min_overlap
+        self.max_conflict = max_conflict
+
+    def expand_mapping(self, mapping: MappingRelationship) -> tuple[MappingRelationship, list[str]]:
+        """Return an expanded copy of ``mapping`` plus the merged source ids."""
+        core = mapping.to_binary_table()
+        merged_sources: list[str] = []
+        new_pairs: list[ValuePair] = list(mapping.pairs)
+        for source in self.trusted_sources:
+            positive = self.scorer.positive(core, source)
+            negative = self.scorer.negative(core, source)
+            if positive >= self.min_overlap and negative >= self.max_conflict:
+                existing_lefts = {
+                    self.scorer.matcher.match_key(pair.left) for pair in new_pairs
+                }
+                for pair in source.pairs:
+                    if self.scorer.matcher.match_key(pair.left) not in existing_lefts:
+                        new_pairs.append(pair)
+                merged_sources.append(source.table_id)
+        if not merged_sources:
+            return mapping, []
+        expanded = MappingRelationship(
+            mapping_id=mapping.mapping_id,
+            pairs=new_pairs,
+            source_tables=list(mapping.source_tables) + merged_sources,
+            domains=set(mapping.domains) | {"trusted"},
+            column_names=mapping.column_names,
+            metadata=dict(mapping.metadata),
+        )
+        return expanded, merged_sources
+
+    def expand_all(
+        self, mappings: list[MappingRelationship]
+    ) -> tuple[list[MappingRelationship], ExpansionReport]:
+        """Expand every mapping; returns the new mappings and a report."""
+        report = ExpansionReport()
+        expanded_mappings: list[MappingRelationship] = []
+        for mapping in mappings:
+            expanded, merged_sources = self.expand_mapping(mapping)
+            expanded_mappings.append(expanded)
+            if merged_sources:
+                report.merged[mapping.mapping_id] = merged_sources
+                report.added_pairs[mapping.mapping_id] = len(expanded) - len(mapping)
+        return expanded_mappings, report

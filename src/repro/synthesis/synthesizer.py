@@ -1,0 +1,130 @@
+"""End-to-end table synthesis (paper §4: Step 2 of the pipeline).
+
+The :class:`TableSynthesizer` takes candidate binary tables, builds the sparse
+compatibility graph, partitions it with the greedy Algorithm 3, optionally resolves
+conflicts within each partition, and materializes each partition as a
+:class:`~repro.core.mapping.MappingRelationship`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.binary_table import BinaryTable
+from repro.core.config import SynthesisConfig
+from repro.core.mapping import MappingRelationship
+from repro.graph.build import CompatibilityGraph, GraphBuilder
+from repro.graph.partition import GreedyPartitioner, PartitionResult
+from repro.synthesis.conflict import (
+    majority_vote_resolution,
+    resolve_conflicts_greedy,
+)
+from repro.text.matching import ValueMatcher
+from repro.text.synonyms import SynonymDictionary
+
+__all__ = ["SynthesisResult", "TableSynthesizer"]
+
+
+@dataclass
+class SynthesisResult:
+    """The outcome of table synthesis over a set of candidate tables."""
+
+    mappings: list[MappingRelationship]
+    graph: CompatibilityGraph
+    partition_result: PartitionResult
+    elapsed_seconds: float = 0.0
+    metadata: dict[str, float] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.mappings)
+
+    def __iter__(self):
+        return iter(self.mappings)
+
+    def top_by_popularity(self, count: int = 10) -> list[MappingRelationship]:
+        """The ``count`` most popular mappings (by number of contributing domains)."""
+        ranked = sorted(
+            self.mappings,
+            key=lambda mapping: (mapping.popularity, mapping.num_source_tables, len(mapping)),
+            reverse=True,
+        )
+        return ranked[:count]
+
+
+class TableSynthesizer:
+    """Synthesizes mapping relationships from candidate binary tables."""
+
+    def __init__(
+        self,
+        config: SynthesisConfig | None = None,
+        synonyms: SynonymDictionary | None = None,
+    ) -> None:
+        self.config = config or SynthesisConfig()
+        self.synonyms = synonyms
+        self.graph_builder = GraphBuilder(self.config, synonyms)
+        self.partitioner = GreedyPartitioner(self.config)
+        self.matcher = ValueMatcher(
+            fraction=self.config.edit_fraction,
+            cap=self.config.edit_cap,
+            synonyms=synonyms,
+            approximate=self.config.use_approximate_matching,
+        )
+
+    # -- Internals ----------------------------------------------------------------------
+    def _resolve_partition(self, tables: list[BinaryTable]) -> list[BinaryTable]:
+        """Apply the configured conflict-resolution strategy to one partition."""
+        if not self.config.resolve_conflicts or len(tables) < 2:
+            return tables
+        if self.config.conflict_strategy == "majority":
+            resolution = majority_vote_resolution(tables, self.matcher, self.synonyms)
+            # Majority voting keeps all tables but filters pairs; rebuild one table
+            # carrying the surviving pairs so provenance is preserved at group level.
+            merged = BinaryTable(
+                table_id="majority-resolved",
+                pairs=resolution.pairs,
+                source_table_id="majority-resolved",
+            )
+            return [merged] + []
+        resolution = resolve_conflicts_greedy(tables, self.matcher, self.synonyms)
+        return resolution.kept_tables if resolution.kept_tables else tables
+
+    def _materialize(
+        self, tables: list[BinaryTable], index: int, original: list[BinaryTable]
+    ) -> MappingRelationship:
+        mapping = MappingRelationship.from_tables(f"mapping-{index:05d}", tables)
+        # Domain/table provenance should reflect the full partition even when the
+        # majority-vote strategy collapsed pairs into a single synthetic table.
+        mapping.domains.update(table.domain for table in original if table.domain)
+        mapping.source_tables = [table.table_id for table in original]
+        return mapping
+
+    # -- Public API ------------------------------------------------------------------------
+    def build_graph(self, candidates: list[BinaryTable]) -> CompatibilityGraph:
+        """Build the sparse compatibility graph over the candidates."""
+        return self.graph_builder.build(candidates)
+
+    def synthesize(self, candidates: list[BinaryTable]) -> SynthesisResult:
+        """Run graph construction, partitioning, and conflict resolution."""
+        start = time.perf_counter()
+        graph = self.build_graph(candidates)
+        partition_result = self.partitioner.partition(graph)
+
+        mappings: list[MappingRelationship] = []
+        for index, partition in enumerate(partition_result.partitions):
+            tables = [graph.tables[vertex] for vertex in partition]
+            resolved = self._resolve_partition(tables)
+            mappings.append(self._materialize(resolved, index, tables))
+        elapsed = time.perf_counter() - start
+        return SynthesisResult(
+            mappings=mappings,
+            graph=graph,
+            partition_result=partition_result,
+            elapsed_seconds=elapsed,
+            metadata={
+                "num_candidates": float(len(candidates)),
+                "num_mappings": float(len(mappings)),
+                "num_positive_edges": float(graph.num_positive_edges),
+                "num_negative_edges": float(graph.num_negative_edges),
+            },
+        )

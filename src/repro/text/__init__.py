@@ -1,0 +1,20 @@
+"""Approximate string matching utilities (paper §4.1, Appendix B)."""
+
+from repro.text.edit_distance import (
+    banded_edit_distance,
+    edit_distance,
+    fractional_threshold,
+    within_edit_threshold,
+)
+from repro.text.matching import ValueMatcher, normalize_value
+from repro.text.synonyms import SynonymDictionary
+
+__all__ = [
+    "banded_edit_distance",
+    "edit_distance",
+    "fractional_threshold",
+    "within_edit_threshold",
+    "ValueMatcher",
+    "normalize_value",
+    "SynonymDictionary",
+]

@@ -1,0 +1,136 @@
+"""Edit distance with a banded dynamic program (paper Appendix B, Algorithm 2).
+
+The paper matches cell values approximately with an edit-distance threshold that is
+*fractional* in the string length (``f_ed``, default 0.2) and capped at a fixed
+constant ``k_ed`` (default 10).  Because the allowed distance is small, the dynamic
+program only needs to fill a narrow diagonal band of the matrix, in the spirit of
+Ukkonen's algorithm, which turns an ``O(|v1|·|v2|)`` computation into
+``O(θ_ed · min(|v1|, |v2|))``.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "edit_distance",
+    "banded_edit_distance",
+    "fractional_threshold",
+    "within_edit_threshold",
+]
+
+#: Default fractional edit-distance threshold (paper: ``f_ed = 0.2``).
+DEFAULT_FRACTION = 0.2
+
+#: Default absolute cap on the edit-distance threshold (paper: ``k_ed = 10``).
+DEFAULT_CAP = 10
+
+
+def edit_distance(v1: str, v2: str) -> int:
+    """Return the exact Levenshtein distance between ``v1`` and ``v2``.
+
+    This is the unbanded reference implementation, used in tests as an oracle for
+    :func:`banded_edit_distance` and for short strings where the band would cover
+    the full matrix anyway.
+    """
+    if v1 == v2:
+        return 0
+    if not v1:
+        return len(v2)
+    if not v2:
+        return len(v1)
+    if len(v1) > len(v2):
+        v1, v2 = v2, v1
+    previous = list(range(len(v1) + 1))
+    for j, cj in enumerate(v2, start=1):
+        current = [j] + [0] * len(v1)
+        for i, ci in enumerate(v1, start=1):
+            cost = 0 if ci == cj else 1
+            current[i] = min(
+                previous[i] + 1,       # deletion
+                current[i - 1] + 1,    # insertion
+                previous[i - 1] + cost,  # substitution
+            )
+        previous = current
+    return previous[-1]
+
+
+def banded_edit_distance(v1: str, v2: str, threshold: int) -> int | None:
+    """Compute the edit distance between ``v1`` and ``v2`` restricted to a band.
+
+    Only cells within ``threshold`` of the main diagonal are filled (Algorithm 2 in
+    the paper).  If the true distance exceeds ``threshold`` the function returns
+    ``None``; otherwise it returns the exact distance.
+
+    Parameters
+    ----------
+    v1, v2:
+        Strings to compare.
+    threshold:
+        Maximum distance of interest.  Must be non-negative.
+    """
+    if threshold < 0:
+        raise ValueError(f"threshold must be non-negative, got {threshold}")
+    if v1 == v2:
+        return 0
+    # A length difference larger than the band already exceeds the threshold.
+    if abs(len(v1) - len(v2)) > threshold:
+        return None
+    if len(v1) > len(v2):
+        v1, v2 = v2, v1
+    n, m = len(v1), len(v2)
+    if n == 0:
+        return m if m <= threshold else None
+
+    inf = threshold + 1
+    # previous[j] holds dist[i-1][j]; band restricted to |i - j| <= threshold.
+    previous = [j if j <= threshold else inf for j in range(m + 1)]
+    for i in range(1, n + 1):
+        lower = max(1, i - threshold)
+        upper = min(m, i + threshold)
+        current = [inf] * (m + 1)
+        if lower == 1:
+            current[0] = i if i <= threshold else inf
+        for j in range(lower, upper + 1):
+            cost = 0 if v1[i - 1] == v2[j - 1] else 1
+            best = previous[j - 1] + cost
+            if previous[j] + 1 < best:
+                best = previous[j] + 1
+            if current[j - 1] + 1 < best:
+                best = current[j - 1] + 1
+            current[j] = best
+        previous = current
+    distance = previous[m]
+    return distance if distance <= threshold else None
+
+
+def fractional_threshold(
+    v1: str,
+    v2: str,
+    fraction: float = DEFAULT_FRACTION,
+    cap: int = DEFAULT_CAP,
+) -> int:
+    """Return the paper's dynamic edit-distance threshold ``θ_ed(v1, v2)``.
+
+    ``θ_ed = min(⌊|v1|·f_ed⌋, ⌊|v2|·f_ed⌋, k_ed)`` — short strings such as country
+    codes effectively require an exact match, while long strings tolerate small
+    variations (footnote marks, parenthesised qualifiers, ...).
+    """
+    if fraction < 0:
+        raise ValueError(f"fraction must be non-negative, got {fraction}")
+    if cap < 0:
+        raise ValueError(f"cap must be non-negative, got {cap}")
+    return min(int(len(v1) * fraction), int(len(v2) * fraction), cap)
+
+
+def within_edit_threshold(
+    v1: str,
+    v2: str,
+    fraction: float = DEFAULT_FRACTION,
+    cap: int = DEFAULT_CAP,
+) -> bool:
+    """Return ``True`` if ``v1`` and ``v2`` match under the fractional threshold."""
+    if v1 == v2:
+        return True
+    threshold = fractional_threshold(v1, v2, fraction=fraction, cap=cap)
+    if threshold == 0:
+        return False
+    return banded_edit_distance(v1, v2, threshold) is not None

@@ -1,0 +1,81 @@
+"""Synonym dictionary support (paper §4.1, "Synonyms").
+
+The paper optionally consults an external synonym feed so that, e.g.,
+``"US Virgin Islands"`` and ``"United States Virgin Islands"`` boost positive
+compatibility instead of registering as misses, and so that known-synonymous right
+hand sides are not reported as conflicts during conflict resolution.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.text.matching import normalize_value
+
+__all__ = ["SynonymDictionary"]
+
+
+class SynonymDictionary:
+    """A union-find backed dictionary of synonymous surface forms.
+
+    Synonym groups are closed transitively: adding ``(a, b)`` and ``(b, c)`` makes
+    ``a`` and ``c`` synonyms as well, mirroring how entity synonym feeds behave.
+    """
+
+    def __init__(self, groups: Iterable[Iterable[str]] | None = None) -> None:
+        self._parent: dict[str, str] = {}
+        if groups is not None:
+            for group in groups:
+                self.add_group(group)
+
+    def _key(self, value: str) -> str:
+        return normalize_value(value)
+
+    def _find(self, key: str) -> str:
+        root = key
+        while self._parent.get(root, root) != root:
+            root = self._parent[root]
+        # Path compression.
+        while self._parent.get(key, key) != root:
+            self._parent[key], key = root, self._parent[key]
+        return root
+
+    def add_pair(self, first: str, second: str) -> None:
+        """Declare ``first`` and ``second`` to be synonyms."""
+        a, b = self._key(first), self._key(second)
+        self._parent.setdefault(a, a)
+        self._parent.setdefault(b, b)
+        ra, rb = self._find(a), self._find(b)
+        if ra != rb:
+            self._parent[rb] = ra
+
+    def add_group(self, values: Iterable[str]) -> None:
+        """Declare every value in ``values`` to be mutually synonymous."""
+        values = list(values)
+        if not values:
+            return
+        first = values[0]
+        for other in values[1:]:
+            self.add_pair(first, other)
+
+    def are_synonyms(self, first: str, second: str) -> bool:
+        """Return ``True`` if the two values belong to the same synonym group."""
+        a, b = self._key(first), self._key(second)
+        if a == b:
+            return True
+        if a not in self._parent or b not in self._parent:
+            return False
+        return self._find(a) == self._find(b)
+
+    def canonical(self, value: str) -> str:
+        """Return a canonical representative for ``value`` (its group root)."""
+        key = self._key(value)
+        if key not in self._parent:
+            return key
+        return self._find(key)
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def __contains__(self, value: str) -> bool:
+        return self._key(value) in self._parent

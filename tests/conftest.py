@@ -1,0 +1,104 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.binary_table import BinaryTable
+from repro.core.config import SynthesisConfig
+from repro.corpus.corpus import TableCorpus
+from repro.corpus.generator import CorpusGenerationSpec, WebCorpusGenerator
+from repro.corpus.noise import NoiseModel
+from repro.corpus.table import Table
+
+
+@pytest.fixture(scope="session")
+def small_web_corpus() -> TableCorpus:
+    """A small deterministic web-like corpus shared across tests (read-only)."""
+    spec = CorpusGenerationSpec.small(seed=42)
+    return WebCorpusGenerator(spec).generate()
+
+
+@pytest.fixture(scope="session")
+def clean_web_corpus() -> TableCorpus:
+    """A small corpus with all noise disabled (values are exactly the seeds)."""
+    spec = CorpusGenerationSpec(
+        tables_per_relation=3,
+        max_rows=15,
+        spurious_tables=1,
+        formatting_tables=1,
+        mixed_tables_per_group=1,
+        noise=NoiseModel.clean(seed=1),
+        seed=1,
+    )
+    return WebCorpusGenerator(spec).generate()
+
+
+@pytest.fixture()
+def default_config() -> SynthesisConfig:
+    """The default synthesis configuration."""
+    return SynthesisConfig()
+
+
+@pytest.fixture()
+def simple_table() -> Table:
+    """A small hand-written table with a clean FD between the first two columns."""
+    return Table.from_rows(
+        table_id="t-simple",
+        header=["Country", "Code", "Population"],
+        rows=[
+            ("United States", "USA", "331000000"),
+            ("Canada", "CAN", "38000000"),
+            ("Mexico", "MEX", "126000000"),
+            ("Brazil", "BRA", "213000000"),
+            ("Japan", "JPN", "125800000"),
+        ],
+        domain="example.org",
+    )
+
+
+def make_binary(table_id: str, rows: list[tuple[str, str]], **kwargs) -> BinaryTable:
+    """Convenience constructor used throughout the tests."""
+    return BinaryTable.from_rows(table_id=table_id, rows=rows, **kwargs)
+
+
+@pytest.fixture()
+def iso_tables() -> list[BinaryTable]:
+    """Three candidate tables mirroring the paper's Table 8 (IOC vs ISO codes)."""
+    ioc_1 = make_binary(
+        "B1",
+        [
+            ("Afghanistan", "AFG"),
+            ("Albania", "ALB"),
+            ("Algeria", "ALG"),
+            ("American Samoa", "ASA"),
+            ("South Korea", "KOR"),
+            ("US Virgin Islands", "ISV"),
+        ],
+        domain="ioc1.example",
+    )
+    ioc_2 = make_binary(
+        "B2",
+        [
+            ("Afghanistan", "AFG"),
+            ("Albania", "ALB"),
+            ("Algeria", "ALG"),
+            ("American Samoa (US)", "ASA"),
+            ("Korea, Republic of (South)", "KOR"),
+            ("United States Virgin Islands", "ISV"),
+        ],
+        domain="ioc2.example",
+    )
+    iso = make_binary(
+        "B3",
+        [
+            ("Afghanistan", "AFG"),
+            ("Albania", "ALB"),
+            ("Algeria", "DZA"),
+            ("American Samoa", "ASM"),
+            ("South Korea", "KOR"),
+            ("US Virgin Islands", "VIR"),
+        ],
+        domain="iso.example",
+    )
+    return [ioc_1, ioc_2, iso]

@@ -1,0 +1,235 @@
+"""Tests for the bloom filter, mapping index, and the three applications."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.applications.autocorrect import AutoCorrector
+from repro.applications.autofill import AutoFiller
+from repro.applications.autojoin import AutoJoiner
+from repro.applications.bloom import BloomFilter
+from repro.applications.index import MappingIndex
+from repro.core.binary_table import ValuePair
+from repro.core.mapping import MappingRelationship
+from repro.corpus.seeds import get_seed_relation
+
+
+def mapping_from_seed(name: str) -> MappingRelationship:
+    relation = get_seed_relation(name)
+    return MappingRelationship(
+        mapping_id=name,
+        pairs=[ValuePair(left, right) for left, right in relation.pairs],
+        domains={"seed"},
+    )
+
+
+@pytest.fixture(scope="module")
+def index() -> MappingIndex:
+    return MappingIndex(
+        [
+            mapping_from_seed("state_abbrev"),
+            mapping_from_seed("country_iso3"),
+            mapping_from_seed("city_state"),
+            mapping_from_seed("company_ticker"),
+        ]
+    )
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter(expected_items=100)
+        values = [f"value-{i}" for i in range(100)]
+        bloom.update(values)
+        assert all(value in bloom for value in values)
+
+    def test_false_positive_rate_reasonable(self):
+        bloom = BloomFilter(expected_items=500, false_positive_rate=0.01)
+        bloom.update(f"in-{i}" for i in range(500))
+        false_hits = sum(1 for i in range(2000) if f"out-{i}" in bloom)
+        assert false_hits / 2000 < 0.05
+
+    def test_non_string_not_contained(self):
+        bloom = BloomFilter()
+        bloom.add("x")
+        assert 42 not in bloom
+
+    def test_len_tracks_insertions(self):
+        bloom = BloomFilter()
+        bloom.update(["a", "b", "c"])
+        assert len(bloom) == 3
+
+    def test_estimated_false_positive_rate_increases(self):
+        bloom = BloomFilter(expected_items=10)
+        before = bloom.estimated_false_positive_rate()
+        bloom.update(f"v{i}" for i in range(10))
+        assert bloom.estimated_false_positive_rate() >= before
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BloomFilter(expected_items=0)
+        with pytest.raises(ValueError):
+            BloomFilter(false_positive_rate=1.5)
+
+    @given(st.sets(st.text(min_size=1, max_size=10), max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_membership_property(self, values):
+        bloom = BloomFilter(expected_items=max(1, len(values)))
+        bloom.update(values)
+        assert all(value in bloom for value in values)
+
+
+class TestMappingIndex:
+    def test_lookup_left_side(self, index):
+        matches = index.lookup(["California", "Texas", "Ohio", "Nevada"])
+        assert matches
+        assert matches[0].mapping.mapping_id == "state_abbrev"
+        assert matches[0].direction == "forward"
+
+    def test_lookup_right_side(self, index):
+        matches = index.lookup(["CA", "TX", "OH", "NV", "WA"])
+        assert matches
+        best = matches[0]
+        assert best.mapping.mapping_id == "state_abbrev"
+        assert best.direction == "reverse"
+
+    def test_lookup_no_match(self, index):
+        assert index.lookup(["zzz", "qqq", "xxx"]) == []
+
+    def test_lookup_empty_values(self, index):
+        assert index.lookup([]) == []
+        assert index.lookup(["", "  "]) == []
+
+    def test_lookup_invalid_containment(self, index):
+        with pytest.raises(ValueError):
+            index.lookup(["California"], min_containment=1.5)
+
+    def test_lookup_pairs_forward(self, index):
+        matches = index.lookup_pairs([("San Francisco", "California"), ("Seattle", "Washington")])
+        assert matches
+        assert matches[0].mapping.mapping_id == "city_state"
+        assert matches[0].direction == "forward"
+
+    def test_lookup_pairs_reverse(self, index):
+        matches = index.lookup_pairs([("California", "San Francisco")])
+        assert matches
+        assert matches[0].direction == "reverse"
+
+    def test_len(self, index):
+        assert len(index) == 4
+
+
+class TestAutoCorrector:
+    def test_detects_mixed_column(self, index):
+        corrector = AutoCorrector(index)
+        # The paper's Table 3: full state names mixed with abbreviations.
+        column = ["California", "Washington", "Oregon", "CA", "WA"]
+        mapping = corrector.detect(column)
+        assert mapping is not None
+        assert mapping.mapping_id == "state_abbrev"
+
+    def test_suggests_minority_rewrites(self, index):
+        corrector = AutoCorrector(index)
+        column = ["California", "Washington", "Oregon", "CA", "WA"]
+        suggestions = corrector.suggest(column)
+        fixes = {s.original: s.suggestion for s in suggestions}
+        assert fixes == {"CA": "California", "WA": "Washington"}
+
+    def test_apply(self, index):
+        corrector = AutoCorrector(index)
+        corrected = corrector.apply(["California", "Washington", "Oregon", "CA", "WA"])
+        assert corrected == ["California", "Washington", "Oregon", "California", "Washington"]
+
+    def test_consistent_column_untouched(self, index):
+        corrector = AutoCorrector(index)
+        column = ["California", "Washington", "Oregon", "Texas"]
+        assert corrector.suggest(column) == []
+        assert corrector.apply(column) == column
+
+    def test_unknown_column_untouched(self, index):
+        corrector = AutoCorrector(index)
+        column = ["alpha", "beta", "gamma"]
+        assert corrector.detect(column) is None
+        assert corrector.apply(column) == column
+
+    def test_majority_abbreviations_converts_to_abbrev(self, index):
+        corrector = AutoCorrector(index)
+        corrected = corrector.apply(["CA", "WA", "OR", "TX", "Nevada"])
+        assert corrected == ["CA", "WA", "OR", "TX", "NV"]
+
+
+class TestAutoFiller:
+    def test_fill_with_examples(self, index):
+        """The paper's Table 4: fill states from cities given one example."""
+        filler = AutoFiller(index)
+        keys = ["San Francisco", "Seattle", "Los Angeles", "Houston", "Denver"]
+        result = filler.fill(keys, examples={0: "California"})
+        assert result.mapping_id == "city_state"
+        assert result.filled[1] == "Washington"
+        assert result.filled[3] == "Texas"
+        assert result.filled[4] == "Colorado"
+        assert result.fill_rate == 1.0
+
+    def test_fill_without_examples(self, index):
+        filler = AutoFiller(index)
+        result = filler.fill(["California", "Texas", "Ohio", "Washington"])
+        assert result.mapping_id == "state_abbrev"
+        assert result.filled[0] == "CA"
+
+    def test_examples_disambiguate_direction(self, index):
+        filler = AutoFiller(index)
+        result = filler.fill(["CA", "TX", "WA"], examples={0: "California"})
+        assert result.filled[1] == "Texas"
+
+    def test_unmatched_keys_reported(self, index):
+        filler = AutoFiller(index)
+        result = filler.fill(["San Francisco", "Atlantis City"], examples={0: "California"})
+        assert 1 in result.unmatched_rows
+        assert result.fill_rate == pytest.approx(0.5)
+
+    def test_no_mapping_found(self, index):
+        filler = AutoFiller(index)
+        result = filler.fill(["qqq", "zzz"])
+        assert result.mapping_id is None
+        assert result.fill_rate == 0.0
+
+    def test_invalid_agreement(self, index):
+        with pytest.raises(ValueError):
+            AutoFiller(index, min_example_agreement=0.0)
+
+
+class TestAutoJoiner:
+    def test_join_through_mapping(self, index):
+        """The paper's Table 5: join tickers with company names via the mapping."""
+        joiner = AutoJoiner(index)
+        left = ["MSFT", "ORCL", "GE", "UPS"]
+        right = ["General Electric", "Microsoft Corp", "Oracle", "Walmart"]
+        result = joiner.join(left, right)
+        assert result.mapping_id == "company_ticker"
+        pairs = set(result.row_pairs)
+        assert (0, 1) in pairs  # MSFT - Microsoft Corp
+        assert (1, 2) in pairs  # ORCL - Oracle
+        assert (2, 0) in pairs  # GE - General Electric
+        assert 3 in result.unmatched_left  # UPS has no partner row
+        assert 3 in result.unmatched_right  # Walmart has no partner row
+
+    def test_join_rate(self, index):
+        joiner = AutoJoiner(index)
+        result = joiner.join(["MSFT", "ORCL"], ["Oracle", "Microsoft Corp"])
+        assert result.join_rate == 1.0
+
+    def test_join_same_direction_columns(self, index):
+        joiner = AutoJoiner(index)
+        left = ["California", "Texas"]
+        right = ["CA", "TX"]
+        result = joiner.join(left, right)
+        assert result.mapping_id == "state_abbrev"
+        assert set(result.row_pairs) == {(0, 0), (1, 1)}
+
+    def test_join_without_mapping(self, index):
+        joiner = AutoJoiner(index)
+        result = joiner.join(["aaa", "bbb"], ["ccc", "ddd"])
+        assert result.mapping_id is None
+        assert result.row_pairs == []
+        assert result.unmatched_left == [0, 1]

@@ -1,0 +1,278 @@
+"""Tests for every baseline method (paper §5.1 "Methods compared")."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    CorrelationClusteringBaseline,
+    EntTableBaseline,
+    FreebaseBaseline,
+    SchemaCCBaseline,
+    SynthesisMethod,
+    SynthesisPosMethod,
+    SyntheticKnowledgeBase,
+    UnionDomainBaseline,
+    UnionWebBaseline,
+    WebTableBaseline,
+    WikiTableBaseline,
+    WiseIntegratorBaseline,
+    YagoBaseline,
+)
+from repro.baselines.base import candidates_from_corpus
+from repro.core.binary_table import BinaryTable
+from repro.core.config import SynthesisConfig
+from repro.corpus.corpus import TableCorpus
+from repro.corpus.table import Table
+
+
+def make_binary(table_id, rows, **kwargs):
+    return BinaryTable.from_rows(table_id=table_id, rows=rows, **kwargs)
+
+
+@pytest.fixture(scope="module")
+def shared_candidates(request):
+    corpus = request.getfixturevalue("small_web_corpus")
+    return candidates_from_corpus(corpus, SynthesisConfig())
+
+
+class TestSingleTableBaselines:
+    def test_webtable_offers_each_candidate(self, small_web_corpus, shared_candidates):
+        baseline = WebTableBaseline(SynthesisConfig())
+        mappings = baseline.synthesize(small_web_corpus, candidates=shared_candidates)
+        assert len(mappings) == len(shared_candidates)
+        assert all(mapping.num_source_tables == 1 for mapping in mappings)
+
+    def test_wikitable_restricts_to_wikipedia(self, small_web_corpus, shared_candidates):
+        baseline = WikiTableBaseline(SynthesisConfig())
+        mappings = baseline.synthesize(small_web_corpus, candidates=shared_candidates)
+        wiki_tables = {
+            table.table_id
+            for table in small_web_corpus
+            if table.domain == "en.wikipedia.org"
+        }
+        assert all(
+            mapping.source_tables[0].split("#")[0] in wiki_tables for mapping in mappings
+        )
+        assert len(mappings) < len(shared_candidates)
+
+    def test_enttable_same_as_webtable_on_corpus(self, small_web_corpus, shared_candidates):
+        ent = EntTableBaseline(SynthesisConfig()).synthesize(
+            small_web_corpus, candidates=shared_candidates
+        )
+        web = WebTableBaseline(SynthesisConfig()).synthesize(
+            small_web_corpus, candidates=shared_candidates
+        )
+        assert len(ent) == len(web)
+
+    def test_without_shared_candidates(self, small_web_corpus):
+        mappings = WebTableBaseline(SynthesisConfig()).synthesize(small_web_corpus)
+        assert mappings
+
+
+class TestUnionBaselines:
+    def _candidates(self) -> list[BinaryTable]:
+        return [
+            make_binary("a1", [("x", "1"), ("y", "2")], left_name="name", right_name="code",
+                        domain="site-a.org"),
+            make_binary("a2", [("z", "3")], left_name="name", right_name="code",
+                        domain="site-a.org"),
+            make_binary("b1", [("p", "9")], left_name="name", right_name="code",
+                        domain="site-b.org"),
+            make_binary("c1", [("q", "7")], left_name="city", right_name="state",
+                        domain="site-a.org"),
+        ]
+
+    def test_union_domain_groups_by_domain_and_headers(self):
+        corpus = TableCorpus(name="empty")
+        mappings = UnionDomainBaseline(SynthesisConfig()).synthesize(
+            corpus, candidates=self._candidates()
+        )
+        sizes = sorted(len(mapping.source_tables) for mapping in mappings)
+        assert sizes == [1, 1, 2]
+
+    def test_union_web_groups_by_headers_only(self):
+        corpus = TableCorpus(name="empty")
+        mappings = UnionWebBaseline(SynthesisConfig()).synthesize(
+            corpus, candidates=self._candidates()
+        )
+        sizes = sorted(len(mapping.source_tables) for mapping in mappings)
+        assert sizes == [1, 3]
+
+    def test_union_web_over_groups_generic_headers(self, small_web_corpus, shared_candidates):
+        """Generic (name, code) headers lump unrelated relations together."""
+        mappings = UnionWebBaseline(SynthesisConfig()).synthesize(
+            small_web_corpus, candidates=shared_candidates
+        )
+        largest = max(mappings, key=lambda mapping: mapping.num_source_tables)
+        sources = {table_id.split("#")[0].split("-")[1] for table_id in largest.source_tables}
+        assert largest.num_source_tables > 3
+
+
+class TestSchemaMatchingBaselines:
+    def test_schema_cc_transitive_merge(self):
+        # a-b and b-c are matches; transitivity also places a with c.
+        a = make_binary("a", [("x", "1"), ("y", "2"), ("z", "3")])
+        b = make_binary("b", [("x", "1"), ("y", "2"), ("w", "4")])
+        c = make_binary("c", [("w", "4"), ("v", "5"), ("u", "6")])
+        corpus = TableCorpus(name="empty")
+        config = SynthesisConfig(overlap_threshold=1)
+        mappings = SchemaCCBaseline(0.3, True, config).synthesize(corpus, candidates=[a, b, c])
+        assert len(mappings) == 1
+        assert mappings[0].num_source_tables == 3
+
+    def test_schema_cc_threshold_controls_merging(self, iso_tables):
+        corpus = TableCorpus(name="empty")
+        config = SynthesisConfig(overlap_threshold=2)
+        loose = SchemaCCBaseline(0.1, False, config).synthesize(corpus, candidates=iso_tables)
+        strict = SchemaCCBaseline(0.95, False, config).synthesize(corpus, candidates=iso_tables)
+        assert len(loose) < len(strict)
+
+    def test_schema_pos_cc_merges_conflicting_standards(self, iso_tables):
+        """Without the negative signal, ISO and IOC tables merge (the paper's point)."""
+        corpus = TableCorpus(name="empty")
+        config = SynthesisConfig(overlap_threshold=2)
+        pos_only = SchemaCCBaseline(0.4, False, config)
+        mappings = pos_only.synthesize(corpus, candidates=iso_tables)
+        assert max(mapping.num_source_tables for mapping in mappings) == 3
+
+    def test_schema_cc_with_negatives_keeps_them_apart(self, iso_tables):
+        corpus = TableCorpus(name="empty")
+        config = SynthesisConfig(overlap_threshold=2)
+        with_neg = SchemaCCBaseline(0.4, True, config)
+        mappings = with_neg.synthesize(corpus, candidates=iso_tables)
+        assert max(mapping.num_source_tables for mapping in mappings) == 2
+
+    def test_sweep_constructor(self):
+        family = SchemaCCBaseline.sweep_thresholds(use_negative=True, thresholds=(0.2, 0.8))
+        assert len(family) == 2
+        assert {method.threshold for method in family} == {0.2, 0.8}
+        assert all(method.name == "SchemaCC" for method in family)
+        pos_family = SchemaCCBaseline.sweep_thresholds(use_negative=False, thresholds=(0.5,))
+        assert pos_family[0].name == "SchemaPosCC"
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            SchemaCCBaseline(threshold=1.5)
+
+    def test_wise_integrator_clusters_by_headers(self):
+        a = make_binary("a", [("x", "1")], left_name="Country", right_name="Code")
+        b = make_binary("b", [("y", "2")], left_name="country", right_name="code")
+        c = make_binary("c", [("Chicago", "Illinois")], left_name="City", right_name="State")
+        corpus = TableCorpus(name="empty")
+        mappings = WiseIntegratorBaseline(config=SynthesisConfig()).synthesize(
+            corpus, candidates=[a, b, c]
+        )
+        sizes = sorted(mapping.num_source_tables for mapping in mappings)
+        assert sizes == [1, 2]
+
+    def test_wise_integrator_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            WiseIntegratorBaseline(similarity_threshold=2.0)
+
+
+class TestCorrelationClustering:
+    def test_clusters_cover_all_candidates(self, iso_tables):
+        corpus = TableCorpus(name="empty")
+        config = SynthesisConfig(overlap_threshold=2)
+        mappings = CorrelationClusteringBaseline(config).synthesize(
+            corpus, candidates=iso_tables
+        )
+        total_sources = sum(mapping.num_source_tables for mapping in mappings)
+        assert total_sources == len(iso_tables)
+
+    def test_deterministic_given_seed(self, iso_tables):
+        corpus = TableCorpus(name="empty")
+        config = SynthesisConfig(overlap_threshold=2)
+        first = CorrelationClusteringBaseline(config, seed=3).synthesize(
+            corpus, candidates=iso_tables
+        )
+        second = CorrelationClusteringBaseline(config, seed=3).synthesize(
+            corpus, candidates=iso_tables
+        )
+        assert [m.pair_set() for m in first] == [m.pair_set() for m in second]
+
+    def test_invalid_rounds(self):
+        with pytest.raises(ValueError):
+            CorrelationClusteringBaseline(max_rounds=0)
+
+
+class TestKnowledgeBaseBaselines:
+    def test_synthetic_kb_coverage(self):
+        kb = SyntheticKnowledgeBase(coverage=0.5, seed=1)
+        relationships = kb.relationships()
+        assert relationships
+        # Each covered predicate yields a forward and a reverse relation.
+        assert len(relationships) == 2 * len(kb.covered_relations)
+
+    def test_kb_has_no_synonyms(self):
+        kb = SyntheticKnowledgeBase(coverage=1.0, seed=1)
+        forward = {
+            mapping.mapping_id: mapping for mapping in kb.relationships()
+        }["kb-country_iso3-forward"]
+        lefts = {pair.left for pair in forward.pairs}
+        assert "South Korea" in lefts
+        assert "Republic of Korea" not in lefts
+
+    def test_kb_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SyntheticKnowledgeBase(coverage=1.5)
+        with pytest.raises(ValueError):
+            SyntheticKnowledgeBase(instance_coverage=0.0)
+
+    def test_freebase_broader_than_yago(self):
+        freebase = FreebaseBaseline()
+        yago = YagoBaseline()
+        assert len(freebase.knowledge_base.covered_relations) > len(
+            yago.knowledge_base.covered_relations
+        )
+
+    def test_kb_ignores_corpus(self, small_web_corpus):
+        baseline = FreebaseBaseline()
+        with_corpus = baseline.synthesize(small_web_corpus)
+        without = baseline.synthesize(TableCorpus(name="empty"))
+        assert len(with_corpus) == len(without)
+
+
+class TestSynthesisMethods:
+    def test_synthesis_method_produces_merged_mappings(self, iso_tables):
+        corpus = TableCorpus(name="empty")
+        config = SynthesisConfig(overlap_threshold=2, edge_threshold=0.3)
+        mappings = SynthesisMethod(config).synthesize(corpus, candidates=iso_tables)
+        assert len(mappings) == 2
+
+    def test_synthesis_pos_disables_negative_edges(self, iso_tables):
+        corpus = TableCorpus(name="empty")
+        config = SynthesisConfig(overlap_threshold=2, edge_threshold=0.3)
+        method = SynthesisPosMethod(config)
+        assert not method.config.use_negative_edges
+        mappings = method.synthesize(corpus, candidates=iso_tables)
+        assert len(mappings) == 1
+
+    def test_repr_contains_name(self):
+        assert "Synthesis" in repr(SynthesisMethod())
+
+
+class TestBaseHelpers:
+    def test_candidates_from_corpus(self, small_web_corpus):
+        candidates = candidates_from_corpus(small_web_corpus, SynthesisConfig())
+        assert candidates
+        assert all(isinstance(candidate, BinaryTable) for candidate in candidates)
+
+    def test_single_table_filter_on_candidates(self):
+        table = Table.from_rows(
+            "keep-me", ["a", "b"],
+            [("x1", "y1"), ("x2", "y2"), ("x3", "y3"), ("x4", "y4"), ("x5", "y5")],
+            domain="en.wikipedia.org",
+        )
+        other = Table.from_rows(
+            "drop-me", ["a", "b"],
+            [("p1", "q1"), ("p2", "q2"), ("p3", "q3"), ("p4", "q4"), ("p5", "q5")],
+            domain="other.org",
+        )
+        corpus = TableCorpus([table, other])
+        candidates = candidates_from_corpus(corpus, SynthesisConfig(use_pmi_filter=False))
+        baseline = WikiTableBaseline(SynthesisConfig(use_pmi_filter=False))
+        mappings = baseline.synthesize(corpus, candidates=candidates)
+        assert mappings
+        assert all(m.source_tables[0].startswith("keep-me") for m in mappings)

@@ -1,0 +1,164 @@
+"""Tests for the core data model: BinaryTable, ValuePair, MappingRelationship."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.binary_table import BinaryTable, ValuePair
+from repro.core.mapping import MappingRelationship
+
+
+pair_strategy = st.tuples(st.text(min_size=1, max_size=8), st.text(min_size=1, max_size=8))
+
+
+class TestValuePair:
+    def test_reversed(self):
+        assert ValuePair("a", "b").reversed() == ValuePair("b", "a")
+
+    def test_as_tuple(self):
+        assert ValuePair("a", "b").as_tuple() == ("a", "b")
+
+    def test_hashable_and_orderable(self):
+        pairs = {ValuePair("a", "b"), ValuePair("a", "b"), ValuePair("b", "a")}
+        assert len(pairs) == 2
+        assert sorted(pairs)[0] == ValuePair("a", "b")
+
+
+class TestBinaryTable:
+    def test_from_rows(self):
+        table = BinaryTable.from_rows("t1", [("a", "1"), ("b", "2")])
+        assert len(table) == 2
+        assert ("a", "1") in table
+
+    def test_deduplicates_pairs(self):
+        table = BinaryTable.from_rows("t1", [("a", "1"), ("a", "1"), ("b", "2")])
+        assert len(table) == 2
+
+    def test_left_right_values_preserve_order(self):
+        table = BinaryTable.from_rows("t1", [("b", "2"), ("a", "1"), ("b", "2")])
+        assert table.left_values == ["b", "a"]
+        assert table.right_values == ["2", "1"]
+
+    def test_pair_set_and_mapping_dict(self):
+        table = BinaryTable.from_rows("t1", [("a", "1"), ("b", "2")])
+        assert table.pair_set() == {("a", "1"), ("b", "2")}
+        assert table.mapping_dict() == {"a": "1", "b": "2"}
+
+    def test_equality_is_by_id(self):
+        first = BinaryTable.from_rows("same", [("a", "1")])
+        second = BinaryTable.from_rows("same", [("b", "2")])
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_fd_ratio_perfect(self):
+        table = BinaryTable.from_rows("t1", [("a", "1"), ("b", "2"), ("c", "3")])
+        assert table.fd_ratio() == 1.0
+        assert table.is_functional()
+
+    def test_fd_ratio_with_violation(self):
+        table = BinaryTable.from_rows(
+            "t1", [("a", "1"), ("a", "2"), ("b", "3"), ("c", "4")]
+        )
+        assert table.fd_ratio() == pytest.approx(3 / 4)
+        assert not table.is_functional(theta=0.95)
+        assert table.is_functional(theta=0.7)
+
+    def test_fd_ratio_empty_table(self):
+        assert BinaryTable("empty", []).fd_ratio() == 1.0
+
+    def test_reversed_table(self):
+        table = BinaryTable.from_rows("t1", [("a", "1")], left_name="L", right_name="R")
+        reversed_table = table.reversed()
+        assert reversed_table.pairs == [ValuePair("1", "a")]
+        assert reversed_table.left_name == "R"
+        assert reversed_table.right_name == "L"
+        assert reversed_table.table_id != table.table_id
+
+    def test_contains_accepts_tuples_and_pairs(self):
+        table = BinaryTable.from_rows("t1", [("a", "1")])
+        assert ("a", "1") in table
+        assert ValuePair("a", "1") in table
+        assert ("a", "2") not in table
+
+    @given(st.lists(pair_strategy, max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_dedup_preserves_distinct_count(self, rows):
+        table = BinaryTable.from_rows("t", rows)
+        assert len(table) == len(set(rows))
+
+    @given(st.lists(pair_strategy, max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_fd_ratio_in_unit_interval(self, rows):
+        ratio = BinaryTable.from_rows("t", rows).fd_ratio()
+        assert 0.0 <= ratio <= 1.0
+
+    @given(st.lists(pair_strategy, min_size=1, max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_reversed_twice_has_same_pairs(self, rows):
+        table = BinaryTable.from_rows("t", rows)
+        double = table.reversed().reversed()
+        assert double.pair_set() == table.pair_set()
+
+
+class TestMappingRelationship:
+    def _tables(self) -> list[BinaryTable]:
+        first = BinaryTable.from_rows(
+            "t1", [("a", "1"), ("b", "2")], domain="x.org", left_name="name", right_name="code"
+        )
+        second = BinaryTable.from_rows(
+            "t2", [("b", "2"), ("c", "3")], domain="y.org", left_name="name", right_name="code"
+        )
+        return [first, second]
+
+    def test_from_tables_unions_pairs(self):
+        mapping = MappingRelationship.from_tables("m1", self._tables())
+        assert mapping.pair_set() == {("a", "1"), ("b", "2"), ("c", "3")}
+        assert mapping.num_source_tables == 2
+        assert mapping.popularity == 2
+        assert mapping.column_names == ("name", "code")
+
+    def test_dedup_on_construction(self):
+        mapping = MappingRelationship("m", [ValuePair("a", "1"), ValuePair("a", "1")])
+        assert len(mapping) == 1
+
+    def test_as_dict_first_pair_wins(self):
+        mapping = MappingRelationship("m", [ValuePair("a", "1"), ValuePair("a", "2")])
+        assert mapping.as_dict() == {"a": "1"}
+
+    def test_conflict_count_and_is_functional(self):
+        clean = MappingRelationship("m", [ValuePair("a", "1"), ValuePair("b", "2")])
+        assert clean.conflict_count() == 0
+        assert clean.is_functional()
+        dirty = MappingRelationship("m", [ValuePair("a", "1"), ValuePair("a", "2")])
+        assert dirty.conflict_count() == 1
+        assert not dirty.is_functional()
+
+    def test_fd_ratio(self):
+        mapping = MappingRelationship(
+            "m", [ValuePair("a", "1"), ValuePair("a", "2"), ValuePair("b", "3")]
+        )
+        assert mapping.fd_ratio() == pytest.approx(2 / 3)
+
+    def test_left_right_values(self):
+        mapping = MappingRelationship("m", [ValuePair("a", "1"), ValuePair("b", "2")])
+        assert mapping.left_values() == {"a", "b"}
+        assert mapping.right_values() == {"1", "2"}
+
+    def test_to_binary_table_round_trip(self):
+        mapping = MappingRelationship.from_tables("m1", self._tables())
+        table = mapping.to_binary_table()
+        assert table.pair_set() == mapping.pair_set()
+        assert table.table_id == "m1"
+
+    def test_empty_mapping(self):
+        mapping = MappingRelationship("empty", [])
+        assert len(mapping) == 0
+        assert mapping.is_functional()
+        assert mapping.fd_ratio() == 1.0
+
+    def test_contains(self):
+        mapping = MappingRelationship("m", [ValuePair("a", "1")])
+        assert ("a", "1") in mapping
+        assert ("a", "2") not in mapping

@@ -1,0 +1,77 @@
+"""Tests for SynthesisConfig validation and helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SynthesisConfig
+
+
+class TestSynthesisConfigValidation:
+    def test_defaults_are_valid(self):
+        config = SynthesisConfig()
+        assert 0.0 < config.fd_theta <= 1.0
+        assert config.conflict_threshold <= 0.0
+
+    def test_invalid_fd_theta(self):
+        with pytest.raises(ValueError):
+            SynthesisConfig(fd_theta=0.0)
+        with pytest.raises(ValueError):
+            SynthesisConfig(fd_theta=1.5)
+
+    def test_invalid_min_rows(self):
+        with pytest.raises(ValueError):
+            SynthesisConfig(min_rows=0)
+
+    def test_invalid_edge_threshold(self):
+        with pytest.raises(ValueError):
+            SynthesisConfig(edge_threshold=1.5)
+        with pytest.raises(ValueError):
+            SynthesisConfig(edge_threshold=-0.1)
+
+    def test_positive_conflict_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            SynthesisConfig(conflict_threshold=0.3)
+
+    def test_invalid_overlap_threshold(self):
+        with pytest.raises(ValueError):
+            SynthesisConfig(overlap_threshold=0)
+
+    def test_invalid_conflict_strategy(self):
+        with pytest.raises(ValueError):
+            SynthesisConfig(conflict_strategy="delete-everything")
+
+    def test_invalid_edit_fraction(self):
+        with pytest.raises(ValueError):
+            SynthesisConfig(edit_fraction=-0.2)
+
+    def test_invalid_min_domains(self):
+        with pytest.raises(ValueError):
+            SynthesisConfig(min_domains=0)
+
+
+class TestSynthesisConfigHelpers:
+    def test_with_overrides_returns_new_object(self):
+        config = SynthesisConfig()
+        changed = config.with_overrides(fd_theta=0.9)
+        assert changed.fd_theta == 0.9
+        assert config.fd_theta == 0.95
+        assert changed is not config
+
+    def test_with_overrides_validates(self):
+        with pytest.raises(ValueError):
+            SynthesisConfig().with_overrides(fd_theta=2.0)
+
+    def test_paper_defaults(self):
+        config = SynthesisConfig.paper_defaults()
+        assert config.fd_theta == 0.95
+        assert config.use_negative_edges
+
+    def test_positive_only(self):
+        config = SynthesisConfig.positive_only()
+        assert not config.use_negative_edges
+
+    def test_frozen(self):
+        config = SynthesisConfig()
+        with pytest.raises(AttributeError):
+            config.fd_theta = 0.5  # type: ignore[misc]

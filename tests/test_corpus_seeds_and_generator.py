@@ -1,0 +1,244 @@
+"""Tests for the seed relations, noise model, and corpus generators."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus.generator import (
+    CorpusGenerationSpec,
+    EnterpriseCorpusGenerator,
+    WebCorpusGenerator,
+)
+from repro.corpus.noise import NoiseModel
+from repro.corpus.seeds import all_seed_relations, get_seed_relation, seed_relation_names
+
+
+class TestSeedRelations:
+    def test_relations_exist(self):
+        assert len(all_seed_relations()) >= 30
+
+    def test_categories(self):
+        categories = {relation.category for relation in all_seed_relations()}
+        assert categories == {"geocoding", "querylog", "enterprise"}
+
+    def test_get_by_name(self):
+        relation = get_seed_relation("country_iso3")
+        assert relation.left_attr == "country"
+        assert ("Japan", "JPN") in relation.canonical_pairs()
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_seed_relation("no_such_relation")
+
+    def test_names_unique(self):
+        names = seed_relation_names()
+        assert len(names) == len(set(names))
+
+    def test_one_to_one_relations_are_functional_both_ways(self):
+        for relation in all_seed_relations():
+            if not relation.one_to_one:
+                continue
+            lefts = [left for left, _ in relation.pairs]
+            rights = [right for _, right in relation.pairs]
+            assert len(set(lefts)) == len(lefts), relation.name
+            assert len(set(rights)) == len(rights), relation.name
+
+    def test_all_relations_functional_left_to_right(self):
+        for relation in all_seed_relations():
+            lefts = [left for left, _ in relation.pairs]
+            assert len(set(lefts)) == len(lefts), f"{relation.name} violates FD"
+
+    def test_synonym_expansion_supersets_canonical(self):
+        relation = get_seed_relation("country_iso3")
+        expanded = relation.ground_truth_pairs(include_synonyms=True)
+        assert relation.canonical_pairs() <= expanded
+        assert ("Republic of Korea", "KOR") in expanded
+
+    def test_ground_truth_without_synonyms(self):
+        relation = get_seed_relation("country_iso3")
+        assert relation.ground_truth_pairs(include_synonyms=False) == relation.canonical_pairs()
+
+    def test_code_standards_disagree_somewhere(self):
+        """ISO3 and IOC codes must differ for some countries (the paper's Figure 2)."""
+        iso3 = dict(get_seed_relation("country_iso3").pairs)
+        ioc = dict(get_seed_relation("country_ioc").pairs)
+        shared = set(iso3) & set(ioc)
+        assert shared
+        assert any(iso3[country] != ioc[country] for country in shared)
+        assert any(iso3[country] == ioc[country] for country in shared)
+
+    def test_capital_and_largest_city_mostly_differ(self):
+        capital = dict(get_seed_relation("state_capital").pairs)
+        largest = dict(get_seed_relation("state_largest_city").pairs)
+        differing = [state for state in capital if capital[state] != largest.get(state)]
+        agreeing = [state for state in capital if capital[state] == largest.get(state)]
+        assert differing and agreeing
+
+    def test_city_state_has_ambiguity_handled(self):
+        """Portland belongs to exactly one state in the seeds (FD kept clean)."""
+        cities = dict(get_seed_relation("city_state").pairs)
+        assert cities["Portland"] in {"Oregon", "Maine"}
+
+    def test_enterprise_relations_present(self):
+        names = set(seed_relation_names(category="enterprise"))
+        assert "product_family_code" in names
+        assert "data_center_region" in names
+
+
+class TestNoiseModel:
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            NoiseModel(typo_rate=1.5)
+        with pytest.raises(ValueError):
+            NoiseModel(error_rate=-0.1)
+
+    def test_clean_model_is_identity(self):
+        noise = NoiseModel.clean()
+        for value in ("South Korea", "USA", "Los Angeles International Airport"):
+            assert noise.perturb_value(value, ("synonym",)) == value
+        assert not noise.should_corrupt()
+
+    def test_deterministic_given_seed(self):
+        first = NoiseModel(seed=5)
+        second = NoiseModel(seed=5)
+        values = ["United States", "Canada", "Mexico", "Brazil"] * 10
+        assert [first.perturb_value(v) for v in values] == [
+            second.perturb_value(v) for v in values
+        ]
+
+    def test_synonym_substitution_happens(self):
+        noise = NoiseModel(typo_rate=0, footnote_rate=0, case_rate=0, synonym_rate=1.0,
+                           error_rate=0, seed=1)
+        assert noise.perturb_value("South Korea", ("Republic of Korea",)) == "Republic of Korea"
+
+    def test_corrupt_value_picks_alternative(self):
+        noise = NoiseModel(seed=3)
+        corrupted = noise.corrupt_value("AAA", ["AAA", "BBB", "CCC"])
+        assert corrupted in {"BBB", "CCC"}
+
+    def test_corrupt_value_without_alternatives(self):
+        noise = NoiseModel(seed=3)
+        assert noise.corrupt_value("ABCD", ["ABCD"]) != ""
+
+    def test_clone_changes_seed_only(self):
+        noise = NoiseModel(typo_rate=0.5, seed=1)
+        clone = noise.clone(seed=2)
+        assert clone.typo_rate == 0.5
+        assert clone.seed == 2
+
+    @given(st.text(min_size=1, max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_perturb_always_returns_string(self, value):
+        noise = NoiseModel(seed=9)
+        assert isinstance(noise.perturb_value(value), str)
+
+
+class TestCorpusGenerationSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CorpusGenerationSpec(tables_per_relation=0)
+        with pytest.raises(ValueError):
+            CorpusGenerationSpec(min_rows=10, max_rows=5)
+
+    def test_small_and_benchmark_presets(self):
+        assert CorpusGenerationSpec.small().tables_per_relation < \
+            CorpusGenerationSpec.benchmark().tables_per_relation
+
+
+class TestWebCorpusGenerator:
+    def test_generation_is_deterministic(self):
+        spec = CorpusGenerationSpec.small(seed=11)
+        first = WebCorpusGenerator(spec).generate()
+        second = WebCorpusGenerator(CorpusGenerationSpec.small(seed=11)).generate()
+        assert first.table_ids() == second.table_ids()
+        assert list(first.tables()[0].rows()) == list(second.tables()[0].rows())
+
+    def test_covers_all_web_relations(self, small_web_corpus):
+        seed_names = {
+            table.metadata.get("seed_relation")
+            for table in small_web_corpus
+            if not table.metadata.get("seed_relation", "").startswith("__")
+        }
+        expected = set(seed_relation_names("geocoding")) | set(seed_relation_names("querylog"))
+        assert expected <= seed_names
+
+    def test_popular_relations_get_more_tables(self, small_web_corpus):
+        by_relation: dict[str, int] = {}
+        for table in small_web_corpus:
+            name = table.metadata.get("seed_relation", "")
+            by_relation[name] = by_relation.get(name, 0) + 1
+        assert by_relation["country_iso3"] > by_relation["wind_beaufort"]
+
+    def test_contains_spurious_and_formatting_tables(self, small_web_corpus):
+        kinds = {table.metadata.get("seed_relation") for table in small_web_corpus}
+        assert "__spurious__" in kinds
+        assert "__formatting__" in kinds
+
+    def test_contains_mixed_tables(self, small_web_corpus):
+        mixed = [
+            table
+            for table in small_web_corpus
+            if table.metadata.get("seed_relation", "").startswith("__mixed__")
+        ]
+        assert mixed
+
+    def test_mixed_tables_keep_local_fd(self, clean_web_corpus):
+        """The mixed tables must survive the FD filter to be a meaningful trap."""
+        from repro.extraction.fd import column_pair_fd_ratio
+
+        mixed = [
+            table
+            for table in clean_web_corpus
+            if table.metadata.get("seed_relation", "").startswith("__mixed__")
+        ]
+        assert mixed
+        for table in mixed:
+            rows = table.column_pair_rows(0, 1)
+            assert column_pair_fd_ratio(rows) >= 0.95
+
+    def test_tables_have_domains_and_rows(self, small_web_corpus):
+        for table in small_web_corpus:
+            assert table.domain
+            assert table.num_rows >= 2
+            assert table.num_columns >= 2
+
+    def test_clean_corpus_values_come_from_seeds(self, clean_web_corpus):
+        """Without noise, relation tables contain only canonical seed values."""
+        relation = get_seed_relation("state_abbrev")
+        valid_pairs = set(relation.pairs)
+        for table in clean_web_corpus:
+            if table.metadata.get("seed_relation") != "state_abbrev":
+                continue
+            header = table.column_names()
+            left_idx, right_idx = (0, 1)
+            rows = table.column_pair_rows(left_idx, right_idx)
+            forward_ok = all(pair in valid_pairs for pair in rows)
+            backward_ok = all((right, left) in valid_pairs for left, right in rows)
+            assert forward_ok or backward_ok, header
+
+
+class TestEnterpriseCorpusGenerator:
+    def test_generates_enterprise_relations(self):
+        corpus = EnterpriseCorpusGenerator(CorpusGenerationSpec.small(seed=2)).generate()
+        seed_names = {
+            table.metadata.get("seed_relation")
+            for table in corpus
+            if not table.metadata.get("seed_relation", "").startswith("__")
+        }
+        assert set(seed_relation_names("enterprise")) <= seed_names
+
+    def test_pivot_corruption_rate_validated(self):
+        with pytest.raises(ValueError):
+            EnterpriseCorpusGenerator(pivot_corruption_rate=1.2)
+
+    def test_pivot_corruption_leaks_headers(self):
+        generator = EnterpriseCorpusGenerator(
+            CorpusGenerationSpec.small(seed=4), pivot_corruption_rate=1.0
+        )
+        corpus = generator.generate()
+        corrupted = [t for t in corpus if t.metadata.get("pivot_corrupted") == "true"]
+        assert corrupted
+        table = corrupted[0]
+        assert table.columns[0].values[0] == table.columns[0].name

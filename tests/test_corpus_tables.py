@@ -1,0 +1,159 @@
+"""Tests for Table, Column, TableCorpus, and corpus persistence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.corpus import TableCorpus
+from repro.corpus.loader import (
+    load_corpus_csv_dir,
+    load_corpus_json,
+    save_corpus_csv_dir,
+    save_corpus_json,
+)
+from repro.corpus.table import Column, Table
+
+
+class TestColumn:
+    def test_values_coerced_to_strings(self):
+        column = Column("n", [1, 2, 3])
+        assert column.values == ["1", "2", "3"]
+
+    def test_distinct(self):
+        column = Column("n", ["a", "a", "b"])
+        assert column.distinct_values() == {"a", "b"}
+        assert column.distinct_count() == 2
+
+    def test_len_iter_getitem(self):
+        column = Column("n", ["a", "b"])
+        assert len(column) == 2
+        assert list(column) == ["a", "b"]
+        assert column[1] == "b"
+
+
+class TestTable:
+    def test_from_rows(self, simple_table):
+        assert simple_table.num_rows == 5
+        assert simple_table.num_columns == 3
+        assert simple_table.column_names() == ["Country", "Code", "Population"]
+
+    def test_unequal_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table("bad", [Column("a", ["1", "2"]), Column("b", ["1"])])
+
+    def test_from_rows_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            Table.from_rows("bad", ["a", "b"], [("1",)])
+
+    def test_column_lookup(self, simple_table):
+        assert simple_table.column("Code").values[0] == "USA"
+        with pytest.raises(KeyError):
+            simple_table.column("missing")
+
+    def test_rows_iteration(self, simple_table):
+        rows = list(simple_table.rows())
+        assert rows[0] == ("United States", "USA", "331000000")
+        assert len(rows) == 5
+
+    def test_column_pair_rows(self, simple_table):
+        pairs = simple_table.column_pair_rows(0, 1)
+        assert pairs[0] == ("United States", "USA")
+        reversed_pairs = simple_table.column_pair_rows(1, 0)
+        assert reversed_pairs[0] == ("USA", "United States")
+
+    def test_empty_table(self):
+        table = Table("empty", [])
+        assert table.num_rows == 0
+        assert table.num_columns == 0
+
+
+class TestTableCorpus:
+    def _corpus(self, simple_table) -> TableCorpus:
+        corpus = TableCorpus(name="test")
+        corpus.add(simple_table)
+        corpus.add(
+            Table.from_rows("t2", ["a", "b"], [("1", "2")], domain="other.org")
+        )
+        return corpus
+
+    def test_add_and_get(self, simple_table):
+        corpus = self._corpus(simple_table)
+        assert len(corpus) == 2
+        assert corpus.get("t-simple") is simple_table
+        assert "t2" in corpus
+
+    def test_duplicate_id_rejected(self, simple_table):
+        corpus = self._corpus(simple_table)
+        with pytest.raises(ValueError):
+            corpus.add(simple_table)
+
+    def test_get_missing_raises(self, simple_table):
+        corpus = self._corpus(simple_table)
+        with pytest.raises(KeyError):
+            corpus.get("nope")
+
+    def test_column_iteration_and_counts(self, simple_table):
+        corpus = self._corpus(simple_table)
+        assert corpus.num_columns == 5
+        assert corpus.num_cells == 5 * 3 + 2
+        assert len(list(corpus.iter_columns())) == 5
+
+    def test_domains(self, simple_table):
+        corpus = self._corpus(simple_table)
+        assert corpus.domains() == {"example.org", "other.org"}
+
+    def test_stats(self, simple_table):
+        stats = self._corpus(simple_table).stats()
+        assert stats["num_tables"] == 2
+        assert stats["num_domains"] == 2
+
+    def test_stats_empty(self):
+        assert TableCorpus().stats()["num_tables"] == 0
+
+    def test_sample_fraction(self, small_web_corpus):
+        sample = small_web_corpus.sample(0.5, seed=3)
+        assert len(sample) == round(len(small_web_corpus) * 0.5)
+        assert set(sample.table_ids()) <= set(small_web_corpus.table_ids())
+
+    def test_sample_is_deterministic(self, small_web_corpus):
+        first = small_web_corpus.sample(0.3, seed=5)
+        second = small_web_corpus.sample(0.3, seed=5)
+        assert first.table_ids() == second.table_ids()
+
+    def test_sample_invalid_fraction(self, small_web_corpus):
+        with pytest.raises(ValueError):
+            small_web_corpus.sample(0.0)
+        with pytest.raises(ValueError):
+            small_web_corpus.sample(1.5)
+
+    def test_filter(self, simple_table):
+        corpus = self._corpus(simple_table)
+        filtered = corpus.filter(lambda table: table.domain == "example.org")
+        assert len(filtered) == 1
+
+
+class TestCorpusPersistence:
+    def test_json_round_trip(self, small_web_corpus, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        save_corpus_json(small_web_corpus, path)
+        loaded = load_corpus_json(path)
+        assert len(loaded) == len(small_web_corpus)
+        original = small_web_corpus.tables()[0]
+        restored = loaded.get(original.table_id)
+        assert restored.column_names() == original.column_names()
+        assert list(restored.rows()) == list(original.rows())
+        assert restored.metadata == original.metadata
+
+    def test_csv_round_trip(self, simple_table, tmp_path):
+        corpus = TableCorpus([simple_table], name="csv-test")
+        directory = tmp_path / "corpus"
+        save_corpus_csv_dir(corpus, directory)
+        loaded = load_corpus_csv_dir(directory)
+        assert len(loaded) == 1
+        restored = loaded.get("t-simple")
+        assert list(restored.rows()) == list(simple_table.rows())
+        assert restored.domain == "example.org"
+
+    def test_csv_missing_manifest(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_corpus_csv_dir(tmp_path)

@@ -1,0 +1,242 @@
+"""Tests for metrics, benchmark construction, the runner, and reporting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import SynthesisMethod, WebTableBaseline
+from repro.core.binary_table import ValuePair
+from repro.core.config import SynthesisConfig
+from repro.core.mapping import MappingRelationship
+from repro.evaluation.benchmark import build_enterprise_benchmark, build_web_benchmark
+from repro.evaluation.metrics import MappingScore, best_mapping_score, score_mapping
+from repro.evaluation.reporting import (
+    format_comparison_table,
+    format_per_case_table,
+    format_simple_table,
+)
+from repro.evaluation.runner import EvaluationRunner, MethodEvaluation
+
+
+class TestScoreMapping:
+    def test_perfect_match(self):
+        truth = [("a", "1"), ("b", "2")]
+        score = score_mapping(truth, truth)
+        assert score.precision == score.recall == score.f_score == 1.0
+
+    def test_partial_overlap(self):
+        candidate = [("a", "1"), ("b", "2"), ("c", "3"), ("d", "wrong")]
+        truth = [("a", "1"), ("b", "2"), ("e", "5")]
+        score = score_mapping(candidate, truth)
+        assert score.precision == pytest.approx(2 / 4)
+        assert score.recall == pytest.approx(2 / 3)
+
+    def test_no_overlap(self):
+        score = score_mapping([("a", "1")], [("x", "9")])
+        assert score == MappingScore(0.0, 0.0, 0.0)
+
+    def test_empty_candidate_or_truth(self):
+        assert score_mapping([], [("a", "1")]).f_score == 0.0
+        assert score_mapping([("a", "1")], []).f_score == 0.0
+
+    def test_normalization_applied(self):
+        score = score_mapping([("South Korea[1]", "kor")], [("south korea", "KOR")])
+        assert score.f_score == 1.0
+
+    def test_swapped_orientation(self):
+        candidate = [("1", "a"), ("2", "b")]
+        truth = [("a", "1"), ("b", "2")]
+        assert score_mapping(candidate, truth).f_score == 1.0
+        assert score_mapping(candidate, truth, allow_swapped=False).f_score == 0.0
+
+    def test_accepts_mapping_relationship(self):
+        mapping = MappingRelationship("m", [ValuePair("a", "1")])
+        score = score_mapping(mapping, [("a", "1")])
+        assert score.f_score == 1.0
+        assert score.mapping_id == "m"
+
+    @given(
+        st.lists(st.tuples(st.sampled_from("abcd"), st.sampled_from("123")), max_size=10),
+        st.lists(st.tuples(st.sampled_from("abcd"), st.sampled_from("123")), max_size=10),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_scores_in_unit_interval(self, candidate, truth):
+        score = score_mapping(candidate, truth)
+        assert 0.0 <= score.precision <= 1.0
+        assert 0.0 <= score.recall <= 1.0
+        assert 0.0 <= score.f_score <= 1.0
+
+    @given(st.lists(st.tuples(st.text(min_size=1, max_size=4), st.text(min_size=1, max_size=4)),
+                    min_size=1, max_size=10))
+    @settings(max_examples=60, deadline=None)
+    def test_truth_against_itself_is_perfect(self, truth):
+        normalized_nonempty = [
+            pair for pair in truth
+            if score_mapping([pair], [pair]).f_score == 1.0
+        ]
+        if normalized_nonempty:
+            score = score_mapping(normalized_nonempty, normalized_nonempty)
+            assert score.f_score == pytest.approx(1.0)
+
+
+class TestBestMappingScore:
+    def test_picks_best_candidate(self):
+        truth = [("a", "1"), ("b", "2"), ("c", "3")]
+        good = MappingRelationship("good", [ValuePair("a", "1"), ValuePair("b", "2")])
+        bad = MappingRelationship("bad", [ValuePair("x", "9")])
+        best = best_mapping_score([bad, good], truth)
+        assert best.mapping_id == "good"
+
+    def test_empty_mapping_list(self):
+        assert best_mapping_score([], [("a", "1")]) == MappingScore.zero()
+
+    def test_tie_broken_by_precision(self):
+        truth = [("a", "1"), ("b", "2")]
+        precise = MappingRelationship("precise", [ValuePair("a", "1")])
+        noisy = MappingRelationship(
+            "noisy", [ValuePair("a", "1"), ValuePair("z", "wrong")]
+        )
+        best = best_mapping_score([noisy, precise], truth)
+        assert best.mapping_id == "precise"
+
+
+class TestBenchmarkConstruction:
+    def test_web_benchmark_covers_web_relations(self):
+        cases = build_web_benchmark()
+        names = {case.name for case in cases}
+        assert "country_iso3" in names
+        assert "state_abbrev" in names
+        assert all(case.category in ("geocoding", "querylog") for case in cases)
+        assert len(cases) >= 25
+
+    def test_enterprise_benchmark(self):
+        cases = build_enterprise_benchmark()
+        assert {case.category for case in cases} == {"enterprise"}
+        assert len(cases) >= 5
+
+    def test_synonym_expansion_included_without_corpus(self):
+        cases = {case.name: case for case in build_web_benchmark()}
+        truth = cases["country_iso3"].truth
+        assert ("Republic of Korea", "KOR") in truth
+
+    def test_corpus_restricts_synonym_expansion(self, clean_web_corpus):
+        unrestricted = {case.name: case for case in build_web_benchmark()}
+        restricted = {case.name: case for case in build_web_benchmark(clean_web_corpus)}
+        for name in restricted:
+            assert restricted[name].truth <= unrestricted[name].truth
+        # Canonical pairs always survive.
+        assert set(
+            pair for pair in restricted["country_iso3"].truth
+        ) >= {("Japan", "JPN"), ("Canada", "CAN")}
+
+    def test_cases_sorted_and_sized(self):
+        cases = build_web_benchmark()
+        assert [case.name for case in cases] == sorted(case.name for case in cases)
+        assert all(len(case) >= 10 for case in cases)
+
+
+class TestEvaluationRunner:
+    def test_runner_requires_cases(self, small_web_corpus):
+        with pytest.raises(ValueError):
+            EvaluationRunner(small_web_corpus, [])
+
+    def test_candidates_cached(self, small_web_corpus):
+        runner = EvaluationRunner(
+            small_web_corpus, build_web_benchmark(small_web_corpus), SynthesisConfig()
+        )
+        first = runner.candidates
+        second = runner.candidates
+        assert first is second
+
+    def test_evaluate_single_table_method(self, small_web_corpus):
+        benchmark = build_web_benchmark(small_web_corpus)
+        runner = EvaluationRunner(small_web_corpus, benchmark, SynthesisConfig())
+        evaluation = runner.evaluate_method(WebTableBaseline(SynthesisConfig()))
+        assert evaluation.num_relationships > 0
+        assert set(evaluation.case_scores) == {case.name for case in benchmark}
+        assert 0.0 <= evaluation.avg_f_score <= 1.0
+        assert evaluation.avg_precision >= evaluation.avg_f_score * 0.5
+
+    def test_method_family_picks_best(self, small_web_corpus):
+        benchmark = build_web_benchmark(small_web_corpus)
+        runner = EvaluationRunner(small_web_corpus, benchmark, SynthesisConfig())
+        strong = WebTableBaseline(SynthesisConfig())
+        weak = WebTableBaseline(SynthesisConfig(min_rows=40))
+        family = runner.evaluate_method_family([weak, strong], family_name="Family")
+        strong_alone = runner.evaluate_method(strong)
+        assert family.method_name == "Family"
+        assert family.avg_f_score == pytest.approx(strong_alone.avg_f_score)
+
+    def test_method_family_empty(self, small_web_corpus):
+        runner = EvaluationRunner(
+            small_web_corpus, build_web_benchmark(small_web_corpus), SynthesisConfig()
+        )
+        with pytest.raises(ValueError):
+            runner.evaluate_method_family([])
+
+    def test_evaluate_all_mixed(self, small_web_corpus):
+        benchmark = build_web_benchmark(small_web_corpus)
+        runner = EvaluationRunner(small_web_corpus, benchmark, SynthesisConfig())
+        results = runner.evaluate_all(
+            {
+                "WebTable": WebTableBaseline(SynthesisConfig()),
+                "Family": [WebTableBaseline(SynthesisConfig())],
+            }
+        )
+        assert set(results) == {"WebTable", "Family"}
+        assert all(isinstance(evaluation, MethodEvaluation) for evaluation in results.values())
+
+
+class TestMethodEvaluationAggregates:
+    def _evaluation(self) -> MethodEvaluation:
+        evaluation = MethodEvaluation(method_name="test")
+        evaluation.case_scores = {
+            "covered": MappingScore(0.9, 0.8, 0.85),
+            "missed": MappingScore(0.0, 0.0, 0.0),
+        }
+        return evaluation
+
+    def test_averages(self):
+        evaluation = self._evaluation()
+        assert evaluation.avg_f_score == pytest.approx(0.425)
+        assert evaluation.avg_recall == pytest.approx(0.4)
+        # Zero-precision cases excluded (paper footnote 5).
+        assert evaluation.avg_precision == pytest.approx(0.9)
+
+    def test_empty_evaluation(self):
+        empty = MethodEvaluation(method_name="empty")
+        assert empty.avg_f_score == 0.0
+        assert empty.avg_precision == 0.0
+        assert empty.avg_recall == 0.0
+
+    def test_summary_keys(self):
+        summary = self._evaluation().summary()
+        assert {"avg_f_score", "avg_precision", "avg_recall", "runtime_seconds"} <= set(summary)
+
+
+class TestReporting:
+    def _results(self) -> dict[str, MethodEvaluation]:
+        first = MethodEvaluation("A", {"case1": MappingScore(1, 1, 1), "case2": MappingScore(0.5, 0.5, 0.5)})
+        second = MethodEvaluation("B", {"case1": MappingScore(0.2, 0.2, 0.2), "case2": MappingScore(0.4, 0.4, 0.4)})
+        return {"A": first, "B": second}
+
+    def test_simple_table_formatting(self):
+        text = format_simple_table(["x", "y"], [["1", "2"], ["3", "4"]], title="T")
+        assert "T" in text
+        assert "x" in text and "4" in text
+
+    def test_comparison_table_sorted_by_fscore(self):
+        text = format_comparison_table(self._results())
+        lines = [line for line in text.splitlines() if line.startswith(("A", "B"))]
+        assert lines[0].startswith("A")
+
+    def test_per_case_table(self):
+        text = format_per_case_table(self._results(), sort_by="A")
+        assert "case1" in text and "case2" in text
+        # Line 0 is the title, 1 the header, 2 the separator, 3 the best case.
+        assert text.splitlines()[3].startswith("case1")
+
+    def test_per_case_table_empty(self):
+        assert format_per_case_table({}, title="empty") == "empty"

@@ -1,0 +1,183 @@
+"""Tests for the sparse graph builder, union-find, and connected components."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.binary_table import BinaryTable
+from repro.core.config import SynthesisConfig
+from repro.graph.build import CompatibilityGraph, GraphBuilder
+from repro.graph.connected import UnionFind, connected_components
+
+
+def make_binary(table_id, rows, **kwargs):
+    return BinaryTable.from_rows(table_id=table_id, rows=rows, **kwargs)
+
+
+class TestUnionFind:
+    def test_union_and_find(self):
+        finder = UnionFind(["a", "b", "c"])
+        finder.union("a", "b")
+        assert finder.connected("a", "b")
+        assert not finder.connected("a", "c")
+
+    def test_union_is_transitive(self):
+        finder = UnionFind()
+        finder.union("a", "b")
+        finder.union("b", "c")
+        assert finder.connected("a", "c")
+
+    def test_find_unknown_raises(self):
+        with pytest.raises(KeyError):
+            UnionFind().find("missing")
+
+    def test_groups(self):
+        finder = UnionFind(range(5))
+        finder.union(0, 1)
+        finder.union(2, 3)
+        groups = {frozenset(group) for group in finder.groups()}
+        assert groups == {frozenset({0, 1}), frozenset({2, 3}), frozenset({4})}
+
+    def test_len_and_contains(self):
+        finder = UnionFind(["a"])
+        assert len(finder) == 1
+        assert "a" in finder
+        assert "b" not in finder
+
+    def test_add_idempotent(self):
+        finder = UnionFind()
+        finder.add("a")
+        finder.add("a")
+        assert len(finder) == 1
+
+    @given(st.lists(st.tuples(st.integers(0, 15), st.integers(0, 15)), max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_groups_partition_all_items(self, edges):
+        vertices = set(range(16))
+        finder = UnionFind(vertices)
+        for first, second in edges:
+            finder.union(first, second)
+        groups = finder.groups()
+        flattened = [item for group in groups for item in group]
+        assert sorted(flattened) == sorted(vertices)
+
+
+class TestConnectedComponents:
+    def test_basic(self):
+        components = connected_components(range(5), [(0, 1), (1, 2)])
+        as_sets = {frozenset(component) for component in components}
+        assert as_sets == {frozenset({0, 1, 2}), frozenset({3}), frozenset({4})}
+
+    def test_no_edges(self):
+        components = connected_components(["a", "b"], [])
+        assert {frozenset(c) for c in components} == {frozenset({"a"}), frozenset({"b"})}
+
+    @given(st.lists(st.tuples(st.integers(0, 10), st.integers(0, 10)), max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_networkx(self, edges):
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_nodes_from(range(11))
+        graph.add_edges_from(edges)
+        expected = {frozenset(c) for c in nx.connected_components(graph)}
+        actual = {frozenset(c) for c in connected_components(range(11), edges)}
+        assert actual == expected
+
+
+class TestCompatibilityGraph:
+    def _graph(self) -> CompatibilityGraph:
+        tables = [make_binary(f"t{i}", [(f"k{i}", f"v{i}")]) for i in range(4)]
+        graph = CompatibilityGraph(tables=tables)
+        graph.add_positive(0, 1, 0.8)
+        graph.add_positive(2, 1, 0.6)
+        graph.add_negative(0, 3, -0.5)
+        return graph
+
+    def test_edge_lookup_is_symmetric(self):
+        graph = self._graph()
+        assert graph.positive(0, 1) == graph.positive(1, 0) == 0.8
+        assert graph.negative(3, 0) == -0.5
+        assert graph.positive(0, 3) == 0.0
+
+    def test_invalid_edges_rejected(self):
+        graph = self._graph()
+        with pytest.raises(ValueError):
+            graph.add_positive(0, 0, 0.5)
+        with pytest.raises(ValueError):
+            graph.add_positive(0, 1, -0.5)
+        with pytest.raises(ValueError):
+            graph.add_negative(0, 1, 0.5)
+
+    def test_neighbors(self):
+        graph = self._graph()
+        assert graph.neighbors(0) == {1, 3}
+        assert graph.neighbors(1) == {0, 2}
+
+    def test_positive_components(self):
+        graph = self._graph()
+        components = {frozenset(c) for c in graph.positive_components()}
+        assert components == {frozenset({0, 1, 2}), frozenset({3})}
+
+    def test_subgraph(self):
+        graph = self._graph()
+        sub = graph.subgraph([0, 1, 3])
+        assert sub.num_vertices == 3
+        assert sub.positive(0, 1) == 0.8
+        assert sub.negative(0, 2) == -0.5  # vertex 3 renumbered to 2
+        assert sub.num_positive_edges == 1
+
+    def test_counts(self):
+        graph = self._graph()
+        assert graph.num_vertices == 4
+        assert graph.num_positive_edges == 2
+        assert graph.num_negative_edges == 1
+
+
+class TestGraphBuilder:
+    def test_iso_ioc_example_graph(self, iso_tables):
+        config = SynthesisConfig(overlap_threshold=2, edge_threshold=0.3)
+        graph = GraphBuilder(config).build(iso_tables)
+        assert graph.num_vertices == 3
+        # B1-B2 (same IOC relation) must share a positive edge.
+        assert graph.positive(0, 1) > 0.3
+        # B1-B3 conflict (ISO vs IOC) must produce a negative edge.
+        assert graph.negative(0, 2) < -0.2
+
+    def test_edge_threshold_prunes_positive_edges(self, iso_tables):
+        permissive = GraphBuilder(SynthesisConfig(edge_threshold=0.1)).build(iso_tables)
+        strict = GraphBuilder(SynthesisConfig(edge_threshold=0.99)).build(iso_tables)
+        assert strict.num_positive_edges <= permissive.num_positive_edges
+
+    def test_negative_edges_disabled(self, iso_tables):
+        config = SynthesisConfig(use_negative_edges=False)
+        graph = GraphBuilder(config).build(iso_tables)
+        assert graph.num_negative_edges == 0
+
+    def test_overlap_threshold_blocks_small_overlaps(self):
+        first = make_binary("a", [("x", "1"), ("y", "2"), ("z", "3")])
+        second = make_binary("b", [("x", "1"), ("p", "9"), ("q", "8")])
+        sparse = GraphBuilder(SynthesisConfig(overlap_threshold=2, edge_threshold=0.0)).build(
+            [first, second]
+        )
+        dense = GraphBuilder(SynthesisConfig(overlap_threshold=1, edge_threshold=0.0)).build(
+            [first, second]
+        )
+        assert sparse.num_positive_edges == 0
+        assert dense.num_positive_edges == 1
+
+    def test_disjoint_tables_produce_no_edges(self):
+        tables = [
+            make_binary("a", [("x", "1"), ("y", "2")]),
+            make_binary("b", [("p", "7"), ("q", "8")]),
+        ]
+        graph = GraphBuilder(SynthesisConfig()).build(tables)
+        assert graph.num_positive_edges == 0
+        assert graph.num_negative_edges == 0
+
+    def test_empty_input(self):
+        graph = GraphBuilder(SynthesisConfig()).build([])
+        assert graph.num_vertices == 0
+        assert graph.positive_components() == []

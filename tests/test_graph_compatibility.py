@@ -1,0 +1,152 @@
+"""Tests for positive/negative compatibility (paper §4.1, Examples 7–9)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.binary_table import BinaryTable
+from repro.core.config import SynthesisConfig
+from repro.graph.compatibility import (
+    CompatibilityScorer,
+    conflict_set,
+    negative_compatibility,
+    positive_compatibility,
+)
+from repro.text.synonyms import SynonymDictionary
+
+
+def make_binary(table_id, rows, **kwargs):
+    return BinaryTable.from_rows(table_id=table_id, rows=rows, **kwargs)
+
+
+class TestPositiveCompatibility:
+    def test_paper_example_7_exact_matching(self, iso_tables):
+        """w+(B1, B2) = 0.5 with exact matching (3 of 6 rows shared)."""
+        config = SynthesisConfig(use_approximate_matching=False)
+        b1, b2, _ = iso_tables
+        assert positive_compatibility(b1, b2, config) == pytest.approx(0.5)
+
+    def test_paper_example_8_approximate_matching(self, iso_tables):
+        """Approximate matching raises w+(B1, B2) because 'American Samoa (US)' matches."""
+        b1, b2, _ = iso_tables
+        exact = positive_compatibility(b1, b2, SynthesisConfig(use_approximate_matching=False))
+        approx = positive_compatibility(b1, b2, SynthesisConfig(use_approximate_matching=True))
+        assert approx > exact
+        assert approx == pytest.approx(4 / 6, abs=1e-6)
+
+    def test_paper_example_9_iso_vs_ioc(self, iso_tables):
+        """w+(B1, B3) = 0.5: substantial overlap despite different code standards."""
+        b1, _, b3 = iso_tables
+        config = SynthesisConfig(use_approximate_matching=False)
+        assert positive_compatibility(b1, b3, config) == pytest.approx(0.5)
+
+    def test_containment_of_small_table(self):
+        big = make_binary("big", [(f"k{i}", f"v{i}") for i in range(20)])
+        small = make_binary("small", [("k0", "v0"), ("k1", "v1")])
+        assert positive_compatibility(big, small) == pytest.approx(1.0)
+
+    def test_disjoint_tables_score_zero(self):
+        first = make_binary("a", [("x", "1"), ("y", "2")])
+        second = make_binary("b", [("p", "9"), ("q", "8")])
+        assert positive_compatibility(first, second) == 0.0
+
+    def test_empty_table_scores_zero(self):
+        first = make_binary("a", [("x", "1")])
+        empty = BinaryTable("empty", [])
+        assert positive_compatibility(first, empty) == 0.0
+
+    def test_synonyms_boost_positive(self, iso_tables):
+        b1, b2, _ = iso_tables
+        synonyms = SynonymDictionary(
+            [["US Virgin Islands", "United States Virgin Islands"],
+             ["South Korea", "Korea, Republic of (South)"]]
+        )
+        with_syn = positive_compatibility(b1, b2, SynthesisConfig(), synonyms)
+        without = positive_compatibility(b1, b2, SynthesisConfig())
+        assert with_syn > without
+
+    @given(
+        st.lists(st.tuples(st.sampled_from("abcdef"), st.sampled_from("123456")),
+                 min_size=1, max_size=10)
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_self_compatibility_is_one(self, rows):
+        table = make_binary("t", rows)
+        other = make_binary("t2", rows)
+        assert positive_compatibility(table, other) == pytest.approx(1.0)
+
+    @given(
+        st.lists(st.tuples(st.sampled_from("abcd"), st.sampled_from("12")), min_size=1, max_size=8),
+        st.lists(st.tuples(st.sampled_from("abcd"), st.sampled_from("12")), min_size=1, max_size=8),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_symmetric_and_bounded(self, rows_a, rows_b):
+        a, b = make_binary("a", rows_a), make_binary("b", rows_b)
+        forward = positive_compatibility(a, b)
+        backward = positive_compatibility(b, a)
+        assert forward == pytest.approx(backward)
+        assert 0.0 <= forward <= 1.0
+
+
+class TestNegativeCompatibility:
+    def test_paper_example_9_negative(self, iso_tables):
+        """w−(B1, B3) = −0.5: three of six left values conflict (ISO vs IOC)."""
+        b1, _, b3 = iso_tables
+        config = SynthesisConfig(use_approximate_matching=False)
+        assert negative_compatibility(b1, b3, config) == pytest.approx(-0.5)
+
+    def test_same_relation_no_conflicts(self, iso_tables):
+        b1, b2, _ = iso_tables
+        assert negative_compatibility(b1, b2) == 0.0
+
+    def test_conflict_set_contents(self, iso_tables):
+        b1, _, b3 = iso_tables
+        conflicts = conflict_set(b1, b3, SynthesisConfig(use_approximate_matching=False))
+        assert conflicts == {"Algeria", "American Samoa", "US Virgin Islands"}
+
+    def test_synonymous_rights_not_conflicts(self):
+        first = make_binary("a", [("Washington", "Olympia"), ("Texas", "Austin")])
+        second = make_binary("b", [("Washington", "Olympia, WA"), ("Texas", "Austin")])
+        synonyms = SynonymDictionary([["Olympia", "Olympia, WA"]])
+        assert negative_compatibility(first, second, SynthesisConfig(), synonyms) == 0.0
+
+    def test_disjoint_lefts_no_conflict(self):
+        first = make_binary("a", [("x", "1")])
+        second = make_binary("b", [("y", "2")])
+        assert negative_compatibility(first, second) == 0.0
+
+    def test_negative_is_nonpositive_and_bounded(self, iso_tables):
+        b1, b2, b3 = iso_tables
+        for first, second in [(b1, b2), (b1, b3), (b2, b3)]:
+            value = negative_compatibility(first, second)
+            assert -1.0 <= value <= 0.0
+
+    @given(
+        st.lists(st.tuples(st.sampled_from("abcd"), st.sampled_from("12")), min_size=1, max_size=8),
+        st.lists(st.tuples(st.sampled_from("abcd"), st.sampled_from("12")), min_size=1, max_size=8),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_negative_symmetric(self, rows_a, rows_b):
+        a, b = make_binary("a", rows_a), make_binary("b", rows_b)
+        assert negative_compatibility(a, b) == pytest.approx(negative_compatibility(b, a))
+
+
+class TestCompatibilityScorer:
+    def test_score_bundle(self, iso_tables):
+        b1, _, b3 = iso_tables
+        scorer = CompatibilityScorer(SynthesisConfig(use_approximate_matching=False))
+        scores = scorer.score(b1, b3)
+        assert scores.positive == pytest.approx(0.5)
+        assert scores.negative == pytest.approx(-0.5)
+        assert scores.conflicts == 3
+        assert scores.shared_lefts == 6
+        assert scores.shared_pairs == 3
+
+    def test_shared_counts_use_normalization(self):
+        scorer = CompatibilityScorer()
+        first = make_binary("a", [("South Korea[1]", "KOR")])
+        second = make_binary("b", [("south korea", "KOR")])
+        assert scorer.shared_pair_count(first, second) == 1
+        assert scorer.shared_left_count(first, second) == 1

@@ -1,0 +1,194 @@
+"""Tests for greedy partitioning (Algorithm 3), the exact solver, and the LP rounding."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.binary_table import BinaryTable
+from repro.core.config import SynthesisConfig
+from repro.graph.build import CompatibilityGraph, GraphBuilder
+from repro.graph.exact import exact_partition, is_feasible_partition, partition_objective
+from repro.graph.lp import lp_relaxation_partition
+from repro.graph.partition import GreedyPartitioner
+
+
+def make_binary(table_id, rows, **kwargs):
+    return BinaryTable.from_rows(table_id=table_id, rows=rows, **kwargs)
+
+
+def paper_figure3_graph() -> CompatibilityGraph:
+    """The 5-vertex example of Figure 3: two ISO tables, three IOC tables."""
+    tables = [make_binary(f"B{i}", [(f"k{i}", f"v{i}")]) for i in range(1, 6)]
+    graph = CompatibilityGraph(tables=tables)
+    # Vertices 0,1 are ISO; 2,3,4 are IOC (0-indexed).
+    graph.add_positive(0, 1, 0.5)
+    graph.add_positive(1, 2, 0.67)
+    graph.add_positive(2, 3, 0.6)
+    graph.add_positive(2, 4, 0.8)
+    graph.add_positive(3, 4, 0.7)
+    graph.add_negative(1, 3, -0.7)
+    graph.add_negative(0, 2, -0.33)
+    return graph
+
+
+def random_graph(seed: int, num_vertices: int = 7) -> CompatibilityGraph:
+    rng = random.Random(seed)
+    tables = [make_binary(f"t{i}", [(f"k{i}", f"v{i}")]) for i in range(num_vertices)]
+    graph = CompatibilityGraph(tables=tables)
+    for i in range(num_vertices):
+        for j in range(i + 1, num_vertices):
+            roll = rng.random()
+            if roll < 0.35:
+                graph.add_positive(i, j, round(rng.uniform(0.1, 1.0), 2))
+            elif roll < 0.5:
+                graph.add_negative(i, j, round(-rng.uniform(0.1, 1.0), 2))
+    return graph
+
+
+class TestGreedyPartitioner:
+    def test_paper_figure3_example(self):
+        """Example 12/16: the best partitioning separates {B1,B2} from {B3,B4,B5}."""
+        graph = paper_figure3_graph()
+        config = SynthesisConfig(conflict_threshold=-0.2)
+        result = GreedyPartitioner(config).partition(graph)
+        groups = {frozenset(partition.vertices) for partition in result.partitions}
+        assert frozenset({0, 1}) in groups
+        assert frozenset({2, 3, 4}) in groups
+        assert result.objective == pytest.approx(0.5 + 0.6 + 0.8 + 0.7)
+
+    def test_negative_constraint_respected(self):
+        graph = paper_figure3_graph()
+        config = SynthesisConfig(conflict_threshold=-0.2)
+        result = GreedyPartitioner(config).partition(graph)
+        assert is_feasible_partition(graph, result.partitions, config)
+
+    def test_without_negative_edges_everything_merges(self):
+        graph = paper_figure3_graph()
+        config = SynthesisConfig(use_negative_edges=False)
+        result = GreedyPartitioner(config).partition(graph)
+        sizes = sorted(len(partition) for partition in result.partitions)
+        assert sizes == [5]
+
+    def test_singletons_for_graph_without_edges(self):
+        tables = [make_binary(f"t{i}", [(f"k{i}", "v")]) for i in range(3)]
+        graph = CompatibilityGraph(tables=tables)
+        result = GreedyPartitioner().partition(graph)
+        assert len(result.partitions) == 3
+        assert all(len(partition) == 1 for partition in result.partitions)
+
+    def test_assignment_covers_all_vertices(self):
+        graph = paper_figure3_graph()
+        result = GreedyPartitioner().partition(graph)
+        assignment = result.assignment()
+        assert set(assignment) == set(range(graph.num_vertices))
+
+    def test_non_singleton_helper(self):
+        graph = paper_figure3_graph()
+        result = GreedyPartitioner().partition(graph)
+        assert all(len(partition) > 1 for partition in result.non_singleton())
+
+    def test_merges_counted(self):
+        graph = paper_figure3_graph()
+        result = GreedyPartitioner().partition(graph)
+        assert result.merges == graph.num_vertices - len(result.partitions)
+
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=60, deadline=None)
+    def test_always_feasible_and_disjoint(self, seed):
+        graph = random_graph(seed)
+        config = SynthesisConfig(conflict_threshold=-0.2)
+        result = GreedyPartitioner(config).partition(graph)
+        assert is_feasible_partition(graph, result.partitions, config)
+
+    @given(st.integers(min_value=0, max_value=100))
+    @settings(max_examples=30, deadline=None)
+    def test_greedy_close_to_exact_on_small_graphs(self, seed):
+        """The greedy heuristic should reach a large fraction of the exact optimum."""
+        graph = random_graph(seed, num_vertices=6)
+        config = SynthesisConfig(conflict_threshold=-0.2)
+        greedy = GreedyPartitioner(config).partition(graph)
+        exact = exact_partition(graph, config)
+        assert greedy.objective <= exact.objective + 1e-9
+        if exact.objective > 0:
+            assert greedy.objective >= 0.5 * exact.objective
+
+
+class TestExactPartition:
+    def test_figure3_optimum(self):
+        graph = paper_figure3_graph()
+        config = SynthesisConfig(conflict_threshold=-0.2)
+        result = exact_partition(graph, config)
+        groups = {frozenset(partition.vertices) for partition in result.partitions}
+        assert frozenset({0, 1}) in groups
+        assert frozenset({2, 3, 4}) in groups
+        assert result.objective == pytest.approx(2.6)
+
+    def test_rejects_large_graphs(self):
+        tables = [make_binary(f"t{i}", [("k", "v")]) for i in range(20)]
+        graph = CompatibilityGraph(tables=tables)
+        with pytest.raises(ValueError):
+            exact_partition(graph)
+
+    def test_objective_helper(self):
+        graph = paper_figure3_graph()
+        assert partition_objective(graph, [frozenset({0, 1}), frozenset({2, 3, 4})]) == (
+            pytest.approx(2.6)
+        )
+        assert partition_objective(graph, [frozenset({i}) for i in range(5)]) == 0.0
+
+    def test_feasibility_checker(self):
+        graph = paper_figure3_graph()
+        config = SynthesisConfig(conflict_threshold=-0.2)
+        assert is_feasible_partition(graph, [frozenset({0, 1}), frozenset({2, 3, 4})], config)
+        # Putting vertices 1 and 3 together violates the -0.7 negative edge.
+        assert not is_feasible_partition(
+            graph, [frozenset({1, 3}), frozenset({0}), frozenset({2}), frozenset({4})], config
+        )
+        # Overlapping partitions are rejected.
+        assert not is_feasible_partition(
+            graph, [frozenset({0, 1}), frozenset({1, 2, 3, 4})], config
+        )
+        # Missing vertices are rejected.
+        assert not is_feasible_partition(graph, [frozenset({0, 1})], config)
+
+
+class TestLpRelaxation:
+    def test_figure3_lp_solution_is_feasible(self):
+        graph = paper_figure3_graph()
+        config = SynthesisConfig(conflict_threshold=-0.2)
+        result = lp_relaxation_partition(graph, config)
+        assert is_feasible_partition(graph, result.partitions, config)
+
+    def test_lp_respects_hard_negative_edges(self):
+        graph = paper_figure3_graph()
+        config = SynthesisConfig(conflict_threshold=-0.2)
+        result = lp_relaxation_partition(graph, config)
+        assignment = result.assignment()
+        assert assignment[1] != assignment[3]
+        assert assignment[0] != assignment[2]
+
+    def test_rejects_large_graphs(self):
+        tables = [make_binary(f"t{i}", [("k", "v")]) for i in range(60)]
+        graph = CompatibilityGraph(tables=tables)
+        with pytest.raises(ValueError):
+            lp_relaxation_partition(graph)
+
+    def test_empty_graph(self):
+        graph = CompatibilityGraph(tables=[])
+        result = lp_relaxation_partition(graph)
+        assert result.partitions == []
+
+
+class TestEndToEndPartitioning:
+    def test_iso_ioc_tables_not_merged(self, iso_tables):
+        """The ISO table must not land in the same partition as the IOC tables."""
+        config = SynthesisConfig(overlap_threshold=2, edge_threshold=0.3)
+        graph = GraphBuilder(config).build(iso_tables)
+        result = GreedyPartitioner(config).partition(graph)
+        assignment = result.assignment()
+        assert assignment[0] == assignment[1]
+        assert assignment[0] != assignment[2]

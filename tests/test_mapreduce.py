@@ -1,0 +1,179 @@
+"""Tests for the local Map-Reduce engine and the paper's jobs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.binary_table import BinaryTable
+from repro.core.config import SynthesisConfig
+from repro.graph.compatibility import CompatibilityScorer
+from repro.graph.connected import connected_components
+from repro.mapreduce.engine import MapReduceEngine, MapReduceJob
+from repro.mapreduce.jobs import (
+    hash_to_min_connected_components,
+    inverted_index_job,
+    pairwise_compatibility_job,
+)
+
+
+def make_binary(table_id, rows, **kwargs):
+    return BinaryTable.from_rows(table_id=table_id, rows=rows, **kwargs)
+
+
+class TestMapReduceEngine:
+    def test_word_count(self):
+        job = MapReduceJob(
+            mapper=lambda line: [(word, 1) for word in line.split()],
+            reducer=lambda word, counts: [(word, sum(counts))],
+            name="word-count",
+        )
+        engine = MapReduceEngine()
+        result = dict(engine.run(job, ["a b a", "b c", "a"]))
+        assert result == {"a": 3, "b": 2, "c": 1}
+
+    def test_counters(self):
+        job = MapReduceJob(
+            mapper=lambda x: [(x % 2, x)],
+            reducer=lambda key, values: [sum(values)],
+            name="sum",
+        )
+        engine = MapReduceEngine()
+        engine.run(job, range(10))
+        counters = engine.counters["sum"]
+        assert counters.input_records == 10
+        assert counters.mapped_pairs == 10
+        assert counters.shuffled_keys == 2
+        assert counters.output_records == 2
+
+    def test_combiner_reduces_shuffle_volume(self):
+        job = MapReduceJob(
+            mapper=lambda line: [(word, 1) for word in line.split()],
+            reducer=lambda word, counts: [(word, sum(counts))],
+            combiner=lambda word, counts: [sum(counts)],
+            name="word-count-combined",
+        )
+        result = dict(MapReduceEngine(num_partitions=2).run(job, ["a a a a", "a b"]))
+        assert result == {"a": 5, "b": 1}
+
+    def test_run_chain(self):
+        first = MapReduceJob(
+            mapper=lambda x: [(x, x)],
+            reducer=lambda key, values: [key * 2],
+            name="double",
+        )
+        second = MapReduceJob(
+            mapper=lambda x: [(0, x)],
+            reducer=lambda key, values: [sum(values)],
+            name="sum",
+        )
+        result = MapReduceEngine().run_chain([first, second], [1, 2, 3])
+        assert result == [12]
+
+    def test_invalid_partitions(self):
+        with pytest.raises(ValueError):
+            MapReduceEngine(num_partitions=0)
+
+    def test_iterate_converges(self):
+        def job_factory(iteration: int) -> MapReduceJob:
+            return MapReduceJob(
+                mapper=lambda x: [(0, min(x, 3))],
+                reducer=lambda key, values: [min(values)] * len(values),
+                name=f"min-{iteration}",
+            )
+
+        engine = MapReduceEngine()
+        result, iterations = engine.iterate(
+            job_factory, [5, 4, 3], converged=lambda prev, cur: prev == cur
+        )
+        assert iterations <= 3
+        assert set(result) == {3}
+
+    @given(st.lists(st.text(alphabet="abc ", max_size=12), max_size=15))
+    @settings(max_examples=60, deadline=None)
+    def test_word_count_matches_counter(self, lines):
+        from collections import Counter
+
+        expected = Counter(word for line in lines for word in line.split())
+        job = MapReduceJob(
+            mapper=lambda line: [(word, 1) for word in line.split()],
+            reducer=lambda word, counts: [(word, sum(counts))],
+            name="wc",
+        )
+        result = dict(MapReduceEngine().run(job, lines))
+        assert result == dict(expected)
+
+
+class TestInvertedIndexJob:
+    def test_blocks_only_overlapping_tables(self):
+        tables = [
+            make_binary("a", [("x", "1"), ("y", "2")]),
+            make_binary("b", [("x", "1"), ("z", "3")]),
+            make_binary("c", [("p", "7")]),
+        ]
+        scorer = CompatibilityScorer(SynthesisConfig())
+        counts = inverted_index_job(tables, scorer)
+        assert counts == {(0, 1): 1}
+
+    def test_min_shared_filter(self):
+        tables = [
+            make_binary("a", [("x", "1"), ("y", "2"), ("z", "3")]),
+            make_binary("b", [("x", "1"), ("y", "2"), ("q", "9")]),
+        ]
+        scorer = CompatibilityScorer(SynthesisConfig())
+        assert inverted_index_job(tables, scorer, min_shared=2) == {(0, 1): 2}
+        assert inverted_index_job(tables, scorer, min_shared=3) == {}
+
+    def test_matches_graph_builder_blocking(self, iso_tables):
+        scorer = CompatibilityScorer(SynthesisConfig())
+        counts = inverted_index_job(iso_tables, scorer)
+        assert (0, 1) in counts and (0, 2) in counts
+
+    def test_invalid_min_shared(self):
+        with pytest.raises(ValueError):
+            inverted_index_job([], CompatibilityScorer(), min_shared=0)
+
+
+class TestPairwiseCompatibilityJob:
+    def test_scores_match_direct_scorer(self, iso_tables):
+        config = SynthesisConfig(use_approximate_matching=False)
+        scorer = CompatibilityScorer(config)
+        scores = pairwise_compatibility_job(iso_tables, [(0, 1), (0, 2)], config, scorer)
+        assert scores[(0, 1)][0] == pytest.approx(scorer.positive(iso_tables[0], iso_tables[1]))
+        assert scores[(0, 2)][1] == pytest.approx(scorer.negative(iso_tables[0], iso_tables[2]))
+
+    def test_empty_pairs(self, iso_tables):
+        assert pairwise_compatibility_job(iso_tables, []) == {}
+
+
+class TestHashToMin:
+    def test_simple_components(self):
+        representative = hash_to_min_connected_components(
+            range(6), [(0, 1), (1, 2), (4, 5)]
+        )
+        assert representative[0] == representative[1] == representative[2] == 0
+        assert representative[3] == 3
+        assert representative[4] == representative[5] == 4
+
+    def test_chain_converges(self):
+        edges = [(i, i + 1) for i in range(9)]
+        representative = hash_to_min_connected_components(range(10), edges)
+        assert set(representative.values()) == {0}
+
+    def test_no_edges(self):
+        representative = hash_to_min_connected_components([3, 7, 9], [])
+        assert representative == {3: 3, 7: 7, 9: 9}
+
+    @given(st.lists(st.tuples(st.integers(0, 12), st.integers(0, 12)), max_size=25))
+    @settings(max_examples=40, deadline=None)
+    def test_agrees_with_union_find(self, edges):
+        vertices = list(range(13))
+        representative = hash_to_min_connected_components(vertices, edges)
+        expected_components = {
+            frozenset(component) for component in connected_components(vertices, edges)
+        }
+        actual_components: dict[int, set[int]] = {}
+        for vertex, root in representative.items():
+            actual_components.setdefault(root, set()).add(vertex)
+        assert {frozenset(c) for c in actual_components.values()} == expected_components

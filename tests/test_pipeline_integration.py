@@ -1,0 +1,112 @@
+"""End-to-end integration tests: corpus -> pipeline -> mappings -> applications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.applications.autocorrect import AutoCorrector
+from repro.applications.autofill import AutoFiller
+from repro.applications.index import MappingIndex
+from repro.core.config import SynthesisConfig
+from repro.core.pipeline import SynthesisPipeline
+from repro.corpus.seeds import get_seed_relation
+from repro.evaluation.benchmark import build_web_benchmark
+from repro.evaluation.metrics import best_mapping_score
+
+
+@pytest.fixture(scope="module")
+def pipeline_result(request):
+    corpus = request.getfixturevalue("small_web_corpus")
+    config = SynthesisConfig(min_domains=2, min_mapping_size=5)
+    return SynthesisPipeline(config).run(corpus), corpus
+
+
+class TestPipeline:
+    def test_produces_candidates_and_mappings(self, pipeline_result):
+        result, _ = pipeline_result
+        assert result.candidates
+        assert result.mappings
+        assert result.curated
+        assert len(result.curated) <= len(result.mappings)
+
+    def test_extraction_stats_recorded(self, pipeline_result):
+        result, corpus = pipeline_result
+        assert result.extraction_stats["num_tables"] == len(corpus)
+        assert result.extraction_stats["candidates"] == len(result.candidates)
+
+    def test_timings_cover_all_steps(self, pipeline_result):
+        result, _ = pipeline_result
+        assert {"extraction", "synthesis", "curation"} <= set(result.timings)
+        assert all(value >= 0 for value in result.timings.values())
+
+    def test_synthesis_merges_tables(self, pipeline_result):
+        """At least some synthesized mappings must union multiple raw tables."""
+        result, _ = pipeline_result
+        merged = [mapping for mapping in result.mappings if mapping.num_source_tables > 1]
+        assert merged
+        largest = max(result.mappings, key=lambda mapping: mapping.num_source_tables)
+        assert largest.num_source_tables >= 5
+
+    def test_curated_mappings_are_popular(self, pipeline_result):
+        result, _ = pipeline_result
+        assert all(mapping.popularity >= 2 for mapping in result.curated)
+        assert all(len(mapping) >= 5 for mapping in result.curated)
+
+    def test_top_mappings_sorted_by_popularity(self, pipeline_result):
+        result, _ = pipeline_result
+        top = result.top_mappings(5)
+        popularity = [mapping.popularity for mapping in top]
+        assert popularity == sorted(popularity, reverse=True)
+
+    def test_quality_against_benchmark(self, pipeline_result):
+        """The pipeline must recover well-represented relations with decent F-score."""
+        result, corpus = pipeline_result
+        cases = {case.name: case for case in build_web_benchmark(corpus)}
+        for name in ("state_abbrev", "month_abbrev"):
+            score = best_mapping_score(result.mappings, cases[name].truth)
+            assert score.f_score > 0.6, name
+
+    def test_synthesis_beats_best_single_table(self, pipeline_result):
+        """Coverage argument of the paper: synthesized mappings beat raw tables."""
+        result, corpus = pipeline_result
+        cases = {case.name: case for case in build_web_benchmark(corpus)}
+        case = cases["state_abbrev"]
+        from repro.core.mapping import MappingRelationship
+
+        single_tables = [
+            MappingRelationship.from_tables(f"single-{i}", [candidate])
+            for i, candidate in enumerate(result.candidates)
+        ]
+        single_best = best_mapping_score(single_tables, case.truth)
+        synthesized_best = best_mapping_score(result.mappings, case.truth)
+        assert synthesized_best.recall >= single_best.recall
+
+    def test_expansion_step_runs(self, small_web_corpus):
+        from repro.core.binary_table import BinaryTable
+
+        relation = get_seed_relation("state_abbrev")
+        trusted = BinaryTable.from_rows(
+            "trusted-states", list(relation.pairs), domain="data.gov"
+        )
+        config = SynthesisConfig(min_domains=2, expand_tables=True)
+        result = SynthesisPipeline(config, trusted_sources=[trusted]).run(small_web_corpus)
+        assert "expansion" in result.timings
+
+
+class TestPipelineToApplications:
+    def test_autofill_from_synthesized_mappings(self, pipeline_result):
+        result, _ = pipeline_result
+        index = MappingIndex(result.curated or result.mappings)
+        filler = AutoFiller(index)
+        fill = filler.fill(["Alabama", "Alaska", "California", "Texas"])
+        assert fill.mapping_id is not None
+        filled_values = set(fill.filled.values())
+        assert filled_values & {"AL", "AK", "CA", "TX"}
+
+    def test_autocorrect_from_synthesized_mappings(self, pipeline_result):
+        result, _ = pipeline_result
+        index = MappingIndex(result.curated or result.mappings)
+        corrector = AutoCorrector(index, min_containment=0.5)
+        column = ["Alabama", "Alaska", "Arizona", "California", "CA", "TX"]
+        mapping = corrector.detect(column)
+        assert mapping is not None

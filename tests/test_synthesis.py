@@ -1,0 +1,269 @@
+"""Tests for the synthesizer, conflict resolution, expansion, and curation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.binary_table import BinaryTable, ValuePair
+from repro.core.config import SynthesisConfig
+from repro.core.mapping import MappingRelationship
+from repro.synthesis.conflict import majority_vote_resolution, resolve_conflicts_greedy
+from repro.synthesis.curation import curate_mappings, popularity_rank
+from repro.synthesis.expansion import TableExpander
+from repro.synthesis.synthesizer import TableSynthesizer
+from repro.text.matching import ValueMatcher
+from repro.text.synonyms import SynonymDictionary
+
+
+def make_binary(table_id, rows, **kwargs):
+    return BinaryTable.from_rows(table_id=table_id, rows=rows, **kwargs)
+
+
+class TestConflictResolutionGreedy:
+    def _partition(self) -> list[BinaryTable]:
+        good_1 = make_binary("g1", [("Hydrogen", "H"), ("Helium", "He"), ("Carbon", "C")])
+        good_2 = make_binary("g2", [("Hydrogen", "H"), ("Oxygen", "O"), ("Carbon", "C")])
+        good_3 = make_binary("g3", [("Helium", "He"), ("Oxygen", "O"), ("Nitrogen", "N")])
+        # The bad table has wrong symbols (the paper's Figure 4 scenario).
+        bad = make_binary("bad", [("Hydrogen", "X"), ("Helium", "Y"), ("Carbon", "C")])
+        return [good_1, good_2, good_3, bad]
+
+    def test_removes_offending_table(self):
+        resolution = resolve_conflicts_greedy(self._partition())
+        removed_ids = {table.table_id for table in resolution.removed_tables}
+        assert removed_ids == {"bad"}
+        assert len(resolution.kept_tables) == 3
+
+    def test_result_has_no_conflicts(self):
+        resolution = resolve_conflicts_greedy(self._partition())
+        mapping = MappingRelationship("m", resolution.pairs)
+        assert mapping.is_functional()
+
+    def test_no_conflicts_keeps_everything(self):
+        tables = self._partition()[:3]
+        resolution = resolve_conflicts_greedy(tables)
+        assert resolution.removed_tables == []
+        assert resolution.iterations == 0
+
+    def test_single_table_untouched(self):
+        table = make_binary("only", [("a", "1"), ("a", "2")])
+        resolution = resolve_conflicts_greedy([table])
+        assert resolution.kept_tables == [table]
+
+    def test_synonymous_rights_not_treated_as_conflicts(self):
+        first = make_binary("a", [("Washington", "Olympia")])
+        second = make_binary("b", [("Washington", "Olympia City")])
+        synonyms = SynonymDictionary([["Olympia", "Olympia City"]])
+        resolution = resolve_conflicts_greedy([first, second], ValueMatcher(), synonyms)
+        assert resolution.removed_tables == []
+
+    def test_max_iterations_respected(self):
+        tables = self._partition()
+        resolution = resolve_conflicts_greedy(tables, max_iterations=0)
+        assert resolution.kept_tables == tables
+
+    def test_state_capital_vs_largest_city_scenario(self):
+        """§5.6: (state, capital) confused with (state, largest-city) on a few rows."""
+        capital_tables = [
+            make_binary(f"cap{i}", [("Washington", "Olympia"), ("Illinois", "Springfield"),
+                                    ("Arizona", "Phoenix"), ("Texas", "Austin")])
+            for i in range(3)
+        ]
+        intruder = make_binary(
+            "largest", [("Washington", "Seattle"), ("Illinois", "Chicago"),
+                        ("Arizona", "Phoenix"), ("Texas", "Houston")]
+        )
+        resolution = resolve_conflicts_greedy(capital_tables + [intruder])
+        removed_ids = {table.table_id for table in resolution.removed_tables}
+        assert removed_ids == {"largest"}
+
+
+class TestMajorityVoteResolution:
+    def test_minority_value_dropped(self):
+        tables = [
+            make_binary("a", [("Washington", "Olympia")]),
+            make_binary("b", [("Washington", "Olympia")]),
+            make_binary("c", [("Washington", "Seattle")]),
+        ]
+        resolution = majority_vote_resolution(tables)
+        pairs = {pair.as_tuple() for pair in resolution.pairs}
+        assert ("Washington", "Olympia") in pairs
+        assert ("Washington", "Seattle") not in pairs
+
+    def test_keeps_all_tables(self):
+        tables = [
+            make_binary("a", [("x", "1")]),
+            make_binary("b", [("x", "2")]),
+        ]
+        resolution = majority_vote_resolution(tables)
+        assert len(resolution.kept_tables) == 2
+        assert resolution.removed_tables == []
+
+    def test_result_is_functional(self):
+        tables = [
+            make_binary("a", [("x", "1"), ("y", "2")]),
+            make_binary("b", [("x", "1"), ("y", "3")]),
+            make_binary("c", [("x", "1"), ("y", "2")]),
+        ]
+        resolution = majority_vote_resolution(tables)
+        mapping = MappingRelationship("m", resolution.pairs)
+        assert mapping.is_functional()
+
+
+class TestTableSynthesizer:
+    def test_iso_ioc_separation(self, iso_tables):
+        config = SynthesisConfig(overlap_threshold=2, edge_threshold=0.3)
+        result = TableSynthesizer(config).synthesize(iso_tables)
+        assert len(result.mappings) == 2
+        sizes = sorted(mapping.num_source_tables for mapping in result.mappings)
+        assert sizes == [1, 2]
+
+    def test_synthesized_mapping_contains_synonyms(self, iso_tables):
+        """Merging B1 and B2 yields both 'South Korea' and 'Korea, Republic of (South)'."""
+        config = SynthesisConfig(overlap_threshold=2, edge_threshold=0.3)
+        result = TableSynthesizer(config).synthesize(iso_tables)
+        merged = max(result.mappings, key=len)
+        lefts = {pair.left for pair in merged.pairs}
+        assert "South Korea" in lefts
+        assert "Korea, Republic of (South)" in lefts
+
+    def test_positive_only_merges_everything(self, iso_tables):
+        config = SynthesisConfig(
+            overlap_threshold=2, edge_threshold=0.3, use_negative_edges=False
+        )
+        result = TableSynthesizer(config).synthesize(iso_tables)
+        assert len(result.mappings) == 1
+
+    def test_majority_strategy(self, iso_tables):
+        config = SynthesisConfig(
+            overlap_threshold=2, edge_threshold=0.3, conflict_strategy="majority"
+        )
+        result = TableSynthesizer(config).synthesize(iso_tables)
+        for mapping in result.mappings:
+            assert len(mapping) > 0
+
+    def test_provenance_preserved(self, iso_tables):
+        config = SynthesisConfig(overlap_threshold=2, edge_threshold=0.3)
+        result = TableSynthesizer(config).synthesize(iso_tables)
+        merged = max(result.mappings, key=lambda m: m.num_source_tables)
+        assert set(merged.source_tables) == {"B1", "B2"}
+        assert merged.domains == {"ioc1.example", "ioc2.example"}
+
+    def test_empty_input(self):
+        result = TableSynthesizer().synthesize([])
+        assert result.mappings == []
+        assert result.graph.num_vertices == 0
+
+    def test_metadata_counts(self, iso_tables):
+        result = TableSynthesizer(SynthesisConfig(edge_threshold=0.3)).synthesize(iso_tables)
+        assert result.metadata["num_candidates"] == 3
+        assert result.metadata["num_mappings"] == len(result.mappings)
+
+    def test_top_by_popularity(self, iso_tables):
+        result = TableSynthesizer(SynthesisConfig(edge_threshold=0.3)).synthesize(iso_tables)
+        top = result.top_by_popularity(1)
+        assert len(top) == 1
+        assert top[0].popularity == max(m.popularity for m in result.mappings)
+
+
+class TestTableExpander:
+    def _core(self) -> MappingRelationship:
+        return MappingRelationship(
+            "core",
+            [ValuePair("Hydrogen", "H"), ValuePair("Helium", "He"), ValuePair("Carbon", "C")],
+            domains={"web"},
+        )
+
+    def test_compatible_source_expands_core(self):
+        trusted = make_binary(
+            "trusted",
+            [("Hydrogen", "H"), ("Helium", "He"), ("Carbon", "C"),
+             ("Oxygen", "O"), ("Nitrogen", "N")],
+            domain="data.gov",
+        )
+        expander = TableExpander([trusted])
+        expanded, merged = expander.expand_mapping(self._core())
+        assert merged == ["trusted"]
+        assert ("Oxygen", "O") in expanded.pair_set()
+        assert len(expanded) == 5
+
+    def test_conflicting_source_rejected(self):
+        conflicting = make_binary(
+            "bad-feed",
+            [("Hydrogen", "X"), ("Helium", "Y"), ("Carbon", "Z"), ("Oxygen", "O")],
+        )
+        expander = TableExpander([conflicting])
+        expanded, merged = expander.expand_mapping(self._core())
+        assert merged == []
+        assert len(expanded) == 3
+
+    def test_unrelated_source_rejected(self):
+        unrelated = make_binary("unrelated", [("January", "01"), ("February", "02")])
+        expander = TableExpander([unrelated])
+        _, merged = expander.expand_mapping(self._core())
+        assert merged == []
+
+    def test_expand_all_reports(self):
+        trusted = make_binary(
+            "trusted", [("Hydrogen", "H"), ("Helium", "He"), ("Carbon", "C"), ("Gold", "Au")]
+        )
+        expander = TableExpander([trusted])
+        expanded, report = expander.expand_all([self._core()])
+        assert report.total_added() == 1
+        assert "core" in report.merged
+        assert len(expanded) == 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TableExpander([], min_overlap=0.0)
+        with pytest.raises(ValueError):
+            TableExpander([], max_conflict=0.5)
+
+
+class TestCuration:
+    def _mappings(self) -> list[MappingRelationship]:
+        popular = MappingRelationship(
+            "popular",
+            [ValuePair(f"k{i}", f"v{i}") for i in range(20)],
+            source_tables=[f"t{i}" for i in range(10)],
+            domains={f"d{i}" for i in range(6)},
+        )
+        unpopular = MappingRelationship(
+            "unpopular",
+            [ValuePair(f"x{i}", f"y{i}") for i in range(10)],
+            source_tables=["t-a"],
+            domains={"only-one"},
+        )
+        tiny = MappingRelationship("tiny", [ValuePair("a", "1")], domains={"d1", "d2"})
+        numeric = MappingRelationship(
+            "numeric",
+            [ValuePair(str(i), f"row {i}") for i in range(10)],
+            domains={"d1", "d2", "d3"},
+        )
+        return [popular, unpopular, tiny, numeric]
+
+    def test_popularity_rank(self):
+        ranked = popularity_rank(self._mappings())
+        assert ranked[0].mapping_id == "popular"
+
+    def test_curation_filters(self):
+        report = curate_mappings(self._mappings(), min_domains=2, min_size=5)
+        kept_ids = {mapping.mapping_id for mapping in report.kept}
+        assert kept_ids == {"popular"}
+        assert report.dropped_low_popularity == 1
+        assert report.dropped_small == 1
+        assert report.dropped_numeric == 1
+        assert report.total_dropped == 3
+
+    def test_numeric_filter_can_be_disabled(self):
+        report = curate_mappings(
+            self._mappings(), min_domains=2, min_size=5, drop_numeric_left=False
+        )
+        kept_ids = {mapping.mapping_id for mapping in report.kept}
+        assert "numeric" in kept_ids
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            curate_mappings([], min_domains=0)
+        with pytest.raises(ValueError):
+            curate_mappings([], min_size=0)

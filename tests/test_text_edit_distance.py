@@ -1,0 +1,141 @@
+"""Tests for the banded edit distance and fractional thresholds (Appendix B)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text.edit_distance import (
+    banded_edit_distance,
+    edit_distance,
+    fractional_threshold,
+    within_edit_threshold,
+)
+
+
+class TestEditDistance:
+    def test_identical_strings(self):
+        assert edit_distance("hello", "hello") == 0
+
+    def test_empty_strings(self):
+        assert edit_distance("", "") == 0
+        assert edit_distance("abc", "") == 3
+        assert edit_distance("", "abcd") == 4
+
+    def test_single_substitution(self):
+        assert edit_distance("cat", "car") == 1
+
+    def test_single_insertion(self):
+        assert edit_distance("cat", "cart") == 1
+
+    def test_single_deletion(self):
+        assert edit_distance("cart", "cat") == 1
+
+    def test_completely_different(self):
+        assert edit_distance("abc", "xyz") == 3
+
+    def test_paper_example_american_samoa(self):
+        # "American Samoa" vs "American Samoa (US)" differ by the suffix.
+        assert edit_distance("American Samoa", "American Samoa US") == 3
+
+    def test_symmetric(self):
+        assert edit_distance("kitten", "sitting") == edit_distance("sitting", "kitten")
+        assert edit_distance("kitten", "sitting") == 3
+
+
+class TestBandedEditDistance:
+    def test_within_threshold_returns_exact_distance(self):
+        assert banded_edit_distance("kitten", "sitting", 3) == 3
+
+    def test_over_threshold_returns_none(self):
+        assert banded_edit_distance("kitten", "sitting", 2) is None
+
+    def test_zero_threshold_identical(self):
+        assert banded_edit_distance("abc", "abc", 0) == 0
+
+    def test_zero_threshold_different(self):
+        assert banded_edit_distance("abc", "abd", 0) is None
+
+    def test_length_difference_exceeding_band(self):
+        assert banded_edit_distance("a", "abcdefgh", 3) is None
+
+    def test_negative_threshold_raises(self):
+        with pytest.raises(ValueError):
+            banded_edit_distance("a", "b", -1)
+
+    def test_empty_versus_short(self):
+        assert banded_edit_distance("", "ab", 2) == 2
+        assert banded_edit_distance("", "ab", 1) is None
+
+    @given(st.text(max_size=12), st.text(max_size=12), st.integers(min_value=0, max_value=6))
+    @settings(max_examples=300, deadline=None)
+    def test_matches_reference_implementation(self, first, second, threshold):
+        """The banded DP must agree with the full DP whenever it returns a value."""
+        reference = edit_distance(first, second)
+        banded = banded_edit_distance(first, second, threshold)
+        if reference <= threshold:
+            assert banded == reference
+        else:
+            assert banded is None
+
+    @given(st.text(max_size=15))
+    @settings(max_examples=100, deadline=None)
+    def test_identity_property(self, text):
+        assert banded_edit_distance(text, text, 0) == 0
+
+    @given(st.text(min_size=1, max_size=10), st.text(min_size=1, max_size=10))
+    @settings(max_examples=100, deadline=None)
+    def test_symmetry_property(self, first, second):
+        assert banded_edit_distance(first, second, 5) == banded_edit_distance(second, first, 5)
+
+
+class TestFractionalThreshold:
+    def test_short_codes_require_exact_match(self):
+        # |USA| * 0.2 = 0.6 -> floor 0: short codes like USA/RSA must match exactly.
+        assert fractional_threshold("USA", "RSA") == 0
+
+    def test_paper_example_american_samoa(self):
+        # min(floor(13*0.2)=2, floor(15*0.2)=3, 10) would be 2 for these lengths.
+        value = fractional_threshold("American Samo", "American Samoa US")
+        assert value == 2
+
+    def test_cap_applies_to_long_strings(self):
+        long_a, long_b = "x" * 200, "y" * 200
+        assert fractional_threshold(long_a, long_b) == 10
+
+    def test_negative_fraction_raises(self):
+        with pytest.raises(ValueError):
+            fractional_threshold("a", "b", fraction=-0.1)
+
+    def test_negative_cap_raises(self):
+        with pytest.raises(ValueError):
+            fractional_threshold("a", "b", cap=-1)
+
+    @given(st.text(max_size=30), st.text(max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_threshold_bounded_by_cap(self, first, second):
+        assert fractional_threshold(first, second) <= 10
+
+
+class TestWithinEditThreshold:
+    def test_exact_match(self):
+        assert within_edit_threshold("USA", "USA")
+
+    def test_short_strings_no_fuzz(self):
+        # USA vs RSA is distance 1 but short codes must not fuzzily match.
+        assert not within_edit_threshold("USA", "RSA")
+
+    def test_long_strings_tolerate_small_edits(self):
+        assert within_edit_threshold(
+            "Los Angeles International Airport", "Los Angeles Internationel Airport"
+        )
+
+    def test_unrelated_long_strings_do_not_match(self):
+        assert not within_edit_threshold(
+            "Los Angeles International Airport", "San Francisco International Airport"
+        )
+
+    def test_empty_string_only_matches_empty(self):
+        assert within_edit_threshold("", "")
+        assert not within_edit_threshold("", "x")

@@ -1,0 +1,152 @@
+"""Tests for value normalization, the value matcher, and the synonym dictionary."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text.matching import ValueMatcher, normalize_value
+from repro.text.synonyms import SynonymDictionary
+
+
+class TestNormalizeValue:
+    def test_lowercases(self):
+        assert normalize_value("South Korea") == "south korea"
+
+    def test_strips_footnote_markers(self):
+        assert normalize_value("South Korea[1]") == "south korea"
+        assert normalize_value("Algeria*") == "algeria"
+
+    def test_strips_punctuation(self):
+        assert normalize_value("Korea, Republic of") == "korea republic of"
+
+    def test_collapses_whitespace(self):
+        assert normalize_value("  United   States ") == "united states"
+
+    def test_keeps_punctuation_when_asked(self):
+        assert normalize_value("AT&T Inc", strip_punctuation=False) == "at&t inc"
+
+    def test_empty_string(self):
+        assert normalize_value("") == ""
+
+    def test_only_punctuation_becomes_empty(self):
+        assert normalize_value("***") == ""
+
+    @given(st.text(max_size=40))
+    @settings(max_examples=200, deadline=None)
+    def test_idempotent(self, text):
+        once = normalize_value(text)
+        assert normalize_value(once) == once
+
+    @given(st.text(max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_case_insensitive(self, text):
+        assert normalize_value(text.upper()) == normalize_value(text.lower())
+
+
+class TestValueMatcher:
+    def test_exact_match(self):
+        assert ValueMatcher().matches("USA", "USA")
+
+    def test_case_and_punctuation_insensitive(self):
+        assert ValueMatcher().matches("Korea, Republic of", "korea republic of")
+
+    def test_footnote_marker_ignored(self):
+        assert ValueMatcher().matches("Algeria[1]", "Algeria")
+
+    def test_short_codes_not_fuzzy(self):
+        assert not ValueMatcher().matches("USA", "RSA")
+
+    def test_long_values_tolerate_typos(self):
+        matcher = ValueMatcher()
+        assert matcher.matches(
+            "Beijing Capital International Airport",
+            "Beijing Capital Internatonal Airport",
+        )
+
+    def test_approximate_disabled(self):
+        matcher = ValueMatcher(approximate=False)
+        assert not matcher.matches(
+            "Beijing Capital International Airport",
+            "Beijing Capital Internatonal Airport",
+        )
+        assert matcher.matches("Beijing", "beijing")
+
+    def test_synonyms_match(self):
+        synonyms = SynonymDictionary([["US Virgin Islands", "United States Virgin Islands"]])
+        matcher = ValueMatcher(synonyms=synonyms)
+        assert matcher.matches("US Virgin Islands", "United States Virgin Islands")
+
+    def test_match_key_uses_synonym_canonical(self):
+        synonyms = SynonymDictionary([["UK", "United Kingdom"]])
+        matcher = ValueMatcher(synonyms=synonyms)
+        assert matcher.match_key("UK") == matcher.match_key("United Kingdom")
+
+    def test_match_key_without_synonyms_is_normalization(self):
+        matcher = ValueMatcher()
+        assert matcher.match_key("South Korea[1]") == "south korea"
+
+    def test_negative_fraction_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            ValueMatcher(fraction=-0.5)
+
+    @given(st.text(max_size=20), st.text(max_size=20))
+    @settings(max_examples=150, deadline=None)
+    def test_matches_is_symmetric(self, first, second):
+        matcher = ValueMatcher()
+        assert matcher.matches(first, second) == matcher.matches(second, first)
+
+    @given(st.text(max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_is_reflexive(self, text):
+        assert ValueMatcher().matches(text, text)
+
+
+class TestSynonymDictionary:
+    def test_pair(self):
+        synonyms = SynonymDictionary()
+        synonyms.add_pair("UK", "United Kingdom")
+        assert synonyms.are_synonyms("UK", "United Kingdom")
+
+    def test_transitive_closure(self):
+        synonyms = SynonymDictionary()
+        synonyms.add_pair("UK", "United Kingdom")
+        synonyms.add_pair("United Kingdom", "Great Britain")
+        assert synonyms.are_synonyms("UK", "Great Britain")
+
+    def test_group(self):
+        synonyms = SynonymDictionary([["a", "b", "c"]])
+        assert synonyms.are_synonyms("a", "c")
+        assert synonyms.are_synonyms("b", "c")
+
+    def test_unknown_values_are_not_synonyms(self):
+        synonyms = SynonymDictionary([["a", "b"]])
+        assert not synonyms.are_synonyms("a", "z")
+        assert not synonyms.are_synonyms("x", "y")
+
+    def test_identical_values_always_synonyms(self):
+        assert SynonymDictionary().are_synonyms("same", "same")
+
+    def test_normalization_applied(self):
+        synonyms = SynonymDictionary([["South Korea", "Republic of Korea"]])
+        assert synonyms.are_synonyms("SOUTH KOREA", "republic of korea")
+
+    def test_canonical_is_stable_within_group(self):
+        synonyms = SynonymDictionary([["a", "b", "c"]])
+        assert synonyms.canonical("a") == synonyms.canonical("b") == synonyms.canonical("c")
+
+    def test_canonical_for_unknown_value(self):
+        assert SynonymDictionary().canonical("Plain Value") == "plain value"
+
+    def test_contains_and_len(self):
+        synonyms = SynonymDictionary([["a", "b"]])
+        assert "a" in synonyms
+        assert "z" not in synonyms
+        assert len(synonyms) == 2
+
+    def test_empty_group_is_noop(self):
+        synonyms = SynonymDictionary()
+        synonyms.add_group([])
+        assert len(synonyms) == 0
