@@ -11,6 +11,10 @@ from conftest import run_once
 from repro.evaluation.experiments import run_expansion_study
 from repro.evaluation.reporting import format_simple_table
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 
 def test_expansion_study(benchmark, web_corpus, bench_config):
     study = run_once(

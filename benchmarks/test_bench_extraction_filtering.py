@@ -13,6 +13,10 @@ from conftest import run_once
 from repro.evaluation.experiments import run_extraction_stats
 from repro.evaluation.reporting import format_simple_table
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 
 def test_extraction_filtering_stats(benchmark, web_corpus, bench_config):
     stats = run_once(

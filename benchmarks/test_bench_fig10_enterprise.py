@@ -12,6 +12,10 @@ from conftest import run_once
 from repro.evaluation.experiments import run_enterprise_comparison
 from repro.evaluation.reporting import format_comparison_table
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 
 def test_fig10_enterprise_comparison(benchmark, enterprise_corpus, bench_config):
     result = run_once(

@@ -12,6 +12,10 @@ from conftest import run_once
 from repro.evaluation.experiments import collect_enterprise_examples
 from repro.evaluation.reporting import format_simple_table
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 
 def test_fig11_enterprise_examples(benchmark, enterprise_corpus, bench_config):
     examples = run_once(

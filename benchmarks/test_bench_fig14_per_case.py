@@ -18,6 +18,10 @@ from repro.baselines import (
 from repro.evaluation.experiments import run_method_comparison
 from repro.evaluation.reporting import format_per_case_table
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 
 def test_fig14_per_case_comparison(benchmark, web_corpus, bench_config):
     methods = {

@@ -12,6 +12,10 @@ from conftest import run_once
 from repro.evaluation.experiments import run_conflict_resolution_study
 from repro.evaluation.reporting import format_simple_table
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 
 def test_fig15_conflict_resolution(benchmark, web_corpus, bench_config):
     study = run_once(

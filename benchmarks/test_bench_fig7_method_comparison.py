@@ -13,6 +13,10 @@ from conftest import run_once
 from repro.evaluation.experiments import default_methods, run_method_comparison
 from repro.evaluation.reporting import format_comparison_table
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 
 def test_fig7_method_comparison(benchmark, web_corpus, bench_config):
     result = run_once(

@@ -20,6 +20,10 @@ from repro.evaluation.benchmark import build_web_benchmark
 from repro.evaluation.reporting import format_simple_table
 from repro.evaluation.runner import EvaluationRunner
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 
 def test_fig8_runtime(benchmark, web_corpus, bench_config):
     def run() -> dict[str, float]:

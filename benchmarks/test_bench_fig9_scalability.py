@@ -11,6 +11,10 @@ from conftest import run_once
 from repro.evaluation.experiments import run_scalability
 from repro.evaluation.reporting import format_simple_table
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 
 def test_fig9_scalability(benchmark, sweep_corpus, bench_config):
     result = run_once(

@@ -12,6 +12,10 @@ from conftest import run_once
 from repro.evaluation.experiments import collect_web_examples
 from repro.evaluation.reporting import format_simple_table
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 
 def test_qualitative_top_mappings(benchmark, web_corpus, bench_config):
     examples = run_once(

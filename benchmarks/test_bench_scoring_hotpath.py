@@ -1,0 +1,108 @@
+"""Scoring hot-path benchmark: graph build + partition, fast path vs naive oracle.
+
+Times compatibility-graph construction and greedy partitioning at two corpus
+scales and records the results in ``BENCH_scoring.json`` at the repository root
+(wall times, blocked/scored pair counts, match-cache hit rate, and the speedup
+of the indexed/cached engine over the seed implementation preserved in
+:mod:`repro.graph.reference`), so future PRs have a perf trajectory to compare
+against.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.evaluation.experiments import (
+    ExperimentScale,
+    experiment_config,
+    make_web_corpus,
+)
+from repro.extraction.candidates import CandidateExtractor
+from repro.graph.build import GraphBuilder
+from repro.graph.partition import GreedyPartitioner
+from repro.graph.reference import naive_build_graph
+
+pytestmark = pytest.mark.slow
+
+ARTIFACT_PATH = Path(__file__).resolve().parent.parent / "BENCH_scoring.json"
+
+#: (label, scale) pairs; the larger one matches the headline BENCH_SCALE in
+#: conftest.py so its numbers line up with the rest of the harness.
+SCALES = [
+    ("small", ExperimentScale(tables_per_relation=3, max_rows=14, seed=13)),
+    ("medium", ExperimentScale(tables_per_relation=5, max_rows=22, seed=7)),
+]
+
+
+def _measure_scale(label: str, scale: ExperimentScale) -> dict[str, object]:
+    config = experiment_config()
+    corpus = make_web_corpus(scale)
+    candidates, _ = CandidateExtractor(config).extract(corpus)
+
+    start = time.perf_counter()
+    naive_graph = naive_build_graph(candidates, config)
+    naive_seconds = time.perf_counter() - start
+
+    builder = GraphBuilder(config)
+    start = time.perf_counter()
+    graph = builder.build(candidates)
+    build_seconds = time.perf_counter() - start
+    stats = builder.last_build_stats
+
+    start = time.perf_counter()
+    partition = GreedyPartitioner(config).partition(graph)
+    partition_seconds = time.perf_counter() - start
+
+    assert graph.positive_edges == naive_graph.positive_edges
+    assert graph.negative_edges == naive_graph.negative_edges
+
+    return {
+        "scale": label,
+        "tables_per_relation": scale.tables_per_relation,
+        "num_candidates": len(candidates),
+        "num_positive_edges": graph.num_positive_edges,
+        "num_negative_edges": graph.num_negative_edges,
+        "num_partitions": len(partition),
+        "naive_build_seconds": naive_seconds,
+        "build_seconds": build_seconds,
+        "partition_seconds": partition_seconds,
+        "build_speedup": naive_seconds / build_seconds if build_seconds else 0.0,
+        "pairs_blocked_positive": stats.pairs_blocked_positive,
+        "pairs_blocked_negative": stats.pairs_blocked_negative,
+        "pairs_scored": stats.pairs_scored,
+        "match_cache_hit_rate": stats.cache_hit_rate,
+        "num_workers": stats.num_workers,
+    }
+
+
+def test_scoring_hotpath(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [_measure_scale(label, scale) for label, scale in SCALES],
+        rounds=1,
+        iterations=1,
+    )
+    artifact = {"benchmark": "scoring_hotpath", "scales": rows}
+    ARTIFACT_PATH.write_text(json.dumps(artifact, indent=2) + "\n")
+
+    print()
+    for row in rows:
+        print(
+            f"[{row['scale']}] candidates={row['num_candidates']} "
+            f"naive={row['naive_build_seconds']:.2f}s "
+            f"fast={row['build_seconds']:.2f}s "
+            f"({row['build_speedup']:.1f}x, cache hit rate "
+            f"{row['match_cache_hit_rate']:.1%}) "
+            f"partition={row['partition_seconds']:.2f}s"
+        )
+
+    headline = rows[-1]
+    # The single-worker caching win must not depend on core count (≥ 2x), and the
+    # overall build must beat the naive oracle by ≥ 3x at the headline scale.
+    assert headline["num_workers"] == 1
+    assert headline["build_speedup"] >= 3.0, (
+        f"expected >= 3x build speedup, got {headline['build_speedup']:.2f}x"
+    )

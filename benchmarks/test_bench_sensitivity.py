@@ -12,6 +12,10 @@ from conftest import run_once
 from repro.evaluation.experiments import run_sensitivity
 from repro.evaluation.reporting import format_simple_table
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 
 def _print(result) -> None:
     rows = [[value, f"{f_score:.3f}", mappings] for value, f_score, mappings in result.rows()]

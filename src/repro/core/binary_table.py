@@ -81,7 +81,7 @@ class BinaryTable:
     def __contains__(self, pair: object) -> bool:
         if isinstance(pair, tuple):
             pair = ValuePair(*pair)
-        return pair in set(self.pairs)
+        return pair in self.pairs
 
     def __hash__(self) -> int:
         return hash(self.table_id)
@@ -95,24 +95,12 @@ class BinaryTable:
     @property
     def left_values(self) -> list[str]:
         """All left-hand-side values (with duplicates removed, order preserved)."""
-        seen: set[str] = set()
-        result = []
-        for pair in self.pairs:
-            if pair.left not in seen:
-                seen.add(pair.left)
-                result.append(pair.left)
-        return result
+        return list(dict.fromkeys(pair.left for pair in self.pairs))
 
     @property
     def right_values(self) -> list[str]:
         """All right-hand-side values (with duplicates removed, order preserved)."""
-        seen: set[str] = set()
-        result = []
-        for pair in self.pairs:
-            if pair.right not in seen:
-                seen.add(pair.right)
-                result.append(pair.right)
-        return result
+        return list(dict.fromkeys(pair.right for pair in self.pairs))
 
     def pair_set(self) -> set[tuple[str, str]]:
         """Return the pairs as a set of tuples."""

@@ -46,6 +46,12 @@ class SynthesisConfig:
         ``k_ed`` — absolute cap on the edit-distance threshold.
     use_approximate_matching:
         Whether to use approximate string matching when computing compatibility.
+    num_workers:
+        Number of worker processes used to score blocked pairs during graph
+        construction, and the thread count for the map phase of config-driven
+        Map-Reduce jobs (threads help only when mappers release the GIL).
+        ``0`` or ``1`` selects the deterministic sequential path; higher values
+        fan work across a ``concurrent.futures`` pool with identical results.
     use_negative_edges:
         Whether FD-conflict (negative) edges constrain the partitioning.  Setting
         this to ``False`` yields the ``SynthesisPos`` ablation from the paper.
@@ -80,6 +86,7 @@ class SynthesisConfig:
     edit_cap: int = 10
     use_approximate_matching: bool = True
     use_negative_edges: bool = True
+    num_workers: int = 0
 
     # --- Post-processing (§4.2 conflict resolution, Appendix I) --------------------
     resolve_conflicts: bool = True
@@ -122,6 +129,8 @@ class SynthesisConfig:
             )
         if self.min_domains < 1:
             raise ValueError(f"min_domains must be >= 1, got {self.min_domains}")
+        if self.num_workers < 0:
+            raise ValueError(f"num_workers must be >= 0, got {self.num_workers}")
 
     def with_overrides(self, **kwargs: Any) -> "SynthesisConfig":
         """Return a copy of this configuration with selected fields replaced."""

@@ -49,21 +49,23 @@ class CooccurrenceIndex:
         """Total number of columns indexed (``N`` in the paper's formulas)."""
         return self._num_columns
 
-    def columns_containing(self, value: str) -> set[int]:
+    _EMPTY_POSTING: frozenset[int] = frozenset()
+
+    def columns_containing(self, value: str) -> set[int] | frozenset[int]:
         """Return the set of column ids whose columns contain ``value``."""
-        return self._columns_by_value.get(normalize_value(value), set())
+        return self._columns_by_value.get(normalize_value(value), self._EMPTY_POSTING)
 
     def occurrence_count(self, value: str) -> int:
         """``|C(u)|`` — the number of columns containing ``value``."""
         return len(self.columns_containing(value))
 
     def cooccurrence_count(self, first: str, second: str) -> int:
-        """``|C(u) ∩ C(v)|`` — the number of columns containing both values."""
-        columns_first = self.columns_containing(first)
-        columns_second = self.columns_containing(second)
-        if len(columns_first) > len(columns_second):
-            columns_first, columns_second = columns_second, columns_first
-        return sum(1 for column_id in columns_first if column_id in columns_second)
+        """``|C(u) ∩ C(v)|`` — the number of columns containing both values.
+
+        The set intersection runs in C, replacing the seed's per-element Python
+        membership loop.
+        """
+        return len(self.columns_containing(first) & self.columns_containing(second))
 
     def probability(self, value: str) -> float:
         """``p(u) = |C(u)| / N``."""

@@ -7,8 +7,9 @@ from repro.graph.compatibility import (
     negative_compatibility,
     positive_compatibility,
 )
-from repro.graph.build import CompatibilityGraph, GraphBuilder
+from repro.graph.build import BuildStats, CompatibilityGraph, GraphBuilder
 from repro.graph.connected import UnionFind, connected_components
+from repro.graph.profile import TableProfile, build_profile
 from repro.graph.partition import GreedyPartitioner, Partition, PartitionResult
 from repro.graph.exact import exact_partition, is_feasible_partition, partition_objective
 from repro.graph.lp import lp_relaxation_partition
@@ -21,6 +22,9 @@ __all__ = [
     "conflict_set",
     "CompatibilityGraph",
     "GraphBuilder",
+    "BuildStats",
+    "TableProfile",
+    "build_profile",
     "UnionFind",
     "connected_components",
     "GreedyPartitioner",

@@ -5,20 +5,33 @@ all and would score zero.  The builder therefore blocks candidate pairs with an
 inverted index: pairs of tables are scored for ``w+`` only if they share at least
 ``θ_overlap`` exact (normalized) value pairs, and for ``w−`` only if they share at
 least ``θ_overlap`` left-hand-side values.
+
+The build itself is engineered as a fast path:
+
+* every table is profiled exactly once (:mod:`repro.graph.profile`) and both
+  blocking passes read the profile key sets instead of re-normalizing values;
+* blocked pairs that survive both filters are scored in a single fused pass that
+  produces ``w+`` and ``w−`` together;
+* when :attr:`SynthesisConfig.num_workers` is above one, blocked pairs fan out
+  across a ``concurrent.futures`` process pool.  Scoring is a pure function of
+  the pair, so the parallel path is deterministic and bit-identical to the
+  sequential fallback.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 
 from repro.core.binary_table import BinaryTable
 from repro.core.config import SynthesisConfig
 from repro.graph.compatibility import CompatibilityScorer
 from repro.graph.connected import connected_components
+from repro.graph.profile import TableProfile
 from repro.text.synonyms import SynonymDictionary
 
-__all__ = ["CompatibilityGraph", "GraphBuilder"]
+__all__ = ["CompatibilityGraph", "GraphBuilder", "BuildStats"]
 
 
 @dataclass
@@ -26,16 +39,31 @@ class CompatibilityGraph:
     """A weighted graph over candidate binary tables.
 
     Vertices are table indices into :attr:`tables`; edges are stored as dictionaries
-    keyed by the ordered index pair ``(i, j)`` with ``i < j``.
+    keyed by the ordered index pair ``(i, j)`` with ``i < j``.  An adjacency map is
+    maintained alongside the edge dictionaries so neighborhood queries do not scan
+    every edge.
     """
 
     tables: list[BinaryTable]
     positive_edges: dict[tuple[int, int], float] = field(default_factory=dict)
     negative_edges: dict[tuple[int, int], float] = field(default_factory=dict)
+    _adjacency: dict[int, set[int]] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        for first, second in self.positive_edges:
+            self._link(first, second)
+        for first, second in self.negative_edges:
+            self._link(first, second)
 
     @staticmethod
     def _key(first: int, second: int) -> tuple[int, int]:
         return (first, second) if first < second else (second, first)
+
+    def _link(self, first: int, second: int) -> None:
+        self._adjacency.setdefault(first, set()).add(second)
+        self._adjacency.setdefault(second, set()).add(first)
 
     # -- Accessors --------------------------------------------------------------------
     @property
@@ -68,6 +96,7 @@ class CompatibilityGraph:
         if weight < 0:
             raise ValueError(f"positive weight must be >= 0, got {weight}")
         self.positive_edges[self._key(first, second)] = weight
+        self._link(first, second)
 
     def add_negative(self, first: int, second: int, weight: float) -> None:
         """Add (or overwrite) a negative edge."""
@@ -76,21 +105,11 @@ class CompatibilityGraph:
         if weight > 0:
             raise ValueError(f"negative weight must be <= 0, got {weight}")
         self.negative_edges[self._key(first, second)] = weight
+        self._link(first, second)
 
     def neighbors(self, vertex: int) -> set[int]:
         """Vertices connected to ``vertex`` by either kind of edge."""
-        result: set[int] = set()
-        for (a, b) in self.positive_edges:
-            if a == vertex:
-                result.add(b)
-            elif b == vertex:
-                result.add(a)
-        for (a, b) in self.negative_edges:
-            if a == vertex:
-                result.add(b)
-            elif b == vertex:
-                result.add(a)
-        return result
+        return set(self._adjacency.get(vertex, ()))
 
     def positive_components(self) -> list[list[int]]:
         """Connected components induced by positive edges only (Appendix F)."""
@@ -109,6 +128,97 @@ class CompatibilityGraph:
         return sub
 
 
+@dataclass
+class BuildStats:
+    """Counters describing the most recent :meth:`GraphBuilder.build` call."""
+
+    num_tables: int = 0
+    pairs_blocked_positive: int = 0
+    pairs_blocked_negative: int = 0
+    pairs_scored: int = 0
+    match_cache_hits: int = 0
+    match_cache_misses: int = 0
+    num_workers: int = 1
+    parallel_fallback: bool = False
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of memoized ``matches()`` lookups answered from cache."""
+        total = self.match_cache_hits + self.match_cache_misses
+        return self.match_cache_hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict view for reporting artifacts."""
+        return {
+            "num_tables": self.num_tables,
+            "pairs_blocked_positive": self.pairs_blocked_positive,
+            "pairs_blocked_negative": self.pairs_blocked_negative,
+            "pairs_scored": self.pairs_scored,
+            "match_cache_hits": self.match_cache_hits,
+            "match_cache_misses": self.match_cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+            "num_workers": self.num_workers,
+            "parallel_fallback": self.parallel_fallback,
+        }
+
+
+# -- Process-pool scoring workers -------------------------------------------------------
+# Each worker builds its own scorer and profiles once (via the pool initializer) and
+# then scores chunks of blocked pairs.  Scoring is deterministic, so fan-out cannot
+# change the resulting graph.
+_WORKER_SCORER: CompatibilityScorer | None = None
+_WORKER_PROFILES: list[TableProfile] = []
+
+
+def _init_scoring_worker(
+    tables: list[BinaryTable],
+    config: SynthesisConfig,
+    synonyms: SynonymDictionary | None,
+) -> None:
+    global _WORKER_SCORER, _WORKER_PROFILES
+    _WORKER_SCORER = CompatibilityScorer(config, synonyms)
+    _WORKER_PROFILES = [_WORKER_SCORER.profile(table) for table in tables]
+
+
+def _score_pair_chunk(
+    chunk: list[tuple[int, int, bool, bool, int, int]],
+) -> tuple[list[tuple[int, int, float, float]], int, int]:
+    assert _WORKER_SCORER is not None
+    # Workers process several chunks; report per-chunk deltas, not the worker's
+    # running totals, so summing chunk results doesn't over-count.
+    hits_before = _WORKER_SCORER.match_cache_hits
+    misses_before = _WORKER_SCORER.match_cache_misses
+    results = [
+        task[:2] + _score_one(_WORKER_SCORER, _WORKER_PROFILES, task) for task in chunk
+    ]
+    return (
+        results,
+        _WORKER_SCORER.match_cache_hits - hits_before,
+        _WORKER_SCORER.match_cache_misses - misses_before,
+    )
+
+
+def _score_one(
+    scorer: CompatibilityScorer,
+    profiles: list[TableProfile],
+    task: tuple[int, int, bool, bool, int, int],
+) -> tuple[float, float]:
+    """Score one blocked pair, computing only the sides the blocking asked for."""
+    first, second, need_positive, need_negative, shared_pairs, shared_lefts = task
+    first_profile, second_profile = profiles[first], profiles[second]
+    if need_positive and need_negative:
+        scores = scorer.score_profiles(
+            first_profile,
+            second_profile,
+            shared_pairs=shared_pairs,
+            shared_lefts=shared_lefts,
+        )
+        return scores.positive, scores.negative
+    if need_positive:
+        return scorer.positive_profiles(first_profile, second_profile), 0.0
+    return 0.0, scorer.negative_profiles(first_profile, second_profile)
+
+
 class GraphBuilder:
     """Builds the sparse compatibility graph from candidate tables."""
 
@@ -120,57 +230,126 @@ class GraphBuilder:
     ) -> None:
         self.config = config or SynthesisConfig()
         self.scorer = scorer or CompatibilityScorer(self.config, synonyms)
+        self.last_build_stats = BuildStats()
 
     # -- Blocking --------------------------------------------------------------------
+    @staticmethod
+    def _pair_counts_from_postings(
+        postings: Iterable[Iterable[int]],
+    ) -> dict[tuple[int, int], int]:
+        """Count co-occurrences of table indices across inverted-index postings.
+
+        ``postings`` yields, for each indexed key, the sorted table indices whose
+        key set contains it; the result maps each index pair to the number of keys
+        they share.
+        """
+        counts: dict[tuple[int, int], int] = defaultdict(int)
+        for indices in postings:
+            indices = list(indices)
+            if len(indices) < 2:
+                continue
+            for i in range(len(indices)):
+                first = indices[i]
+                for j in range(i + 1, len(indices)):
+                    counts[(first, indices[j])] += 1
+        return counts
+
     def _candidate_pairs_by_value_pair(
         self, tables: list[BinaryTable]
     ) -> dict[tuple[int, int], int]:
         """Block on exact normalized value pairs; returns shared-pair counts."""
-        matcher = self.scorer.matcher
         posting: dict[tuple[str, str], list[int]] = defaultdict(list)
         for index, table in enumerate(tables):
-            keys = {
-                (matcher.match_key(p.left), matcher.match_key(p.right))
-                for p in table.pairs
-            }
-            for key in keys:
+            for key in self.scorer.profile(table).pair_keys:
                 posting[key].append(index)
-        counts: dict[tuple[int, int], int] = defaultdict(int)
-        for indices in posting.values():
-            if len(indices) < 2:
-                continue
-            for i in range(len(indices)):
-                for j in range(i + 1, len(indices)):
-                    counts[(indices[i], indices[j])] += 1
-        return counts
+        return self._pair_counts_from_postings(posting.values())
 
     def _candidate_pairs_by_left_value(
         self, tables: list[BinaryTable]
     ) -> dict[tuple[int, int], int]:
         """Block on exact normalized left values; returns shared-left counts."""
-        matcher = self.scorer.matcher
         posting: dict[str, list[int]] = defaultdict(list)
         for index, table in enumerate(tables):
-            keys = {matcher.match_key(p.left) for p in table.pairs}
-            for key in keys:
+            for key in self.scorer.profile(table).left_key_set:
                 posting[key].append(index)
-        counts: dict[tuple[int, int], int] = defaultdict(int)
-        for indices in posting.values():
-            if len(indices) < 2:
-                continue
-            for i in range(len(indices)):
-                for j in range(i + 1, len(indices)):
-                    counts[(indices[i], indices[j])] += 1
-        return counts
+        return self._pair_counts_from_postings(posting.values())
+
+    # -- Scoring ---------------------------------------------------------------------
+    def _score_blocked_pairs(
+        self, tables: list[BinaryTable], tasks: list[tuple[int, int, bool, bool, int, int]]
+    ) -> dict[tuple[int, int], tuple[float, float]]:
+        """Score blocked pairs, fanning out across processes when configured."""
+        num_workers = getattr(self.config, "num_workers", 0)
+        if (
+            num_workers > 1
+            and len(tasks) >= 2 * num_workers
+            and type(self.scorer) is CompatibilityScorer
+        ):
+            try:
+                return self._score_parallel(tables, tasks, num_workers)
+            except Exception:
+                # Pools can fail for environmental reasons (pickling, sandboxing,
+                # missing /dev/shm); the sequential path computes the same result.
+                # The flag keeps the degradation observable in stats and tests.
+                self.last_build_stats.parallel_fallback = True
+        results: dict[tuple[int, int], tuple[float, float]] = {}
+        hits_before = self.scorer.match_cache_hits
+        misses_before = self.scorer.match_cache_misses
+        profiles = [self.scorer.profile(table) for table in tables]
+        for task in tasks:
+            results[task[:2]] = _score_one(self.scorer, profiles, task)
+        self.last_build_stats.match_cache_hits = (
+            self.scorer.match_cache_hits - hits_before
+        )
+        self.last_build_stats.match_cache_misses = (
+            self.scorer.match_cache_misses - misses_before
+        )
+        self.last_build_stats.num_workers = 1
+        return results
+
+    def _score_parallel(
+        self,
+        tables: list[BinaryTable],
+        tasks: list[tuple[int, int, bool, bool, int, int]],
+        num_workers: int,
+    ) -> dict[tuple[int, int], tuple[float, float]]:
+        from concurrent.futures import ProcessPoolExecutor
+
+        chunk_count = min(len(tasks), num_workers * 4)
+        chunk_size = (len(tasks) + chunk_count - 1) // chunk_count
+        chunks = [tasks[i : i + chunk_size] for i in range(0, len(tasks), chunk_size)]
+        results: dict[tuple[int, int], tuple[float, float]] = {}
+        hits = misses = 0
+        with ProcessPoolExecutor(
+            max_workers=num_workers,
+            initializer=_init_scoring_worker,
+            # Workers must mirror the *scorer* doing the sequential scoring, which
+            # an injected scorer may configure differently from the builder.
+            initargs=(tables, self.scorer.config, self.scorer.synonyms),
+        ) as pool:
+            for chunk_results, chunk_hits, chunk_misses in pool.map(
+                _score_pair_chunk, chunks
+            ):
+                hits += chunk_hits
+                misses += chunk_misses
+                for first, second, positive, negative in chunk_results:
+                    results[(first, second)] = (positive, negative)
+        self.last_build_stats.match_cache_hits = hits
+        self.last_build_stats.match_cache_misses = misses
+        self.last_build_stats.num_workers = num_workers
+        return results
 
     # -- Public API --------------------------------------------------------------------
     def build(self, tables: list[BinaryTable]) -> CompatibilityGraph:
         """Score blocked table pairs and assemble the compatibility graph.
 
         Positive edges below ``θ_edge`` are dropped; negative edges are kept with
-        their raw weight (the partitioner applies the τ threshold).
+        their raw weight (the partitioner applies the τ threshold).  The blocking
+        overlap counts double as the pairs' ``shared_pairs`` / ``shared_lefts``
+        values, so nothing is recomputed during scoring.
         """
         graph = CompatibilityGraph(tables=list(tables))
+        self.last_build_stats = BuildStats(num_tables=len(graph.tables))
         pair_counts = self._candidate_pairs_by_value_pair(graph.tables)
         left_counts = self._candidate_pairs_by_left_value(graph.tables)
 
@@ -178,18 +357,30 @@ class GraphBuilder:
         positive_candidates = {
             pair for pair, count in pair_counts.items() if count >= overlap
         }
-        negative_candidates = {
-            pair for pair, count in left_counts.items() if count >= overlap
-        }
+        negative_candidates = (
+            {pair for pair, count in left_counts.items() if count >= overlap}
+            if self.config.use_negative_edges
+            else set()
+        )
+        self.last_build_stats.pairs_blocked_positive = len(positive_candidates)
+        self.last_build_stats.pairs_blocked_negative = len(negative_candidates)
+
+        tasks = [
+            (first, second, (first, second) in positive_candidates,
+             (first, second) in negative_candidates,
+             pair_counts.get((first, second), 0), left_counts.get((first, second), 0))
+            for first, second in sorted(positive_candidates | negative_candidates)
+        ]
+        self.last_build_stats.pairs_scored = len(tasks)
+        results = self._score_blocked_pairs(graph.tables, tasks)
 
         for first, second in sorted(positive_candidates):
-            weight = self.scorer.positive(graph.tables[first], graph.tables[second])
+            weight = results[(first, second)][0]
             if weight >= self.config.edge_threshold:
                 graph.add_positive(first, second, weight)
 
-        if self.config.use_negative_edges:
-            for first, second in sorted(negative_candidates):
-                weight = self.scorer.negative(graph.tables[first], graph.tables[second])
-                if weight < 0.0:
-                    graph.add_negative(first, second, weight)
+        for first, second in sorted(negative_candidates):
+            weight = results[(first, second)][1]
+            if weight < 0.0:
+                graph.add_negative(first, second, weight)
         return graph

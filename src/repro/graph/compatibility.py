@@ -10,6 +10,14 @@
 
 Both computations use approximate string matching so footnote markers and minor
 synonyms do not artificially depress ``w+`` or inflate ``w−``.
+
+The scorer works on :class:`~repro.graph.profile.TableProfile` objects: each table
+is profiled once (normalized key sets, left-key → rows map, compact forms, length
+buckets) and every subsequent pairwise score reuses the profile.  ``score()``
+computes ``w+``, ``w−``, shared counts and the conflict set in a single fused pass
+over each side's rows, and every ``matches()`` verdict is memoized in a pair cache
+shared across all scored pairs — corpus values repeat heavily across tables, so the
+cache hit rate climbs quickly during graph construction.
 """
 
 from __future__ import annotations
@@ -18,6 +26,7 @@ from dataclasses import dataclass
 
 from repro.core.binary_table import BinaryTable
 from repro.core.config import SynthesisConfig
+from repro.graph.profile import TableProfile, build_profile
 from repro.text.matching import ValueMatcher
 from repro.text.synonyms import SynonymDictionary
 
@@ -59,113 +68,227 @@ class CompatibilityScorer:
         synonyms: SynonymDictionary | None = None,
     ) -> None:
         self.config = config or SynthesisConfig()
+        self.synonyms = synonyms
         self.matcher = ValueMatcher(
             fraction=self.config.edit_fraction,
             cap=self.config.edit_cap,
             synonyms=synonyms,
             approximate=self.config.use_approximate_matching,
         )
+        # Profiles are keyed by object identity; each entry keeps a strong
+        # reference to its table (via TableProfile.table), so an id() can never be
+        # recycled while its cache slot is live.
+        self._profiles: dict[int, TableProfile] = {}
+        self._match_cache: dict[tuple[str, str], bool] = {}
+        self.match_cache_hits = 0
+        self.match_cache_misses = 0
 
-    # -- Pair matching ------------------------------------------------------------------
-    def _pair_matches(
-        self, pair: tuple[str, str], other: tuple[str, str]
-    ) -> bool:
-        return self.matcher.matches(pair[0], other[0]) and self.matcher.matches(
-            pair[1], other[1]
-        )
+    #: Long-lived scorers (e.g. one held by a TableExpander across thousands of
+    #: throwaway tables) must not grow without bound; when a cache exceeds its
+    #: limit it is cleared wholesale.  The bounds are far above what one graph
+    #: build touches, so build-time behavior is unaffected.
+    MAX_PROFILE_CACHE = 8192
+    MAX_MATCH_CACHE = 1 << 20
 
-    def _matched_pair_count(self, source: BinaryTable, target: BinaryTable) -> int:
-        """Number of pairs of ``source`` that have a matching pair in ``target``."""
-        target_exact = {
-            (self.matcher.match_key(p.left), self.matcher.match_key(p.right))
-            for p in target.pairs
-        }
-        target_pairs = [(p.left, p.right) for p in target.pairs]
-        count = 0
-        for pair in source.pairs:
-            key = (self.matcher.match_key(pair.left), self.matcher.match_key(pair.right))
-            if key in target_exact:
-                count += 1
+    # -- Profiles and memoized matching ---------------------------------------------
+    def profile(self, table: BinaryTable) -> TableProfile:
+        """Return the (cached) scoring profile of ``table``."""
+        cached = self._profiles.get(id(table))
+        if cached is None or cached.table is not table:
+            if len(self._profiles) >= self.MAX_PROFILE_CACHE:
+                self._profiles.clear()
+            cached = build_profile(table, self.matcher, self.config.edit_cap)
+            self._profiles[id(table)] = cached
+        return cached
+
+    def matches(self, first: str, second: str) -> bool:
+        """Memoized :meth:`ValueMatcher.matches` over surface forms."""
+        if first == second:
+            return True
+        key = (first, second) if first <= second else (second, first)
+        verdict = self._match_cache.get(key)
+        if verdict is None:
+            self.match_cache_misses += 1
+            if len(self._match_cache) >= self.MAX_MATCH_CACHE:
+                self._match_cache.clear()
+            verdict = self.matcher.matches(first, second)
+            self._match_cache[key] = verdict
+        else:
+            self.match_cache_hits += 1
+        return verdict
+
+    @property
+    def match_cache_size(self) -> int:
+        """Number of memoized value-pair verdicts."""
+        return len(self._match_cache)
+
+    # -- Fused per-row scoring --------------------------------------------------------
+    def _row_verdict(
+        self, source: TableProfile, index: int, target: TableProfile
+    ) -> tuple[bool, bool]:
+        """Return ``(pair matched in target, left value conflicts with target)``.
+
+        A row matches when some target row agrees on both sides (exact normalized
+        keys, synonyms, or banded edit distance).  A row conflicts when a target
+        row with the *same* left value maps it to a different right value; rows
+        whose left key occurs exactly in the target only compare against those
+        occurrences, otherwise approximate left matches are consulted (mirroring
+        how the paper resolves conflicts after blocking on left values).
+        """
+        left_key = source.left_keys[index]
+        matched = (left_key, source.right_keys[index]) in target.pair_keys
+        conflict = False
+        approximate = self.config.use_approximate_matching
+        right = source.rights[index]
+
+        exact_rows = target.rows_with_left_key(left_key)
+        if exact_rows:
+            for row in exact_rows:
+                if self.matches(right, target.rights[row]):
+                    matched = True
+                else:
+                    conflict = True
+                if matched and conflict:
+                    return matched, conflict
+            if matched or not approximate:
+                return matched, conflict
+            # Fall through: the pair may still match a target row whose left
+            # value only matches approximately.
+            left = source.lefts[index]
+            exact_set = set(exact_rows)
+            for row in source_band_rows(source, index, target):
+                if row in exact_set:
+                    continue
+                if self.matches(left, target.lefts[row]) and self.matches(
+                    right, target.rights[row]
+                ):
+                    return True, conflict
+            return matched, conflict
+
+        if not approximate:
+            return matched, conflict
+        # No exact left-key occurrence in the target: both the pair match and the
+        # conflict verdict come from approximate left matches in the length band.
+        left = source.lefts[index]
+        for row in source_band_rows(source, index, target):
+            if not self.matches(left, target.lefts[row]):
                 continue
-            if self.config.use_approximate_matching and any(
-                self._pair_matches((pair.left, pair.right), other)
-                for other in target_pairs
-            ):
-                count += 1
-        return count
+            if self.matches(right, target.rights[row]):
+                matched = True
+            else:
+                conflict = True
+            if matched and conflict:
+                break
+        return matched, conflict
+
+    def _matched_row_count(self, source: TableProfile, target: TableProfile) -> int:
+        """Number of rows of ``source`` with a matching pair in ``target``."""
+        return sum(
+            1
+            for index in range(len(source))
+            if self._row_verdict(source, index, target)[0]
+        )
 
     # -- Public scores -------------------------------------------------------------------
     def positive(self, first: BinaryTable, second: BinaryTable) -> float:
         """``w+(B, B')`` — maximum containment of shared value pairs (Equation 3)."""
-        if not first.pairs or not second.pairs:
-            return 0.0
-        matched_first = self._matched_pair_count(first, second)
-        matched_second = self._matched_pair_count(second, first)
-        return max(matched_first / len(first), matched_second / len(second))
+        return self.positive_profiles(self.profile(first), self.profile(second))
 
     def conflict_lefts(self, first: BinaryTable, second: BinaryTable) -> set[str]:
         """The conflict set ``F(B, B')`` — left values with disagreeing right values."""
-        conflicts: set[str] = set()
-        second_by_left: dict[str, list[tuple[str, str]]] = {}
-        for pair in second.pairs:
-            second_by_left.setdefault(self.matcher.match_key(pair.left), []).append(
-                (pair.left, pair.right)
-            )
-        for pair in first.pairs:
-            left_key = self.matcher.match_key(pair.left)
-            candidates = list(second_by_left.get(left_key, []))
-            if self.config.use_approximate_matching and not candidates:
-                candidates = [
-                    (other.left, other.right)
-                    for other in second.pairs
-                    if self.matcher.matches(pair.left, other.left)
-                ]
-            for _, other_right in candidates:
-                if not self.matcher.matches(pair.right, other_right):
-                    conflicts.add(pair.left)
-                    break
-        return conflicts
+        return self.conflict_lefts_profiles(self.profile(first), self.profile(second))
 
     def negative(self, first: BinaryTable, second: BinaryTable) -> float:
         """``w−(B, B')`` — negative incompatibility from conflicts (Equation 4)."""
-        if not first.pairs or not second.pairs:
+        return self.negative_profiles(self.profile(first), self.profile(second))
+
+    def shared_pair_count(self, first: BinaryTable, second: BinaryTable) -> int:
+        """Number of exactly-shared (normalized) value pairs — used for blocking."""
+        return len(self.profile(first).pair_keys & self.profile(second).pair_keys)
+
+    def shared_left_count(self, first: BinaryTable, second: BinaryTable) -> int:
+        """Number of exactly-shared (normalized) left values — used for blocking."""
+        return len(self.profile(first).left_key_set & self.profile(second).left_key_set)
+
+    def score(self, first: BinaryTable, second: BinaryTable) -> CompatibilityScores:
+        """Compute all pairwise scores between two tables."""
+        return self.score_profiles(self.profile(first), self.profile(second))
+
+    # -- Profile-level scores (no table re-derivation) --------------------------------
+    def positive_profiles(self, first: TableProfile, second: TableProfile) -> float:
+        """``w+`` over pre-built profiles."""
+        if not len(first) or not len(second):
             return 0.0
-        conflicts = self.conflict_lefts(first, second)
+        matched_first = self._matched_row_count(first, second)
+        matched_second = self._matched_row_count(second, first)
+        return max(matched_first / len(first), matched_second / len(second))
+
+    def conflict_lefts_profiles(
+        self, first: TableProfile, second: TableProfile
+    ) -> set[str]:
+        """Conflict set ``F(B, B')`` over pre-built profiles."""
+        return {
+            first.lefts[index]
+            for index in range(len(first))
+            if self._row_verdict(first, index, second)[1]
+        }
+
+    def negative_profiles(self, first: TableProfile, second: TableProfile) -> float:
+        """``w−`` over pre-built profiles."""
+        if not len(first) or not len(second):
+            return 0.0
+        conflicts = self.conflict_lefts_profiles(first, second)
         if not conflicts:
             return 0.0
         return -max(len(conflicts) / len(first), len(conflicts) / len(second))
 
-    def shared_pair_count(self, first: BinaryTable, second: BinaryTable) -> int:
-        """Number of exactly-shared (normalized) value pairs — used for blocking."""
-        first_keys = {
-            (self.matcher.match_key(p.left), self.matcher.match_key(p.right))
-            for p in first.pairs
-        }
-        second_keys = {
-            (self.matcher.match_key(p.left), self.matcher.match_key(p.right))
-            for p in second.pairs
-        }
-        return len(first_keys & second_keys)
+    def score_profiles(
+        self,
+        first: TableProfile,
+        second: TableProfile,
+        shared_pairs: int | None = None,
+        shared_lefts: int | None = None,
+    ) -> CompatibilityScores:
+        """Single-pass scoring of two profiles.
 
-    def shared_left_count(self, first: BinaryTable, second: BinaryTable) -> int:
-        """Number of exactly-shared (normalized) left values — used for blocking."""
-        first_lefts = {self.matcher.match_key(p.left) for p in first.pairs}
-        second_lefts = {self.matcher.match_key(p.left) for p in second.pairs}
-        return len(first_lefts & second_lefts)
+        One sweep over ``first``'s rows yields both its matched-pair count and the
+        conflict set; a second sweep over ``second``'s rows yields the reverse
+        matched count.  Callers that already know the blocking overlap counts
+        (``shared_pairs`` / ``shared_lefts``) can pass them in to skip the set
+        intersections.
+        """
+        if shared_pairs is None:
+            shared_pairs = len(first.pair_keys & second.pair_keys)
+        if shared_lefts is None:
+            shared_lefts = len(first.left_key_set & second.left_key_set)
 
-    def score(self, first: BinaryTable, second: BinaryTable) -> CompatibilityScores:
-        """Compute all pairwise scores between two tables."""
-        conflicts = self.conflict_lefts(first, second)
+        conflicts: set[str] = set()
+        matched_first = 0
+        for index in range(len(first)):
+            matched, conflict = self._row_verdict(first, index, second)
+            if matched:
+                matched_first += 1
+            if conflict:
+                conflicts.add(first.lefts[index])
+        positive = 0.0
+        if len(first) and len(second):
+            matched_second = self._matched_row_count(second, first)
+            positive = max(matched_first / len(first), matched_second / len(second))
         negative = 0.0
-        if conflicts and first.pairs and second.pairs:
+        if conflicts and len(first) and len(second):
             negative = -max(len(conflicts) / len(first), len(conflicts) / len(second))
         return CompatibilityScores(
-            positive=self.positive(first, second),
+            positive=positive,
             negative=negative,
-            shared_pairs=self.shared_pair_count(first, second),
-            shared_lefts=self.shared_left_count(first, second),
+            shared_pairs=shared_pairs,
+            shared_lefts=shared_lefts,
             conflicts=len(conflicts),
         )
+
+
+def source_band_rows(source: TableProfile, index: int, target: TableProfile):
+    """Target rows whose compact-left length is within the edit cap of the source row."""
+    return target.rows_in_length_band(len(source.compact_lefts[index]))
 
 
 # -- Module-level convenience functions (used in docs, examples and tests) -------------

@@ -1,0 +1,133 @@
+"""Immutable per-table scoring profiles (paper §4.1 "Efficiency", Appendix B).
+
+Scoring a pair of candidate tables needs the same derived data over and over:
+normalized ``match_key`` forms of every value, the set of normalized value pairs,
+a left-key → rows map, and the whitespace-free "compact" forms the banded edit
+distance runs on.  The seed implementation re-derived all of it for *every*
+scored pair, which made pairwise scoring the hot path of graph construction.
+
+A :class:`TableProfile` computes each of these exactly once per table.  It also
+carries a length-bucketed index over the compact left values: the fractional
+edit-distance threshold is capped at ``k_ed`` (paper Appendix B), so two values
+whose compact lengths differ by more than the cap can never match approximately
+— the banded DP would reject them on the length difference alone.  Approximate
+candidate lookups therefore only touch rows whose compact-left length falls
+inside the ``± k_ed`` band, instead of scanning the whole table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
+
+from repro.core.binary_table import BinaryTable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.text.matching import ValueMatcher
+
+__all__ = ["TableProfile", "build_profile"]
+
+
+@dataclass(frozen=True)
+class TableProfile:
+    """Precomputed, immutable scoring view of one :class:`BinaryTable`.
+
+    All per-row tuples are parallel: index ``i`` refers to the same value pair in
+    ``lefts``, ``rights``, ``left_keys``, ``right_keys`` and ``compact_lefts``.
+
+    Attributes
+    ----------
+    table:
+        The profiled table (kept alive so identity-keyed caches stay valid).
+    lefts / rights:
+        Original (surface-form) values per pair, as stored in the table.
+    left_keys / right_keys:
+        Normalized ``match_key`` form of each value (synonym-canonicalized).
+    compact_lefts:
+        Whitespace-free normalized left values — the strings the banded edit
+        distance actually compares.
+    pair_keys:
+        Set of normalized ``(left_key, right_key)`` pairs; used for exact pair
+        matching and for blocking overlap counts.
+    left_key_set:
+        Set of normalized left keys; used for negative-edge blocking.
+    by_left_key:
+        Left key → indices of rows carrying that key.
+    left_length_buckets:
+        Compact-left length → indices of rows with that length; supports the
+        banded-DP length-pruning precondition.
+    edit_cap:
+        ``k_ed`` used to build the length buckets (approximate matches can never
+        span a larger length difference).
+    """
+
+    table: BinaryTable
+    lefts: tuple[str, ...]
+    rights: tuple[str, ...]
+    left_keys: tuple[str, ...]
+    right_keys: tuple[str, ...]
+    compact_lefts: tuple[str, ...]
+    pair_keys: frozenset[tuple[str, str]]
+    left_key_set: frozenset[str]
+    by_left_key: dict[str, tuple[int, ...]]
+    left_length_buckets: dict[int, tuple[int, ...]]
+    edit_cap: int
+
+    def __len__(self) -> int:
+        return len(self.lefts)
+
+    def rows_with_left_key(self, left_key: str) -> tuple[int, ...]:
+        """Indices of rows whose left value has exactly the given match key."""
+        return self.by_left_key.get(left_key, ())
+
+    def rows_in_length_band(self, compact_length: int) -> Iterator[int]:
+        """Indices of rows whose compact-left length is within ``± edit_cap``.
+
+        This is a conservative superset of the rows whose left value could match
+        approximately: the edit threshold is ``min(⌊|a|·f⌋, ⌊|b|·f⌋, k_ed)`` and
+        the banded DP rejects any pair whose lengths differ by more than it.
+        """
+        lower = max(0, compact_length - self.edit_cap)
+        for length in range(lower, compact_length + self.edit_cap + 1):
+            bucket = self.left_length_buckets.get(length)
+            if bucket:
+                yield from bucket
+
+
+def build_profile(
+    table: BinaryTable, matcher: "ValueMatcher", edit_cap: int
+) -> TableProfile:
+    """Derive the :class:`TableProfile` of ``table`` under ``matcher``."""
+    lefts: list[str] = []
+    rights: list[str] = []
+    left_keys: list[str] = []
+    right_keys: list[str] = []
+    compact_lefts: list[str] = []
+    by_left_key: dict[str, list[int]] = {}
+    buckets: dict[int, list[int]] = {}
+
+    for index, pair in enumerate(table.pairs):
+        left_key = matcher.match_key(pair.left)
+        right_key = matcher.match_key(pair.right)
+        compact_left = matcher.normalize(pair.left).replace(" ", "")
+        lefts.append(pair.left)
+        rights.append(pair.right)
+        left_keys.append(left_key)
+        right_keys.append(right_key)
+        compact_lefts.append(compact_left)
+        by_left_key.setdefault(left_key, []).append(index)
+        buckets.setdefault(len(compact_left), []).append(index)
+
+    return TableProfile(
+        table=table,
+        lefts=tuple(lefts),
+        rights=tuple(rights),
+        left_keys=tuple(left_keys),
+        right_keys=tuple(right_keys),
+        compact_lefts=tuple(compact_lefts),
+        pair_keys=frozenset(zip(left_keys, right_keys)),
+        left_key_set=frozenset(left_keys),
+        by_left_key={key: tuple(rows) for key, rows in by_left_key.items()},
+        left_length_buckets={length: tuple(rows) for length, rows in buckets.items()},
+        edit_cap=edit_cap,
+    )

@@ -1,0 +1,158 @@
+"""Naive reference implementations of compatibility scoring and graph building.
+
+This module preserves the original, un-indexed scorer verbatim: every pairwise
+score re-derives normalized key sets, left→right maps and shared counts from the
+raw tables, and approximate matching scans every row of the other table.  It is
+deliberately slow and exists for two reasons:
+
+* the equivalence tests assert that the profiled, cached, parallel fast path in
+  :mod:`repro.graph.compatibility` / :mod:`repro.graph.build` produces the exact
+  same graph (edges and weights) as this oracle;
+* the scoring-hot-path benchmark measures the fast path's speedup against it.
+
+Do not use it outside tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core.binary_table import BinaryTable
+from repro.core.config import SynthesisConfig
+from repro.graph.build import CompatibilityGraph
+from repro.text.matching import ValueMatcher
+from repro.text.synonyms import SynonymDictionary
+
+__all__ = ["NaiveCompatibilityScorer", "naive_build_graph"]
+
+
+class NaiveCompatibilityScorer:
+    """The seed ``CompatibilityScorer``: correct, cache-free, quadratic."""
+
+    def __init__(
+        self,
+        config: SynthesisConfig | None = None,
+        synonyms: SynonymDictionary | None = None,
+    ) -> None:
+        self.config = config or SynthesisConfig()
+        self.matcher = ValueMatcher(
+            fraction=self.config.edit_fraction,
+            cap=self.config.edit_cap,
+            synonyms=synonyms,
+            approximate=self.config.use_approximate_matching,
+        )
+
+    def _pair_matches(self, pair: tuple[str, str], other: tuple[str, str]) -> bool:
+        return self.matcher.matches(pair[0], other[0]) and self.matcher.matches(
+            pair[1], other[1]
+        )
+
+    def _matched_pair_count(self, source: BinaryTable, target: BinaryTable) -> int:
+        target_exact = {
+            (self.matcher.match_key(p.left), self.matcher.match_key(p.right))
+            for p in target.pairs
+        }
+        target_pairs = [(p.left, p.right) for p in target.pairs]
+        count = 0
+        for pair in source.pairs:
+            key = (self.matcher.match_key(pair.left), self.matcher.match_key(pair.right))
+            if key in target_exact:
+                count += 1
+                continue
+            if self.config.use_approximate_matching and any(
+                self._pair_matches((pair.left, pair.right), other)
+                for other in target_pairs
+            ):
+                count += 1
+        return count
+
+    def positive(self, first: BinaryTable, second: BinaryTable) -> float:
+        if not first.pairs or not second.pairs:
+            return 0.0
+        matched_first = self._matched_pair_count(first, second)
+        matched_second = self._matched_pair_count(second, first)
+        return max(matched_first / len(first), matched_second / len(second))
+
+    def conflict_lefts(self, first: BinaryTable, second: BinaryTable) -> set[str]:
+        conflicts: set[str] = set()
+        second_by_left: dict[str, list[tuple[str, str]]] = {}
+        for pair in second.pairs:
+            second_by_left.setdefault(self.matcher.match_key(pair.left), []).append(
+                (pair.left, pair.right)
+            )
+        for pair in first.pairs:
+            left_key = self.matcher.match_key(pair.left)
+            candidates = list(second_by_left.get(left_key, []))
+            if self.config.use_approximate_matching and not candidates:
+                candidates = [
+                    (other.left, other.right)
+                    for other in second.pairs
+                    if self.matcher.matches(pair.left, other.left)
+                ]
+            for _, other_right in candidates:
+                if not self.matcher.matches(pair.right, other_right):
+                    conflicts.add(pair.left)
+                    break
+        return conflicts
+
+    def negative(self, first: BinaryTable, second: BinaryTable) -> float:
+        if not first.pairs or not second.pairs:
+            return 0.0
+        conflicts = self.conflict_lefts(first, second)
+        if not conflicts:
+            return 0.0
+        return -max(len(conflicts) / len(first), len(conflicts) / len(second))
+
+
+def naive_build_graph(
+    tables: list[BinaryTable],
+    config: SynthesisConfig | None = None,
+    synonyms: SynonymDictionary | None = None,
+) -> CompatibilityGraph:
+    """The seed ``GraphBuilder.build``: block, then rescore every pair from scratch."""
+    config = config or SynthesisConfig()
+    scorer = NaiveCompatibilityScorer(config, synonyms)
+    matcher = scorer.matcher
+    graph = CompatibilityGraph(tables=list(tables))
+
+    pair_posting: dict[tuple[str, str], list[int]] = defaultdict(list)
+    left_posting: dict[str, list[int]] = defaultdict(list)
+    for index, table in enumerate(graph.tables):
+        keys = {
+            (matcher.match_key(p.left), matcher.match_key(p.right))
+            for p in table.pairs
+        }
+        for key in keys:
+            pair_posting[key].append(index)
+        for left_key in {matcher.match_key(p.left) for p in table.pairs}:
+            left_posting[left_key].append(index)
+
+    def pair_counts(posting: dict) -> dict[tuple[int, int], int]:
+        counts: dict[tuple[int, int], int] = defaultdict(int)
+        for indices in posting.values():
+            if len(indices) < 2:
+                continue
+            for i in range(len(indices)):
+                for j in range(i + 1, len(indices)):
+                    counts[(indices[i], indices[j])] += 1
+        return counts
+
+    overlap = config.overlap_threshold
+    positive_candidates = {
+        pair for pair, count in pair_counts(pair_posting).items() if count >= overlap
+    }
+    negative_candidates = {
+        pair for pair, count in pair_counts(left_posting).items() if count >= overlap
+    }
+
+    for first, second in sorted(positive_candidates):
+        weight = scorer.positive(graph.tables[first], graph.tables[second])
+        if weight >= config.edge_threshold:
+            graph.add_positive(first, second, weight)
+
+    if config.use_negative_edges:
+        for first, second in sorted(negative_candidates):
+            weight = scorer.negative(graph.tables[first], graph.tables[second])
+            if weight < 0.0:
+                graph.add_negative(first, second, weight)
+    return graph

@@ -10,6 +10,7 @@ preserved, while everything runs in-process.
 
 from __future__ import annotations
 
+import zlib
 from collections import defaultdict
 from collections.abc import Callable, Hashable, Iterable, Iterator
 from dataclasses import dataclass, field
@@ -58,15 +59,27 @@ class JobCounters:
 class MapReduceEngine:
     """Runs :class:`MapReduceJob` instances over in-memory datasets."""
 
-    def __init__(self, num_partitions: int = 8) -> None:
+    def __init__(self, num_partitions: int = 8, num_workers: int = 0) -> None:
         if num_partitions < 1:
             raise ValueError(f"num_partitions must be >= 1, got {num_partitions}")
+        if num_workers < 0:
+            raise ValueError(f"num_workers must be >= 0, got {num_workers}")
         self.num_partitions = num_partitions
+        self.num_workers = num_workers
         self.counters: dict[str, JobCounters] = {}
 
     # -- Internals --------------------------------------------------------------------
     def _partition(self, key: Hashable) -> int:
-        return hash(key) % self.num_partitions
+        # ``hash()`` is salted per process (PYTHONHASHSEED), which made partition
+        # assignment — and therefore combiner behavior and per-partition counters —
+        # nondeterministic across runs.  CRC32 of the key's repr is stable for the
+        # str/int/tuple keys the jobs use.
+        return zlib.crc32(repr(key).encode("utf-8")) % self.num_partitions
+
+    def _map_records(
+        self, job: MapReduceJob, records: list[Any]
+    ) -> list[tuple[Hashable, Any]]:
+        return [pair for record in records for pair in job.mapper(record)]
 
     def _map_phase(
         self, job: MapReduceJob, records: Iterable[Any], counters: JobCounters
@@ -74,11 +87,31 @@ class MapReduceEngine:
         partitions: list[dict[Hashable, list[Any]]] = [
             defaultdict(list) for _ in range(self.num_partitions)
         ]
-        for record in records:
-            counters.input_records += 1
-            for key, value in job.mapper(record):
-                counters.mapped_pairs += 1
-                partitions[self._partition(key)][key].append(value)
+        records = list(records)
+        counters.input_records += len(records)
+        if self.num_workers > 1 and len(records) > 1:
+            # Mappers are typically closures, so the fan-out uses threads (which
+            # share them safely) rather than processes.  Under CPython's GIL this
+            # only speeds up mappers that release the GIL (I/O, C extensions) —
+            # for pure-Python mappers it mirrors the distributed programming
+            # model rather than buying throughput.  Chunks are contiguous slices
+            # merged in input order, so the shuffle sees the exact same value
+            # ordering as the sequential path.
+            from concurrent.futures import ThreadPoolExecutor
+
+            workers = min(self.num_workers, len(records))
+            chunk_size = (len(records) + workers - 1) // workers
+            chunks = [
+                records[i : i + chunk_size] for i in range(0, len(records), chunk_size)
+            ]
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                mapped_chunks = list(pool.map(lambda c: self._map_records(job, c), chunks))
+            mapped = [pair for chunk in mapped_chunks for pair in chunk]
+        else:
+            mapped = self._map_records(job, records)
+        counters.mapped_pairs += len(mapped)
+        for key, value in mapped:
+            partitions[self._partition(key)][key].append(value)
         if job.combiner is not None:
             for partition in partitions:
                 for key in list(partition):

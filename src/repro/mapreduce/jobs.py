@@ -77,7 +77,7 @@ def pairwise_compatibility_job(
     """Score blocked pairs; returns ``(w+, w−)`` per pair via one map/reduce round."""
     config = config or SynthesisConfig()
     scorer = scorer or CompatibilityScorer(config)
-    engine = engine or MapReduceEngine()
+    engine = engine or MapReduceEngine(num_workers=config.num_workers)
 
     def mapper(record: tuple[int, int]):
         first, second = record

@@ -1,0 +1,180 @@
+"""Equivalence of the indexed/cached/parallel scoring engine with the naive oracle.
+
+The profiled fast path in :mod:`repro.graph.compatibility` and the reworked
+builder in :mod:`repro.graph.build` are pure optimizations: on any input they
+must produce the exact same scores, edges and weights as the seed implementation
+preserved in :mod:`repro.graph.reference`.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.binary_table import BinaryTable
+from repro.core.config import SynthesisConfig
+from repro.evaluation.experiments import (
+    ExperimentScale,
+    experiment_config,
+    make_web_corpus,
+)
+from repro.extraction.candidates import CandidateExtractor
+from repro.graph.build import GraphBuilder
+from repro.graph.compatibility import CompatibilityScorer
+from repro.graph.reference import NaiveCompatibilityScorer, naive_build_graph
+from repro.text.edit_distance import banded_edit_distance, edit_distance
+from repro.text.synonyms import SynonymDictionary
+
+
+def make_binary(table_id, rows, **kwargs):
+    return BinaryTable.from_rows(table_id=table_id, rows=rows, **kwargs)
+
+
+# ---------------------------------------------------------------------------------------
+# Banded edit distance vs the unbanded oracle
+# ---------------------------------------------------------------------------------------
+class TestBandedEditDistanceOracle:
+    @given(
+        st.text(alphabet="abcde ", max_size=24),
+        st.text(alphabet="abcde ", max_size=24),
+        st.integers(min_value=0, max_value=12),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_agrees_with_unbanded_oracle(self, first, second, threshold):
+        """Within the band the exact distance is returned; beyond it, ``None``."""
+        exact = edit_distance(first, second)
+        banded = banded_edit_distance(first, second, threshold)
+        if exact <= threshold:
+            assert banded == exact
+        else:
+            assert banded is None
+
+    def test_agrees_on_random_strings(self):
+        rng = random.Random(20260728)
+        alphabet = "abcdefghij-"
+        for _ in range(500):
+            first = "".join(
+                rng.choice(alphabet) for _ in range(rng.randrange(0, 30))
+            )
+            second = "".join(
+                rng.choice(alphabet) for _ in range(rng.randrange(0, 30))
+            )
+            threshold = rng.randrange(0, 15)
+            exact = edit_distance(first, second)
+            banded = banded_edit_distance(first, second, threshold)
+            assert banded == (exact if exact <= threshold else None)
+
+
+# ---------------------------------------------------------------------------------------
+# Profiled scorer vs the naive scorer
+# ---------------------------------------------------------------------------------------
+ROW_STRATEGY = st.lists(
+    st.tuples(
+        st.sampled_from(
+            ["Algeria", "Algeria[1]", "Albania", "American Samoa",
+             "American Samoa (US)", "South Korea", "x", "yz"]
+        ),
+        st.sampled_from(["ALG", "DZA", "ALB", "ASA", "ASM", "KOR", "K0R", "1"]),
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+class TestScorerEquivalence:
+    @given(ROW_STRATEGY, ROW_STRATEGY, st.booleans())
+    @settings(max_examples=120, deadline=None)
+    def test_scores_match_naive_reference(self, rows_a, rows_b, approximate):
+        config = SynthesisConfig(use_approximate_matching=approximate)
+        first, second = make_binary("a", rows_a), make_binary("b", rows_b)
+        fast = CompatibilityScorer(config)
+        naive = NaiveCompatibilityScorer(config)
+        assert fast.positive(first, second) == pytest.approx(
+            naive.positive(first, second)
+        )
+        assert fast.negative(first, second) == pytest.approx(
+            naive.negative(first, second)
+        )
+        assert fast.conflict_lefts(first, second) == naive.conflict_lefts(first, second)
+
+    def test_scores_match_with_synonyms(self, iso_tables):
+        synonyms = SynonymDictionary(
+            [["US Virgin Islands", "United States Virgin Islands"],
+             ["South Korea", "Korea, Republic of (South)"]]
+        )
+        config = SynthesisConfig()
+        fast = CompatibilityScorer(config, synonyms)
+        naive = NaiveCompatibilityScorer(config, synonyms)
+        for first in iso_tables:
+            for second in iso_tables:
+                if first is second:
+                    continue
+                assert fast.positive(first, second) == pytest.approx(
+                    naive.positive(first, second)
+                )
+                assert fast.conflict_lefts(first, second) == naive.conflict_lefts(
+                    first, second
+                )
+
+    def test_match_cache_is_exercised(self, iso_tables):
+        scorer = CompatibilityScorer(SynthesisConfig())
+        for first in iso_tables:
+            for second in iso_tables:
+                if first is not second:
+                    scorer.score(first, second)
+        assert scorer.match_cache_hits > 0
+
+
+# ---------------------------------------------------------------------------------------
+# Full graph equivalence on a seeded corpus
+# ---------------------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def seeded_candidates():
+    config = experiment_config()
+    corpus = make_web_corpus(ExperimentScale(tables_per_relation=3, max_rows=14, seed=13))
+    candidates, _ = CandidateExtractor(config).extract(corpus)
+    assert candidates, "seeded corpus produced no candidates"
+    return config, candidates
+
+
+class TestGraphEquivalence:
+    def test_builder_matches_naive_build(self, seeded_candidates):
+        """The fast builder yields the exact same edges and weights as the seed."""
+        config, candidates = seeded_candidates
+        reference = naive_build_graph(candidates, config)
+        graph = GraphBuilder(config).build(candidates)
+        assert graph.positive_edges == reference.positive_edges
+        assert graph.negative_edges == reference.negative_edges
+
+    def test_parallel_build_matches_sequential(self, seeded_candidates):
+        """Fanning blocked pairs across workers cannot change the graph."""
+        config, candidates = seeded_candidates
+        sequential = GraphBuilder(config).build(candidates)
+        builder = GraphBuilder(config.with_overrides(num_workers=2))
+        parallel = builder.build(candidates)
+        # The pool must actually have run — a silent sequential fallback would
+        # make this comparison vacuous.
+        assert not builder.last_build_stats.parallel_fallback
+        assert builder.last_build_stats.num_workers == 2
+        assert parallel.positive_edges == sequential.positive_edges
+        assert parallel.negative_edges == sequential.negative_edges
+
+    def test_build_stats_populated(self, seeded_candidates):
+        config, candidates = seeded_candidates
+        builder = GraphBuilder(config)
+        builder.build(candidates)
+        stats = builder.last_build_stats
+        assert stats.num_tables == len(candidates)
+        assert stats.pairs_scored >= stats.pairs_blocked_positive
+        assert 0.0 <= stats.cache_hit_rate <= 1.0
+
+    def test_positive_only_config_matches(self, seeded_candidates):
+        config, candidates = seeded_candidates
+        ablation = config.with_overrides(use_negative_edges=False)
+        reference = naive_build_graph(candidates, ablation)
+        graph = GraphBuilder(ablation).build(candidates)
+        assert graph.positive_edges == reference.positive_edges
+        assert graph.negative_edges == {} == reference.negative_edges
