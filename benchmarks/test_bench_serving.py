@@ -1,0 +1,198 @@
+"""Serving benchmark: cold pipeline vs artifact load vs batched serving.
+
+Measures, at the headline bench scale, the three costs the artifact store is
+built to separate:
+
+1. **cold** — a full pipeline run (extraction → scoring → synthesis → curation);
+2. **artifact** — saving that run, then loading it back and standing up a
+   :class:`MappingService` (what a serving process pays at startup);
+3. **serving** — batched autofill/autojoin/autocorrect against the prebuilt
+   index (what each request batch pays), plus an incremental refresh against a
+   grown corpus versus the cold rebuild it replaces.
+
+Results are recorded in ``BENCH_serving.json`` at the repository root.  The
+acceptance bar from the PR issue is asserted here: artifact load must be at
+least 5x faster than the cold pipeline, and the loaded service must answer
+batches identically to one built from the fresh in-process run.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.applications import CorrectRequest, FillRequest, JoinRequest, MappingService
+from repro.core.pipeline import SynthesisPipeline
+from repro.corpus.seeds import get_seed_relation
+from repro.evaluation.experiments import ExperimentScale, experiment_config, make_web_corpus
+from repro.store import load_artifact, refresh_artifact
+
+pytestmark = pytest.mark.slow
+
+ARTIFACT_PATH = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+
+#: Matches the headline BENCH_SCALE in conftest.py / BENCH_scoring.json.
+SCALE = ExperimentScale(tables_per_relation=5, max_rows=22, seed=7)
+#: A small disjoint batch of tables appended for the incremental-refresh leg.
+DELTA_SCALE = ExperimentScale(tables_per_relation=1, max_rows=22, seed=11)
+
+
+def _grown_corpus(corpus) -> "TableCorpus":
+    """The bench corpus plus a freshly generated batch of new tables.
+
+    This is the workload incremental refresh targets: the existing tables are
+    untouched, so only pairs touching the new batch need scoring.
+    """
+    from repro.corpus.corpus import TableCorpus
+    from repro.corpus.table import Table
+
+    extra = [
+        Table(
+            table_id=f"delta-{table.table_id}",
+            columns=table.columns,
+            domain=table.domain,
+            title=table.title,
+            metadata=dict(table.metadata),
+        )
+        for table in make_web_corpus(DELTA_SCALE)
+    ]
+    return TableCorpus(corpus.tables() + extra, name=f"{corpus.name}+delta")
+
+
+def _request_batches() -> tuple[list[FillRequest], list[JoinRequest], list[CorrectRequest]]:
+    states = [left for left, _ in get_seed_relation("state_abbrev").pairs]
+    countries = [left for left, _ in get_seed_relation("country_iso3").pairs]
+    abbrevs = [right for _, right in get_seed_relation("state_abbrev").pairs]
+    fills = [
+        FillRequest(keys=tuple(states[i : i + 8]), examples={0: abbrevs[i]})
+        for i in range(0, 40, 8)
+    ] + [FillRequest(keys=tuple(countries[i : i + 8])) for i in range(0, 40, 8)]
+    joins = [
+        JoinRequest(
+            left_keys=tuple(states[i : i + 6]),
+            right_keys=tuple(reversed(abbrevs[i : i + 6])),
+        )
+        for i in range(0, 30, 6)
+    ]
+    corrections = [
+        CorrectRequest(values=tuple(states[i : i + 4] + abbrevs[i + 4 : i + 8]))
+        for i in range(0, 40, 8)
+    ]
+    return fills, joins, corrections
+
+
+def test_serving_bench(benchmark, tmp_path_factory):
+    def measure() -> dict[str, object]:
+        config = experiment_config()
+        corpus = make_web_corpus(SCALE)
+        artifact_file = tmp_path_factory.mktemp("bench-store") / "web.artifact.gz"
+
+        # 1. Cold pipeline run.
+        pipeline = SynthesisPipeline(config)
+        start = time.perf_counter()
+        result = pipeline.run(corpus)
+        cold_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        pipeline.save_artifact(artifact_file)
+        save_seconds = time.perf_counter() - start
+
+        # 2. Artifact load (the ISSUE's >= 5x criterion) and service startup.
+        start = time.perf_counter()
+        load_artifact(artifact_file)
+        load_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        loaded_service = MappingService.from_artifact(artifact_file)
+        service_start_seconds = time.perf_counter() - start
+
+        # 3. Batched serving, answers checked against the fresh in-process run.
+        fresh_service = MappingService.from_result(result)
+        fills, joins, corrections = _request_batches()
+        start = time.perf_counter()
+        served_fills = loaded_service.autofill(fills)
+        served_joins = loaded_service.autojoin(joins)
+        served_corrections = loaded_service.autocorrect(corrections)
+        serve_seconds = time.perf_counter() - start
+        num_requests = len(fills) + len(joins) + len(corrections)
+
+        assert [r.result for r in served_fills] == [
+            r.result for r in fresh_service.autofill(fills)
+        ]
+        assert [r.result for r in served_joins] == [
+            r.result for r in fresh_service.autojoin(joins)
+        ]
+        assert [r.result for r in served_corrections] == [
+            r.result for r in fresh_service.autocorrect(corrections)
+        ]
+
+        # 4. Incremental refresh vs the cold rebuild it replaces.
+        grown = _grown_corpus(corpus)
+        start = time.perf_counter()
+        _, refresh_stats = refresh_artifact(pipeline.last_artifact, grown)
+        refresh_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        SynthesisPipeline(config).run(grown)
+        cold_rebuild_seconds = time.perf_counter() - start
+
+        return {
+            "num_tables": len(corpus),
+            "num_candidates": len(result.candidates),
+            "num_mappings": len(result.mappings),
+            "num_curated": len(result.curated),
+            "index_size": len(loaded_service),
+            "artifact_bytes": artifact_file.stat().st_size,
+            "cold_pipeline_seconds": cold_seconds,
+            "artifact_save_seconds": save_seconds,
+            "artifact_load_seconds": load_seconds,
+            "service_start_seconds": service_start_seconds,
+            "load_speedup_vs_cold": cold_seconds / load_seconds if load_seconds else 0.0,
+            "num_requests": num_requests,
+            "batched_serve_seconds": serve_seconds,
+            "mean_request_ms": serve_seconds / num_requests * 1000.0,
+            "refresh_seconds": refresh_seconds,
+            "cold_rebuild_seconds": cold_rebuild_seconds,
+            "refresh_speedup_vs_rebuild": (
+                cold_rebuild_seconds / refresh_seconds if refresh_seconds else 0.0
+            ),
+            "refresh_pairs_reused": refresh_stats.pairs_reused,
+            "refresh_pairs_scored": refresh_stats.pairs_scored,
+            "refresh_candidates_reused": refresh_stats.candidates_reused,
+        }
+
+    row = benchmark.pedantic(measure, rounds=1, iterations=1)
+    ARTIFACT_PATH.write_text(
+        json.dumps({"benchmark": "serving", "scale": SCALE.tables_per_relation, **row}, indent=2)
+        + "\n"
+    )
+
+    print()
+    print(
+        f"cold pipeline  {row['cold_pipeline_seconds']:.2f}s over "
+        f"{row['num_tables']} tables -> {row['num_curated']} curated mappings"
+    )
+    print(
+        f"artifact       save {row['artifact_save_seconds']:.2f}s, "
+        f"load {row['artifact_load_seconds']:.3f}s "
+        f"({row['load_speedup_vs_cold']:.0f}x faster than cold), "
+        f"{row['artifact_bytes'] / 1024:.0f} KiB"
+    )
+    print(
+        f"serving        {row['num_requests']} requests in "
+        f"{row['batched_serve_seconds']:.2f}s "
+        f"({row['mean_request_ms']:.1f} ms/request)"
+    )
+    print(
+        f"refresh        {row['refresh_seconds']:.2f}s vs cold rebuild "
+        f"{row['cold_rebuild_seconds']:.2f}s "
+        f"({row['refresh_speedup_vs_rebuild']:.1f}x, "
+        f"{row['refresh_pairs_reused']} pair scores reused)"
+    )
+
+    assert row["load_speedup_vs_cold"] >= 5.0, (
+        f"artifact load must be >= 5x faster than the cold pipeline, got "
+        f"{row['load_speedup_vs_cold']:.1f}x"
+    )

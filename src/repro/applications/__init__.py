@@ -5,6 +5,10 @@ auto-fill, and auto-join.  All three are implemented here on top of a
 :class:`~repro.applications.index.MappingIndex` that finds the relevant mapping via
 value containment, using bloom filters for cheap membership pre-checks (as the
 paper suggests for indexing materialized mappings).
+
+:class:`~repro.applications.service.MappingService` wraps all three behind a
+batched serving API over one shared index, loadable from a persisted synthesis
+artifact (:mod:`repro.store`) so serving never pays for a pipeline run.
 """
 
 from repro.applications.bloom import BloomFilter
@@ -12,6 +16,14 @@ from repro.applications.index import MappingIndex, MappingMatch
 from repro.applications.autocorrect import AutoCorrector, CorrectionSuggestion
 from repro.applications.autofill import AutoFiller, FillResult
 from repro.applications.autojoin import AutoJoiner, JoinResult
+from repro.applications.service import (
+    CorrectRequest,
+    FillRequest,
+    JoinRequest,
+    MappingService,
+    ServedResponse,
+    ServiceStats,
+)
 
 __all__ = [
     "BloomFilter",
@@ -23,4 +35,10 @@ __all__ = [
     "FillResult",
     "AutoJoiner",
     "JoinResult",
+    "MappingService",
+    "FillRequest",
+    "JoinRequest",
+    "CorrectRequest",
+    "ServedResponse",
+    "ServiceStats",
 ]

@@ -46,7 +46,7 @@ class AutoFiller:
     def _select_mapping(
         self, keys: list[str], examples: dict[int, str]
     ) -> tuple[MappingRelationship, str] | None:
-        example_pairs = [(keys[row], value) for row, value in examples.items() if row < len(keys)]
+        example_pairs = [(keys[row], value) for row, value in examples.items()]
         if example_pairs:
             matches = self.index.lookup_pairs(
                 example_pairs, min_containment=self.min_example_agreement, top_k=3
@@ -76,9 +76,29 @@ class AutoFiller:
         examples:
             Optional ``row index -> example output value`` hints; the chosen mapping
             must agree with (almost) all of them.
+
+        Raises
+        ------
+        ValueError
+            If an example's row index does not address a row of ``keys``.  Such
+            examples used to be dropped silently, which hid caller bugs (an
+            off-by-one in row indexing simply weakened the mapping selection);
+            the contract is now explicit.
         """
         keys = list(keys)
-        examples = examples or {}
+        examples = dict(examples or {})
+        invalid = sorted(
+            (
+                row
+                for row in examples
+                if not isinstance(row, int) or not 0 <= row < len(keys)
+            ),
+            key=repr,
+        )
+        if invalid:
+            raise ValueError(
+                f"example row indices {invalid} are out of range for {len(keys)} keys"
+            )
         selection = self._select_mapping(keys, examples)
         if selection is None:
             return FillResult(unmatched_rows=list(range(len(keys))))

@@ -1,0 +1,284 @@
+"""Batched mapping-serving layer over a prebuilt :class:`MappingIndex`.
+
+The paper's end-game is interactive applications — auto-fill, auto-join,
+auto-correct (Table 4) — answering many small requests.  Re-running the
+pipeline (or even rebuilding the index) per request would dwarf the request
+itself, so :class:`MappingService` builds the index **once** — from an
+in-process :class:`~repro.core.pipeline.PipelineResult` or from a persisted
+artifact (:mod:`repro.store`) — and serves batches against it.
+
+Serving is deterministic: the mapping pool is ordered by the same total order
+as :meth:`PipelineResult.top_mappings` (popularity, tables, size, then
+``mapping_id``), so a service loaded from an artifact returns byte-identical
+answers to one built from the fresh run that produced the artifact.
+
+Every response is wrapped in a :class:`ServedResponse` envelope carrying
+per-request latency and any per-request error, so one malformed request cannot
+take down the rest of its batch, and :class:`ServiceStats` aggregates counts
+and latencies across the service's lifetime.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.applications.autocorrect import AutoCorrector, CorrectionSuggestion
+from repro.applications.autofill import AutoFiller, FillResult
+from repro.applications.autojoin import AutoJoiner, JoinResult
+from repro.applications.index import MappingIndex
+from repro.core.mapping import MappingRelationship, mapping_rank_key
+from repro.core.pipeline import PipelineResult
+
+__all__ = [
+    "FillRequest",
+    "JoinRequest",
+    "CorrectRequest",
+    "ServedResponse",
+    "ServiceStats",
+    "MappingService",
+]
+
+
+# ---------------------------------------------------------------------------------------
+# Request / response envelopes
+# ---------------------------------------------------------------------------------------
+@dataclass(frozen=True)
+class FillRequest:
+    """One auto-fill request: a key column plus optional example outputs.
+
+    ``examples`` accepts any ``row index -> value`` mapping and is normalized
+    to a sorted tuple of items, so the request is deeply immutable and hashable
+    like the other request types (mutating the dict passed in cannot change the
+    request afterwards).
+    """
+
+    keys: tuple[str, ...]
+    examples: Mapping[int, str] | tuple[tuple[int, str], ...] | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "keys", tuple(self.keys))
+        items = dict(self.examples).items() if self.examples else ()
+        object.__setattr__(self, "examples", tuple(sorted(items, key=lambda kv: repr(kv[0]))))
+
+
+@dataclass(frozen=True)
+class JoinRequest:
+    """One auto-join request: two key columns to bridge through a mapping."""
+
+    left_keys: tuple[str, ...]
+    right_keys: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "left_keys", tuple(self.left_keys))
+        object.__setattr__(self, "right_keys", tuple(self.right_keys))
+
+
+@dataclass(frozen=True)
+class CorrectRequest:
+    """One auto-correct request: a column that may mix representations."""
+
+    values: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "values", tuple(self.values))
+
+
+@dataclass
+class ServedResponse:
+    """Envelope around one request's outcome within a batch.
+
+    ``result`` is the underlying application result (:class:`FillResult`,
+    :class:`JoinResult`, or a list of :class:`CorrectionSuggestion`); ``error``
+    carries the message of a per-request failure instead of aborting the batch.
+    """
+
+    kind: str
+    request_index: int
+    elapsed_seconds: float
+    result: FillResult | JoinResult | list[CorrectionSuggestion] | None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the request was served without error."""
+        return self.error is None
+
+
+@dataclass
+class ServiceStats:
+    """Lifetime counters for one :class:`MappingService`."""
+
+    source: str = "memory"
+    index_size: int = 0
+    build_seconds: float = 0.0
+    load_seconds: float = 0.0
+    batches: int = 0
+    requests: dict[str, int] = field(default_factory=dict)
+    errors: dict[str, int] = field(default_factory=dict)
+    serve_seconds: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_requests(self) -> int:
+        """Requests served across all kinds (including errored ones)."""
+        return sum(self.requests.values())
+
+    def record(self, kind: str, elapsed: float, ok: bool) -> None:
+        """Fold one served request into the counters."""
+        self.requests[kind] = self.requests.get(kind, 0) + 1
+        self.serve_seconds[kind] = self.serve_seconds.get(kind, 0.0) + elapsed
+        if not ok:
+            self.errors[kind] = self.errors.get(kind, 0) + 1
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict view for reporting artifacts."""
+        return {
+            "source": self.source,
+            "index_size": self.index_size,
+            "build_seconds": self.build_seconds,
+            "load_seconds": self.load_seconds,
+            "batches": self.batches,
+            "total_requests": self.total_requests,
+            "requests": dict(self.requests),
+            "errors": dict(self.errors),
+            "serve_seconds": dict(self.serve_seconds),
+        }
+
+
+def _serving_order(mappings: Iterable[MappingRelationship]) -> list[MappingRelationship]:
+    """The deterministic pool order shared with :meth:`PipelineResult.top_mappings`."""
+    return sorted(mappings, key=mapping_rank_key)
+
+
+# ---------------------------------------------------------------------------------------
+# The service
+# ---------------------------------------------------------------------------------------
+class MappingService:
+    """Answers batched autofill/autojoin/autocorrect requests.
+
+    One :class:`MappingIndex` build is amortized over every request the service
+    ever answers.  Construct it from mappings directly, from a pipeline result
+    (:meth:`from_result`), or — the intended production path — from a persisted
+    artifact (:meth:`from_artifact`).
+    """
+
+    def __init__(
+        self,
+        mappings: Iterable[MappingRelationship],
+        *,
+        min_containment: float = 0.5,
+        min_example_agreement: float = 0.99,
+        correction_containment: float = 0.6,
+        source: str = "memory",
+    ) -> None:
+        start = time.perf_counter()
+        pool = _serving_order(mappings)
+        self.index = MappingIndex(pool)
+        self.filler = AutoFiller(self.index, min_example_agreement=min_example_agreement)
+        self.joiner = AutoJoiner(self.index, min_containment=min_containment)
+        self.corrector = AutoCorrector(self.index, min_containment=correction_containment)
+        self.stats = ServiceStats(
+            source=source,
+            index_size=len(self.index),
+            build_seconds=time.perf_counter() - start,
+        )
+
+    def __len__(self) -> int:
+        return len(self.index)
+
+    # -- Constructors -------------------------------------------------------------------
+    @classmethod
+    def from_result(
+        cls, result: PipelineResult, *, prefer_curated: bool = True, **kwargs
+    ) -> "MappingService":
+        """Build a service from an in-process pipeline run.
+
+        Serves the curated mappings when curation kept any (the paper's intended
+        deployment), otherwise all synthesized mappings — the same fallback as
+        :meth:`PipelineResult.top_mappings`.
+        """
+        pool = result.curated if prefer_curated and result.curated else result.mappings
+        kwargs.setdefault("source", "result")
+        return cls(pool, **kwargs)
+
+    @classmethod
+    def from_artifact(
+        cls, path: str | Path, *, prefer_curated: bool = True, **kwargs
+    ) -> "MappingService":
+        """Load a persisted artifact and build the service from it.
+
+        This is the cold-start path for serving processes: no extraction,
+        scoring, or synthesis — just artifact deserialization plus one index
+        build.  The load time is recorded in :attr:`ServiceStats.load_seconds`.
+        """
+        from repro.store.artifact import load_artifact
+
+        start = time.perf_counter()
+        artifact = load_artifact(path)
+        load_seconds = time.perf_counter() - start
+        curated = artifact.curated
+        pool = curated if prefer_curated and curated else artifact.mappings
+        kwargs.setdefault("source", f"artifact:{path}")
+        service = cls(pool, **kwargs)
+        service.stats.load_seconds = load_seconds
+        return service
+
+    # -- Batched serving ----------------------------------------------------------------
+    def _serve_batch(
+        self, kind: str, requests: Sequence[object], handler: Callable[[object], object]
+    ) -> list[ServedResponse]:
+        responses: list[ServedResponse] = []
+        self.stats.batches += 1
+        for position, request in enumerate(requests):
+            start = time.perf_counter()
+            try:
+                outcome = handler(request)
+                error = None
+            except Exception as exc:
+                # Any per-request failure — bad indices, malformed values — is
+                # isolated in its envelope; the rest of the batch still serves.
+                outcome = None
+                error = str(exc) or type(exc).__name__
+            elapsed = time.perf_counter() - start
+            self.stats.record(kind, elapsed, ok=error is None)
+            responses.append(
+                ServedResponse(
+                    kind=kind,
+                    request_index=position,
+                    elapsed_seconds=elapsed,
+                    result=outcome,
+                    error=error,
+                )
+            )
+        return responses
+
+    def autofill(self, requests: Sequence[FillRequest]) -> list[ServedResponse]:
+        """Serve a batch of auto-fill requests (empty batch → empty list)."""
+        return self._serve_batch(
+            "autofill",
+            requests,
+            lambda request: self.filler.fill(
+                list(request.keys), dict(request.examples or {})
+            ),
+        )
+
+    def autojoin(self, requests: Sequence[JoinRequest]) -> list[ServedResponse]:
+        """Serve a batch of auto-join requests (empty batch → empty list)."""
+        return self._serve_batch(
+            "autojoin",
+            requests,
+            lambda request: self.joiner.join(
+                list(request.left_keys), list(request.right_keys)
+            ),
+        )
+
+    def autocorrect(self, requests: Sequence[CorrectRequest]) -> list[ServedResponse]:
+        """Serve a batch of auto-correct requests (empty batch → empty list)."""
+        return self._serve_batch(
+            "autocorrect",
+            requests,
+            lambda request: self.corrector.suggest(list(request.values)),
+        )

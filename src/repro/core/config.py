@@ -69,6 +69,14 @@ class SynthesisConfig:
         mapping for it to be retained during curation (§4.3 uses 8 for the Web).
     min_mapping_size:
         Minimum number of value pairs in a synthesized mapping for curation.
+    artifact_path:
+        When non-empty, :meth:`SynthesisPipeline.run` automatically persists the
+        run as a synthesis artifact at this path (see :mod:`repro.store`), which
+        serving layers load with :meth:`MappingService.from_artifact` instead of
+        re-running the pipeline.
+    artifact_compress:
+        Whether saved artifacts are gzip-compressed (deterministic bytes either
+        way; compression trades a little save/load CPU for a much smaller file).
     """
 
     # --- Candidate extraction (§3) -------------------------------------------------
@@ -96,6 +104,10 @@ class SynthesisConfig:
     # --- Curation (§4.3) ------------------------------------------------------------
     min_domains: int = 2
     min_mapping_size: int = 5
+
+    # --- Artifact store / serving (repro.store) --------------------------------------
+    artifact_path: str = ""
+    artifact_compress: bool = True
 
     # --- Extra knobs for experiments -------------------------------------------------
     extra: dict[str, Any] = field(default_factory=dict)
@@ -131,6 +143,11 @@ class SynthesisConfig:
             raise ValueError(f"min_domains must be >= 1, got {self.min_domains}")
         if self.num_workers < 0:
             raise ValueError(f"num_workers must be >= 0, got {self.num_workers}")
+        if not isinstance(self.artifact_path, str):
+            raise ValueError(
+                f"artifact_path must be a string path (or empty to disable), "
+                f"got {self.artifact_path!r}"
+            )
 
     def with_overrides(self, **kwargs: Any) -> "SynthesisConfig":
         """Return a copy of this configuration with selected fields replaced."""

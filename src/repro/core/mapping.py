@@ -14,7 +14,25 @@ from dataclasses import dataclass, field
 
 from repro.core.binary_table import BinaryTable, ValuePair
 
-__all__ = ["MappingRelationship"]
+__all__ = ["MappingRelationship", "mapping_rank_key"]
+
+
+def mapping_rank_key(mapping: "MappingRelationship") -> tuple[int, int, int, str]:
+    """Ascending sort key ranking mappings most-popular-first, deterministically.
+
+    Orders by popularity (distinct domains), then contributing tables, then
+    size, with ascending ``mapping_id`` as the final tiebreak so the ranking is
+    a *total* order.  Every ranking surface (``PipelineResult.top_mappings``,
+    ``SynthesisResult.top_by_popularity``, curation's ``popularity_rank``, and
+    the serving layer's pool order) must sort by this one key — serving answers
+    are only reproducible across runs and artifact reloads while they agree.
+    """
+    return (
+        -mapping.popularity,
+        -mapping.num_source_tables,
+        -len(mapping),
+        mapping.mapping_id,
+    )
 
 
 @dataclass

@@ -5,17 +5,29 @@
 1. **Candidate extraction** — PMI coherence filter + approximate-FD filter (§3).
 2. **Table synthesis** — compatibility graph + greedy partitioning (§4.1–4.2).
 3. **Conflict resolution** (and optional table expansion / curation) (§4.2–4.3).
+
+A run can be persisted as a versioned on-disk artifact (:mod:`repro.store`) via
+:meth:`SynthesisPipeline.save_artifact` and restored — without re-running
+anything — via :meth:`SynthesisPipeline.from_artifact`;
+:meth:`SynthesisPipeline.refresh` incrementally maintains a persisted run when
+the corpus changes.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.core.binary_table import BinaryTable
 from repro.core.config import SynthesisConfig
-from repro.core.mapping import MappingRelationship
+from repro.core.mapping import MappingRelationship, mapping_rank_key
 from repro.corpus.corpus import TableCorpus
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.store.artifact import SynthesisArtifact
+    from repro.store.incremental import RefreshStats
 
 __all__ = ["PipelineResult", "SynthesisPipeline"]
 
@@ -35,14 +47,15 @@ class PipelineResult:
         return len(self.mappings)
 
     def top_mappings(self, count: int = 10) -> list[MappingRelationship]:
-        """The most popular curated mappings (falls back to all mappings)."""
+        """The most popular curated mappings (falls back to all mappings).
+
+        The sort key is a total order — popularity, contributing tables, size,
+        then ascending ``mapping_id`` as the tiebreak — so the ranking (and any
+        serving results derived from it) cannot flap between runs for mappings
+        with identical statistics.
+        """
         pool = self.curated if self.curated else self.mappings
-        ranked = sorted(
-            pool,
-            key=lambda mapping: (mapping.popularity, mapping.num_source_tables, len(mapping)),
-            reverse=True,
-        )
-        return ranked[:count]
+        return sorted(pool, key=mapping_rank_key)[:count]
 
 
 class SynthesisPipeline:
@@ -57,9 +70,67 @@ class SynthesisPipeline:
         self.config = config or SynthesisConfig()
         self.synonyms = synonyms
         self.trusted_sources = trusted_sources or []
+        #: Outputs of the most recent run/refresh (or artifact load); consumed by
+        #: :meth:`save_artifact` and serving layers.
+        self.last_result: PipelineResult | None = None
+        self._cached_artifact: "SynthesisArtifact | None" = None
+        self._artifact_ingredients: dict | None = None
+
+    @property
+    def last_artifact(self) -> "SynthesisArtifact | None":
+        """The most recent run as a :class:`SynthesisArtifact` (built lazily).
+
+        Fingerprinting the corpus and encoding profiles is deferred to first
+        access so callers that never persist — benchmarks, experiment sweeps —
+        pay nothing for the store.  The fingerprints reflect the corpus as it
+        is when the artifact is first built; build it (or save) before mutating
+        the corpus.
+        """
+        if self._cached_artifact is None and self._artifact_ingredients is not None:
+            from repro.store.artifact import SynthesisArtifact
+            from repro.store.fingerprint import (
+                corpus_digest,
+                fingerprint_synonyms,
+                table_fingerprints,
+            )
+
+            state = self._artifact_ingredients
+            fingerprints = table_fingerprints(state["corpus"])
+            scorer = state["scorer"]
+            self._cached_artifact = SynthesisArtifact.from_run(
+                config=self.config,
+                corpus_name=state["corpus"].name,
+                corpus_fingerprint=corpus_digest(fingerprints),
+                table_fingerprints=fingerprints,
+                candidates=state["candidates"],
+                graph=state["graph"],
+                synonyms_fingerprint=fingerprint_synonyms(self.synonyms),
+                # Profiles were computed during blocking; profile() is a cache hit
+                # unless the run was large enough to cycle the profile cache.
+                profiles={
+                    c.table_id: scorer.profile(c) for c in state["candidates"]
+                },
+                mappings=state["mappings"],
+                curated=state["curated"],
+                extraction_stats=state["extraction_stats"],
+                timings=state["timings"],
+                metadata=state["metadata"],
+            )
+            self._artifact_ingredients = None
+        return self._cached_artifact
+
+    @last_artifact.setter
+    def last_artifact(self, artifact: "SynthesisArtifact | None") -> None:
+        self._cached_artifact = artifact
+        self._artifact_ingredients = None
 
     def run(self, corpus: TableCorpus) -> PipelineResult:
-        """Execute the full pipeline on ``corpus``."""
+        """Execute the full pipeline on ``corpus``.
+
+        Besides returning the :class:`PipelineResult`, the run is captured as a
+        :class:`~repro.store.artifact.SynthesisArtifact` on :attr:`last_artifact`
+        (and auto-saved when :attr:`SynthesisConfig.artifact_path` is set).
+        """
         # Imports are local to keep `repro.core` import-light (the pipeline pulls in
         # every other subpackage).
         from repro.extraction.candidates import CandidateExtractor
@@ -94,7 +165,7 @@ class SynthesisPipeline:
         )
         timings["curation"] = time.perf_counter() - start
 
-        return PipelineResult(
+        result = PipelineResult(
             mappings=mappings,
             curated=curation.kept,
             candidates=candidates,
@@ -109,3 +180,103 @@ class SynthesisPipeline:
                 "num_negative_edges": synthesis.metadata.get("num_negative_edges", 0.0),
             },
         )
+
+        self._cached_artifact = None
+        self._artifact_ingredients = {
+            "corpus": corpus,
+            "candidates": candidates,
+            "graph": synthesis.graph,
+            "scorer": synthesizer.graph_builder.scorer,
+            "mappings": mappings,
+            "curated": curation.kept,
+            "extraction_stats": result.extraction_stats,
+            "timings": result.timings,
+            "metadata": result.metadata,
+        }
+        self.last_result = result
+        if self.config.artifact_path:
+            self.save_artifact(self.config.artifact_path)
+        return result
+
+    # -- Artifact persistence (repro.store) ---------------------------------------------
+    def save_artifact(self, path: str | Path | None = None) -> Path:
+        """Persist the most recent run to ``path`` (or the configured path).
+
+        Raises
+        ------
+        RuntimeError
+            If the pipeline has not produced a run to save yet.
+        ValueError
+            If neither ``path`` nor :attr:`SynthesisConfig.artifact_path` is set.
+        """
+        if self.last_artifact is None:
+            raise RuntimeError("no run to persist; call run() before save_artifact()")
+        target = path or self.config.artifact_path
+        if not target:
+            raise ValueError(
+                "no artifact path: pass one or set SynthesisConfig.artifact_path"
+            )
+        from repro.store.artifact import save_artifact
+
+        return save_artifact(
+            self.last_artifact, target, compress=self.config.artifact_compress
+        )
+
+    @classmethod
+    def from_artifact(
+        cls,
+        path: str | Path,
+        synonyms=None,
+        trusted_sources: list[BinaryTable] | None = None,
+    ) -> "SynthesisPipeline":
+        """Restore a pipeline (config + last run) from a saved artifact.
+
+        The returned pipeline has :attr:`last_result` and :attr:`last_artifact`
+        populated exactly as if :meth:`run` had just completed — no extraction,
+        scoring, or synthesis is performed.
+        """
+        from repro.store.artifact import load_artifact
+
+        artifact = load_artifact(path)
+        pipeline = cls(
+            config=artifact.config, synonyms=synonyms, trusted_sources=trusted_sources
+        )
+        pipeline.last_artifact = artifact
+        pipeline.last_result = artifact.to_result()
+        return pipeline
+
+    def refresh(
+        self,
+        corpus: TableCorpus,
+        artifact: "SynthesisArtifact | None" = None,
+    ) -> tuple[PipelineResult, "RefreshStats"]:
+        """Incrementally refresh a persisted run against an updated ``corpus``.
+
+        Reuses extraction, profiles, and pairwise scores for unchanged tables
+        (see :mod:`repro.store.incremental`).  Falls back to a full :meth:`run`
+        when table expansion is enabled, since expansion depends on this
+        pipeline's trusted sources, which artifacts do not capture.
+        """
+        from repro.store.incremental import RefreshStats, refresh_artifact
+
+        base = artifact if artifact is not None else self.last_artifact
+        if base is None:
+            raise RuntimeError(
+                "no artifact to refresh from; run() or from_artifact() first"
+            )
+        if self.config.expand_tables and self.trusted_sources:
+            result = self.run(corpus)
+            stats = RefreshStats(
+                tables_total=len(corpus),
+                full_rebuild=True,
+                reason="table expansion requires a full pipeline run",
+            )
+            return result, stats
+        refreshed, stats = refresh_artifact(
+            base, corpus, config=self.config, synonyms=self.synonyms
+        )
+        self.last_artifact = refreshed
+        self.last_result = refreshed.to_result()
+        if self.config.artifact_path:
+            self.save_artifact(self.config.artifact_path)
+        return self.last_result, stats

@@ -136,6 +136,7 @@ class BuildStats:
     pairs_blocked_positive: int = 0
     pairs_blocked_negative: int = 0
     pairs_scored: int = 0
+    pairs_reused: int = 0
     match_cache_hits: int = 0
     match_cache_misses: int = 0
     num_workers: int = 1
@@ -154,6 +155,7 @@ class BuildStats:
             "pairs_blocked_positive": self.pairs_blocked_positive,
             "pairs_blocked_negative": self.pairs_blocked_negative,
             "pairs_scored": self.pairs_scored,
+            "pairs_reused": self.pairs_reused,
             "match_cache_hits": self.match_cache_hits,
             "match_cache_misses": self.match_cache_misses,
             "cache_hit_rate": self.cache_hit_rate,
@@ -340,13 +342,29 @@ class GraphBuilder:
         return results
 
     # -- Public API --------------------------------------------------------------------
-    def build(self, tables: list[BinaryTable]) -> CompatibilityGraph:
+    def build(
+        self,
+        tables: list[BinaryTable],
+        *,
+        reusable_scores: dict[tuple[str, str], tuple[float, float]] | None = None,
+        reusable_ids: set[str] | None = None,
+    ) -> CompatibilityGraph:
         """Score blocked table pairs and assemble the compatibility graph.
 
         Positive edges below ``θ_edge`` are dropped; negative edges are kept with
         their raw weight (the partitioner applies the τ threshold).  The blocking
         overlap counts double as the pairs' ``shared_pairs`` / ``shared_lefts``
         values, so nothing is recomputed during scoring.
+
+        ``reusable_scores`` / ``reusable_ids`` support incremental maintenance
+        (:mod:`repro.store.incremental`): a blocked pair whose *both* table ids
+        are in ``reusable_ids`` takes its ``(w+, w−)`` from ``reusable_scores``
+        (keyed by the sorted table-id pair) instead of being rescored.  Blocking
+        overlap between two tables depends only on those two tables' key sets,
+        so a pair of unchanged tables was necessarily blocked — and scored —
+        identically in the run that produced the reusable scores; a missing key
+        therefore means "scored below both edge thresholds" and maps to
+        ``(0.0, 0.0)``.
         """
         graph = CompatibilityGraph(tables=list(tables))
         self.last_build_stats = BuildStats(num_tables=len(graph.tables))
@@ -365,14 +383,26 @@ class GraphBuilder:
         self.last_build_stats.pairs_blocked_positive = len(positive_candidates)
         self.last_build_stats.pairs_blocked_negative = len(negative_candidates)
 
-        tasks = [
-            (first, second, (first, second) in positive_candidates,
-             (first, second) in negative_candidates,
-             pair_counts.get((first, second), 0), left_counts.get((first, second), 0))
-            for first, second in sorted(positive_candidates | negative_candidates)
-        ]
+        stable_ids = reusable_ids if reusable_ids is not None else set()
+        cached_scores = reusable_scores if reusable_scores is not None else {}
+        reused: dict[tuple[int, int], tuple[float, float]] = {}
+        tasks = []
+        for first, second in sorted(positive_candidates | negative_candidates):
+            first_id = graph.tables[first].table_id
+            second_id = graph.tables[second].table_id
+            if first_id in stable_ids and second_id in stable_ids:
+                key = (first_id, second_id) if first_id <= second_id else (second_id, first_id)
+                reused[(first, second)] = cached_scores.get(key, (0.0, 0.0))
+                continue
+            tasks.append(
+                (first, second, (first, second) in positive_candidates,
+                 (first, second) in negative_candidates,
+                 pair_counts.get((first, second), 0), left_counts.get((first, second), 0))
+            )
         self.last_build_stats.pairs_scored = len(tasks)
+        self.last_build_stats.pairs_reused = len(reused)
         results = self._score_blocked_pairs(graph.tables, tasks)
+        results.update(reused)
 
         for first, second in sorted(positive_candidates):
             weight = results[(first, second)][0]

@@ -101,6 +101,24 @@ class CompatibilityScorer:
             self._profiles[id(table)] = cached
         return cached
 
+    def prime_profile(self, table: BinaryTable, profile: TableProfile) -> None:
+        """Seed the profile cache with a precomputed profile for ``table``.
+
+        Used by the artifact store's incremental-refresh path to reuse profiles
+        persisted from an earlier run instead of re-deriving them.  The caller
+        is responsible for the profile having been computed under an equivalent
+        matcher (same normalization, synonyms, and ``edit_cap``); profiles
+        loaded from an artifact produced with the same config satisfy this.
+
+        Priming deliberately ignores ``MAX_PROFILE_CACHE``: the bound protects
+        long-lived scorers against unbounded throwaway tables, while a priming
+        pass is a finite bulk-load (one entry per candidate) — evicting earlier
+        primed entries here would silently defeat the reuse it exists for.
+        """
+        if profile.table is not table:
+            raise ValueError("profile.table must be the table being primed")
+        self._profiles[id(table)] = profile
+
     def matches(self, first: str, second: str) -> bool:
         """Memoized :meth:`ValueMatcher.matches` over surface forms."""
         if first == second:

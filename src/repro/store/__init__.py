@@ -1,0 +1,47 @@
+"""Persisted synthesis artifacts (serving-side storage layer).
+
+A full pipeline run is expensive: candidate extraction, pairwise compatibility
+scoring, partitioning, and conflict resolution all scale with the corpus.  The
+applications the paper motivates (auto-fill, auto-join, auto-correct — Table 4)
+only need the *outputs* of that run, so this package persists them:
+
+* :mod:`repro.store.fingerprint` — stable content hashes for tables and corpora,
+  used both to stamp artifacts with their input and to detect which tables
+  changed between runs;
+* :mod:`repro.store.artifact` — :class:`SynthesisArtifact`, a versioned,
+  checksummed, optionally gzip-compressed on-disk snapshot of one pipeline run
+  (corpus fingerprint, candidate tables, table profiles, compatibility-graph
+  edges, synthesized + curated mappings, stats and timings);
+* :mod:`repro.store.incremental` — Δ-maintenance: refresh an artifact against an
+  updated corpus, re-extracting and re-scoring only what changed.
+
+Loading an artifact is orders of magnitude faster than re-running the pipeline,
+which is what makes the batched :class:`~repro.applications.service.MappingService`
+practical: one saved run amortized over many requests.
+"""
+
+from repro.store.artifact import (
+    ARTIFACT_VERSION,
+    ArtifactCorruptionError,
+    ArtifactError,
+    ArtifactVersionError,
+    SynthesisArtifact,
+    load_artifact,
+    save_artifact,
+)
+from repro.store.fingerprint import fingerprint_corpus, fingerprint_table
+from repro.store.incremental import RefreshStats, refresh_artifact
+
+__all__ = [
+    "ARTIFACT_VERSION",
+    "ArtifactError",
+    "ArtifactVersionError",
+    "ArtifactCorruptionError",
+    "SynthesisArtifact",
+    "save_artifact",
+    "load_artifact",
+    "fingerprint_table",
+    "fingerprint_corpus",
+    "RefreshStats",
+    "refresh_artifact",
+]

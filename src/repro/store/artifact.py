@@ -1,0 +1,461 @@
+"""Versioned on-disk snapshots of one synthesis pipeline run.
+
+A :class:`SynthesisArtifact` captures everything downstream consumers need:
+
+* the corpus fingerprint and per-table fingerprints (provenance + refresh diffing);
+* the :class:`~repro.core.config.SynthesisConfig` the run used;
+* the candidate binary tables and their precomputed scoring profiles
+  (normalized keys and compact forms — the expensive part of
+  :func:`repro.graph.profile.build_profile`);
+* the compatibility graph's positive/negative edges, keyed by candidate table
+  ids so they survive re-indexing;
+* the synthesized and curated :class:`~repro.core.mapping.MappingRelationship`s
+  plus the run's extraction stats, timings, and metadata.
+
+The file format is a JSON document ``{"magic", "version", "checksum",
+"payload"}``, optionally gzip-compressed.  ``checksum`` is the SHA-256 of the
+canonical payload encoding, so bit rot and truncation surface as
+:class:`ArtifactCorruptionError` instead of silently wrong mappings, and a
+``version`` bump surfaces as :class:`ArtifactVersionError` instead of a
+``KeyError`` deep in deserialization.
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import json
+from dataclasses import dataclass, field, fields as dataclass_fields
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+from repro.core.binary_table import BinaryTable, ValuePair
+from repro.core.config import SynthesisConfig
+from repro.core.mapping import MappingRelationship
+from repro.graph.build import CompatibilityGraph
+from repro.graph.profile import TableProfile
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.core.pipeline import PipelineResult
+
+__all__ = [
+    "ARTIFACT_MAGIC",
+    "ARTIFACT_VERSION",
+    "ArtifactError",
+    "ArtifactVersionError",
+    "ArtifactCorruptionError",
+    "SynthesisArtifact",
+    "save_artifact",
+    "load_artifact",
+]
+
+ARTIFACT_MAGIC = "repro-synthesis-artifact"
+ARTIFACT_VERSION = 1
+
+#: gzip member header magic; used to sniff compressed artifacts on load.
+_GZIP_MAGIC = b"\x1f\x8b"
+
+
+class ArtifactError(Exception):
+    """Base class for artifact store failures."""
+
+
+class ArtifactVersionError(ArtifactError):
+    """The artifact was written by an incompatible format version."""
+
+
+class ArtifactCorruptionError(ArtifactError):
+    """The artifact bytes are damaged, truncated, or fail the checksum."""
+
+
+# ---------------------------------------------------------------------------------------
+# JSON codecs for the model objects
+# ---------------------------------------------------------------------------------------
+def _jsonable(value: object) -> object:
+    """Best-effort conversion of metadata values to JSON-encodable forms."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(str(item) for item in value)
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    return str(value)
+
+
+def _encode_binary_table(table: BinaryTable) -> dict:
+    return {
+        "table_id": table.table_id,
+        "pairs": [[pair.left, pair.right] for pair in table.pairs],
+        "left_name": table.left_name,
+        "right_name": table.right_name,
+        "source_table_id": table.source_table_id,
+        "domain": table.domain,
+        "metadata": _jsonable(table.metadata),
+    }
+
+
+def _decode_binary_table(data: Mapping) -> BinaryTable:
+    return BinaryTable(
+        table_id=data["table_id"],
+        pairs=[ValuePair(left, right) for left, right in data["pairs"]],
+        left_name=data.get("left_name", ""),
+        right_name=data.get("right_name", ""),
+        source_table_id=data.get("source_table_id", ""),
+        domain=data.get("domain", ""),
+        metadata=dict(data.get("metadata", {})),
+    )
+
+
+def _encode_mapping(mapping: MappingRelationship) -> dict:
+    return {
+        "mapping_id": mapping.mapping_id,
+        "pairs": [[pair.left, pair.right] for pair in mapping.pairs],
+        "source_tables": list(mapping.source_tables),
+        "domains": sorted(mapping.domains),
+        "column_names": list(mapping.column_names),
+        "metadata": _jsonable(mapping.metadata),
+    }
+
+
+def _decode_mapping(data: Mapping) -> MappingRelationship:
+    column_names = data.get("column_names", ["", ""])
+    return MappingRelationship(
+        mapping_id=data["mapping_id"],
+        pairs=[ValuePair(left, right) for left, right in data["pairs"]],
+        source_tables=list(data.get("source_tables", [])),
+        domains=set(data.get("domains", [])),
+        column_names=(column_names[0], column_names[1]),
+        metadata=dict(data.get("metadata", {})),
+    )
+
+
+def _encode_config(config: SynthesisConfig) -> dict:
+    return {
+        spec.name: _jsonable(getattr(config, spec.name))
+        for spec in dataclass_fields(config)
+    }
+
+
+def _decode_config(data: Mapping) -> SynthesisConfig:
+    known = {spec.name for spec in dataclass_fields(SynthesisConfig)}
+    kwargs = {key: value for key, value in data.items() if key in known}
+    return SynthesisConfig(**kwargs)
+
+
+def _encode_profile(profile: TableProfile) -> dict:
+    # lefts/rights are recoverable from the candidate's pairs; only the
+    # matcher-derived strings (the expensive part) need to be stored.
+    return {
+        "left_keys": list(profile.left_keys),
+        "right_keys": list(profile.right_keys),
+        "compact_lefts": list(profile.compact_lefts),
+        "edit_cap": profile.edit_cap,
+    }
+
+
+def _decode_profile(table: BinaryTable, data: Mapping) -> TableProfile:
+    left_keys = list(data["left_keys"])
+    right_keys = list(data["right_keys"])
+    compact_lefts = list(data["compact_lefts"])
+    if not len(table.pairs) == len(left_keys) == len(right_keys) == len(compact_lefts):
+        raise ArtifactCorruptionError(
+            f"profile for {table.table_id!r} does not align with its pairs"
+        )
+    by_left_key: dict[str, list[int]] = {}
+    buckets: dict[int, list[int]] = {}
+    for index, (left_key, compact) in enumerate(zip(left_keys, compact_lefts)):
+        by_left_key.setdefault(left_key, []).append(index)
+        buckets.setdefault(len(compact), []).append(index)
+    return TableProfile(
+        table=table,
+        lefts=tuple(pair.left for pair in table.pairs),
+        rights=tuple(pair.right for pair in table.pairs),
+        left_keys=tuple(left_keys),
+        right_keys=tuple(right_keys),
+        compact_lefts=tuple(compact_lefts),
+        pair_keys=frozenset(zip(left_keys, right_keys)),
+        left_key_set=frozenset(left_keys),
+        by_left_key={key: tuple(rows) for key, rows in by_left_key.items()},
+        left_length_buckets={length: tuple(rows) for length, rows in buckets.items()},
+        edit_cap=int(data["edit_cap"]),
+    )
+
+
+def _edge_key(first_id: str, second_id: str) -> tuple[str, str]:
+    return (first_id, second_id) if first_id <= second_id else (second_id, first_id)
+
+
+# ---------------------------------------------------------------------------------------
+# The artifact model
+# ---------------------------------------------------------------------------------------
+@dataclass
+class SynthesisArtifact:
+    """Everything persisted from one pipeline run.
+
+    Edges are keyed by **candidate table ids** (sorted pairs), not vertex
+    indices, so they remain meaningful when the candidate list is reordered or
+    partially reused by the incremental refresh path.
+    """
+
+    config: SynthesisConfig
+    corpus_name: str
+    corpus_fingerprint: str
+    table_fingerprints: dict[str, str]
+    candidates: list[BinaryTable]
+    #: Hash of the synonym dictionary the run used ("" = none); profiles and
+    #: scores embed synonym canonicalization, so refresh must compare it.
+    synonyms_fingerprint: str = ""
+    profiles: dict[str, dict] = field(default_factory=dict)
+    positive_edges: dict[tuple[str, str], float] = field(default_factory=dict)
+    negative_edges: dict[tuple[str, str], float] = field(default_factory=dict)
+    mappings: list[MappingRelationship] = field(default_factory=list)
+    curated_ids: list[str] = field(default_factory=list)
+    extraction_stats: dict[str, float] = field(default_factory=dict)
+    timings: dict[str, float] = field(default_factory=dict)
+    metadata: dict[str, float] = field(default_factory=dict)
+
+    # -- Views ------------------------------------------------------------------------
+    @property
+    def curated(self) -> list[MappingRelationship]:
+        """The curated subset of :attr:`mappings`, in curation (popularity) order."""
+        by_id = {mapping.mapping_id: mapping for mapping in self.mappings}
+        return [
+            by_id[mapping_id] for mapping_id in self.curated_ids if mapping_id in by_id
+        ]
+
+    def candidates_by_source(self) -> dict[str, list[BinaryTable]]:
+        """Group candidates by their source table id, preserving stored order."""
+        grouped: dict[str, list[BinaryTable]] = {}
+        for candidate in self.candidates:
+            grouped.setdefault(candidate.source_table_id, []).append(candidate)
+        return grouped
+
+    def edge_scores(self) -> dict[tuple[str, str], tuple[float, float]]:
+        """Merge the two edge maps into ``id pair -> (w+, w−)`` for reuse."""
+        scores: dict[tuple[str, str], tuple[float, float]] = {}
+        for key, weight in self.positive_edges.items():
+            scores[key] = (weight, 0.0)
+        for key, weight in self.negative_edges.items():
+            positive = scores.get(key, (0.0, 0.0))[0]
+            scores[key] = (positive, weight)
+        return scores
+
+    def profile_for(self, candidate: BinaryTable) -> TableProfile | None:
+        """Reconstruct the stored scoring profile of one candidate, if present."""
+        data = self.profiles.get(candidate.table_id)
+        if data is None:
+            return None
+        return _decode_profile(candidate, data)
+
+    def build_graph(self) -> CompatibilityGraph:
+        """Materialize the stored edges as a :class:`CompatibilityGraph`."""
+        graph = CompatibilityGraph(tables=list(self.candidates))
+        index_of = {
+            candidate.table_id: position
+            for position, candidate in enumerate(self.candidates)
+        }
+        try:
+            for (first_id, second_id), weight in self.positive_edges.items():
+                graph.add_positive(index_of[first_id], index_of[second_id], weight)
+            for (first_id, second_id), weight in self.negative_edges.items():
+                graph.add_negative(index_of[first_id], index_of[second_id], weight)
+        except KeyError as exc:
+            raise ArtifactCorruptionError(
+                f"edge references unknown candidate table {exc.args[0]!r}"
+            ) from exc
+        return graph
+
+    def to_result(self) -> "PipelineResult":
+        """Rebuild the :class:`~repro.core.pipeline.PipelineResult` view."""
+        from repro.core.pipeline import PipelineResult
+
+        return PipelineResult(
+            mappings=list(self.mappings),
+            curated=self.curated,
+            candidates=list(self.candidates),
+            extraction_stats=dict(self.extraction_stats),
+            timings=dict(self.timings),
+            metadata=dict(self.metadata),
+        )
+
+    # -- Construction -----------------------------------------------------------------
+    @classmethod
+    def from_run(
+        cls,
+        *,
+        config: SynthesisConfig,
+        corpus_name: str,
+        corpus_fingerprint: str,
+        table_fingerprints: Mapping[str, str],
+        candidates: Iterable[BinaryTable],
+        graph: CompatibilityGraph,
+        synonyms_fingerprint: str = "",
+        profiles: Mapping[str, TableProfile] | None = None,
+        mappings: Iterable[MappingRelationship],
+        curated: Iterable[MappingRelationship],
+        extraction_stats: Mapping[str, float] | None = None,
+        timings: Mapping[str, float] | None = None,
+        metadata: Mapping[str, float] | None = None,
+    ) -> "SynthesisArtifact":
+        """Assemble an artifact from live pipeline objects (no serialization)."""
+        candidates = list(candidates)
+        positive: dict[tuple[str, str], float] = {}
+        negative: dict[tuple[str, str], float] = {}
+        for (first, second), weight in graph.positive_edges.items():
+            positive[_edge_key(graph.tables[first].table_id, graph.tables[second].table_id)] = weight
+        for (first, second), weight in graph.negative_edges.items():
+            negative[_edge_key(graph.tables[first].table_id, graph.tables[second].table_id)] = weight
+        return cls(
+            config=config,
+            corpus_name=corpus_name,
+            corpus_fingerprint=corpus_fingerprint,
+            table_fingerprints=dict(table_fingerprints),
+            candidates=candidates,
+            synonyms_fingerprint=synonyms_fingerprint,
+            profiles={
+                table_id: _encode_profile(profile)
+                for table_id, profile in (profiles or {}).items()
+            },
+            positive_edges=positive,
+            negative_edges=negative,
+            mappings=list(mappings),
+            curated_ids=[mapping.mapping_id for mapping in curated],
+            extraction_stats=dict(extraction_stats or {}),
+            timings=dict(timings or {}),
+            metadata=dict(metadata or {}),
+        )
+
+    # -- Serialization ------------------------------------------------------------------
+    def to_payload(self) -> dict:
+        """Encode the artifact as a plain JSON-encodable payload dict."""
+        return {
+            "config": _encode_config(self.config),
+            "corpus_name": self.corpus_name,
+            "corpus_fingerprint": self.corpus_fingerprint,
+            "table_fingerprints": dict(self.table_fingerprints),
+            "synonyms_fingerprint": self.synonyms_fingerprint,
+            "candidates": [_encode_binary_table(c) for c in self.candidates],
+            "profiles": {table_id: dict(data) for table_id, data in self.profiles.items()},
+            "positive_edges": [
+                [first, second, weight]
+                for (first, second), weight in sorted(self.positive_edges.items())
+            ],
+            "negative_edges": [
+                [first, second, weight]
+                for (first, second), weight in sorted(self.negative_edges.items())
+            ],
+            "mappings": [_encode_mapping(m) for m in self.mappings],
+            "curated_ids": list(self.curated_ids),
+            "extraction_stats": _jsonable(self.extraction_stats),
+            "timings": _jsonable(self.timings),
+            "metadata": _jsonable(self.metadata),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "SynthesisArtifact":
+        """Decode a payload dict produced by :meth:`to_payload`."""
+        try:
+            return cls(
+                config=_decode_config(payload["config"]),
+                corpus_name=payload["corpus_name"],
+                corpus_fingerprint=payload["corpus_fingerprint"],
+                table_fingerprints=dict(payload["table_fingerprints"]),
+                candidates=[_decode_binary_table(c) for c in payload["candidates"]],
+                synonyms_fingerprint=payload.get("synonyms_fingerprint", ""),
+                profiles={
+                    table_id: dict(data)
+                    for table_id, data in payload.get("profiles", {}).items()
+                },
+                positive_edges={
+                    (first, second): weight
+                    for first, second, weight in payload["positive_edges"]
+                },
+                negative_edges={
+                    (first, second): weight
+                    for first, second, weight in payload["negative_edges"]
+                },
+                mappings=[_decode_mapping(m) for m in payload["mappings"]],
+                curated_ids=list(payload["curated_ids"]),
+                extraction_stats=dict(payload.get("extraction_stats", {})),
+                timings=dict(payload.get("timings", {})),
+                metadata=dict(payload.get("metadata", {})),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ArtifactCorruptionError(f"malformed artifact payload: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------------------
+# File I/O
+# ---------------------------------------------------------------------------------------
+def _canonical_bytes(payload: dict) -> bytes:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def save_artifact(
+    artifact: SynthesisArtifact, path: str | Path, *, compress: bool = True
+) -> Path:
+    """Write ``artifact`` to ``path`` and return the path.
+
+    The parent directory is created if needed.  The write goes through a
+    temporary sibling file and an atomic rename, so a crash mid-write never
+    leaves a half-written artifact at the target path.
+    """
+    path = Path(path)
+    payload = artifact.to_payload()
+    body = _canonical_bytes(payload)
+    document = {
+        "magic": ARTIFACT_MAGIC,
+        "version": ARTIFACT_VERSION,
+        "checksum": hashlib.sha256(body).hexdigest(),
+        "payload": payload,
+    }
+    encoded = json.dumps(document, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    if compress:
+        # mtime=0 keeps the compressed bytes deterministic for identical payloads.
+        encoded = gzip.compress(encoded, mtime=0)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    temp = path.with_name(path.name + ".tmp")
+    temp.write_bytes(encoded)
+    temp.replace(path)
+    return path
+
+
+def load_artifact(path: str | Path) -> SynthesisArtifact:
+    """Load an artifact written by :func:`save_artifact`.
+
+    Raises
+    ------
+    ArtifactError
+        If the file is not an artifact at all (wrong magic).
+    ArtifactVersionError
+        If the artifact was written by a different format version.
+    ArtifactCorruptionError
+        If the bytes are damaged or the checksum does not match.
+    """
+    raw = Path(path).read_bytes()
+    if raw[:2] == _GZIP_MAGIC:
+        try:
+            raw = gzip.decompress(raw)
+        except (OSError, EOFError) as exc:
+            raise ArtifactCorruptionError(f"damaged gzip stream in {path}") from exc
+    try:
+        document = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ArtifactCorruptionError(f"artifact {path} is not valid JSON") from exc
+    if not isinstance(document, dict) or document.get("magic") != ARTIFACT_MAGIC:
+        raise ArtifactError(f"{path} is not a synthesis artifact")
+    version = document.get("version")
+    if version != ARTIFACT_VERSION:
+        raise ArtifactVersionError(
+            f"artifact {path} has format version {version!r}; "
+            f"this build reads version {ARTIFACT_VERSION}"
+        )
+    payload = document.get("payload")
+    if not isinstance(payload, dict):
+        raise ArtifactCorruptionError(f"artifact {path} has no payload")
+    checksum = hashlib.sha256(_canonical_bytes(payload)).hexdigest()
+    if checksum != document.get("checksum"):
+        raise ArtifactCorruptionError(f"artifact {path} failed its checksum")
+    return SynthesisArtifact.from_payload(payload)

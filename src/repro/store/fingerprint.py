@@ -1,0 +1,80 @@
+"""Stable content fingerprints for tables and corpora.
+
+An artifact must record exactly which input produced it, and the incremental
+refresh path must decide which tables changed without diffing cell-by-cell.
+Both use the same primitive: a SHA-256 hash over a canonical JSON encoding of a
+table's identity and contents.  The encoding is explicit (no ``repr``, no hash
+randomization) so fingerprints are stable across processes and Python versions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.corpus.corpus import TableCorpus
+from repro.corpus.table import Table
+
+__all__ = [
+    "fingerprint_table",
+    "fingerprint_corpus",
+    "fingerprint_synonyms",
+    "table_fingerprints",
+    "corpus_digest",
+]
+
+
+def _digest(payload: object) -> str:
+    encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+def fingerprint_table(table: Table) -> str:
+    """Return a stable content hash of one relational table.
+
+    Covers identity (id, domain, title), the header row, and every cell value in
+    column order — anything candidate extraction can observe.
+    """
+    return _digest(
+        [
+            table.table_id,
+            table.domain,
+            table.title,
+            [[column.name, column.values] for column in table.columns],
+        ]
+    )
+
+
+def table_fingerprints(corpus: TableCorpus) -> dict[str, str]:
+    """Return ``table_id -> fingerprint`` for every table in the corpus."""
+    return {table.table_id: fingerprint_table(table) for table in corpus}
+
+
+def corpus_digest(per_table: dict[str, str]) -> str:
+    """Fold per-table fingerprints into one corpus fingerprint.
+
+    Order-independent: the digest is taken over the sorted per-table
+    fingerprints, so re-inserting the same tables in a different order yields
+    the same corpus fingerprint.  Callers that already hold the per-table map
+    use this directly instead of re-hashing every cell via
+    :func:`fingerprint_corpus`.
+    """
+    return _digest(sorted(per_table.items()))
+
+
+def fingerprint_corpus(corpus: TableCorpus) -> str:
+    """Return a stable content hash of the whole corpus."""
+    return corpus_digest(table_fingerprints(corpus))
+
+
+def fingerprint_synonyms(synonyms) -> str:
+    """Return a stable hash of a synonym dictionary (empty string for ``None``).
+
+    Persisted profiles and pairwise scores embed synonym canonicalization, so
+    artifacts record which synonymy they were computed under; incremental
+    refresh compares this fingerprint and falls back to a full rebuild when the
+    dictionaries differ.
+    """
+    if synonyms is None:
+        return ""
+    return _digest(synonyms.groups())

@@ -1,0 +1,245 @@
+"""Incremental artifact refresh (Δ-maintenance of the synthesis pipeline).
+
+When a corpus evolves — tables added, edited, or removed — re-running the whole
+pipeline discards almost everything the previous run computed.  This module
+refreshes a :class:`~repro.store.artifact.SynthesisArtifact` against the new
+corpus while reusing, for every *unchanged* source table:
+
+* its extracted candidate binary tables (no re-extraction);
+* their persisted scoring profiles (no re-normalization — primed straight into
+  the scorer via :meth:`CompatibilityScorer.prime_profile`);
+* every pairwise score between two unchanged tables (no rescoring — blocking
+  overlap between two tables depends only on those two tables, so an
+  unchanged-unchanged pair blocks and scores exactly as it did before).
+
+Only pairs touching a changed or added table are rescored; partitioning,
+conflict resolution, and curation then re-run over the full candidate set
+(they are cheap relative to scoring — see PERFORMANCE.md's hot-path map).
+
+One approximation is inherent and documented rather than hidden: the PMI
+coherence filter is corpus-global, so a changed corpus can shift the coherence
+of columns in *unchanged* tables across the threshold.  Refresh keeps the
+unchanged tables' original extraction (standard Δ-maintenance semantics); with
+``use_pmi_filter=False`` the refreshed artifact is exactly identical to a cold
+run on the new corpus.
+
+Reuse is guarded, not assumed: a scoring-relevant config change or a different
+synonym dictionary (persisted profiles embed synonym canonicalization — the
+artifact records a fingerprint of the dictionary it was built under) falls back
+to a full rebuild through this same code path, reusing nothing.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, fields as dataclass_fields
+
+from repro.core.config import SynthesisConfig
+from repro.corpus.corpus import TableCorpus
+from repro.store.artifact import SynthesisArtifact
+from repro.store.fingerprint import (
+    corpus_digest,
+    fingerprint_synonyms,
+    table_fingerprints,
+)
+
+__all__ = ["RefreshStats", "refresh_artifact"]
+
+#: Config fields that cannot change any extraction/scoring/synthesis outcome and
+#: therefore do not invalidate reuse of a previous run's scores.
+_RESULT_NEUTRAL_FIELDS = {"num_workers", "artifact_path", "artifact_compress", "extra"}
+
+
+def _scoring_config_matches(first: SynthesisConfig, second: SynthesisConfig) -> bool:
+    return all(
+        getattr(first, spec.name) == getattr(second, spec.name)
+        for spec in dataclass_fields(SynthesisConfig)
+        if spec.name not in _RESULT_NEUTRAL_FIELDS
+    )
+
+
+@dataclass
+class RefreshStats:
+    """Accounting of what one :func:`refresh_artifact` call reused vs redid."""
+
+    tables_total: int = 0
+    tables_unchanged: int = 0
+    tables_changed: int = 0
+    tables_added: int = 0
+    tables_removed: int = 0
+    candidates_total: int = 0
+    candidates_reused: int = 0
+    candidates_extracted: int = 0
+    pairs_scored: int = 0
+    pairs_reused: int = 0
+    profiles_primed: int = 0
+    full_rebuild: bool = False
+    reason: str = ""
+    elapsed_seconds: float = 0.0
+
+    @property
+    def noop(self) -> bool:
+        """True when the corpus was untouched and the artifact was kept as-is."""
+        return (
+            not self.full_rebuild
+            and self.tables_changed == 0
+            and self.tables_added == 0
+            and self.tables_removed == 0
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict view for reporting artifacts."""
+        return {
+            "tables_total": self.tables_total,
+            "tables_unchanged": self.tables_unchanged,
+            "tables_changed": self.tables_changed,
+            "tables_added": self.tables_added,
+            "tables_removed": self.tables_removed,
+            "candidates_total": self.candidates_total,
+            "candidates_reused": self.candidates_reused,
+            "candidates_extracted": self.candidates_extracted,
+            "pairs_scored": self.pairs_scored,
+            "pairs_reused": self.pairs_reused,
+            "profiles_primed": self.profiles_primed,
+            "full_rebuild": self.full_rebuild,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+
+def refresh_artifact(
+    artifact: SynthesisArtifact,
+    corpus: TableCorpus,
+    config: SynthesisConfig | None = None,
+    synonyms=None,
+) -> tuple[SynthesisArtifact, RefreshStats]:
+    """Refresh ``artifact`` against ``corpus``, reusing unchanged work.
+
+    Returns the refreshed artifact and a :class:`RefreshStats` describing how
+    much was reused.  When nothing changed, the original artifact object is
+    returned untouched.
+    """
+    # Imports are local for the same reason as in the pipeline: this module sits
+    # below repro.core but orchestrates every other subpackage.
+    from repro.extraction.candidates import CandidateExtractor, ExtractionStats
+    from repro.extraction.cooccurrence import CooccurrenceIndex
+    from repro.synthesis.curation import curate_mappings
+    from repro.synthesis.synthesizer import TableSynthesizer
+
+    started = time.perf_counter()
+    config = config or artifact.config
+    stats = RefreshStats()
+
+    new_fingerprints = table_fingerprints(corpus)
+    old_fingerprints = artifact.table_fingerprints
+    unchanged_sources = {
+        table_id
+        for table_id, digest in new_fingerprints.items()
+        if old_fingerprints.get(table_id) == digest
+    }
+    stats.tables_total = len(new_fingerprints)
+    stats.tables_unchanged = len(unchanged_sources)
+    stats.tables_added = sum(
+        1 for table_id in new_fingerprints if table_id not in old_fingerprints
+    )
+    stats.tables_changed = (
+        stats.tables_total - stats.tables_unchanged - stats.tables_added
+    )
+    stats.tables_removed = sum(
+        1 for table_id in old_fingerprints if table_id not in new_fingerprints
+    )
+
+    synonyms_fingerprint = fingerprint_synonyms(synonyms)
+    if not _scoring_config_matches(config, artifact.config):
+        # A thresholds/filter change invalidates every cached score; fall back
+        # to a clean rebuild (still through this one code path, reusing nothing).
+        stats.full_rebuild = True
+        stats.reason = "config changed; cached scores invalidated"
+        unchanged_sources = set()
+    elif synonyms_fingerprint != artifact.synonyms_fingerprint:
+        # Persisted profiles and scores embed synonym canonicalization; mixing
+        # them with a different dictionary would yield a graph matching neither
+        # run, so reuse nothing.
+        stats.full_rebuild = True
+        stats.reason = "synonym dictionary changed; cached scores invalidated"
+        unchanged_sources = set()
+    elif stats.noop:
+        stats.candidates_total = len(artifact.candidates)
+        stats.candidates_reused = len(artifact.candidates)
+        stats.elapsed_seconds = time.perf_counter() - started
+        return artifact, stats
+
+    # -- Candidates: reuse unchanged tables' extraction, re-extract the rest --------
+    extractor = CandidateExtractor(config)
+    pmi_index = (
+        CooccurrenceIndex.from_corpus(corpus) if config.use_pmi_filter else None
+    )
+    extraction_stats = ExtractionStats()
+    reused_by_source = artifact.candidates_by_source()
+    candidates = []
+    reused_candidate_ids: set[str] = set()
+    # Iterate the corpus in its own order so the refreshed candidate list lines
+    # up with what a cold run on this corpus would produce.
+    for table in corpus:
+        if table.table_id in unchanged_sources:
+            kept = reused_by_source.get(table.table_id, [])
+            candidates.extend(kept)
+            reused_candidate_ids.update(candidate.table_id for candidate in kept)
+        else:
+            candidates.extend(
+                extractor.extract_from_table(table, index=pmi_index, stats=extraction_stats)
+            )
+    stats.candidates_total = len(candidates)
+    stats.candidates_reused = len(reused_candidate_ids)
+    stats.candidates_extracted = stats.candidates_total - stats.candidates_reused
+
+    # -- Synthesis: prime persisted profiles, reuse unchanged-pair scores ------------
+    synthesizer = TableSynthesizer(config, synonyms)
+    scorer = synthesizer.graph_builder.scorer
+    for candidate in candidates:
+        if candidate.table_id in reused_candidate_ids:
+            profile = artifact.profile_for(candidate)
+            if profile is not None and profile.edit_cap == config.edit_cap:
+                scorer.prime_profile(candidate, profile)
+                stats.profiles_primed += 1
+
+    synthesis = synthesizer.synthesize(
+        candidates,
+        reusable_scores=artifact.edge_scores(),
+        reusable_ids=reused_candidate_ids,
+    )
+    build_stats = synthesizer.graph_builder.last_build_stats
+    stats.pairs_scored = build_stats.pairs_scored
+    stats.pairs_reused = build_stats.pairs_reused
+
+    mappings = synthesis.mappings
+    curation = curate_mappings(
+        mappings, min_domains=config.min_domains, min_size=config.min_mapping_size
+    )
+
+    profiles = {
+        candidate.table_id: scorer.profile(candidate) for candidate in candidates
+    }
+    refreshed = SynthesisArtifact.from_run(
+        config=config,
+        corpus_name=corpus.name,
+        corpus_fingerprint=corpus_digest(new_fingerprints),
+        table_fingerprints=new_fingerprints,
+        candidates=candidates,
+        graph=synthesis.graph,
+        synonyms_fingerprint=synonyms_fingerprint,
+        profiles=profiles,
+        mappings=mappings,
+        curated=curation.kept,
+        extraction_stats=extraction_stats.as_dict(),
+        timings={"refresh": time.perf_counter() - started},
+        metadata={
+            "num_tables": float(len(corpus)),
+            "num_candidates": float(len(candidates)),
+            "num_mappings": float(len(mappings)),
+            "num_curated": float(len(curation.kept)),
+            "num_positive_edges": synthesis.metadata.get("num_positive_edges", 0.0),
+            "num_negative_edges": synthesis.metadata.get("num_negative_edges", 0.0),
+        },
+    )
+    stats.elapsed_seconds = time.perf_counter() - started
+    return refreshed, stats

@@ -13,7 +13,7 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass, field
 
-from repro.core.mapping import MappingRelationship
+from repro.core.mapping import MappingRelationship, mapping_rank_key
 
 __all__ = ["CurationReport", "popularity_rank", "curate_mappings"]
 
@@ -43,16 +43,13 @@ class CurationReport:
 
 
 def popularity_rank(mappings: list[MappingRelationship]) -> list[MappingRelationship]:
-    """Rank mappings by (domains, contributing tables, size), most popular first."""
-    return sorted(
-        mappings,
-        key=lambda mapping: (
-            mapping.popularity,
-            mapping.num_source_tables,
-            len(mapping),
-        ),
-        reverse=True,
-    )
+    """Rank mappings by (domains, contributing tables, size), most popular first.
+
+    Ties are broken by ascending ``mapping_id``, making the ranking a total
+    order that cannot flap across runs (the shared
+    :func:`~repro.core.mapping.mapping_rank_key` order).
+    """
+    return sorted(mappings, key=mapping_rank_key)
 
 
 def curate_mappings(

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 
 from repro.core.binary_table import BinaryTable
 from repro.core.config import SynthesisConfig
-from repro.core.mapping import MappingRelationship
+from repro.core.mapping import MappingRelationship, mapping_rank_key
 from repro.graph.build import CompatibilityGraph, GraphBuilder
 from repro.graph.partition import GreedyPartitioner, PartitionResult
 from repro.synthesis.conflict import (
@@ -43,13 +43,12 @@ class SynthesisResult:
         return iter(self.mappings)
 
     def top_by_popularity(self, count: int = 10) -> list[MappingRelationship]:
-        """The ``count`` most popular mappings (by number of contributing domains)."""
-        ranked = sorted(
-            self.mappings,
-            key=lambda mapping: (mapping.popularity, mapping.num_source_tables, len(mapping)),
-            reverse=True,
-        )
-        return ranked[:count]
+        """The ``count`` most popular mappings (by number of contributing domains).
+
+        Ties are broken by ascending ``mapping_id`` so the ranking is a total
+        order — serving layers built on it return the same results run to run.
+        """
+        return sorted(self.mappings, key=mapping_rank_key)[:count]
 
 
 class TableSynthesizer:
@@ -100,14 +99,35 @@ class TableSynthesizer:
         return mapping
 
     # -- Public API ------------------------------------------------------------------------
-    def build_graph(self, candidates: list[BinaryTable]) -> CompatibilityGraph:
-        """Build the sparse compatibility graph over the candidates."""
-        return self.graph_builder.build(candidates)
+    def build_graph(
+        self,
+        candidates: list[BinaryTable],
+        *,
+        reusable_scores: dict[tuple[str, str], tuple[float, float]] | None = None,
+        reusable_ids: set[str] | None = None,
+    ) -> CompatibilityGraph:
+        """Build the sparse compatibility graph over the candidates.
 
-    def synthesize(self, candidates: list[BinaryTable]) -> SynthesisResult:
+        ``reusable_scores`` / ``reusable_ids`` are forwarded to
+        :meth:`GraphBuilder.build` for incremental maintenance — pairs of
+        unchanged tables take their weights from a previous run.
+        """
+        return self.graph_builder.build(
+            candidates, reusable_scores=reusable_scores, reusable_ids=reusable_ids
+        )
+
+    def synthesize(
+        self,
+        candidates: list[BinaryTable],
+        *,
+        reusable_scores: dict[tuple[str, str], tuple[float, float]] | None = None,
+        reusable_ids: set[str] | None = None,
+    ) -> SynthesisResult:
         """Run graph construction, partitioning, and conflict resolution."""
         start = time.perf_counter()
-        graph = self.build_graph(candidates)
+        graph = self.build_graph(
+            candidates, reusable_scores=reusable_scores, reusable_ids=reusable_ids
+        )
         partition_result = self.partitioner.partition(graph)
 
         mappings: list[MappingRelationship] = []

@@ -74,6 +74,18 @@ class SynonymDictionary:
             return key
         return self._find(key)
 
+    def groups(self) -> list[list[str]]:
+        """Return the synonym groups as canonically sorted lists of keys.
+
+        Deterministic regardless of insertion order and union-find internals, so
+        two dictionaries declaring the same synonymy produce the same groups —
+        the artifact store fingerprints this view to detect synonym drift.
+        """
+        by_root: dict[str, list[str]] = {}
+        for key in self._parent:
+            by_root.setdefault(self._find(key), []).append(key)
+        return sorted(sorted(members) for members in by_root.values())
+
     def __len__(self) -> int:
         return len(self._parent)
 

@@ -62,6 +62,30 @@ def make_binary(table_id: str, rows: list[tuple[str, str]], **kwargs) -> BinaryT
     return BinaryTable.from_rows(table_id=table_id, rows=rows, **kwargs)
 
 
+@pytest.fixture(scope="session")
+def store_corpus() -> TableCorpus:
+    """A small deterministic corpus used by the artifact-store tests."""
+    from store_helpers import make_fragment_corpus, seed_fragments
+
+    fragments: dict[str, list[tuple[str, str]]] = {}
+    fragments.update(seed_fragments("state_abbrev", "sa"))
+    fragments.update(seed_fragments("country_iso3", "ci"))
+    return make_fragment_corpus(fragments, name="store-corpus")
+
+
+@pytest.fixture()
+def store_config() -> SynthesisConfig:
+    """Pipeline config for store tests: tiny thresholds, no corpus-global PMI.
+
+    The PMI filter is corpus-global, which would make incremental refresh only
+    approximately equal to a cold run; disabling it keeps the equality exact
+    (see repro.store.incremental's module docstring).
+    """
+    return SynthesisConfig(
+        use_pmi_filter=False, min_domains=1, min_mapping_size=2, min_rows=4
+    )
+
+
 @pytest.fixture()
 def iso_tables() -> list[BinaryTable]:
     """Three candidate tables mirroring the paper's Table 8 (IOC vs ISO codes)."""

@@ -1,0 +1,53 @@
+"""Corpus-building helpers shared by the artifact-store and serving tests.
+
+Kept outside conftest.py because test modules import these directly, and the
+bare module name ``conftest`` is ambiguous when the benchmark harness (which
+has its own conftest.py) is collected in the same pytest run.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.corpus import TableCorpus
+from repro.corpus.seeds import get_seed_relation
+from repro.corpus.table import Table
+
+__all__ = ["make_fragment_corpus", "seed_fragments"]
+
+
+def make_fragment_corpus(
+    fragments: dict[str, list[tuple[str, str]]],
+    headers: tuple[str, str] = ("name", "code"),
+    name: str = "fragments",
+) -> TableCorpus:
+    """Build a corpus of small two-column tables from explicit row fragments.
+
+    ``fragments`` maps a table id to its rows; the domain is derived from the
+    table id so per-domain popularity statistics vary across fragments.  Used by
+    the store/serving tests, which need corpora small enough to run the full
+    pipeline several times per test.
+    """
+    tables = [
+        Table.from_rows(
+            table_id=table_id,
+            header=list(headers),
+            rows=[list(row) for row in rows],
+            domain=f"{table_id.split('-')[0]}.example",
+        )
+        for table_id, rows in fragments.items()
+    ]
+    return TableCorpus(tables, name=name)
+
+
+def seed_fragments(
+    relation_name: str, prefix: str, chunk: int = 6, chunks: int = 3
+) -> dict[str, list[tuple[str, str]]]:
+    """Slice a seed relation into overlapping fragments for make_fragment_corpus."""
+    pairs = list(get_seed_relation(relation_name).pairs)
+    fragments: dict[str, list[tuple[str, str]]] = {}
+    for index in range(chunks):
+        # Overlapping slices so the fragments share enough value pairs to block.
+        start = index * (chunk // 2)
+        rows = pairs[start : start + chunk]
+        if len(rows) >= 4:
+            fragments[f"{prefix}{index}-{relation_name}"] = rows
+    return fragments

@@ -198,6 +198,30 @@ class TestAutoFiller:
         with pytest.raises(ValueError):
             AutoFiller(index, min_example_agreement=0.0)
 
+    def test_example_row_beyond_keys_raises(self, index):
+        """Out-of-range example rows used to be dropped silently; now explicit."""
+        filler = AutoFiller(index)
+        keys = ["San Francisco", "Seattle"]
+        with pytest.raises(ValueError, match=r"\[2\].*out of range"):
+            filler.fill(keys, examples={2: "California"})
+
+    def test_negative_example_row_raises(self, index):
+        filler = AutoFiller(index)
+        with pytest.raises(ValueError, match="out of range"):
+            filler.fill(["San Francisco"], examples={-1: "California"})
+
+    def test_example_on_last_row_is_valid(self, index):
+        filler = AutoFiller(index)
+        result = filler.fill(["Seattle", "San Francisco"], examples={1: "California"})
+        assert result.mapping_id == "city_state"
+        assert result.filled[0] == "Washington"
+        assert result.filled[1] == "California"
+
+    def test_example_rows_on_empty_keys_raise(self, index):
+        filler = AutoFiller(index)
+        with pytest.raises(ValueError, match="out of range"):
+            filler.fill([], examples={0: "California"})
+
 
 class TestAutoJoiner:
     def test_join_through_mapping(self, index):

@@ -1,0 +1,170 @@
+"""Tests for incremental artifact refresh (repro.store.incremental).
+
+The headline property: refreshing an artifact against an updated corpus yields
+the same mappings and graph as a cold pipeline run on that corpus (exact when
+the corpus-global PMI filter is off — see the module docstring of
+repro.store.incremental), while actually reusing unchanged work.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from store_helpers import make_fragment_corpus, seed_fragments
+from repro.core.pipeline import SynthesisPipeline
+from repro.store import refresh_artifact
+from repro.store.incremental import RefreshStats
+
+
+@pytest.fixture()
+def base_fragments() -> dict[str, list[tuple[str, str]]]:
+    fragments: dict[str, list[tuple[str, str]]] = {}
+    fragments.update(seed_fragments("state_abbrev", "sa"))
+    fragments.update(seed_fragments("country_iso3", "ci"))
+    return fragments
+
+
+def evolved_corpus(base_fragments):
+    """The base corpus with one table edited and one new table added."""
+    fragments = dict(base_fragments)
+    changed_id = sorted(fragments)[0]
+    fragments[changed_id] = fragments[changed_id][:-1] + [("Zanzibar", "ZZB")]
+    fragments.update(seed_fragments("company_ticker", "ct", chunk=6, chunks=2))
+    return make_fragment_corpus(fragments, name="store-corpus-v2")
+
+
+class TestRefreshEquivalence:
+    def test_refresh_matches_cold_run(self, base_fragments, store_config):
+        base_corpus = make_fragment_corpus(base_fragments, name="store-corpus")
+        pipeline = SynthesisPipeline(store_config)
+        pipeline.run(base_corpus)
+        base_artifact = pipeline.last_artifact
+
+        new_corpus = evolved_corpus(base_fragments)
+        refreshed, stats = refresh_artifact(base_artifact, new_corpus)
+
+        cold = SynthesisPipeline(store_config).run(new_corpus)
+        assert refreshed.mappings == cold.mappings
+        assert refreshed.curated == cold.curated
+        assert [c.table_id for c in refreshed.candidates] == [
+            c.table_id for c in cold.candidates
+        ]
+        # Work was actually reused, not recomputed.
+        assert stats.tables_unchanged > 0
+        assert stats.candidates_reused > 0
+        assert stats.pairs_reused > 0
+        assert stats.profiles_primed == stats.candidates_reused
+        assert not stats.full_rebuild
+
+    def test_refresh_graph_matches_cold_run(self, base_fragments, store_config):
+        base_corpus = make_fragment_corpus(base_fragments, name="store-corpus")
+        pipeline = SynthesisPipeline(store_config)
+        pipeline.run(base_corpus)
+
+        new_corpus = evolved_corpus(base_fragments)
+        refreshed, _ = refresh_artifact(pipeline.last_artifact, new_corpus)
+
+        cold_pipeline = SynthesisPipeline(store_config)
+        cold_pipeline.run(new_corpus)
+        cold_artifact = cold_pipeline.last_artifact
+        assert refreshed.positive_edges == cold_artifact.positive_edges
+        assert refreshed.negative_edges == cold_artifact.negative_edges
+
+    def test_noop_refresh_returns_same_artifact(self, base_fragments, store_config):
+        corpus = make_fragment_corpus(base_fragments, name="store-corpus")
+        pipeline = SynthesisPipeline(store_config)
+        pipeline.run(corpus)
+        refreshed, stats = refresh_artifact(pipeline.last_artifact, corpus)
+        assert refreshed is pipeline.last_artifact
+        assert stats.noop
+        assert stats.candidates_reused == stats.candidates_total
+
+    def test_config_change_forces_full_rebuild(self, base_fragments, store_config):
+        corpus = make_fragment_corpus(base_fragments, name="store-corpus")
+        pipeline = SynthesisPipeline(store_config)
+        pipeline.run(corpus)
+        stricter = store_config.with_overrides(edge_threshold=0.9)
+        refreshed, stats = refresh_artifact(
+            pipeline.last_artifact, corpus, config=stricter
+        )
+        assert stats.full_rebuild
+        assert stats.pairs_reused == 0
+        assert stats.candidates_reused == 0
+        cold = SynthesisPipeline(stricter).run(corpus)
+        assert refreshed.mappings == cold.mappings
+
+    def test_synonym_change_forces_full_rebuild(self, base_fragments, store_config):
+        """Cached scores embed synonym canonicalization; a different dictionary
+        must invalidate them rather than silently mixing scoring regimes."""
+        from repro.text.synonyms import SynonymDictionary
+
+        corpus = make_fragment_corpus(base_fragments, name="store-corpus")
+        pipeline = SynthesisPipeline(store_config)
+        pipeline.run(corpus)
+
+        synonyms = SynonymDictionary([["California", "Golden State"]])
+        refreshed, stats = refresh_artifact(
+            pipeline.last_artifact, corpus, synonyms=synonyms
+        )
+        assert stats.full_rebuild
+        assert "synonym" in stats.reason
+        assert stats.pairs_reused == 0
+        cold = SynthesisPipeline(store_config, synonyms=synonyms).run(corpus)
+        assert refreshed.mappings == cold.mappings
+        # A subsequent refresh with the same dictionary reuses again.
+        assert refreshed.synonyms_fingerprint
+        again, again_stats = refresh_artifact(refreshed, corpus, synonyms=synonyms)
+        assert again is refreshed
+        assert again_stats.noop
+
+    def test_worker_count_change_does_not_invalidate(self, base_fragments, store_config):
+        corpus = make_fragment_corpus(base_fragments, name="store-corpus")
+        pipeline = SynthesisPipeline(store_config)
+        pipeline.run(corpus)
+        parallel = store_config.with_overrides(num_workers=4)
+        refreshed, stats = refresh_artifact(
+            pipeline.last_artifact, corpus, config=parallel
+        )
+        assert stats.noop
+        assert refreshed is pipeline.last_artifact
+
+    def test_removed_tables_drop_their_candidates(self, base_fragments, store_config):
+        corpus = make_fragment_corpus(base_fragments, name="store-corpus")
+        pipeline = SynthesisPipeline(store_config)
+        pipeline.run(corpus)
+
+        remaining = {
+            table_id: rows
+            for table_id, rows in base_fragments.items()
+            if not table_id.startswith("ci")
+        }
+        shrunk = make_fragment_corpus(remaining, name="store-corpus-shrunk")
+        refreshed, stats = refresh_artifact(pipeline.last_artifact, shrunk)
+        assert stats.tables_removed > 0
+        sources = {c.source_table_id for c in refreshed.candidates}
+        assert all(not source.startswith("ci") for source in sources)
+        cold = SynthesisPipeline(store_config).run(shrunk)
+        assert refreshed.mappings == cold.mappings
+
+
+class TestPipelineRefresh:
+    def test_pipeline_refresh_updates_state(self, base_fragments, store_config, tmp_path):
+        corpus = make_fragment_corpus(base_fragments, name="store-corpus")
+        target = tmp_path / "serving.artifact"
+        config = store_config.with_overrides(artifact_path=str(target))
+        pipeline = SynthesisPipeline(config)
+        pipeline.run(corpus)
+        first_bytes = target.read_bytes()
+
+        result, stats = pipeline.refresh(evolved_corpus(base_fragments))
+        assert isinstance(stats, RefreshStats)
+        assert not stats.noop
+        assert pipeline.last_result is result
+        assert result.mappings == pipeline.last_artifact.mappings
+        # The refreshed artifact was re-persisted to the configured path.
+        assert target.read_bytes() != first_bytes
+
+    def test_refresh_without_artifact_raises(self, store_config, base_fragments):
+        pipeline = SynthesisPipeline(store_config)
+        with pytest.raises(RuntimeError, match="no artifact to refresh"):
+            pipeline.refresh(make_fragment_corpus(base_fragments))

@@ -58,6 +58,59 @@ class TestPipeline:
         popularity = [mapping.popularity for mapping in top]
         assert popularity == sorted(popularity, reverse=True)
 
+    def test_top_mappings_tie_order_is_deterministic(self):
+        """Mappings with identical stats rank by mapping_id, not list order."""
+        from repro.core.binary_table import ValuePair
+        from repro.core.mapping import MappingRelationship
+        from repro.core.pipeline import PipelineResult
+        from repro.synthesis.curation import popularity_rank
+
+        def tied(mapping_id: str) -> MappingRelationship:
+            return MappingRelationship(
+                mapping_id=mapping_id,
+                pairs=[ValuePair("a", "b"), ValuePair("c", "d")],
+                source_tables=["t1", "t2"],
+                domains={"x.example", "y.example"},
+            )
+
+        shuffled = [tied("mapping-00002"), tied("mapping-00000"), tied("mapping-00001")]
+        expected = ["mapping-00000", "mapping-00001", "mapping-00002"]
+
+        result = PipelineResult(
+            mappings=list(shuffled), curated=[], candidates=[], extraction_stats={}
+        )
+        assert [m.mapping_id for m in result.top_mappings(3)] == expected
+        assert [m.mapping_id for m in popularity_rank(shuffled)] == expected
+        # Reordering the input pool must not change the ranking.
+        result_reversed = PipelineResult(
+            mappings=list(reversed(shuffled)),
+            curated=[],
+            candidates=[],
+            extraction_stats={},
+        )
+        assert [m.mapping_id for m in result_reversed.top_mappings(3)] == expected
+
+    def test_top_mappings_primary_key_still_wins_over_id(self):
+        from repro.core.binary_table import ValuePair
+        from repro.core.mapping import MappingRelationship
+        from repro.core.pipeline import PipelineResult
+
+        popular = MappingRelationship(
+            mapping_id="mapping-zzzzz",
+            pairs=[ValuePair("a", "b")],
+            domains={"x", "y", "z"},
+        )
+        unpopular = MappingRelationship(
+            mapping_id="mapping-00000", pairs=[ValuePair("a", "b")], domains={"x"}
+        )
+        result = PipelineResult(
+            mappings=[unpopular, popular], curated=[], candidates=[], extraction_stats={}
+        )
+        assert [m.mapping_id for m in result.top_mappings(2)] == [
+            "mapping-zzzzz",
+            "mapping-00000",
+        ]
+
     def test_quality_against_benchmark(self, pipeline_result):
         """The pipeline must recover well-represented relations with decent F-score."""
         result, corpus = pipeline_result

@@ -1,0 +1,43 @@
+"""Golden-file regression test for the quickstart example.
+
+PR 1 rebuilt the scoring engine with the guarantee that `examples/quickstart.py`
+output stays byte-identical; this test turns that claim into an executed check.
+The pipeline is deterministic end to end (seeded corpus generation, sorted
+blocking, total-order mapping ranking), so the golden file must match exactly —
+any diff means a behavior change that needs a deliberate golden update.
+
+To regenerate after an intentional change::
+
+    PYTHONPATH=src python examples/quickstart.py > tests/golden/quickstart.out
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+GOLDEN = Path(__file__).resolve().parent / "golden" / "quickstart.out"
+
+
+def test_quickstart_stdout_matches_golden():
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    # A fixed hash seed is NOT set on purpose: the output must be deterministic
+    # regardless of hash randomization.
+    completed = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "examples" / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout == GOLDEN.read_text(), (
+        "quickstart.py stdout diverged from tests/golden/quickstart.out; "
+        "if the change is intentional, regenerate the golden file"
+    )

@@ -1,0 +1,217 @@
+"""Tests for the batched MappingService (applications/service.py)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.applications import (
+    CorrectRequest,
+    FillRequest,
+    JoinRequest,
+    MappingService,
+)
+from repro.applications.autofill import FillResult
+from repro.applications.autojoin import JoinResult
+from repro.core.binary_table import ValuePair
+from repro.core.mapping import MappingRelationship
+from repro.core.pipeline import SynthesisPipeline
+from repro.corpus.seeds import get_seed_relation
+
+
+def mapping_from_seed(name: str, domains: set[str] | None = None) -> MappingRelationship:
+    relation = get_seed_relation(name)
+    return MappingRelationship(
+        mapping_id=name,
+        pairs=[ValuePair(left, right) for left, right in relation.pairs],
+        domains=domains if domains is not None else {"seed"},
+    )
+
+
+@pytest.fixture(scope="module")
+def service() -> MappingService:
+    return MappingService(
+        [
+            mapping_from_seed("state_abbrev"),
+            mapping_from_seed("country_iso3"),
+            mapping_from_seed("city_state"),
+            mapping_from_seed("company_ticker"),
+        ]
+    )
+
+
+class TestBatchedServing:
+    def test_autofill_batch(self, service):
+        responses = service.autofill(
+            [
+                # The example disambiguates: state names are in state_abbrev's
+                # left column AND city_state's right column.
+                FillRequest(
+                    keys=("California", "Texas", "Ohio", "Washington"),
+                    examples={0: "CA"},
+                ),
+                FillRequest(
+                    keys=("San Francisco", "Seattle", "Houston"),
+                    examples={0: "California"},
+                ),
+            ]
+        )
+        assert len(responses) == 2
+        assert all(response.ok for response in responses)
+        assert responses[0].result.mapping_id == "state_abbrev"
+        assert responses[0].result.filled[1] == "TX"
+        assert responses[1].result.mapping_id == "city_state"
+        assert responses[1].result.filled[1] == "Washington"
+        assert [response.request_index for response in responses] == [0, 1]
+
+    def test_autojoin_batch(self, service):
+        responses = service.autojoin(
+            [JoinRequest(left_keys=("MSFT", "ORCL"), right_keys=("Oracle", "Microsoft Corp"))]
+        )
+        assert responses[0].ok
+        assert responses[0].result.mapping_id == "company_ticker"
+        assert set(responses[0].result.row_pairs) == {(0, 1), (1, 0)}
+
+    def test_autocorrect_batch(self, service):
+        responses = service.autocorrect(
+            [CorrectRequest(values=("California", "Washington", "Oregon", "CA", "WA"))]
+        )
+        assert responses[0].ok
+        fixes = {s.original: s.suggestion for s in responses[0].result}
+        assert fixes == {"CA": "California", "WA": "Washington"}
+
+    def test_empty_batches(self, service):
+        assert service.autofill([]) == []
+        assert service.autojoin([]) == []
+        assert service.autocorrect([]) == []
+
+    def test_no_consistent_mapping(self, service):
+        responses = service.autofill([FillRequest(keys=("qqq", "zzz", "vvv"))])
+        assert responses[0].ok
+        result = responses[0].result
+        assert result.mapping_id is None
+        assert result.fill_rate == 0.0
+        join = service.autojoin(
+            [JoinRequest(left_keys=("qqq", "zzz"), right_keys=("aaa", "bbb"))]
+        )[0]
+        assert join.ok
+        assert join.result.mapping_id is None
+        assert join.result.row_pairs == []
+
+    def test_invalid_request_does_not_poison_batch(self, service):
+        responses = service.autofill(
+            [
+                FillRequest(keys=("California",), examples={7: "CA"}),
+                FillRequest(
+                    keys=("California", "Texas", "Ohio", "Nevada"), examples={0: "CA"}
+                ),
+            ]
+        )
+        assert not responses[0].ok
+        assert "out of range" in responses[0].error
+        assert responses[0].result is None
+        assert responses[1].ok
+        assert responses[1].result.filled[1] == "TX"
+
+    def test_unexpected_exception_does_not_poison_batch(self, service):
+        """Non-ValueError failures (e.g. non-string values) are also isolated."""
+        responses = service.autofill(
+            [
+                FillRequest(keys=("California",), examples={0: 123}),
+                FillRequest(
+                    keys=("California", "Texas", "Ohio", "Nevada"), examples={0: "CA"}
+                ),
+            ]
+        )
+        assert not responses[0].ok
+        assert responses[0].error
+        assert responses[1].ok
+        assert responses[1].result.filled[1] == "TX"
+
+    def test_stats_accumulate(self):
+        fresh = MappingService([mapping_from_seed("state_abbrev")])
+        fresh.autofill([FillRequest(keys=("California", "Texas", "Ohio", "Nevada"))])
+        fresh.autojoin([])
+        fresh.autocorrect(
+            [CorrectRequest(values=("California", "CA", "Washington", "WA", "Oregon"))]
+        )
+        stats = fresh.stats
+        assert stats.index_size == 1
+        assert stats.batches == 3
+        assert stats.requests == {"autofill": 1, "autocorrect": 1}
+        assert stats.errors == {}
+        assert stats.total_requests == 2
+        as_dict = stats.as_dict()
+        assert as_dict["total_requests"] == 2
+        assert as_dict["source"] == "memory"
+
+    def test_deterministic_across_pool_order(self):
+        mappings = [
+            mapping_from_seed("state_abbrev", domains={"a", "b"}),
+            mapping_from_seed("city_state", domains={"c", "d"}),
+            mapping_from_seed("company_ticker", domains={"e", "f"}),
+        ]
+        forward = MappingService(mappings)
+        shuffled = MappingService(list(reversed(mappings)))
+        requests = [FillRequest(keys=("California", "Texas", "Ohio", "Nevada"))]
+        assert [r.result for r in forward.autofill(requests)] == [
+            r.result for r in shuffled.autofill(requests)
+        ]
+        assert [m.mapping_id for m in forward.index.mappings] == [
+            m.mapping_id for m in shuffled.index.mappings
+        ]
+
+
+class TestServiceFromPipeline:
+    def test_artifact_answers_match_fresh_run(self, store_corpus, store_config, tmp_path):
+        pipeline = SynthesisPipeline(store_config)
+        result = pipeline.run(store_corpus)
+        path = pipeline.save_artifact(tmp_path / "serving.artifact")
+
+        fresh = MappingService.from_result(result)
+        loaded = MappingService.from_artifact(path)
+        assert len(fresh) == len(loaded) > 0
+        assert loaded.stats.load_seconds > 0.0
+        assert loaded.stats.source.startswith("artifact:")
+
+        fill_requests = [
+            FillRequest(keys=("California", "Texas", "Ohio", "Washington")),
+            FillRequest(keys=("Kenya", "Brazil", "Japan", "Norway")),
+            FillRequest(keys=()),
+        ]
+        join_requests = [
+            JoinRequest(left_keys=("California", "Texas"), right_keys=("TX", "CA")),
+        ]
+        correct_requests = [
+            CorrectRequest(values=("California", "Washington", "Oregon", "CA", "WA")),
+        ]
+        for kind, requests in [
+            ("autofill", fill_requests),
+            ("autojoin", join_requests),
+            ("autocorrect", correct_requests),
+        ]:
+            fresh_batch = getattr(fresh, kind)(requests)
+            loaded_batch = getattr(loaded, kind)(requests)
+            assert [r.result for r in fresh_batch] == [r.result for r in loaded_batch]
+            assert all(r.ok for r in loaded_batch)
+
+    def test_from_result_prefers_curated(self, store_corpus, store_config):
+        pipeline = SynthesisPipeline(store_config)
+        result = pipeline.run(store_corpus)
+        assert result.curated
+        service = MappingService.from_result(result)
+        assert len(service) == len(result.curated)
+        everything = MappingService.from_result(result, prefer_curated=False)
+        assert len(everything) == len(result.mappings)
+
+    def test_served_types(self, store_corpus, store_config):
+        service = MappingService.from_result(
+            SynthesisPipeline(store_config).run(store_corpus)
+        )
+        fill = service.autofill([FillRequest(keys=("California", "Texas", "Ohio", "Nevada"))])[0]
+        assert isinstance(fill.result, FillResult)
+        join = service.autojoin(
+            [JoinRequest(left_keys=("California",), right_keys=("CA",))]
+        )[0]
+        assert isinstance(join.result, JoinResult)
+        assert fill.elapsed_seconds >= 0.0
+        assert fill.kind == "autofill"

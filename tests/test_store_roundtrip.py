@@ -1,0 +1,357 @@
+"""Round-trip, corruption, and version-gating tests for the artifact store.
+
+The property tests build randomized artifacts (random corpora of candidate
+tables, random graphs, random mappings), push them through save → load, and
+require the loaded artifact to be semantically identical — the guarantee the
+serving layer's "artifact == fresh run" contract rests on.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.binary_table import BinaryTable, ValuePair
+from repro.core.config import SynthesisConfig
+from repro.core.mapping import MappingRelationship
+from repro.core.pipeline import SynthesisPipeline
+from repro.graph.build import CompatibilityGraph
+from repro.graph.compatibility import CompatibilityScorer
+from repro.store import (
+    ARTIFACT_VERSION,
+    ArtifactCorruptionError,
+    ArtifactError,
+    ArtifactVersionError,
+    SynthesisArtifact,
+    load_artifact,
+    save_artifact,
+)
+from repro.store.artifact import ARTIFACT_MAGIC
+
+# ---------------------------------------------------------------------------------------
+# Hypothesis strategies
+# ---------------------------------------------------------------------------------------
+_value = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=0x24F),
+    min_size=1,
+    max_size=12,
+)
+_row = st.tuples(_value, _value)
+
+
+@st.composite
+def binary_tables(draw, index: int) -> BinaryTable:
+    rows = draw(st.lists(_row, min_size=1, max_size=8))
+    return BinaryTable(
+        table_id=f"cand-{index:03d}",
+        pairs=[ValuePair(left, right) for left, right in rows],
+        left_name=draw(_value),
+        right_name=draw(_value),
+        source_table_id=f"src-{index % 3}",
+        domain=draw(st.sampled_from(["a.example", "b.example", ""])),
+    )
+
+
+@st.composite
+def artifacts(draw) -> SynthesisArtifact:
+    num_candidates = draw(st.integers(min_value=1, max_value=5))
+    candidates = [draw(binary_tables(index)) for index in range(num_candidates)]
+
+    graph = CompatibilityGraph(tables=list(candidates))
+    if num_candidates >= 2:
+        pair_indices = st.tuples(
+            st.integers(0, num_candidates - 1), st.integers(0, num_candidates - 1)
+        ).filter(lambda pair: pair[0] != pair[1])
+        for first, second in draw(st.lists(pair_indices, max_size=4, unique=True)):
+            graph.add_positive(first, second, draw(st.floats(0.0, 1.0)))
+        for first, second in draw(st.lists(pair_indices, max_size=3, unique=True)):
+            graph.add_negative(first, second, draw(st.floats(-1.0, 0.0)))
+
+    config = draw(
+        st.sampled_from(
+            [
+                SynthesisConfig(),
+                SynthesisConfig(edge_threshold=0.85, conflict_threshold=-0.05),
+                SynthesisConfig(use_pmi_filter=False, min_domains=1, num_workers=2),
+            ]
+        )
+    )
+
+    num_mappings = draw(st.integers(min_value=0, max_value=4))
+    mappings = []
+    for index in range(num_mappings):
+        rows = draw(st.lists(_row, min_size=1, max_size=10))
+        mappings.append(
+            MappingRelationship(
+                mapping_id=f"mapping-{index:05d}",
+                pairs=[ValuePair(left, right) for left, right in rows],
+                source_tables=[c.table_id for c in candidates[: index + 1]],
+                domains=set(draw(st.lists(_value, max_size=3))),
+                column_names=(draw(_value), draw(_value)),
+            )
+        )
+    curated = [m for m in mappings if draw(st.booleans())]
+
+    scorer = CompatibilityScorer(config)
+    profiles = {c.table_id: scorer.profile(c) for c in candidates}
+    return SynthesisArtifact.from_run(
+        config=config,
+        corpus_name="hypothesis-corpus",
+        corpus_fingerprint="f" * 64,
+        table_fingerprints={f"src-{i}": f"{i:064d}" for i in range(3)},
+        candidates=candidates,
+        graph=graph,
+        profiles=profiles,
+        mappings=mappings,
+        curated=curated,
+        extraction_stats={"raw_pairs": 12.0},
+        timings={"extraction": 0.25},
+        metadata={"num_tables": 3.0},
+    )
+
+
+def make_sample_artifact() -> SynthesisArtifact:
+    """A small deterministic artifact for the non-property tests."""
+    candidates = [
+        BinaryTable(
+            table_id=f"cand-{i:03d}",
+            pairs=[ValuePair(f"left-{i}-{j}", f"right-{i}-{j}") for j in range(4)],
+            source_table_id=f"src-{i % 2}",
+            domain="sample.example",
+        )
+        for i in range(3)
+    ]
+    graph = CompatibilityGraph(tables=list(candidates))
+    graph.add_positive(0, 1, 0.75)
+    graph.add_negative(1, 2, -0.25)
+    mappings = [
+        MappingRelationship(
+            mapping_id="mapping-00000",
+            pairs=[ValuePair("a", "b"), ValuePair("c", "d")],
+            source_tables=["cand-000", "cand-001"],
+            domains={"sample.example"},
+            column_names=("name", "code"),
+        )
+    ]
+    config = SynthesisConfig()
+    scorer = CompatibilityScorer(config)
+    return SynthesisArtifact.from_run(
+        config=config,
+        corpus_name="sample-corpus",
+        corpus_fingerprint="f" * 64,
+        table_fingerprints={"src-0": "0" * 64, "src-1": "1" * 64},
+        candidates=candidates,
+        graph=graph,
+        profiles={c.table_id: scorer.profile(c) for c in candidates},
+        mappings=mappings,
+        curated=mappings,
+        extraction_stats={"raw_pairs": 6.0},
+        timings={"extraction": 0.1},
+        metadata={"num_tables": 2.0},
+    )
+
+
+def assert_artifacts_identical(
+    loaded: SynthesisArtifact, original: SynthesisArtifact
+) -> None:
+    assert loaded.config == original.config
+    assert loaded.corpus_name == original.corpus_name
+    assert loaded.corpus_fingerprint == original.corpus_fingerprint
+    assert loaded.table_fingerprints == original.table_fingerprints
+    assert loaded.positive_edges == original.positive_edges
+    assert loaded.negative_edges == original.negative_edges
+    # MappingRelationship is a plain dataclass: == compares all fields deeply.
+    assert loaded.mappings == original.mappings
+    assert loaded.curated_ids == original.curated_ids
+    assert loaded.extraction_stats == original.extraction_stats
+    assert loaded.timings == original.timings
+    assert loaded.metadata == original.metadata
+    # BinaryTable.__eq__ is id-based, so compare the candidates field by field.
+    assert len(loaded.candidates) == len(original.candidates)
+    for mine, theirs in zip(loaded.candidates, original.candidates):
+        assert mine.table_id == theirs.table_id
+        assert mine.pairs == theirs.pairs
+        assert (mine.left_name, mine.right_name) == (theirs.left_name, theirs.right_name)
+        assert mine.source_table_id == theirs.source_table_id
+        assert mine.domain == theirs.domain
+    # Stored profiles must reconstruct exactly what a fresh scorer derives.
+    scorer = CompatibilityScorer(loaded.config)
+    for candidate in loaded.candidates:
+        reconstructed = loaded.profile_for(candidate)
+        assert reconstructed is not None
+        fresh = scorer.profile(candidate)
+        assert reconstructed.left_keys == fresh.left_keys
+        assert reconstructed.right_keys == fresh.right_keys
+        assert reconstructed.compact_lefts == fresh.compact_lefts
+        assert reconstructed.pair_keys == fresh.pair_keys
+        assert reconstructed.left_key_set == fresh.left_key_set
+        assert reconstructed.by_left_key == fresh.by_left_key
+        assert reconstructed.left_length_buckets == fresh.left_length_buckets
+
+
+# ---------------------------------------------------------------------------------------
+# Property-based round trips
+# ---------------------------------------------------------------------------------------
+class TestRoundTrip:
+    @given(artifact=artifacts())
+    @settings(max_examples=30, deadline=None)
+    def test_payload_roundtrip(self, artifact):
+        """Encode → JSON → decode is the identity on the artifact's contents."""
+        payload = json.loads(json.dumps(artifact.to_payload()))
+        assert_artifacts_identical(SynthesisArtifact.from_payload(payload), artifact)
+
+    @given(artifact=artifacts(), compress=st.booleans())
+    @settings(max_examples=15, deadline=None)
+    def test_file_roundtrip(self, artifact, compress, tmp_path_factory):
+        path = tmp_path_factory.mktemp("store") / "run.artifact"
+        save_artifact(artifact, path, compress=compress)
+        assert_artifacts_identical(load_artifact(path), artifact)
+
+    @given(artifact=artifacts())
+    @settings(max_examples=10, deadline=None)
+    def test_graph_reconstruction(self, artifact):
+        graph = artifact.build_graph()
+        rebuilt_positive = {
+            tuple(
+                sorted(
+                    (graph.tables[a].table_id, graph.tables[b].table_id)
+                )
+            ): weight
+            for (a, b), weight in graph.positive_edges.items()
+        }
+        assert rebuilt_positive == {
+            tuple(key): weight for key, weight in artifact.positive_edges.items()
+        }
+        assert graph.num_negative_edges == len(artifact.negative_edges)
+
+    def test_save_is_deterministic(self, tmp_path):
+        artifact = make_sample_artifact()
+        first = save_artifact(artifact, tmp_path / "a1", compress=True).read_bytes()
+        second = save_artifact(artifact, tmp_path / "a2", compress=True).read_bytes()
+        assert first == second
+
+
+# ---------------------------------------------------------------------------------------
+# End-to-end: pipeline → artifact → pipeline
+# ---------------------------------------------------------------------------------------
+class TestPipelineRoundTrip:
+    def test_run_save_load_identical(self, store_corpus, store_config, tmp_path):
+        pipeline = SynthesisPipeline(store_config)
+        result = pipeline.run(store_corpus)
+        assert result.mappings, "store corpus must synthesize at least one mapping"
+        path = pipeline.save_artifact(tmp_path / "run.artifact.gz")
+
+        restored = SynthesisPipeline.from_artifact(path)
+        assert restored.config == store_config
+        loaded = restored.last_result
+        assert loaded.mappings == result.mappings
+        assert loaded.curated == result.curated
+        assert loaded.extraction_stats == result.extraction_stats
+        assert [c.table_id for c in loaded.candidates] == [
+            c.table_id for c in result.candidates
+        ]
+        assert loaded.top_mappings(5) == result.top_mappings(5)
+        # The persisted graph matches the one the run built.
+        graph = pipeline.last_artifact.build_graph()
+        loaded_graph = restored.last_artifact.build_graph()
+        assert loaded_graph.positive_edges == graph.positive_edges
+        assert loaded_graph.negative_edges == graph.negative_edges
+
+    def test_autosave_via_config(self, store_corpus, store_config, tmp_path):
+        target = tmp_path / "auto" / "run.artifact"
+        config = store_config.with_overrides(artifact_path=str(target))
+        SynthesisPipeline(config).run(store_corpus)
+        assert target.exists()
+        assert load_artifact(target).corpus_name == store_corpus.name
+
+    def test_save_without_run_raises(self, store_config, tmp_path):
+        with pytest.raises(RuntimeError, match="no run to persist"):
+            SynthesisPipeline(store_config).save_artifact(tmp_path / "x")
+
+    def test_save_without_path_raises(self, store_corpus, store_config):
+        pipeline = SynthesisPipeline(store_config)
+        pipeline.run(store_corpus)
+        with pytest.raises(ValueError, match="no artifact path"):
+            pipeline.save_artifact()
+
+
+# ---------------------------------------------------------------------------------------
+# Corruption and version gating
+# ---------------------------------------------------------------------------------------
+@pytest.fixture()
+def saved(tmp_path):
+    artifact = make_sample_artifact()
+    path = tmp_path / "run.artifact"
+    save_artifact(artifact, path, compress=False)
+    return path
+
+
+class TestErrorPaths:
+    def test_flipped_payload_byte_fails_checksum(self, saved):
+        document = json.loads(saved.read_text())
+        document["payload"]["corpus_name"] = "tampered"
+        saved.write_text(json.dumps(document))
+        with pytest.raises(ArtifactCorruptionError, match="checksum"):
+            load_artifact(saved)
+
+    def test_truncated_file(self, saved):
+        saved.write_bytes(saved.read_bytes()[:-40])
+        with pytest.raises(ArtifactCorruptionError):
+            load_artifact(saved)
+
+    def test_truncated_gzip(self, tmp_path):
+        path = tmp_path / "run.artifact.gz"
+        save_artifact(make_sample_artifact(), path, compress=True)
+        path.write_bytes(path.read_bytes()[: -(path.stat().st_size // 2)])
+        with pytest.raises(ArtifactCorruptionError):
+            load_artifact(path)
+
+    def test_garbage_bytes(self, tmp_path):
+        path = tmp_path / "garbage"
+        path.write_bytes(b"\x00\x01definitely not an artifact\xff")
+        with pytest.raises(ArtifactCorruptionError):
+            load_artifact(path)
+
+    def test_wrong_magic(self, saved):
+        document = json.loads(saved.read_text())
+        document["magic"] = "some-other-format"
+        saved.write_text(json.dumps(document))
+        with pytest.raises(ArtifactError, match="not a synthesis artifact"):
+            load_artifact(saved)
+
+    def test_version_mismatch(self, saved):
+        document = json.loads(saved.read_text())
+        document["version"] = ARTIFACT_VERSION + 1
+        saved.write_text(json.dumps(document))
+        with pytest.raises(ArtifactVersionError, match="format version"):
+            load_artifact(saved)
+
+    def test_version_error_is_not_corruption(self, saved):
+        document = json.loads(saved.read_text())
+        document["version"] = ARTIFACT_VERSION + 1
+        saved.write_text(json.dumps(document))
+        with pytest.raises(ArtifactVersionError):
+            load_artifact(saved)
+        assert not issubclass(ArtifactVersionError, ArtifactCorruptionError)
+
+    def test_missing_payload(self, saved):
+        saved.write_text(
+            json.dumps({"magic": ARTIFACT_MAGIC, "version": ARTIFACT_VERSION})
+        )
+        with pytest.raises(ArtifactCorruptionError, match="no payload"):
+            load_artifact(saved)
+
+    def test_malformed_payload_fields(self, saved):
+        document = json.loads(saved.read_text())
+        payload = document["payload"]
+        del payload["mappings"]
+        body = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+        import hashlib
+
+        document["checksum"] = hashlib.sha256(body).hexdigest()
+        saved.write_text(json.dumps(document))
+        with pytest.raises(ArtifactCorruptionError, match="malformed"):
+            load_artifact(saved)
