@@ -1,0 +1,106 @@
+"""A long-lived synthesis service daemon with artifact hot-reload.
+
+Run with::
+
+    python examples/daemon.py
+
+The script runs the synthesis pipeline once and persists the run, then starts a
+:class:`SynthesisDaemon` over the artifact: a bounded request queue drained by
+worker threads, serving auto-fill / auto-join / auto-correct batches submitted
+concurrently from several client threads.  While clients keep submitting, the
+corpus grows and ``pipeline.refresh`` publishes a new artifact version — the
+daemon's watcher picks it up and atomically hot-swaps the served generation
+(in-flight batches finish on the old one).  Finally the daemon drains and shuts
+down cleanly, printing per-generation serving stats.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.applications import CorrectRequest, FillRequest, JoinRequest
+from repro.core import SynthesisConfig, SynthesisPipeline
+from repro.corpus import CorpusGenerationSpec, WebCorpusGenerator
+
+
+def main() -> None:
+    # 1. One cold pipeline run, persisted as the served artifact.
+    spec = CorpusGenerationSpec(tables_per_relation=5, max_rows=20, seed=7)
+    corpus = WebCorpusGenerator(spec).generate()
+    artifact_path = Path(tempfile.mkdtemp(prefix="repro-daemon-")) / "web.artifact.json.gz"
+    config = SynthesisConfig(
+        min_domains=2,
+        min_mapping_size=5,
+        artifact_path=str(artifact_path),
+        daemon_poll_seconds=0.05,
+    )
+    pipeline = SynthesisPipeline(config)
+    result = pipeline.run(corpus)  # auto-saves to config.artifact_path
+    print(f"pipeline run: {len(result.curated)} curated mappings -> {artifact_path.name}")
+
+    # 2. The daemon serves the artifact: bounded queue, worker pool, watcher.
+    daemon = pipeline.start_daemon(workers=2, queue_size=32)
+    generation = daemon.generation
+    print(f"daemon up: generation {generation.number}, "
+          f"{daemon.workers} workers, queue bound {daemon.queue_size}")
+
+    # 3. Several client threads submit batches concurrently.
+    def client(name: str, batches: int) -> None:
+        for index in range(batches):
+            ticket = daemon.autofill(
+                [FillRequest(keys=("California", "Texas", "Ohio", "Washington"))],
+                block=True,
+            )
+            result = ticket.result(timeout=30)
+            if index == 0:
+                filled = result.responses[0].result.filled
+                print(f"  client {name}: gen {result.generation} "
+                      f"({result.total_seconds * 1000:.1f} ms) -> {filled}")
+
+    clients = [
+        threading.Thread(target=client, args=(f"c{index}", 10)) for index in range(3)
+    ]
+    for thread in clients:
+        thread.start()
+
+    # 4. Meanwhile the corpus grows; refresh publishes -> the watcher hot-swaps.
+    bigger = WebCorpusGenerator(
+        CorpusGenerationSpec(tables_per_relation=6, max_rows=20, seed=7)
+    ).generate()
+    _, refresh_stats = pipeline.refresh(bigger)  # auto-saves the new version
+    deadline = time.monotonic() + 10
+    while daemon.generation.number == 1 and time.monotonic() < deadline:
+        time.sleep(0.01)
+    print(f"hot reload: generation {daemon.generation.number} after refresh "
+          f"(+{refresh_stats.tables_added} tables, "
+          f"{refresh_stats.pairs_reused} pair scores reused)")
+
+    for thread in clients:
+        thread.join()
+
+    # 5. Mixed batches against the new generation, then a clean drain + close.
+    join = daemon.autojoin(
+        [JoinRequest(left_keys=("California", "Texas"), right_keys=("TX", "CA"))]
+    ).result(timeout=30)
+    correct = daemon.autocorrect(
+        [CorrectRequest(values=("California", "Washington", "Oregon", "CA", "WA"))]
+    ).result(timeout=30)
+    print(f"autojoin on gen {join.generation}: "
+          f"{join.responses[0].result.row_pairs}")
+    print(f"autocorrect on gen {correct.generation}: "
+          f"{ {s.original: s.suggestion for s in correct.responses[0].result} }")
+
+    daemon.drain(timeout=30)
+    daemon.close()
+    print("per-generation stats after clean shutdown:")
+    for stats in daemon.stats_by_generation():
+        print(f"  gen {stats.generation}: {stats.as_dict()['total_requests']} requests "
+              f"in {stats.batches} batches "
+              f"(p95 autofill {stats.latency_percentile('autofill', 0.95) * 1000:.1f} ms)")
+
+
+if __name__ == "__main__":
+    main()

@@ -11,6 +11,8 @@ The package implements the full pipeline from Wang & He (SIGMOD 2017):
 * :mod:`repro.baselines` — every comparison method from the paper's evaluation.
 * :mod:`repro.mapreduce` — a small local map/shuffle/reduce engine.
 * :mod:`repro.applications` — auto-correction, auto-fill, auto-join on top of mappings.
+* :mod:`repro.store` — versioned on-disk synthesis artifacts + incremental refresh.
+* :mod:`repro.serving` — concurrent service daemon with artifact hot-reload.
 * :mod:`repro.evaluation` — metrics, benchmarks, and experiment drivers.
 """
 

@@ -20,11 +20,16 @@ and latencies across the service's lifetime.
 
 from __future__ import annotations
 
+import threading
 import time
+from collections import deque
 from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.store.artifact import SynthesisArtifact
 
 from repro.applications.autocorrect import AutoCorrector, CorrectionSuggestion
 from repro.applications.autofill import AutoFiller, FillResult
@@ -108,11 +113,26 @@ class ServedResponse:
         return self.error is None
 
 
+#: How many recent per-request latencies each ServiceStats retains per kind for
+#: percentile reporting (a bounded window, so a long-lived daemon cannot grow
+#: its stats without bound).
+STATS_LATENCY_WINDOW = 1024
+
+
 @dataclass
 class ServiceStats:
-    """Lifetime counters for one :class:`MappingService`."""
+    """Lifetime counters for one :class:`MappingService`.
+
+    All mutation goes through :meth:`record` / :meth:`record_batch`, which hold
+    an internal lock — a service shared by a pool of daemon worker threads
+    (:class:`repro.serving.SynthesisDaemon`) must not lose counts to check-
+    then-set races on the shared dicts.  ``generation`` tags the stats with the
+    served artifact generation, so a daemon that hot-swaps services keeps one
+    cleanly separated :class:`ServiceStats` per generation.
+    """
 
     source: str = "memory"
+    generation: int = 0
     index_size: int = 0
     build_seconds: float = 0.0
     load_seconds: float = 0.0
@@ -120,32 +140,65 @@ class ServiceStats:
     requests: dict[str, int] = field(default_factory=dict)
     errors: dict[str, int] = field(default_factory=dict)
     serve_seconds: dict[str, float] = field(default_factory=dict)
+    recent_seconds: dict[str, deque[float]] = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False, compare=False
+    )
 
     @property
     def total_requests(self) -> int:
         """Requests served across all kinds (including errored ones)."""
-        return sum(self.requests.values())
+        with self._lock:
+            return sum(self.requests.values())
 
     def record(self, kind: str, elapsed: float, ok: bool) -> None:
-        """Fold one served request into the counters."""
-        self.requests[kind] = self.requests.get(kind, 0) + 1
-        self.serve_seconds[kind] = self.serve_seconds.get(kind, 0.0) + elapsed
-        if not ok:
-            self.errors[kind] = self.errors.get(kind, 0) + 1
+        """Fold one served request into the counters (thread-safe)."""
+        with self._lock:
+            self.requests[kind] = self.requests.get(kind, 0) + 1
+            self.serve_seconds[kind] = self.serve_seconds.get(kind, 0.0) + elapsed
+            try:
+                self.recent_seconds[kind].append(elapsed)
+            except KeyError:
+                self.recent_seconds[kind] = deque(
+                    [elapsed], maxlen=STATS_LATENCY_WINDOW
+                )
+            if not ok:
+                self.errors[kind] = self.errors.get(kind, 0) + 1
+
+    def record_batch(self) -> None:
+        """Count one served batch (thread-safe)."""
+        with self._lock:
+            self.batches += 1
+
+    def latency_percentile(self, kind: str, quantile: float) -> float:
+        """Latency percentile (e.g. ``0.95``) over the recent window for ``kind``.
+
+        Returns 0.0 when no request of that kind has been recorded yet.
+        """
+        if not 0.0 <= quantile <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {quantile}")
+        with self._lock:
+            window = sorted(self.recent_seconds.get(kind, ()))
+        if not window:
+            return 0.0
+        position = min(len(window) - 1, int(quantile * len(window)))
+        return window[position]
 
     def as_dict(self) -> dict[str, object]:
-        """Plain-dict view for reporting artifacts."""
-        return {
-            "source": self.source,
-            "index_size": self.index_size,
-            "build_seconds": self.build_seconds,
-            "load_seconds": self.load_seconds,
-            "batches": self.batches,
-            "total_requests": self.total_requests,
-            "requests": dict(self.requests),
-            "errors": dict(self.errors),
-            "serve_seconds": dict(self.serve_seconds),
-        }
+        """Plain-dict view for reporting artifacts (a consistent snapshot)."""
+        with self._lock:
+            return {
+                "source": self.source,
+                "generation": self.generation,
+                "index_size": self.index_size,
+                "build_seconds": self.build_seconds,
+                "load_seconds": self.load_seconds,
+                "batches": self.batches,
+                "total_requests": sum(self.requests.values()),
+                "requests": dict(self.requests),
+                "errors": dict(self.errors),
+                "serve_seconds": dict(self.serve_seconds),
+            }
 
 
 def _serving_order(mappings: Iterable[MappingRelationship]) -> list[MappingRelationship]:
@@ -219,19 +272,35 @@ class MappingService:
         start = time.perf_counter()
         artifact = load_artifact(path)
         load_seconds = time.perf_counter() - start
-        curated = artifact.curated
-        pool = curated if prefer_curated and curated else artifact.mappings
         kwargs.setdefault("source", f"artifact:{path}")
-        service = cls(pool, **kwargs)
+        service = cls.from_artifact_object(
+            artifact, prefer_curated=prefer_curated, **kwargs
+        )
         service.stats.load_seconds = load_seconds
         return service
+
+    @classmethod
+    def from_artifact_object(
+        cls, artifact: "SynthesisArtifact", *, prefer_curated: bool = True, **kwargs
+    ) -> "MappingService":
+        """Build a service from an already-deserialized artifact.
+
+        Used by callers that need the artifact itself as well as the service —
+        the serving daemon's hot-reload path loads the artifact once, tags the
+        new generation with its corpus fingerprint, and builds the service from
+        the same object.
+        """
+        curated = artifact.curated
+        pool = curated if prefer_curated and curated else artifact.mappings
+        kwargs.setdefault("source", "artifact")
+        return cls(pool, **kwargs)
 
     # -- Batched serving ----------------------------------------------------------------
     def _serve_batch(
         self, kind: str, requests: Sequence[object], handler: Callable[[object], object]
     ) -> list[ServedResponse]:
         responses: list[ServedResponse] = []
-        self.stats.batches += 1
+        self.stats.record_batch()
         for position, request in enumerate(requests):
             start = time.perf_counter()
             try:

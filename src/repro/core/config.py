@@ -77,6 +77,19 @@ class SynthesisConfig:
     artifact_compress:
         Whether saved artifacts are gzip-compressed (deterministic bytes either
         way; compression trades a little save/load CPU for a much smaller file).
+    daemon_queue_size:
+        Bound on the :class:`repro.serving.SynthesisDaemon` request queue (in
+        batches).  When the queue is full, non-blocking submission raises
+        ``QueueFullError`` — backpressure instead of unbounded memory growth.
+    daemon_poll_seconds:
+        How often the daemon's :class:`~repro.serving.ArtifactWatcher` polls the
+        served artifact path for out-of-process updates (in-process saves via
+        :func:`repro.store.save_artifact` notify the watcher immediately).
+    daemon_deadline_seconds:
+        Default per-batch deadline for daemon submissions, measured from enqueue
+        time; a batch still queued past its deadline fails with
+        ``DeadlineExpiredError`` instead of being served late.  ``0`` disables
+        the default deadline (per-submit deadlines still apply).
     """
 
     # --- Candidate extraction (§3) -------------------------------------------------
@@ -108,6 +121,11 @@ class SynthesisConfig:
     # --- Artifact store / serving (repro.store) --------------------------------------
     artifact_path: str = ""
     artifact_compress: bool = True
+
+    # --- Serving daemon (repro.serving) ----------------------------------------------
+    daemon_queue_size: int = 64
+    daemon_poll_seconds: float = 0.25
+    daemon_deadline_seconds: float = 0.0
 
     # --- Extra knobs for experiments -------------------------------------------------
     extra: dict[str, Any] = field(default_factory=dict)
@@ -147,6 +165,19 @@ class SynthesisConfig:
             raise ValueError(
                 f"artifact_path must be a string path (or empty to disable), "
                 f"got {self.artifact_path!r}"
+            )
+        if self.daemon_queue_size < 1:
+            raise ValueError(
+                f"daemon_queue_size must be >= 1, got {self.daemon_queue_size}"
+            )
+        if self.daemon_poll_seconds <= 0:
+            raise ValueError(
+                f"daemon_poll_seconds must be > 0, got {self.daemon_poll_seconds}"
+            )
+        if self.daemon_deadline_seconds < 0:
+            raise ValueError(
+                "daemon_deadline_seconds must be >= 0 (0 disables the default), "
+                f"got {self.daemon_deadline_seconds}"
             )
 
     def with_overrides(self, **kwargs: Any) -> "SynthesisConfig":

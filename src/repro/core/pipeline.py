@@ -26,6 +26,7 @@ from repro.core.mapping import MappingRelationship, mapping_rank_key
 from repro.corpus.corpus import TableCorpus
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.serving.daemon import SynthesisDaemon
     from repro.store.artifact import SynthesisArtifact
     from repro.store.incremental import RefreshStats
 
@@ -244,6 +245,34 @@ class SynthesisPipeline:
         pipeline.last_artifact = artifact
         pipeline.last_result = artifact.to_result()
         return pipeline
+
+    def start_daemon(
+        self, path: str | Path | None = None, *, watch: bool = True, **kwargs
+    ) -> "SynthesisDaemon":
+        """Start a :class:`~repro.serving.SynthesisDaemon` serving this pipeline.
+
+        Serves the artifact at ``path`` (default:
+        :attr:`SynthesisConfig.artifact_path`), persisting the most recent run
+        there first if the file does not exist yet.  Daemon sizing — worker
+        count (mirroring :attr:`SynthesisConfig.num_workers`), queue bound,
+        default deadline, watcher poll interval — comes from this pipeline's
+        config; keyword arguments override it.  With ``watch=True`` the daemon
+        hot-swaps whenever :meth:`refresh` (or any writer) publishes a new
+        artifact version at the path.
+        """
+        from repro.serving.daemon import SynthesisDaemon
+
+        target = path or self.config.artifact_path
+        if not target:
+            raise ValueError(
+                "no artifact path: pass one or set SynthesisConfig.artifact_path"
+            )
+        target = Path(target)
+        if not target.exists():
+            self.save_artifact(target)
+        return SynthesisDaemon.from_artifact(
+            target, config=self.config, watch=watch, **kwargs
+        )
 
     def refresh(
         self,

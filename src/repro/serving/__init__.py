@@ -1,0 +1,45 @@
+"""Long-lived concurrent serving over synthesized mappings.
+
+This package turns the synchronous batched :class:`~repro.applications.service.
+MappingService` into a serving *process*:
+
+* :mod:`repro.serving.daemon` — :class:`SynthesisDaemon`: a bounded request
+  queue drained by a worker pool, with backpressure, per-batch deadlines,
+  generation-tagged results, and atomic hot-swap of the served service;
+* :mod:`repro.serving.watcher` — :class:`ArtifactWatcher`: picks up new
+  artifact versions published by :func:`repro.store.save_artifact` (in-process
+  notify hooks) or by other processes (polling) and drives the hot-swap;
+* :mod:`repro.serving.aio` — :class:`AsyncDaemonClient`: an asyncio facade so
+  event-loop code can await daemon batches directly.
+
+The invariant the whole package is built around: **a batch is served entirely
+by one generation** — answers are byte-identical to synchronous
+:class:`MappingService` calls against that generation's artifact, before,
+during, and after a hot reload.
+"""
+
+from repro.serving.aio import AsyncDaemonClient
+from repro.serving.daemon import (
+    DaemonError,
+    DaemonResult,
+    DaemonStoppedError,
+    DaemonTicket,
+    DeadlineExpiredError,
+    QueueFullError,
+    ServiceGeneration,
+    SynthesisDaemon,
+)
+from repro.serving.watcher import ArtifactWatcher
+
+__all__ = [
+    "SynthesisDaemon",
+    "ServiceGeneration",
+    "DaemonResult",
+    "DaemonTicket",
+    "DaemonError",
+    "QueueFullError",
+    "DeadlineExpiredError",
+    "DaemonStoppedError",
+    "ArtifactWatcher",
+    "AsyncDaemonClient",
+]

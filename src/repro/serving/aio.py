@@ -1,0 +1,94 @@
+"""asyncio-friendly facade over :class:`~repro.serving.daemon.SynthesisDaemon`.
+
+The daemon itself is thread-based (its tickets are
+:class:`concurrent.futures.Future`s), which composes directly with asyncio via
+``asyncio.wrap_future``.  :class:`AsyncDaemonClient` packages that up: each
+coroutine submits a batch without blocking the event loop — even when the
+bounded queue applies backpressure — and awaits the tagged
+:class:`~repro.serving.daemon.DaemonResult`.
+
+Example::
+
+    async with AsyncDaemonClient(daemon) as client:
+        fills, corrections = await asyncio.gather(
+            client.autofill([FillRequest(keys=("California", "Texas"))]),
+            client.autocorrect([CorrectRequest(values=("CA", "California"))]),
+        )
+"""
+
+from __future__ import annotations
+
+import asyncio
+from functools import partial
+from typing import Sequence
+
+from repro.applications.service import CorrectRequest, FillRequest, JoinRequest
+from repro.serving.daemon import DaemonResult, SynthesisDaemon
+
+__all__ = ["AsyncDaemonClient"]
+
+
+class AsyncDaemonClient:
+    """Submit batches to a :class:`SynthesisDaemon` from asyncio code.
+
+    The client does not own the daemon unless it is used as an async context
+    manager, in which case exiting the context closes the daemon (draining
+    in-flight work).
+    """
+
+    def __init__(self, daemon: SynthesisDaemon) -> None:
+        self.daemon = daemon
+
+    async def submit(
+        self,
+        kind: str,
+        requests: Sequence[FillRequest | JoinRequest | CorrectRequest],
+        *,
+        deadline: float | None = None,
+    ) -> DaemonResult:
+        """Submit one batch and await its result.
+
+        Queue backpressure is absorbed off-loop: the (potentially blocking)
+        enqueue runs in the default executor, so a full queue delays only this
+        coroutine, never the event loop.
+        """
+        loop = asyncio.get_running_loop()
+        ticket = await loop.run_in_executor(
+            None,
+            partial(self.daemon.submit, kind, requests, deadline=deadline, block=True),
+        )
+        return await asyncio.wrap_future(ticket.future)
+
+    async def autofill(
+        self, requests: Sequence[FillRequest], *, deadline: float | None = None
+    ) -> DaemonResult:
+        """Await one auto-fill batch."""
+        return await self.submit("autofill", requests, deadline=deadline)
+
+    async def autojoin(
+        self, requests: Sequence[JoinRequest], *, deadline: float | None = None
+    ) -> DaemonResult:
+        """Await one auto-join batch."""
+        return await self.submit("autojoin", requests, deadline=deadline)
+
+    async def autocorrect(
+        self, requests: Sequence[CorrectRequest], *, deadline: float | None = None
+    ) -> DaemonResult:
+        """Await one auto-correct batch."""
+        return await self.submit("autocorrect", requests, deadline=deadline)
+
+    async def drain(self, timeout: float | None = None) -> None:
+        """Await completion of every outstanding batch."""
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, partial(self.daemon.drain, timeout=timeout))
+
+    async def aclose(self, *, drain: bool = True) -> None:
+        """Close the underlying daemon without blocking the event loop."""
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, partial(self.daemon.close, drain=drain))
+
+    async def __aenter__(self) -> "AsyncDaemonClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose(drain=True)

@@ -1,0 +1,583 @@
+"""A long-lived concurrent synthesis service daemon over :class:`MappingService`.
+
+The paper's end-game (§5, Table 4) is interactive auto-fill / auto-join /
+auto-correct serving many small requests.  :class:`MappingService` already
+answers batches, but strictly synchronously: one client, one thread, no
+admission control, and no way to pick up a new artifact version without
+rebuilding the service by hand.  :class:`SynthesisDaemon` turns it into a
+serving process:
+
+* **Bounded request queue + worker pool.**  Batches are submitted as
+  :class:`DaemonTicket` futures into a ``queue.Queue(maxsize=...)`` drained by a
+  pool of worker threads.  The worker count mirrors
+  :attr:`SynthesisConfig.num_workers` (``0``/``1`` → one worker, the sequential
+  baseline); the handoff carries only immutable request envelopes
+  (:class:`FillRequest` & co. are frozen, picklable dataclasses), so a
+  process-pool backend could replace the threads without changing the protocol.
+* **Backpressure.**  A full queue rejects non-blocking submissions with
+  :class:`QueueFullError` instead of buffering without bound; blocking
+  submission with a timeout is also supported.
+* **Per-request deadlines.**  Every batch carries an optional deadline measured
+  from enqueue time; a batch whose deadline has passed by the time a worker
+  picks it up fails fast with :class:`DeadlineExpiredError` rather than being
+  served late (the client has already given up on it).
+* **Atomic artifact hot-reload.**  The served :class:`MappingService` lives in
+  an immutable :class:`ServiceGeneration`; workers snapshot the current
+  generation **once per batch**, so a reload (a single reference swap) can
+  never expose a half-swapped view — in-flight batches finish on the
+  generation they started on, and every result is tagged with the generation
+  number and artifact fingerprint it was served from.  Reloads are driven by
+  :class:`~repro.serving.watcher.ArtifactWatcher` whenever
+  :func:`repro.store.incremental.refresh_artifact` (or any writer) publishes a
+  new artifact version at the watched path.
+
+This mirrors incremental view maintenance for query serving (Berkholz et al.,
+"Answering FO+MOD queries under updates"): the daemon keeps answering at
+constant latency while the artifact is maintained underneath it.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future, wait as wait_futures
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.applications.service import (
+    CorrectRequest,
+    FillRequest,
+    JoinRequest,
+    MappingService,
+    ServedResponse,
+    ServiceStats,
+)
+from repro.core.config import SynthesisConfig
+
+__all__ = [
+    "DaemonError",
+    "QueueFullError",
+    "DeadlineExpiredError",
+    "DaemonStoppedError",
+    "ServiceGeneration",
+    "DaemonResult",
+    "DaemonTicket",
+    "SynthesisDaemon",
+]
+
+#: The batch kinds the daemon can serve; each names the MappingService method.
+REQUEST_KINDS = ("autofill", "autojoin", "autocorrect")
+
+#: Sentinel instructing a worker thread to exit its loop.
+_STOP = object()
+
+
+class DaemonError(RuntimeError):
+    """Base class for daemon failures."""
+
+
+class QueueFullError(DaemonError):
+    """The bounded request queue is full (backpressure: retry or shed load)."""
+
+
+class DeadlineExpiredError(DaemonError):
+    """The batch's deadline passed before a worker could serve it."""
+
+
+class DaemonStoppedError(DaemonError):
+    """The daemon is stopped (or stopping) and will not serve this batch."""
+
+
+@dataclass(frozen=True)
+class ServiceGeneration:
+    """One immutable served generation: a service plus its provenance.
+
+    Workers read the daemon's current generation with a single attribute load
+    and serve the whole batch from that snapshot, which is what makes the
+    hot-swap atomic from a request's point of view.
+    """
+
+    service: MappingService
+    number: int
+    source: str = "memory"
+    fingerprint: str = ""
+    activated_at: float = 0.0
+
+    @property
+    def stats(self) -> ServiceStats:
+        """The generation's (generation-tagged) service stats."""
+        return self.service.stats
+
+
+@dataclass
+class DaemonResult:
+    """The outcome of one served batch, tagged with its serving generation."""
+
+    kind: str
+    responses: list[ServedResponse]
+    generation: int
+    fingerprint: str
+    enqueued_at: float
+    started_at: float
+    finished_at: float
+
+    @property
+    def waited_seconds(self) -> float:
+        """Time the batch spent queued before a worker picked it up."""
+        return self.started_at - self.enqueued_at
+
+    @property
+    def served_seconds(self) -> float:
+        """Time a worker spent serving the batch."""
+        return self.finished_at - self.started_at
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall-clock latency from submission to completion."""
+        return self.finished_at - self.enqueued_at
+
+    @property
+    def ok(self) -> bool:
+        """True when every request in the batch served without error."""
+        return all(response.ok for response in self.responses)
+
+
+class DaemonTicket:
+    """Handle for one submitted batch: a future resolving to :class:`DaemonResult`.
+
+    ``ticket.result(timeout)`` blocks for the outcome;
+    ``ticket.future`` is a plain :class:`concurrent.futures.Future`, so tickets
+    compose with ``concurrent.futures.wait`` and ``asyncio.wrap_future``.
+    """
+
+    __slots__ = ("kind", "size", "enqueued_at", "deadline", "future")
+
+    def __init__(
+        self, kind: str, size: int, enqueued_at: float, deadline: float | None
+    ) -> None:
+        self.kind = kind
+        self.size = size
+        self.enqueued_at = enqueued_at
+        self.deadline = deadline
+        self.future: Future = Future()
+
+    def result(self, timeout: float | None = None) -> DaemonResult:
+        """Block until the batch is served and return its :class:`DaemonResult`."""
+        return self.future.result(timeout)
+
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        """Block until done and return the batch's exception, if any."""
+        return self.future.exception(timeout)
+
+    def done(self) -> bool:
+        return self.future.done()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.future.done() else "pending"
+        return f"DaemonTicket(kind={self.kind!r}, size={self.size}, {state})"
+
+
+class SynthesisDaemon:
+    """Concurrent request daemon over hot-swappable :class:`MappingService`s.
+
+    Parameters
+    ----------
+    service:
+        The initial service to serve (generation 1).
+    workers:
+        Worker-thread count; clamped to at least 1.
+    queue_size:
+        Bound on the request queue, in batches.
+    default_deadline:
+        Default per-batch deadline in seconds (``0``/``None`` disables it);
+        per-submit deadlines override it.
+    source / fingerprint:
+        Provenance recorded on generation 1 (the artifact path and corpus
+        fingerprint when constructed via :meth:`from_artifact`).
+    """
+
+    def __init__(
+        self,
+        service: MappingService,
+        *,
+        workers: int = 2,
+        queue_size: int = 64,
+        default_deadline: float | None = None,
+        source: str = "memory",
+        fingerprint: str = "",
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if queue_size < 1:
+            raise ValueError(f"queue_size must be >= 1, got {queue_size}")
+        if default_deadline is not None and default_deadline < 0:
+            raise ValueError(
+                f"default_deadline must be >= 0 or None, got {default_deadline}"
+            )
+        self.workers = workers
+        self.queue_size = queue_size
+        self.default_deadline = default_deadline or 0.0
+        self._queue: queue.Queue = queue.Queue(maxsize=queue_size)
+        self._swap_lock = threading.Lock()
+        self._pending_lock = threading.Lock()
+        self._pending: set[DaemonTicket] = set()
+        self._closed = threading.Event()
+        self._cancel_queued = threading.Event()
+        self._watcher = None  # attached by from_artifact(watch=True)
+        # Only the retired generations' stats are retained: keeping the full
+        # ServiceGeneration would pin every superseded index in memory for the
+        # daemon's whole lifetime, one per hot reload.
+        self._retired_stats: list[ServiceStats] = []
+        service.stats.generation = 1
+        self._generation = ServiceGeneration(
+            service=service,
+            number=1,
+            source=source,
+            fingerprint=fingerprint,
+            activated_at=time.monotonic(),
+        )
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop, name=f"synthesis-daemon-{index}", daemon=True
+            )
+            for index in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- Construction -------------------------------------------------------------------
+    @classmethod
+    def from_artifact(
+        cls,
+        path: str | Path,
+        *,
+        config: SynthesisConfig | None = None,
+        watch: bool = True,
+        workers: int | None = None,
+        queue_size: int | None = None,
+        default_deadline: float | None = None,
+        poll_seconds: float | None = None,
+        prefer_curated: bool = True,
+        **service_kwargs,
+    ) -> "SynthesisDaemon":
+        """Start a daemon serving a persisted artifact, optionally hot-reloading.
+
+        ``config`` supplies defaults for every unset knob: the worker count
+        mirrors :attr:`SynthesisConfig.num_workers` (``0``/``1`` → one worker),
+        and queue bound / default deadline / watcher poll interval come from the
+        ``daemon_*`` fields.  With ``watch=True`` an
+        :class:`~repro.serving.watcher.ArtifactWatcher` is attached that
+        atomically swaps in every new artifact version published at ``path``.
+        """
+        from repro.serving.watcher import ArtifactWatcher
+        from repro.store.artifact import load_artifact
+
+        config = config or SynthesisConfig()
+        workers = max(1, config.num_workers) if workers is None else workers
+        queue_size = config.daemon_queue_size if queue_size is None else queue_size
+        if default_deadline is None:
+            default_deadline = config.daemon_deadline_seconds
+        poll = config.daemon_poll_seconds if poll_seconds is None else poll_seconds
+
+        path = Path(path)
+        # Snapshot the change signature *before* loading: a version published
+        # while we load/build must look new to the watcher, not become its
+        # baseline (it would otherwise be served only after the next publish).
+        baseline = ArtifactWatcher.signature_of(path)
+        load_started = time.monotonic()
+        artifact = load_artifact(path)
+        load_seconds = time.monotonic() - load_started
+        service = MappingService.from_artifact_object(
+            artifact,
+            prefer_curated=prefer_curated,
+            source=f"artifact:{path}",
+            **service_kwargs,
+        )
+        service.stats.load_seconds = load_seconds
+        daemon = cls(
+            service,
+            workers=workers,
+            queue_size=queue_size,
+            default_deadline=default_deadline,
+            source=f"artifact:{path}",
+            fingerprint=artifact.corpus_fingerprint,
+        )
+        if watch:
+
+            def swap(new_artifact, artifact_path: Path) -> None:
+                service = MappingService.from_artifact_object(
+                    new_artifact,
+                    prefer_curated=prefer_curated,
+                    source=f"artifact:{artifact_path}",
+                    **service_kwargs,
+                )
+                if daemon._watcher is not None:
+                    service.stats.load_seconds = daemon._watcher.last_load_seconds
+                daemon.reload(
+                    service,
+                    source=f"artifact:{artifact_path}",
+                    fingerprint=new_artifact.corpus_fingerprint,
+                )
+
+            daemon._watcher = ArtifactWatcher(
+                path, swap, poll_seconds=poll, baseline=baseline
+            )
+            daemon._watcher.start()
+        return daemon
+
+    # -- Introspection ------------------------------------------------------------------
+    @property
+    def generation(self) -> ServiceGeneration:
+        """The currently served generation (an immutable snapshot)."""
+        return self._generation
+
+    @property
+    def watcher(self):
+        """The attached :class:`ArtifactWatcher`, when started with ``watch=True``."""
+        return self._watcher
+
+    @property
+    def stats(self) -> ServiceStats:
+        """Stats of the current generation's service."""
+        return self._generation.service.stats
+
+    def stats_by_generation(self) -> list[ServiceStats]:
+        """Stats for every generation ever served, oldest first."""
+        with self._swap_lock:
+            return [*self._retired_stats, self._generation.stats]
+
+    def queue_depth(self) -> int:
+        """Number of batches currently queued (approximate, by nature)."""
+        return self._queue.qsize()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed.is_set()
+
+    # -- Hot reload ---------------------------------------------------------------------
+    def reload(
+        self,
+        service: MappingService,
+        *,
+        source: str = "reload",
+        fingerprint: str = "",
+    ) -> ServiceGeneration:
+        """Atomically swap ``service`` in as the next generation.
+
+        The swap is a single reference assignment: batches picked up after it
+        see the new generation in full; batches already being served finish on
+        the generation they snapshotted.  The retired generation (and its
+        stats) remains available via :meth:`stats_by_generation`.
+        """
+        with self._swap_lock:
+            number = self._generation.number + 1
+            service.stats.generation = number
+            generation = ServiceGeneration(
+                service=service,
+                number=number,
+                source=source,
+                fingerprint=fingerprint,
+                activated_at=time.monotonic(),
+            )
+            self._retired_stats.append(self._generation.stats)
+            self._generation = generation
+        return generation
+
+    # -- Submission ---------------------------------------------------------------------
+    def submit(
+        self,
+        kind: str,
+        requests: Sequence[FillRequest | JoinRequest | CorrectRequest],
+        *,
+        deadline: float | None = None,
+        block: bool = False,
+        timeout: float | None = None,
+    ) -> DaemonTicket:
+        """Enqueue one batch and return its :class:`DaemonTicket`.
+
+        Raises :class:`QueueFullError` when the queue is full (immediately with
+        ``block=False``, after ``timeout`` seconds otherwise) and
+        :class:`DaemonStoppedError` once the daemon is closed.
+        """
+        if kind not in REQUEST_KINDS:
+            raise ValueError(f"unknown request kind {kind!r}; expected {REQUEST_KINDS}")
+        if self._closed.is_set():
+            raise DaemonStoppedError("daemon is closed; no new batches accepted")
+        now = time.monotonic()
+        if deadline is None:
+            # The *default* deadline uses 0-disables semantics (documented on
+            # SynthesisConfig); an explicit per-submit 0.0 means "already out
+            # of budget" and expires immediately rather than never.
+            deadline = self.default_deadline or None
+        elif deadline < 0:
+            raise ValueError(f"deadline must be >= 0, got {deadline}")
+        ticket = DaemonTicket(
+            kind=kind,
+            size=len(requests),
+            enqueued_at=now,
+            deadline=(now + deadline) if deadline is not None else None,
+        )
+        with self._pending_lock:
+            self._pending.add(ticket)
+        try:
+            self._queue.put((ticket, tuple(requests)), block=block, timeout=timeout)
+        except queue.Full:
+            with self._pending_lock:
+                self._pending.discard(ticket)
+            raise QueueFullError(
+                f"daemon queue is full ({self.queue_size} batches queued); "
+                "retry, block, or shed load"
+            ) from None
+        if self._closed.is_set():
+            # close() may have finished its leftover sweep between our closed
+            # check and the put, in which case nothing would ever resolve this
+            # ticket; fail it here (a no-op if a draining worker beat us to it).
+            self._fail_ticket(
+                ticket, DaemonStoppedError("daemon closed while submitting")
+            )
+            raise DaemonStoppedError("daemon is closed; no new batches accepted")
+        return ticket
+
+    def autofill(self, requests: Sequence[FillRequest], **kwargs) -> DaemonTicket:
+        """Submit an auto-fill batch (see :meth:`submit` for keyword arguments)."""
+        return self.submit("autofill", requests, **kwargs)
+
+    def autojoin(self, requests: Sequence[JoinRequest], **kwargs) -> DaemonTicket:
+        """Submit an auto-join batch (see :meth:`submit` for keyword arguments)."""
+        return self.submit("autojoin", requests, **kwargs)
+
+    def autocorrect(self, requests: Sequence[CorrectRequest], **kwargs) -> DaemonTicket:
+        """Submit an auto-correct batch (see :meth:`submit` for keyword arguments)."""
+        return self.submit("autocorrect", requests, **kwargs)
+
+    def drain(self, timeout: float | None = None) -> list[DaemonTicket]:
+        """Block until every outstanding batch completes; return those tickets.
+
+        Raises :class:`TimeoutError` if outstanding work remains after
+        ``timeout`` seconds.
+        """
+        with self._pending_lock:
+            outstanding = list(self._pending)
+        waited = wait_futures([ticket.future for ticket in outstanding], timeout=timeout)
+        if waited.not_done:
+            raise TimeoutError(
+                f"{len(waited.not_done)} of {len(outstanding)} batches still "
+                f"outstanding after {timeout}s"
+            )
+        return sorted(outstanding, key=lambda ticket: ticket.enqueued_at)
+
+    # -- Shutdown -----------------------------------------------------------------------
+    def close(self, *, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop the daemon: reject new work, then wind down the workers.
+
+        With ``drain=True`` (the default) every batch already queued is served
+        before the workers exit; with ``drain=False`` queued batches fail with
+        :class:`DaemonStoppedError` (a batch a worker is *currently* serving
+        always completes either way).  Idempotent.
+        """
+        first_close = not self._closed.is_set()
+        self._closed.set()
+        if not drain:
+            self._cancel_queued.set()
+        if first_close:
+            # Sentinels queue behind any remaining batches (FIFO), so each
+            # worker exits only after the backlog ahead of it is handled.
+            for _ in self._threads:
+                self._queue.put(_STOP)
+        if self._watcher is not None:
+            self._watcher.stop()
+        for thread in self._threads:
+            thread.join(timeout)
+        if any(thread.is_alive() for thread in self._threads):
+            # A join timeout expired with workers still busy.  Leave the queue
+            # alone: the survivors keep draining (or cancelling) it and exit on
+            # their sentinels; sweeping now would cancel batches close(drain=
+            # True) promised to serve and strand workers without sentinels.
+            return
+        # All workers have exited.  A submit racing with close can still have
+        # slipped a batch in behind the sentinels; fail anything left so no
+        # ticket is abandoned unresolved (the racing submitter does the same
+        # on its side — double resolution is a guarded no-op).
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not _STOP:
+                self._fail_ticket(
+                    item[0], DaemonStoppedError("daemon closed before serving")
+                )
+            self._queue.task_done()
+
+    def __enter__(self) -> "SynthesisDaemon":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close(drain=True)
+
+    # -- Worker internals ---------------------------------------------------------------
+    def _fail_ticket(self, ticket: DaemonTicket, error: DaemonError) -> None:
+        if not ticket.future.done():
+            ticket.future.set_exception(error)
+        with self._pending_lock:
+            self._pending.discard(ticket)
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            try:
+                if item is _STOP:
+                    return
+                self._serve_item(*item)
+            finally:
+                self._queue.task_done()
+
+    def _serve_item(
+        self,
+        ticket: DaemonTicket,
+        requests: tuple[FillRequest | JoinRequest | CorrectRequest, ...],
+    ) -> None:
+        started = time.monotonic()
+        if self._cancel_queued.is_set():
+            self._fail_ticket(
+                ticket, DaemonStoppedError("daemon stopped before serving this batch")
+            )
+            return
+        if ticket.deadline is not None and started > ticket.deadline:
+            self._fail_ticket(
+                ticket,
+                DeadlineExpiredError(
+                    f"batch missed its deadline by {started - ticket.deadline:.3f}s "
+                    f"after waiting {started - ticket.enqueued_at:.3f}s in queue"
+                ),
+            )
+            return
+        # One atomic snapshot of the served generation per batch: the whole
+        # batch — and its generation/fingerprint tags — comes from exactly one
+        # consistent service, no matter how many reloads happen meanwhile.
+        generation = self._generation
+        try:
+            responses = getattr(generation.service, ticket.kind)(list(requests))
+            result = DaemonResult(
+                kind=ticket.kind,
+                responses=responses,
+                generation=generation.number,
+                fingerprint=generation.fingerprint,
+                enqueued_at=ticket.enqueued_at,
+                started_at=started,
+                finished_at=time.monotonic(),
+            )
+        except BaseException as exc:  # pragma: no cover - service-level failures
+            # MappingService isolates per-request errors in their envelopes, so
+            # this only fires on daemon-level bugs; surface them on the ticket.
+            if not ticket.future.done():
+                ticket.future.set_exception(exc)
+            with self._pending_lock:
+                self._pending.discard(ticket)
+            return
+        if not ticket.future.done():
+            ticket.future.set_result(result)
+        with self._pending_lock:
+            self._pending.discard(ticket)

@@ -1,0 +1,172 @@
+"""Watch a persisted artifact path and hand new versions to a callback.
+
+The serving daemon stays up while :func:`repro.store.incremental.refresh_artifact`
+(in this process or another) publishes new artifact versions.  The watcher
+combines two signals:
+
+* **In-process publish hooks** — :func:`repro.store.artifact.save_artifact`
+  notifies subscribers after its atomic rename, so same-process saves trigger a
+  reload immediately (and unconditionally, which also covers writers fast
+  enough to not advance the file's mtime).
+* **Polling** — a background thread compares the file's ``(mtime_ns, size)``
+  signature every ``poll_seconds``, which covers artifacts published by other
+  processes.
+
+Either way the artifact is re-read through :func:`load_artifact`, so a damaged
+or half-published file (impossible with ``save_artifact``'s atomic rename, but
+possible with foreign writers) fails its checksum, is skipped, and is retried
+on the next tick instead of ever being swapped in.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+from typing import Callable
+
+from repro.store.artifact import (
+    ArtifactError,
+    SynthesisArtifact,
+    load_artifact,
+    subscribe_artifact,
+)
+
+__all__ = ["ArtifactWatcher"]
+
+
+class ArtifactWatcher:
+    """Invokes ``on_artifact(artifact, path)`` for each new version of ``path``.
+
+    The callback runs on the watcher (or publisher) thread *after* the new
+    version is fully on disk and has passed its checksum; with
+    :class:`~repro.serving.daemon.SynthesisDaemon` it builds the next
+    :class:`MappingService` and performs the atomic generation swap.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        on_artifact: Callable[[SynthesisArtifact, Path], None],
+        *,
+        poll_seconds: float = 0.25,
+        subscribe: bool = True,
+        baseline: tuple[int, int] | None = None,
+    ) -> None:
+        if poll_seconds <= 0:
+            raise ValueError(f"poll_seconds must be > 0, got {poll_seconds}")
+        self.path = Path(path)
+        self.poll_seconds = poll_seconds
+        self.reloads = 0
+        self.skipped = 0
+        self.callback_errors = 0
+        #: Wall-clock cost of the most recent successful artifact load, for the
+        #: consumer to fold into its serving stats (load_seconds).
+        self.last_load_seconds = 0.0
+        self._on_artifact = on_artifact
+        # The baseline is the signature of the version the caller has already
+        # loaded and is serving.  Callers that load before constructing the
+        # watcher should capture it with signature_of() *before* their load —
+        # a version published in between then differs from the baseline and is
+        # picked up on the first poll instead of silently becoming the baseline.
+        self._signature = (
+            baseline if baseline is not None else self._current_signature()
+        )
+        self._stop = threading.Event()
+        self._wake = threading.Event()
+        self._forced = False
+        self._check_lock = threading.Lock()
+        self._thread: threading.Thread | None = None
+        self._unsubscribe = (
+            subscribe_artifact(self.path, self._on_published) if subscribe else None
+        )
+
+    # -- Lifecycle ----------------------------------------------------------------------
+    def start(self) -> "ArtifactWatcher":
+        """Start the polling thread (idempotent)."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._run, name=f"artifact-watcher:{self.path.name}", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop polling and unsubscribe from publish notifications (idempotent)."""
+        self._stop.set()
+        self._wake.set()
+        if self._unsubscribe is not None:
+            self._unsubscribe()
+            self._unsubscribe = None
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    def __enter__(self) -> "ArtifactWatcher":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- Change detection ---------------------------------------------------------------
+    def check_now(self, *, force: bool = False) -> bool:
+        """Check the path once; reload + callback on a new version.
+
+        Returns True when a new version was handed to the callback.  ``force``
+        reloads even if the file signature looks unchanged (used by the
+        in-process publish hook, where we *know* a save just happened).
+        """
+        with self._check_lock:
+            signature = self._current_signature()
+            if signature is None:
+                return False
+            if signature == self._signature and not force:
+                return False
+            load_started = time.perf_counter()
+            try:
+                artifact = load_artifact(self.path)
+            except (ArtifactError, OSError):
+                # Damaged or foreign bytes at the path: never swap them in;
+                # keep the old signature so the next poll retries.
+                self.skipped += 1
+                return False
+            load_seconds = time.perf_counter() - load_started
+            try:
+                self.last_load_seconds = load_seconds
+                self._on_artifact(artifact, self.path)
+            except Exception:
+                # A failing consumer (e.g. service build out of memory) must
+                # not kill the watcher thread; keep the old signature so the
+                # next tick retries the swap.
+                self.callback_errors += 1
+                return False
+            self._signature = signature
+            self.reloads += 1
+            return True
+
+    @staticmethod
+    def signature_of(path: str | Path) -> tuple[int, int] | None:
+        """The ``(mtime_ns, size)`` change signature of ``path`` right now."""
+        try:
+            stat = Path(path).stat()
+        except OSError:
+            return None
+        return (stat.st_mtime_ns, stat.st_size)
+
+    def _current_signature(self) -> tuple[int, int] | None:
+        return self.signature_of(self.path)
+
+    def _on_published(self, _path: Path) -> None:
+        # Runs on the publishing thread; defer the reload to the watcher thread
+        # so a slow service build never blocks the writer.
+        self._forced = True
+        self._wake.set()
+
+    def _run(self) -> None:
+        while True:
+            self._wake.wait(self.poll_seconds)
+            self._wake.clear()
+            if self._stop.is_set():
+                return
+            forced, self._forced = self._forced, False
+            self.check_now(force=forced)

@@ -28,6 +28,7 @@ from repro.store.artifact import (
     SynthesisArtifact,
     load_artifact,
     save_artifact,
+    subscribe_artifact,
 )
 from repro.store.fingerprint import fingerprint_corpus, fingerprint_table
 from repro.store.incremental import RefreshStats, refresh_artifact
@@ -40,6 +41,7 @@ __all__ = [
     "SynthesisArtifact",
     "save_artifact",
     "load_artifact",
+    "subscribe_artifact",
     "fingerprint_table",
     "fingerprint_corpus",
     "RefreshStats",

@@ -25,9 +25,10 @@ from __future__ import annotations
 import gzip
 import hashlib
 import json
+import threading
 from dataclasses import dataclass, field, fields as dataclass_fields
 from pathlib import Path
-from typing import TYPE_CHECKING, Iterable, Mapping
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping
 
 from repro.core.binary_table import BinaryTable, ValuePair
 from repro.core.config import SynthesisConfig
@@ -47,6 +48,7 @@ __all__ = [
     "SynthesisArtifact",
     "save_artifact",
     "load_artifact",
+    "subscribe_artifact",
 ]
 
 ARTIFACT_MAGIC = "repro-synthesis-artifact"
@@ -387,6 +389,57 @@ class SynthesisArtifact:
 
 
 # ---------------------------------------------------------------------------------------
+# Publish / notify hooks
+# ---------------------------------------------------------------------------------------
+# Registry of in-process listeners per resolved artifact path.  save_artifact
+# notifies them after its atomic rename, so a serving daemon watching the same
+# path in the same process hot-swaps immediately instead of waiting for its
+# next poll tick.  Cross-process consumers still rely on polling.
+_publish_lock = threading.Lock()
+_publish_subscribers: dict[Path, list[Callable[[Path], None]]] = {}
+
+
+def subscribe_artifact(
+    path: str | Path, callback: Callable[[Path], None]
+) -> Callable[[], None]:
+    """Call ``callback(path)`` after every :func:`save_artifact` to ``path``.
+
+    The callback fires on the saving thread *after* the new version is fully
+    (atomically) in place, so a reload triggered by it always reads a complete
+    artifact.  Returns an idempotent unsubscribe callable.
+    """
+    key = Path(path).resolve()
+    with _publish_lock:
+        _publish_subscribers.setdefault(key, []).append(callback)
+
+    def unsubscribe() -> None:
+        with _publish_lock:
+            listeners = _publish_subscribers.get(key)
+            if listeners is None:
+                return
+            try:
+                listeners.remove(callback)
+            except ValueError:
+                return
+            if not listeners:
+                del _publish_subscribers[key]
+
+    return unsubscribe
+
+
+def _notify_artifact_published(path: Path) -> None:
+    with _publish_lock:
+        listeners = list(_publish_subscribers.get(path.resolve(), ()))
+    for callback in listeners:
+        try:
+            callback(path)
+        except Exception:
+            # A broken subscriber must not be able to fail the writer; the
+            # polling fallback will still pick the new version up.
+            pass
+
+
+# ---------------------------------------------------------------------------------------
 # File I/O
 # ---------------------------------------------------------------------------------------
 def _canonical_bytes(payload: dict) -> bytes:
@@ -419,6 +472,7 @@ def save_artifact(
     temp = path.with_name(path.name + ".tmp")
     temp.write_bytes(encoded)
     temp.replace(path)
+    _notify_artifact_published(path)
     return path
 
 

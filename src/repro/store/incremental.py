@@ -46,8 +46,18 @@ from repro.store.fingerprint import (
 __all__ = ["RefreshStats", "refresh_artifact"]
 
 #: Config fields that cannot change any extraction/scoring/synthesis outcome and
-#: therefore do not invalidate reuse of a previous run's scores.
-_RESULT_NEUTRAL_FIELDS = {"num_workers", "artifact_path", "artifact_compress", "extra"}
+#: therefore do not invalidate reuse of a previous run's scores.  The daemon_*
+#: fields only shape how the serving daemon queues and reloads — never what a
+#: pipeline run computes.
+_RESULT_NEUTRAL_FIELDS = {
+    "num_workers",
+    "artifact_path",
+    "artifact_compress",
+    "daemon_queue_size",
+    "daemon_poll_seconds",
+    "daemon_deadline_seconds",
+    "extra",
+}
 
 
 def _scoring_config_matches(first: SynthesisConfig, second: SynthesisConfig) -> bool:

@@ -1,0 +1,171 @@
+"""Property tests: daemon answers ≡ synchronous MappingService answers.
+
+Hypothesis generates arbitrary programs of :class:`FillRequest` /
+:class:`JoinRequest` / :class:`CorrectRequest` batches — valid, junk-valued,
+and malformed (out-of-range example rows) alike — and pushes them through a
+live multi-worker :class:`SynthesisDaemon`, interleaved across client threads
+and across identical-artifact hot reloads.  Every batch's answers must be
+byte-identical (same ``repr``) to a direct synchronous
+:class:`MappingService` call on the same artifact.
+"""
+
+from __future__ import annotations
+
+import string
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.applications import (
+    CorrectRequest,
+    FillRequest,
+    JoinRequest,
+    MappingService,
+)
+from repro.core.config import SynthesisConfig
+from repro.core.pipeline import SynthesisPipeline
+from repro.corpus.seeds import get_seed_relation
+from repro.serving import SynthesisDaemon
+
+pytestmark = pytest.mark.daemon
+
+# ---------------------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------------------
+_SEED_VALUES = tuple(
+    value
+    for relation in ("state_abbrev", "country_iso3")
+    for left, right in get_seed_relation(relation).pairs
+    for value in (left, right)
+)
+
+values = st.one_of(
+    st.sampled_from(_SEED_VALUES),
+    st.text(alphabet=string.ascii_letters + " -.", min_size=0, max_size=10),
+)
+
+fill_requests = st.builds(
+    FillRequest,
+    keys=st.lists(values, max_size=6).map(tuple),
+    # Row indices are drawn wider than the key range on purpose: out-of-range
+    # examples must error identically through the daemon and the sync service.
+    examples=st.none() | st.dictionaries(st.integers(-1, 8), values, max_size=2),
+)
+join_requests = st.builds(
+    JoinRequest,
+    left_keys=st.lists(values, max_size=5).map(tuple),
+    right_keys=st.lists(values, max_size=5).map(tuple),
+)
+correct_requests = st.builds(
+    CorrectRequest, values=st.lists(values, max_size=8).map(tuple)
+)
+
+envelopes = st.one_of(
+    st.tuples(st.just("autofill"), st.lists(fill_requests, max_size=3)),
+    st.tuples(st.just("autojoin"), st.lists(join_requests, max_size=3)),
+    st.tuples(st.just("autocorrect"), st.lists(correct_requests, max_size=3)),
+)
+programs = st.lists(envelopes, min_size=1, max_size=8)
+
+
+def canonical(responses) -> str:
+    """Byte-comparable form of a batch: everything except timing."""
+    return repr([(r.kind, r.request_index, r.result, r.error) for r in responses])
+
+
+# ---------------------------------------------------------------------------------------
+# Fixtures: one artifact, one daemon, one sync reference for the whole module
+# ---------------------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def served_artifact_path(store_corpus, tmp_path_factory):
+    config = SynthesisConfig(
+        use_pmi_filter=False, min_domains=1, min_mapping_size=2, min_rows=4
+    )
+    pipeline = SynthesisPipeline(config)
+    pipeline.run(store_corpus)
+    return pipeline.save_artifact(tmp_path_factory.mktemp("daemon-props") / "a.gz")
+
+
+@pytest.fixture(scope="module")
+def reference_service(served_artifact_path) -> MappingService:
+    return MappingService.from_artifact(served_artifact_path)
+
+
+@pytest.fixture(scope="module")
+def daemon(served_artifact_path):
+    daemon = SynthesisDaemon.from_artifact(
+        served_artifact_path, watch=False, workers=3, queue_size=128
+    )
+    yield daemon
+    daemon.close()
+
+
+# ---------------------------------------------------------------------------------------
+# Properties
+# ---------------------------------------------------------------------------------------
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(program=programs)
+def test_daemon_program_equals_synchronous_calls(program, daemon, reference_service):
+    """Any submission order returns the sync service's exact answers."""
+    tickets = [daemon.submit(kind, batch, block=True) for kind, batch in program]
+    for (kind, batch), ticket in zip(program, tickets):
+        result = ticket.result(timeout=30)
+        expected = getattr(reference_service, kind)(batch)
+        assert canonical(result.responses) == canonical(expected)
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(program=programs)
+def test_threaded_interleavings_equal_synchronous_calls(
+    program, daemon, reference_service
+):
+    """Submissions racing from many client threads change nothing."""
+    with ThreadPoolExecutor(max_workers=4) as clients:
+        handles = [
+            clients.submit(daemon.submit, kind, batch, block=True)
+            for kind, batch in program
+        ]
+        tickets = [handle.result(timeout=30) for handle in handles]
+    for (kind, batch), ticket in zip(program, tickets):
+        result = ticket.result(timeout=30)
+        expected = getattr(reference_service, kind)(batch)
+        assert canonical(result.responses) == canonical(expected)
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(program=programs, swap_after=st.integers(0, 7))
+def test_hot_reload_of_same_artifact_is_invisible(
+    program, swap_after, daemon, served_artifact_path, reference_service
+):
+    """Reloading the same artifact mid-program never changes any answer.
+
+    The generation number advances, but answers stay byte-identical — the
+    serving contract across `refresh_artifact` publishes that do not change
+    the mappings.
+    """
+    tickets = []
+    for position, (kind, batch) in enumerate(program):
+        if position == swap_after % max(1, len(program)):
+            daemon.reload(
+                MappingService.from_artifact(served_artifact_path),
+                source="property-swap",
+            )
+        tickets.append(daemon.submit(kind, batch, block=True))
+    for (kind, batch), ticket in zip(program, tickets):
+        result = ticket.result(timeout=30)
+        expected = getattr(reference_service, kind)(batch)
+        assert canonical(result.responses) == canonical(expected)
