@@ -16,7 +16,16 @@ Measures what the serving daemon adds over the synchronous
      genuinely overlap the waits, and the ISSUE's acceptance bar — multi-worker
      throughput ≥ 2x single-worker — is asserted on this workload.
 
-2. **Latency across a hot reload.**  A client streams batches while
+2. **Thread vs process serving backend (cpu-bound).**  The same cpu-bound
+   workload through a ``executor="process:N"`` daemon, whose per-generation
+   :class:`repro.exec.ProcessBackend` serves batches in worker processes.  On
+   multi-core runners this is the leg that scales past the GIL (asserted
+   faster than the thread backend there); on a 1-CPU container the row is
+   recorded for honesty — pickling overhead with no second core to spend it
+   on.  Process-served answers are asserted byte-identical to the synchronous
+   service either way.
+
+3. **Latency across a hot reload.**  A client streams batches while
    ``refresh_artifact`` publishes a new artifact version under the daemon;
    per-batch p50/p95 latency is recorded before/after the swap, along with the
    swap pickup time, and post-swap answers are asserted byte-identical to a
@@ -26,6 +35,7 @@ Measures what the serving daemon adds over the synchronous
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -36,6 +46,7 @@ from repro.core.pipeline import SynthesisPipeline
 from repro.corpus.corpus import TableCorpus
 from repro.corpus.seeds import get_seed_relation
 from repro.evaluation.experiments import ExperimentScale, experiment_config, make_web_corpus
+from repro.exec import create_backend
 from repro.serving import SynthesisDaemon
 
 pytestmark = [pytest.mark.slow, pytest.mark.daemon]
@@ -49,6 +60,20 @@ DELTA_SCALE = ExperimentScale(tables_per_relation=1, max_rows=22, seed=11)
 WORKER_COUNTS = (1, 2, 4)
 #: Simulated downstream hop per request for the io-inclusive workload.
 DOWNSTREAM_IO_SECONDS = 0.008
+
+
+def _process_pools_available() -> bool:
+    """Whether this environment can run process pools at all.
+
+    Sandboxes without /dev/shm (or with fork/spawn blocked) make the daemon
+    fall back to in-process serving by design; the bench then records the
+    fallback rows honestly instead of hard-failing on the environment.
+    """
+    try:
+        with create_backend("process:2") as backend:
+            return backend.map_blocks(len, [[1], [2]]) == [1, 1]
+    except Exception:
+        return False
 
 
 class DownstreamIOService(MappingService):
@@ -123,25 +148,50 @@ def _grown_corpus(corpus) -> TableCorpus:
     return TableCorpus(corpus.tables() + extra, name=f"{corpus.name}+delta")
 
 
-def _throughput(artifact_path: Path, workers: int, io_bound: bool) -> dict[str, float]:
-    """Requests/second through a daemon with ``workers`` worker threads."""
+def _throughput(
+    artifact_path: Path,
+    workers: int,
+    io_bound: bool,
+    executor: str | None = None,
+) -> dict[str, float]:
+    """Requests/second through a daemon with ``workers`` workers.
+
+    ``executor`` selects the serving backend spec (``None`` → worker threads,
+    the legacy mode); with ``"process:N"`` batches serve on a per-generation
+    process pool and the answers are asserted identical to a synchronous
+    service on the same artifact.
+    """
     service_cls = DownstreamIOService if io_bound else MappingService
     service = service_cls.from_artifact(artifact_path)
     workload = _request_batches()
     num_requests = sum(len(batch) for _, batch in workload)
     with SynthesisDaemon(
-        service, workers=workers, queue_size=len(workload), source="bench"
+        service,
+        workers=workers,
+        queue_size=len(workload),
+        source="bench",
+        executor=executor,
     ) as daemon:
+        if executor is not None and executor.startswith("process"):
+            reference = MappingService.from_artifact(artifact_path)
+            probe = [FillRequest(keys=("California", "Texas", "Ohio", "Washington"))]
+            served = daemon.autofill(probe, block=True).result(timeout=60)
+            assert repr([(r.result, r.error) for r in served.responses]) == repr(
+                [(r.result, r.error) for r in reference.autofill(probe)]
+            ), "process-served answers must be byte-identical to the sync service"
         start = time.perf_counter()
         for kind, batch in workload:
             daemon.submit(kind, batch, block=True)
         daemon.drain(timeout=120)
         elapsed = time.perf_counter() - start
+        fallbacks = daemon.backend_fallbacks
     return {
         "workers": workers,
+        "executor": executor or f"thread:{workers}",
         "requests": num_requests,
         "seconds": elapsed,
         "requests_per_second": num_requests / elapsed,
+        "backend_fallbacks": fallbacks,
     }
 
 
@@ -214,6 +264,12 @@ def test_daemon_bench(benchmark, tmp_path_factory):
             _throughput(artifact_file, workers, io_bound=False)
             for workers in WORKER_COUNTS
         ]
+        process_rows = [
+            _throughput(
+                artifact_file, workers, io_bound=False, executor=f"process:{workers}"
+            )
+            for workers in WORKER_COUNTS[1:]
+        ]
         io_rows = [
             _throughput(artifact_file, workers, io_bound=True)
             for workers in WORKER_COUNTS
@@ -223,11 +279,16 @@ def test_daemon_bench(benchmark, tmp_path_factory):
         io_speedup = (
             io_rows[-1]["requests_per_second"] / io_rows[0]["requests_per_second"]
         )
+        best_thread_cpu = max(row["requests_per_second"] for row in cpu_rows)
+        best_process_cpu = max(row["requests_per_second"] for row in process_rows)
         return {
             "num_tables": len(corpus),
+            "cpu_count": os.cpu_count(),
             "cold_pipeline_seconds": cold_seconds,
             "downstream_io_seconds": DOWNSTREAM_IO_SECONDS,
             "throughput_cpu_bound": cpu_rows,
+            "throughput_cpu_bound_process_backend": process_rows,
+            "process_vs_thread_cpu_speedup": best_process_cpu / best_thread_cpu,
             "throughput_io_inclusive": io_rows,
             "io_speedup_max_vs_single_worker": io_speedup,
             "hot_reload": reload_row,
@@ -242,12 +303,17 @@ def test_daemon_bench(benchmark, tmp_path_factory):
     print()
     for label, rows in (
         ("cpu-bound", row["throughput_cpu_bound"]),
+        ("cpu/process", row["throughput_cpu_bound_process_backend"]),
         ("io-inclusive", row["throughput_io_inclusive"]),
     ):
         series = ", ".join(
             f"{r['workers']}w={r['requests_per_second']:.0f} req/s" for r in rows
         )
         print(f"throughput {label:13s} {series}")
+    print(
+        f"process vs thread (cpu-bound): "
+        f"{row['process_vs_thread_cpu_speedup']:.2f}x on {row['cpu_count']} cpu(s)"
+    )
     reload_row = row["hot_reload"]
     print(
         f"hot reload     publish {reload_row['refresh_publish_seconds']:.2f}s, "
@@ -262,3 +328,21 @@ def test_daemon_bench(benchmark, tmp_path_factory):
         "multi-worker throughput must be >= 2x single-worker on the "
         f"io-inclusive workload, got {row['io_speedup_max_vs_single_worker']:.2f}x"
     )
+    # Where process pools work at all, no process-served batch may have fallen
+    # back to in-process serving — a silent fallback would make the process
+    # rows measure the thread path.
+    if _process_pools_available():
+        assert all(
+            r["backend_fallbacks"] == 0
+            for r in row["throughput_cpu_bound_process_backend"]
+        )
+    if (os.cpu_count() or 1) >= 4 and _process_pools_available():
+        # The acceptance bar: with real cores available, the GIL-free process
+        # backend must beat worker threads on the cpu-bound workload.  Gated
+        # at >= 4 cores: on 1 CPU both serialize (the row is informational),
+        # and on a loaded 2-core shared runner spawn + pickling overhead can
+        # legitimately eat the margin — asserting there would flake.
+        assert row["process_vs_thread_cpu_speedup"] > 1.0, (
+            "process backend must out-serve the thread backend on cpu-bound "
+            f"batches, got {row['process_vs_thread_cpu_speedup']:.2f}x"
+        )

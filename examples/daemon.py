@@ -5,13 +5,17 @@ Run with::
     python examples/daemon.py
 
 The script runs the synthesis pipeline once and persists the run, then starts a
-:class:`SynthesisDaemon` over the artifact: a bounded request queue drained by
-worker threads, serving auto-fill / auto-join / auto-correct batches submitted
-concurrently from several client threads.  While clients keep submitting, the
-corpus grows and ``pipeline.refresh`` publishes a new artifact version — the
-daemon's watcher picks it up and atomically hot-swaps the served generation
-(in-flight batches finish on the old one).  Finally the daemon drains and shuts
-down cleanly, printing per-generation serving stats.
+:class:`SynthesisDaemon` over the artifact with ``executor="process:4"`` — one
+config knob selects the execution backend for every parallel stage
+(``"serial"``, ``"thread:8"``, ``"process:4"``; see :mod:`repro.exec`), so the
+pipeline's blocked-pair scoring *and* the daemon's serving pool here both use
+GIL-free worker processes.  Auto-fill / auto-join / auto-correct batches are
+submitted concurrently from several client threads.  While clients keep
+submitting, the corpus grows and ``pipeline.refresh`` publishes a new artifact
+version — the daemon's watcher picks it up and atomically hot-swaps the served
+generation *and its process pool* (in-flight batches finish on the old one).
+Finally the daemon drains and shuts down cleanly, printing per-generation
+serving stats.
 """
 
 from __future__ import annotations
@@ -36,16 +40,21 @@ def main() -> None:
         min_mapping_size=5,
         artifact_path=str(artifact_path),
         daemon_poll_seconds=0.05,
+        # One spec for every parallel stage: scoring fans blocked pairs across
+        # 4 worker processes, and the daemon below serves batches on a GIL-free
+        # process pool.  Try "thread:4" or "serial" — answers are identical.
+        executor="process:4",
     )
     pipeline = SynthesisPipeline(config)
     result = pipeline.run(corpus)  # auto-saves to config.artifact_path
     print(f"pipeline run: {len(result.curated)} curated mappings -> {artifact_path.name}")
 
-    # 2. The daemon serves the artifact: bounded queue, worker pool, watcher.
-    daemon = pipeline.start_daemon(workers=2, queue_size=32)
+    # 2. The daemon serves the artifact: bounded queue, worker backend, watcher.
+    daemon = pipeline.start_daemon(queue_size=32)
     generation = daemon.generation
     print(f"daemon up: generation {generation.number}, "
-          f"{daemon.workers} workers, queue bound {daemon.queue_size}")
+          f"{daemon.workers} {daemon.executor_kind} workers, "
+          f"queue bound {daemon.queue_size}")
 
     # 3. Several client threads submit batches concurrently.
     def client(name: str, batches: int) -> None:

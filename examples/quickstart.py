@@ -24,7 +24,9 @@ def main() -> None:
     print(f"corpus: {len(corpus)} tables, {corpus.num_columns} columns, "
           f"{len(corpus.domains())} domains")
 
-    # 2. Run the synthesis pipeline.
+    # 2. Run the synthesis pipeline.  On a multi-core machine, add
+    #    executor="process:4" (or set REPRO_EXECUTOR=process:4) to fan scoring
+    #    and extraction across worker processes — the output is byte-identical.
     config = SynthesisConfig(min_domains=2, min_mapping_size=5)
     pipeline = SynthesisPipeline(config)
     result = pipeline.run(corpus)

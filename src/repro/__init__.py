@@ -8,6 +8,8 @@ The package implements the full pipeline from Wang & He (SIGMOD 2017):
 * :mod:`repro.graph` — compatibility graph construction and partitioning.
 * :mod:`repro.synthesis` — table synthesis, conflict resolution, expansion, curation.
 * :mod:`repro.core` — configuration, pipeline orchestration, result model.
+* :mod:`repro.exec` — pluggable execution backends (serial / thread / process)
+  behind :attr:`SynthesisConfig.executor`, shared by every parallel stage.
 * :mod:`repro.baselines` — every comparison method from the paper's evaluation.
 * :mod:`repro.mapreduce` — a small local map/shuffle/reduce engine.
 * :mod:`repro.applications` — auto-correction, auto-fill, auto-join on top of mappings.

@@ -233,11 +233,29 @@ class MappingService:
         self.filler = AutoFiller(self.index, min_example_agreement=min_example_agreement)
         self.joiner = AutoJoiner(self.index, min_containment=min_containment)
         self.corrector = AutoCorrector(self.index, min_containment=correction_containment)
+        #: The thresholds this service was built with, as picklable kwargs — a
+        #: process-pool serving backend (repro.serving) rebuilds an identical
+        #: service in each worker from (mapping_pool, serving_kwargs).
+        self.serving_kwargs: dict[str, float] = {
+            "min_containment": min_containment,
+            "min_example_agreement": min_example_agreement,
+            "correction_containment": correction_containment,
+        }
         self.stats = ServiceStats(
             source=source,
             index_size=len(self.index),
             build_seconds=time.perf_counter() - start,
         )
+
+    @property
+    def mapping_pool(self) -> list[MappingRelationship]:
+        """The served mappings in their deterministic serving order.
+
+        Rebuilding a service from this list (with :attr:`serving_kwargs`)
+        reproduces this service's answers exactly — ``_serving_order`` is a
+        total order, so re-sorting an already-sorted pool is the identity.
+        """
+        return list(self.index.mappings)
 
     def __len__(self) -> int:
         return len(self.index)

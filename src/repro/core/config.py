@@ -7,10 +7,19 @@ can vary a single parameter while holding the rest fixed.
 
 from __future__ import annotations
 
+import os
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Any
 
-__all__ = ["SynthesisConfig"]
+from repro.exec.backend import parse_executor_spec
+
+__all__ = ["SynthesisConfig", "EXECUTOR_ENV_VAR"]
+
+#: Environment variable overriding :attr:`SynthesisConfig.executor` when the
+#: field is left unset — the hook CI uses to run the whole suite under
+#: ``process:2`` without touching any test's config.
+EXECUTOR_ENV_VAR = "REPRO_EXECUTOR"
 
 
 @dataclass(frozen=True)
@@ -46,12 +55,26 @@ class SynthesisConfig:
         ``k_ed`` — absolute cap on the edit-distance threshold.
     use_approximate_matching:
         Whether to use approximate string matching when computing compatibility.
+    executor:
+        Execution-backend spec for every parallel stage of the pipeline —
+        blocked-pair scoring, Map-Reduce map phases, candidate-extraction
+        sharding, incremental refresh rescoring, and the serving daemon's
+        worker pool (see :mod:`repro.exec`).  ``"serial"`` is the
+        deterministic reference; ``"thread:8"`` fans out across threads
+        (useful when tasks release the GIL); ``"process:4"`` scales CPU-bound
+        work past the GIL with picklable task envelopes.  Every backend
+        produces byte-identical results.  When left empty, the
+        ``REPRO_EXECUTOR`` environment variable supplies the spec; failing
+        that, the deprecated :attr:`num_workers` maps onto each stage's
+        historical behavior (a process pool for scoring, threads for
+        Map-Reduce and the daemon, serial extraction — exactly the pools each
+        stage hard-coded before).
     num_workers:
-        Number of worker processes used to score blocked pairs during graph
-        construction, and the thread count for the map phase of config-driven
-        Map-Reduce jobs (threads help only when mappers release the GIL).
+        **Deprecated** — use :attr:`executor`.  Legacy worker count kept as a
+        compatibility shim: configs (and persisted artifacts) that still set
+        it behave exactly as before via :meth:`effective_executor`.
         ``0`` or ``1`` selects the deterministic sequential path; higher values
-        fan work across a ``concurrent.futures`` pool with identical results.
+        fan work across a pool with identical results.
     use_negative_edges:
         Whether FD-conflict (negative) edges constrain the partitioning.  Setting
         this to ``False`` yields the ``SynthesisPos`` ablation from the paper.
@@ -107,6 +130,7 @@ class SynthesisConfig:
     edit_cap: int = 10
     use_approximate_matching: bool = True
     use_negative_edges: bool = True
+    executor: str = ""
     num_workers: int = 0
 
     # --- Post-processing (§4.2 conflict resolution, Appendix I) --------------------
@@ -128,9 +152,31 @@ class SynthesisConfig:
     daemon_deadline_seconds: float = 0.0
 
     # --- Extra knobs for experiments -------------------------------------------------
-    extra: dict[str, Any] = field(default_factory=dict)
+    # hash=False: a dict-valued field would make the generated __hash__ of this
+    # frozen dataclass raise TypeError on every call.
+    extra: dict[str, Any] = field(default_factory=dict, hash=False)
 
     def __post_init__(self) -> None:
+        if not isinstance(self.executor, str):
+            raise ValueError(
+                f"executor must be a spec string like 'thread:8', got {self.executor!r}"
+            )
+        if not self.executor:
+            env_spec = os.environ.get(EXECUTOR_ENV_VAR, "").strip()
+            if env_spec:
+                object.__setattr__(self, "executor", env_spec)
+        if self.executor:
+            parse_executor_spec(self.executor)  # fail at config time, not mid-build
+        elif self.num_workers > 1:
+            # One construction-time notice (kind-neutral: the legacy knob maps
+            # onto a different pool kind per stage), pointed at the caller
+            # rather than at whichever pipeline stage first consults the shim.
+            warnings.warn(
+                "SynthesisConfig.num_workers is deprecated; set "
+                "executor='process:N' (or 'thread:N', see repro.exec) instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
         if not 0.0 < self.fd_theta <= 1.0:
             raise ValueError(f"fd_theta must be in (0, 1], got {self.fd_theta}")
         if self.min_rows < 1:
@@ -179,6 +225,30 @@ class SynthesisConfig:
                 "daemon_deadline_seconds must be >= 0 (0 disables the default), "
                 f"got {self.daemon_deadline_seconds}"
             )
+
+    def effective_executor(self, default_kind: str | None = "process") -> str:
+        """Resolve the executor spec this config selects for one pipeline stage.
+
+        Precedence: an explicit :attr:`executor` (which includes a
+        ``REPRO_EXECUTOR`` environment override applied at construction) wins;
+        otherwise the deprecated :attr:`num_workers` shim maps counts above one
+        onto ``"<default_kind>:<num_workers>"`` — each call site passes the
+        kind it historically hard-coded, so legacy configs behave unchanged
+        (the deprecation itself is warned once, at construction time);
+        otherwise ``"serial"``.  Stages that never parallelized under
+        ``num_workers`` (candidate extraction) pass ``default_kind=None``:
+        only an explicit spec opts them into a pool, keeping the shim's
+        behave-exactly-as-before contract.
+        """
+        if self.executor:
+            return self.executor
+        if self.num_workers > 1 and default_kind is not None:
+            return f"{default_kind}:{self.num_workers}"
+        return "serial"
+
+    def executor_workers(self, default_kind: str | None = "process") -> int:
+        """Worker count of :meth:`effective_executor` (1 for the serial path)."""
+        return parse_executor_spec(self.effective_executor(default_kind))[1]
 
     def with_overrides(self, **kwargs: Any) -> "SynthesisConfig":
         """Return a copy of this configuration with selected fields replaced."""

@@ -253,10 +253,12 @@ class SynthesisPipeline:
 
         Serves the artifact at ``path`` (default:
         :attr:`SynthesisConfig.artifact_path`), persisting the most recent run
-        there first if the file does not exist yet.  Daemon sizing — worker
-        count (mirroring :attr:`SynthesisConfig.num_workers`), queue bound,
-        default deadline, watcher poll interval — comes from this pipeline's
-        config; keyword arguments override it.  With ``watch=True`` the daemon
+        there first if the file does not exist yet.  Daemon sizing — serving
+        backend kind and worker count (from :attr:`SynthesisConfig.executor`,
+        e.g. ``"process:4"`` for a GIL-free serving pool; the deprecated
+        ``num_workers`` maps onto worker threads), queue bound, default
+        deadline, watcher poll interval — comes from this pipeline's config;
+        keyword arguments override it.  With ``watch=True`` the daemon
         hot-swaps whenever :meth:`refresh` (or any writer) publishes a new
         artifact version at the path.
         """

@@ -1,0 +1,36 @@
+"""One execution-backend API for every parallel stage of the pipeline.
+
+``repro.exec`` unifies what used to be three disjoint pool implementations —
+the graph builder's process pool, the Map-Reduce engine's thread pool, and the
+serving daemon's hand-rolled worker threads — behind a single
+:class:`ExecutionBackend` protocol selected by spec string
+(:attr:`repro.core.config.SynthesisConfig.executor`): ``"serial"``,
+``"thread:8"``, ``"process:4"``.  Every backend produces byte-identical
+results to :class:`SerialBackend`; only the wall-clock differs.
+"""
+
+from repro.exec.backend import (
+    ExecutionBackend,
+    ExecutorSpecError,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    chunk_evenly,
+    create_backend,
+    parse_executor_spec,
+    register_backend,
+    registered_backends,
+)
+
+__all__ = [
+    "ExecutionBackend",
+    "ExecutorSpecError",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "parse_executor_spec",
+    "create_backend",
+    "register_backend",
+    "registered_backends",
+    "chunk_evenly",
+]

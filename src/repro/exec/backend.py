@@ -1,0 +1,390 @@
+"""Pluggable execution backends for every parallel stage of the pipeline.
+
+The synthesis pipeline is embarrassingly parallel at every stage — blocked-pair
+scoring (paper §4.1 "Efficiency"), the Map-Reduce map phase (§3), candidate
+extraction sharding, and batch serving — but each stage historically grew its
+own pool implementation behind one ``num_workers`` integer.  This module is the
+single abstraction they all share:
+
+* :class:`ExecutionBackend` — the protocol: ``map_blocks`` (ordered fan-out
+  over pre-chunked blocks), ``map_unordered`` (completion-order fan-out for
+  callers that reassemble by key), ``submit`` (one task, a
+  :class:`~concurrent.futures.Future` back), and ``close`` / context-manager
+  lifecycle.
+* :class:`SerialBackend` — the deterministic in-process reference every other
+  backend must be byte-identical to.
+* :class:`ThreadBackend` — a ``ThreadPoolExecutor``; tasks share the caller's
+  objects, so closures are fine.  Under CPython's GIL this buys throughput only
+  for tasks that release the GIL (I/O, C extensions).
+* :class:`ProcessBackend` — a ``ProcessPoolExecutor`` for CPU-bound work that
+  must scale past the GIL.  Tasks must be picklable envelopes; per-worker state
+  (scorers, serving indexes) is built by a spawn-safe ``initializer`` from
+  picklable ``initargs`` — never inherited ambiently from the parent.
+
+Backends are selected by **spec string** — ``"serial"``, ``"thread:8"``,
+``"process:4"`` — via :func:`create_backend`; :func:`register_backend` lets
+experiments plug in custom kinds (e.g. a cluster client) without touching the
+call sites.  Pools are created lazily on first use, so constructing a backend
+that ends up serving nothing costs nothing.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections.abc import Callable, Iterable, Iterator, Sequence
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from typing import Any
+
+__all__ = [
+    "ExecutorSpecError",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "parse_executor_spec",
+    "create_backend",
+    "register_backend",
+    "registered_backends",
+    "chunk_evenly",
+]
+
+
+class ExecutorSpecError(ValueError):
+    """An executor spec string does not name a usable backend."""
+
+
+def parse_executor_spec(spec: str) -> tuple[str, int]:
+    """Parse ``"kind"`` / ``"kind:workers"`` into ``(kind, workers)``.
+
+    ``workers`` defaults to ``os.cpu_count()`` for parallel kinds and is always
+    ``1`` for ``"serial"``.  The kind is validated against the registry, so a
+    typo fails at config-validation time instead of deep inside a build.
+    """
+    if not isinstance(spec, str) or not spec.strip():
+        raise ExecutorSpecError(
+            f"executor spec must be a non-empty string like 'thread:8', got {spec!r}"
+        )
+    kind, separator, count = spec.strip().partition(":")
+    kind = kind.strip().lower()
+    if kind not in _BACKENDS:
+        raise ExecutorSpecError(
+            f"unknown executor kind {kind!r}; registered kinds: "
+            f"{sorted(_BACKENDS)}"
+        )
+    if separator and not count.strip():
+        # "process:" is a mangled count, not a request for the default width.
+        raise ExecutorSpecError(
+            f"executor spec {spec!r} has a ':' but no worker count"
+        )
+    if count:
+        try:
+            workers = int(count)
+        except ValueError:
+            raise ExecutorSpecError(
+                f"executor worker count must be an integer, got {count!r}"
+            ) from None
+        if workers < 1:
+            raise ExecutorSpecError(
+                f"executor worker count must be >= 1, got {workers}"
+            )
+    else:
+        workers = 1 if kind == "serial" else (os.cpu_count() or 1)
+    if kind == "serial" and workers != 1:
+        raise ExecutorSpecError(
+            f"the serial backend is single-worker by definition, got {spec!r}"
+        )
+    return kind, workers
+
+
+def chunk_evenly(items: Sequence[Any], chunks: int) -> list[list[Any]]:
+    """Split ``items`` into at most ``chunks`` contiguous blocks.
+
+    Contiguity matters: callers that concatenate block results in block order
+    recover the exact sequential output ordering.
+    """
+    if chunks < 1:
+        raise ValueError(f"chunks must be >= 1, got {chunks}")
+    count = min(len(items), chunks)
+    if count == 0:
+        return []
+    size = (len(items) + count - 1) // count
+    return [list(items[i : i + size]) for i in range(0, len(items), size)]
+
+
+class ExecutionBackend:
+    """The execution API every parallel stage of the pipeline targets.
+
+    A backend is *where* tasks run; the contract is that running the same pure
+    tasks on any backend yields the same results — callers own determinism by
+    either consuming :meth:`map_blocks` output in block order or keying
+    :meth:`map_unordered` results so completion order cannot matter.
+    """
+
+    kind: str = "base"
+
+    def __init__(
+        self,
+        workers: int = 1,
+        *,
+        initializer: Callable[..., None] | None = None,
+        initargs: tuple = (),
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self._initializer = initializer
+        self._initargs = initargs
+
+    # -- Protocol ----------------------------------------------------------------------
+    def map_blocks(
+        self, fn: Callable[[Any], Any], blocks: Sequence[Any]
+    ) -> list[Any]:
+        """Apply ``fn`` to every block; results come back **in block order**."""
+        raise NotImplementedError
+
+    def map_unordered(
+        self, fn: Callable[[Any], Any], items: Sequence[Any]
+    ) -> Iterator[Any]:
+        """Apply ``fn`` to every item, yielding results as they complete.
+
+        Order is unspecified; callers must reassemble by a key carried in the
+        result (the scoring fan-out keys results by table-index pair).
+        """
+        raise NotImplementedError
+
+    def submit(self, fn: Callable[..., Any], /, *args: Any, **kwargs: Any) -> Future:
+        """Schedule one call and return its :class:`Future`."""
+        raise NotImplementedError
+
+    def close(self, wait: bool = True) -> None:
+        """Tear the backend down.  Idempotent.
+
+        With ``wait=False`` the call returns immediately; tasks already
+        submitted still run to completion (nothing is cancelled), which is what
+        the daemon's generation retirement relies on.
+        """
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(workers={self.workers})"
+
+
+class SerialBackend(ExecutionBackend):
+    """Deterministic single-threaded reference backend.
+
+    Runs everything inline, in submission order, on the calling thread.  The
+    optional initializer runs once before the first task so worker functions
+    that read initializer-installed state behave identically to the pooled
+    backends.
+    """
+
+    kind = "serial"
+
+    def __init__(
+        self,
+        workers: int = 1,
+        *,
+        initializer: Callable[..., None] | None = None,
+        initargs: tuple = (),
+    ) -> None:
+        super().__init__(1, initializer=initializer, initargs=initargs)
+        self._initialized = False
+
+    def _ensure_initialized(self) -> None:
+        if not self._initialized and self._initializer is not None:
+            self._initializer(*self._initargs)
+        self._initialized = True
+
+    def map_blocks(self, fn, blocks):
+        self._ensure_initialized()
+        return [fn(block) for block in blocks]
+
+    def map_unordered(self, fn, items):
+        self._ensure_initialized()
+        for item in items:
+            yield fn(item)
+
+    def submit(self, fn, /, *args, **kwargs):
+        self._ensure_initialized()
+        future: Future = Future()
+        try:
+            future.set_result(fn(*args, **kwargs))
+        except BaseException as exc:
+            future.set_exception(exc)
+        return future
+
+
+class _PoolBackend(ExecutionBackend):
+    """Shared plumbing for the two ``concurrent.futures``-based backends."""
+
+    def _make_pool(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        *,
+        initializer: Callable[..., None] | None = None,
+        initargs: tuple = (),
+    ) -> None:
+        super().__init__(
+            workers if workers is not None else (os.cpu_count() or 1),
+            initializer=initializer,
+            initargs=initargs,
+        )
+        self._pool = None
+        self._pool_lock = threading.Lock()
+        self._closed = False
+
+    @property
+    def pool(self):
+        """The underlying executor, created lazily on first use.
+
+        Creation is lock-guarded: backends are shared across threads (the
+        daemon's dispatchers all submit to one per-generation backend), and an
+        unguarded check-then-create would let two first submitters build two
+        executors, orphaning one that ``close()`` could never shut down.
+        """
+        if self._closed:
+            raise RuntimeError(f"{type(self).__name__} is closed")
+        if self._pool is None:
+            with self._pool_lock:
+                if self._closed:
+                    raise RuntimeError(f"{type(self).__name__} is closed")
+                if self._pool is None:
+                    self._pool = self._make_pool()
+        return self._pool
+
+    def map_blocks(self, fn, blocks):
+        return list(self.pool.map(fn, blocks))
+
+    def map_unordered(self, fn, items):
+        pending = {self.pool.submit(fn, item) for item in items}
+        try:
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    yield future.result()
+        finally:
+            for future in pending:
+                future.cancel()
+
+    def submit(self, fn, /, *args, **kwargs):
+        return self.pool.submit(fn, *args, **kwargs)
+
+    def close(self, wait: bool = True) -> None:
+        with self._pool_lock:
+            self._closed = True
+            pool = self._pool
+        if pool is not None:
+            pool.shutdown(wait=wait)
+
+
+class ThreadBackend(_PoolBackend):
+    """Thread-pool backend: shares the caller's memory, subject to the GIL."""
+
+    kind = "thread"
+
+    def _make_pool(self):
+        return ThreadPoolExecutor(
+            max_workers=self.workers,
+            thread_name_prefix="repro-exec",
+            initializer=self._initializer,
+            initargs=self._initargs,
+        )
+
+
+class ProcessBackend(_PoolBackend):
+    """Process-pool backend: true CPU parallelism, picklable task envelopes.
+
+    Per-worker state must be built by the ``initializer`` from picklable
+    ``initargs`` (spawn-safe: nothing is assumed to be inherited by fork), and
+    task functions must be module-level so they pickle by reference.  Callers
+    are expected to catch environmental failures (pickling, sandboxed
+    ``/dev/shm``, broken pools) and fall back to an equivalent backend — the
+    results are identical everywhere, only the wall-clock differs.
+    """
+
+    kind = "process"
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        *,
+        initializer: Callable[..., None] | None = None,
+        initargs: tuple = (),
+        start_method: str | None = None,
+    ) -> None:
+        super().__init__(workers, initializer=initializer, initargs=initargs)
+        self._start_method = start_method
+
+    def _make_pool(self):
+        import multiprocessing
+
+        method = self._start_method
+        if method is None and threading.active_count() > 1:
+            # Forking a multi-threaded process can snapshot another thread's
+            # held lock into the child and deadlock the worker before it even
+            # runs its initializer — and a hang never trips the callers'
+            # fall-back-on-exception paths.  Pool creation is lazy, so this
+            # check runs right before the processes start: single-threaded
+            # pipelines keep the cheap platform default (fork on Linux), while
+            # anything running beside live threads (a daemon refreshing its
+            # artifact underneath itself) gets the spawn-safe path.
+            method = "spawn"
+        context = multiprocessing.get_context(method) if method else None
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=context,
+            initializer=self._initializer,
+            initargs=self._initargs,
+        )
+
+
+# ---------------------------------------------------------------------------------------
+# Registry + spec-driven construction
+# ---------------------------------------------------------------------------------------
+_BACKENDS: dict[str, Callable[..., ExecutionBackend]] = {
+    "serial": SerialBackend,
+    "thread": ThreadBackend,
+    "process": ProcessBackend,
+}
+
+
+def register_backend(kind: str, factory: Callable[..., ExecutionBackend]) -> None:
+    """Register a custom backend kind for spec strings like ``"<kind>:<n>"``.
+
+    ``factory`` is called as ``factory(workers, initializer=..., initargs=...)``
+    and must return an :class:`ExecutionBackend`.
+    """
+    if not kind or ":" in kind:
+        raise ValueError(f"backend kind must be a bare name, got {kind!r}")
+    _BACKENDS[kind.lower()] = factory
+
+
+def registered_backends() -> tuple[str, ...]:
+    """The registered backend kinds, sorted."""
+    return tuple(sorted(_BACKENDS))
+
+
+def create_backend(
+    spec: str,
+    *,
+    initializer: Callable[..., None] | None = None,
+    initargs: tuple = (),
+) -> ExecutionBackend:
+    """Build the backend named by ``spec`` (e.g. ``"process:8"``)."""
+    kind, workers = parse_executor_spec(spec)
+    return _BACKENDS[kind](workers, initializer=initializer, initargs=initargs)

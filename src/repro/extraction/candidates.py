@@ -19,6 +19,7 @@ from repro.core.binary_table import BinaryTable
 from repro.core.config import SynthesisConfig
 from repro.corpus.corpus import TableCorpus
 from repro.corpus.table import Table
+from repro.exec.backend import chunk_evenly, create_backend, parse_executor_spec
 from repro.extraction.cooccurrence import CooccurrenceIndex
 from repro.extraction.fd import column_pair_fd_ratio
 from repro.extraction.pmi import column_coherence
@@ -46,6 +47,22 @@ class ExtractionStats:
             return 0.0
         return 1.0 - self.candidates / self.raw_pairs
 
+    def merge(self, other: "ExtractionStats") -> None:
+        """Fold another shard's accounting into this one.
+
+        Extraction is per-table, so summing per-shard counters (and merging the
+        disjoint per-column coherence maps) reproduces the exact stats a
+        sequential pass over the concatenated shards would have produced.
+        """
+        self.num_tables += other.num_tables
+        self.num_columns += other.num_columns
+        self.columns_removed_by_pmi += other.columns_removed_by_pmi
+        self.raw_pairs += other.raw_pairs
+        self.pairs_removed_by_fd += other.pairs_removed_by_fd
+        self.pairs_removed_by_size += other.pairs_removed_by_size
+        self.candidates += other.candidates
+        self.coherence_by_column.update(other.coherence_by_column)
+
     def as_dict(self) -> dict[str, float]:
         """Return the statistics as a flat dictionary (for reports)."""
         return {
@@ -60,11 +77,74 @@ class ExtractionStats:
         }
 
 
+def _extract_shard(
+    config: SynthesisConfig,
+    index: CooccurrenceIndex | None,
+    tables: list[Table],
+) -> tuple[list[BinaryTable], ExtractionStats]:
+    """Extract one shard of tables (module-level so process workers can run it).
+
+    Extraction is a pure per-table function (the corpus-global PMI index is
+    built once and shipped read-only), so sharding cannot change any candidate.
+    """
+    extractor = CandidateExtractor(config)
+    stats = ExtractionStats()
+    candidates: list[BinaryTable] = []
+    for table in tables:
+        candidates.extend(extractor.extract_from_table(table, index=index, stats=stats))
+    return candidates, stats
+
+
+class _ShardTask:
+    """Bound shard task for thread backends: config + PMI index per instance.
+
+    Threads share this object directly (no serialization); process backends
+    use the initializer path below instead, so the corpus-global index crosses
+    the process boundary once per worker rather than once per shard task.
+    """
+
+    __slots__ = ("config", "index")
+
+    def __init__(self, config: SynthesisConfig, index: CooccurrenceIndex | None) -> None:
+        self.config = config
+        self.index = index
+
+    def __call__(
+        self, shard: list[Table]
+    ) -> tuple[list[BinaryTable], ExtractionStats]:
+        return _extract_shard(self.config, self.index, shard)
+
+
+# Per-worker extraction state, installed by the spawn-safe pool initializer.
+# Worker processes are private to one pool (one extract_tables call), so the
+# module globals cannot collide across concurrent extractions.
+_EXTRACT_CONFIG: SynthesisConfig | None = None
+_EXTRACT_INDEX: CooccurrenceIndex | None = None
+
+
+def _init_extract_worker(
+    config: SynthesisConfig, index: CooccurrenceIndex | None
+) -> None:
+    global _EXTRACT_CONFIG, _EXTRACT_INDEX
+    _EXTRACT_CONFIG = config
+    _EXTRACT_INDEX = index
+
+
+def _extract_shard_in_worker(
+    shard: list[Table],
+) -> tuple[list[BinaryTable], ExtractionStats]:
+    assert _EXTRACT_CONFIG is not None
+    return _extract_shard(_EXTRACT_CONFIG, _EXTRACT_INDEX, shard)
+
+
 class CandidateExtractor:
     """Extracts candidate binary tables from a corpus (Algorithm 1)."""
 
     def __init__(self, config: SynthesisConfig | None = None) -> None:
         self.config = config or SynthesisConfig()
+        #: True when the most recent extract() fanned shards across a parallel
+        #: backend but had to fall back to the sequential path (pool failure).
+        self.last_parallel_fallback = False
 
     # -- Column-level filtering -----------------------------------------------------
     def _coherent_column_indices(
@@ -149,12 +229,61 @@ class CandidateExtractor:
         """Extract candidates from every table in the corpus.
 
         If no co-occurrence index is supplied and the PMI filter is enabled, one is
-        built from the corpus first.
+        built from the corpus first.  When :attr:`SynthesisConfig.executor`
+        selects a parallel backend, tables are sharded across it — mirroring how
+        blocked-pair scoring fans out — with candidates concatenated in corpus
+        order, so the output is byte-identical to the sequential pass.
         """
         if index is None and self.config.use_pmi_filter:
             index = CooccurrenceIndex.from_corpus(corpus)
+        return self.extract_tables(list(corpus), index=index)
+
+    def extract_tables(
+        self, tables: list[Table], index: CooccurrenceIndex | None = None
+    ) -> tuple[list[BinaryTable], ExtractionStats]:
+        """Extract candidates from an explicit table list (corpus order).
+
+        This is the shard-aware entry point :meth:`extract` and the incremental
+        refresh path (:mod:`repro.store.incremental`) both go through; refresh
+        passes only the changed tables.
+        """
+        self.last_parallel_fallback = False
+        # default_kind=None: extraction never parallelized under the legacy
+        # num_workers knob, so only an explicit executor spec shards it.
+        spec = self.config.effective_executor(default_kind=None)
+        kind, workers = parse_executor_spec(spec)
+        if kind != "serial" and workers > 1 and len(tables) >= 2 * workers:
+            shards = chunk_evenly(tables, workers * 4)
+            if kind == "thread":
+                backend = create_backend(spec)
+                task = _ShardTask(self.config, index)
+            else:
+                # Pickling backends ship config + PMI index once per worker
+                # through the initializer, not once per shard task.
+                backend = create_backend(
+                    spec,
+                    initializer=_init_extract_worker,
+                    initargs=(self.config, index),
+                )
+                task = _extract_shard_in_worker
+            try:
+                # map_blocks preserves shard order, so concatenation recovers
+                # the exact sequential candidate ordering.
+                with backend:
+                    shard_results = backend.map_blocks(task, shards)
+            except Exception:
+                # Unpicklable tables/index under a process backend, or an
+                # environmentally broken pool: extract in-process instead.
+                self.last_parallel_fallback = True
+            else:
+                stats = ExtractionStats()
+                candidates: list[BinaryTable] = []
+                for shard_candidates, shard_stats in shard_results:
+                    candidates.extend(shard_candidates)
+                    stats.merge(shard_stats)
+                return candidates, stats
         stats = ExtractionStats()
-        candidates: list[BinaryTable] = []
-        for table in corpus:
+        candidates = []
+        for table in tables:
             candidates.extend(self.extract_from_table(table, index=index, stats=stats))
         return candidates, stats

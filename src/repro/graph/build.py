@@ -12,10 +12,12 @@ The build itself is engineered as a fast path:
   blocking passes read the profile key sets instead of re-normalizing values;
 * blocked pairs that survive both filters are scored in a single fused pass that
   produces ``w+`` and ``w−`` together;
-* when :attr:`SynthesisConfig.num_workers` is above one, blocked pairs fan out
-  across a ``concurrent.futures`` process pool.  Scoring is a pure function of
-  the pair, so the parallel path is deterministic and bit-identical to the
-  sequential fallback.
+* when :attr:`SynthesisConfig.executor` selects a parallel backend (or the
+  deprecated ``num_workers`` shim maps onto one), blocked pairs fan out across
+  a :mod:`repro.exec` execution backend — threads share this builder's scorer,
+  processes rebuild per-worker scorer state through a spawn-safe initializer.
+  Scoring is a pure function of the pair, so every backend is deterministic
+  and bit-identical to the serial path.
 """
 
 from __future__ import annotations
@@ -26,6 +28,7 @@ from dataclasses import dataclass, field
 
 from repro.core.binary_table import BinaryTable
 from repro.core.config import SynthesisConfig
+from repro.exec.backend import chunk_evenly, create_backend, parse_executor_spec
 from repro.graph.compatibility import CompatibilityScorer
 from repro.graph.connected import connected_components
 from repro.graph.profile import TableProfile
@@ -140,11 +143,17 @@ class BuildStats:
     match_cache_hits: int = 0
     match_cache_misses: int = 0
     num_workers: int = 1
+    executor: str = "serial"
     parallel_fallback: bool = False
 
     @property
     def cache_hit_rate(self) -> float:
-        """Fraction of memoized ``matches()`` lookups answered from cache."""
+        """Fraction of memoized ``matches()`` lookups answered from cache.
+
+        Exact for serial and process builds; for ``thread:`` builds the
+        underlying counters are a close lower bound (worker threads share the
+        scorer and its unguarded counter increments can interleave).
+        """
         total = self.match_cache_hits + self.match_cache_misses
         return self.match_cache_hits / total if total else 0.0
 
@@ -160,6 +169,7 @@ class BuildStats:
             "match_cache_misses": self.match_cache_misses,
             "cache_hit_rate": self.cache_hit_rate,
             "num_workers": self.num_workers,
+            "executor": self.executor,
             "parallel_fallback": self.parallel_fallback,
         }
 
@@ -280,15 +290,21 @@ class GraphBuilder:
     def _score_blocked_pairs(
         self, tables: list[BinaryTable], tasks: list[tuple[int, int, bool, bool, int, int]]
     ) -> dict[tuple[int, int], tuple[float, float]]:
-        """Score blocked pairs, fanning out across processes when configured."""
-        num_workers = getattr(self.config, "num_workers", 0)
+        """Score blocked pairs, fanning out across the configured backend."""
+        spec = self.config.effective_executor(default_kind="process")
+        kind, workers = parse_executor_spec(spec)
         if (
-            num_workers > 1
-            and len(tasks) >= 2 * num_workers
-            and type(self.scorer) is CompatibilityScorer
+            kind != "serial"
+            and workers > 1
+            and len(tasks) >= 2 * workers
+            # Thread workers share this builder's scorer object, so an injected
+            # scorer subclass is fine there; process workers rebuild a plain
+            # CompatibilityScorer from config and would silently mis-mirror a
+            # subclass, so they require the stock scorer.
+            and (kind == "thread" or type(self.scorer) is CompatibilityScorer)
         ):
             try:
-                return self._score_parallel(tables, tasks, num_workers)
+                return self._score_with_backend(spec, kind, workers, tables, tasks)
             except Exception:
                 # Pools can fail for environmental reasons (pickling, sandboxing,
                 # missing /dev/shm); the sequential path computes the same result.
@@ -307,38 +323,73 @@ class GraphBuilder:
             self.scorer.match_cache_misses - misses_before
         )
         self.last_build_stats.num_workers = 1
+        self.last_build_stats.executor = "serial"
         return results
 
-    def _score_parallel(
+    def _score_with_backend(
         self,
+        spec: str,
+        kind: str,
+        workers: int,
         tables: list[BinaryTable],
         tasks: list[tuple[int, int, bool, bool, int, int]],
-        num_workers: int,
     ) -> dict[tuple[int, int], tuple[float, float]]:
-        from concurrent.futures import ProcessPoolExecutor
+        """Fan chunks of blocked pairs across a :mod:`repro.exec` backend.
 
-        chunk_count = min(len(tasks), num_workers * 4)
-        chunk_size = (len(tasks) + chunk_count - 1) // chunk_count
-        chunks = [tasks[i : i + chunk_size] for i in range(0, len(tasks), chunk_size)]
+        Results are keyed by the ``(first, second)`` pair each chunk entry
+        carries, so the unordered completion order cannot change the graph.
+        """
+        chunks = chunk_evenly(tasks, workers * 4)
         results: dict[tuple[int, int], tuple[float, float]] = {}
         hits = misses = 0
-        with ProcessPoolExecutor(
-            max_workers=num_workers,
-            initializer=_init_scoring_worker,
-            # Workers must mirror the *scorer* doing the sequential scoring, which
-            # an injected scorer may configure differently from the builder.
-            initargs=(tables, self.scorer.config, self.scorer.synonyms),
-        ) as pool:
-            for chunk_results, chunk_hits, chunk_misses in pool.map(
-                _score_pair_chunk, chunks
-            ):
-                hits += chunk_hits
-                misses += chunk_misses
-                for first, second, positive, negative in chunk_results:
-                    results[(first, second)] = (positive, negative)
+        if kind == "thread":
+            # Threads score on this builder's own scorer: its verdict memo is
+            # deterministic (pure function of the value pair), so concurrent
+            # fills converge on identical entries.  Cache counters are read as
+            # one before/after delta because per-chunk deltas would interleave;
+            # the scorer's unguarded `+= 1` can drop increments under thread
+            # interleaving, so thread-mode hit/miss *stats* are a close lower
+            # bound (locking the hot path for exact accounting isn't worth it
+            # — the graph itself is exact regardless).
+            profiles = [self.scorer.profile(table) for table in tables]
+            hits_before = self.scorer.match_cache_hits
+            misses_before = self.scorer.match_cache_misses
+
+            def run_chunk(chunk):
+                return [
+                    task[:2] + _score_one(self.scorer, profiles, task)
+                    for task in chunk
+                ]
+
+            with create_backend(spec) as backend:
+                for chunk_results in backend.map_unordered(run_chunk, chunks):
+                    for first, second, positive, negative in chunk_results:
+                        results[(first, second)] = (positive, negative)
+            hits = self.scorer.match_cache_hits - hits_before
+            misses = self.scorer.match_cache_misses - misses_before
+        else:
+            # Process (or custom) workers build their own scorer and profiles
+            # once via the spawn-safe initializer and then score picklable
+            # task envelopes.  Workers must mirror the *scorer* doing the
+            # sequential scoring, which an injected scorer may configure
+            # differently from the builder.
+            backend = create_backend(
+                spec,
+                initializer=_init_scoring_worker,
+                initargs=(tables, self.scorer.config, self.scorer.synonyms),
+            )
+            with backend:
+                for chunk_results, chunk_hits, chunk_misses in backend.map_unordered(
+                    _score_pair_chunk, chunks
+                ):
+                    hits += chunk_hits
+                    misses += chunk_misses
+                    for first, second, positive, negative in chunk_results:
+                        results[(first, second)] = (positive, negative)
         self.last_build_stats.match_cache_hits = hits
         self.last_build_stats.match_cache_misses = misses
-        self.last_build_stats.num_workers = num_workers
+        self.last_build_stats.num_workers = workers
+        self.last_build_stats.executor = spec
         return results
 
     # -- Public API --------------------------------------------------------------------

@@ -10,13 +10,24 @@ preserved, while everything runs in-process.
 
 from __future__ import annotations
 
+import pickle
 import zlib
 from collections import defaultdict
 from collections.abc import Callable, Hashable, Iterable, Iterator
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Any
 
+from repro.exec.backend import chunk_evenly, create_backend, parse_executor_spec
+
 __all__ = ["MapReduceJob", "MapReduceEngine"]
+
+
+def _map_chunk(job: "MapReduceJob", records: list[Any]) -> list[tuple[Hashable, Any]]:
+    """Run one job's mapper over a chunk of records (module-level so a process
+    backend can pickle it by reference; the job itself must then be picklable —
+    closure-based jobs fail the pickle and fall back to the serial map)."""
+    return [pair for record in records for pair in job.mapper(record)]
 
 Mapper = Callable[[Any], Iterable[tuple[Hashable, Any]]]
 Reducer = Callable[[Hashable, list[Any]], Iterable[Any]]
@@ -59,14 +70,35 @@ class JobCounters:
 class MapReduceEngine:
     """Runs :class:`MapReduceJob` instances over in-memory datasets."""
 
-    def __init__(self, num_partitions: int = 8, num_workers: int = 0) -> None:
+    def __init__(
+        self,
+        num_partitions: int = 8,
+        num_workers: int = 0,
+        executor: str | None = None,
+    ) -> None:
         if num_partitions < 1:
             raise ValueError(f"num_partitions must be >= 1, got {num_partitions}")
         if num_workers < 0:
             raise ValueError(f"num_workers must be >= 0, got {num_workers}")
+        if executor is not None:
+            parse_executor_spec(executor)  # fail at construction, not mid-job
         self.num_partitions = num_partitions
         self.num_workers = num_workers
+        self.executor = executor
         self.counters: dict[str, JobCounters] = {}
+        #: True when the most recent run's map phase could not use the
+        #: requested backend as-is: an unpicklable job under a process backend
+        #: degrades to the thread fan-out, a broken pool falls back to the
+        #: serial map — the outputs are identical in every case.
+        self.last_map_fallback = False
+
+    @property
+    def effective_executor(self) -> str:
+        """The backend spec the map phase uses (legacy ``num_workers`` → threads,
+        which is the pool kind this engine historically hard-coded)."""
+        if self.executor is not None:
+            return self.executor
+        return f"thread:{self.num_workers}" if self.num_workers > 1 else "serial"
 
     # -- Internals --------------------------------------------------------------------
     def _partition(self, key: Hashable) -> int:
@@ -79,7 +111,7 @@ class MapReduceEngine:
     def _map_records(
         self, job: MapReduceJob, records: list[Any]
     ) -> list[tuple[Hashable, Any]]:
-        return [pair for record in records for pair in job.mapper(record)]
+        return _map_chunk(job, records)
 
     def _map_phase(
         self, job: MapReduceJob, records: Iterable[Any], counters: JobCounters
@@ -89,24 +121,40 @@ class MapReduceEngine:
         ]
         records = list(records)
         counters.input_records += len(records)
-        if self.num_workers > 1 and len(records) > 1:
-            # Mappers are typically closures, so the fan-out uses threads (which
-            # share them safely) rather than processes.  Under CPython's GIL this
-            # only speeds up mappers that release the GIL (I/O, C extensions) —
-            # for pure-Python mappers it mirrors the distributed programming
-            # model rather than buying throughput.  Chunks are contiguous slices
-            # merged in input order, so the shuffle sees the exact same value
-            # ordering as the sequential path.
-            from concurrent.futures import ThreadPoolExecutor
-
-            workers = min(self.num_workers, len(records))
-            chunk_size = (len(records) + workers - 1) // workers
-            chunks = [
-                records[i : i + chunk_size] for i in range(0, len(records), chunk_size)
-            ]
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                mapped_chunks = list(pool.map(lambda c: self._map_records(job, c), chunks))
-            mapped = [pair for chunk in mapped_chunks for pair in chunk]
+        self.last_map_fallback = False
+        kind, workers = parse_executor_spec(self.effective_executor)
+        if kind != "serial" and workers > 1 and len(records) > 1:
+            # The map phase fans contiguous record slices across the configured
+            # repro.exec backend.  Threads share closure-based mappers safely
+            # (and, under CPython's GIL, buy throughput only for mappers that
+            # release it — for pure-Python mappers the fan-out mirrors the
+            # distributed programming model rather than speed); a process
+            # backend needs a fully picklable job and scales pure-Python
+            # mappers past the GIL.  Chunks are merged in input order either
+            # way, so the shuffle sees the exact same value ordering as the
+            # sequential path.
+            workers = min(workers, len(records))
+            chunks = chunk_evenly(records, workers)
+            task = partial(_map_chunk, job)
+            if kind not in ("serial", "thread"):
+                # A process (or custom pickling) backend needs the whole job to
+                # pickle; probing up front avoids spawning a pool just to tear
+                # it down on the first PicklingError.  Closure-based jobs — the
+                # common case here — degrade to threads, which share them
+                # safely and preserve the pre-backend fan-out behavior.
+                try:
+                    pickle.dumps(task)
+                except Exception:
+                    self.last_map_fallback = True
+                    kind = "thread"
+            try:
+                with create_backend(f"{kind}:{workers}") as backend:
+                    mapped_chunks = backend.map_blocks(task, chunks)
+                mapped = [pair for chunk in mapped_chunks for pair in chunk]
+            except Exception:
+                # An environmentally broken pool computes identically in-process.
+                self.last_map_fallback = True
+                mapped = self._map_records(job, records)
         else:
             mapped = self._map_records(job, records)
         counters.mapped_pairs += len(mapped)

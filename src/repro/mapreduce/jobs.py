@@ -77,7 +77,11 @@ def pairwise_compatibility_job(
     """Score blocked pairs; returns ``(w+, w−)`` per pair via one map/reduce round."""
     config = config or SynthesisConfig()
     scorer = scorer or CompatibilityScorer(config)
-    engine = engine or MapReduceEngine(num_workers=config.num_workers)
+    # Threads are this job's historical pool kind (the reducer closes over the
+    # scorer and tables), so the legacy num_workers shim maps onto "thread:N".
+    engine = engine or MapReduceEngine(
+        executor=config.effective_executor(default_kind="thread")
+    )
 
     def mapper(record: tuple[int, int]):
         first, second = record

@@ -4,7 +4,9 @@ This package turns the synchronous batched :class:`~repro.applications.service.
 MappingService` into a serving *process*:
 
 * :mod:`repro.serving.daemon` — :class:`SynthesisDaemon`: a bounded request
-  queue drained by a worker pool, with backpressure, per-batch deadlines,
+  queue drained by a pluggable worker backend (threads, or a GIL-free
+  :mod:`repro.exec` process pool per served generation via
+  ``executor="process:N"``), with backpressure, per-batch deadlines,
   generation-tagged results, and atomic hot-swap of the served service;
 * :mod:`repro.serving.watcher` — :class:`ArtifactWatcher`: picks up new
   artifact versions published by :func:`repro.store.save_artifact` (in-process

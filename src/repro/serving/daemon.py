@@ -7,13 +7,19 @@ admission control, and no way to pick up a new artifact version without
 rebuilding the service by hand.  :class:`SynthesisDaemon` turns it into a
 serving process:
 
-* **Bounded request queue + worker pool.**  Batches are submitted as
-  :class:`DaemonTicket` futures into a ``queue.Queue(maxsize=...)`` drained by a
-  pool of worker threads.  The worker count mirrors
-  :attr:`SynthesisConfig.num_workers` (``0``/``1`` → one worker, the sequential
-  baseline); the handoff carries only immutable request envelopes
-  (:class:`FillRequest` & co. are frozen, picklable dataclasses), so a
-  process-pool backend could replace the threads without changing the protocol.
+* **Bounded request queue + pluggable worker backend.**  Batches are submitted
+  as :class:`DaemonTicket` futures into a ``queue.Queue(maxsize=...)`` drained
+  by a pool of dispatcher threads.  Sizing and backend kind come from
+  :attr:`SynthesisConfig.executor` (e.g. ``"thread:4"``, ``"process:4"``; the
+  deprecated ``num_workers`` maps onto threads).  In **thread** mode the
+  dispatchers serve batches in-process — under CPython's GIL that scales only
+  workloads that wait on something.  In **process** mode each served
+  generation owns a :class:`repro.exec.ProcessBackend` whose workers rebuild
+  an identical :class:`MappingService` via a spawn-safe initializer, and
+  dispatchers hand them the frozen picklable request envelopes
+  (:class:`FillRequest` & co.) — CPU-bound request throughput scales past the
+  GIL, with answers byte-identical to in-process serving (a pool-level
+  failure falls back to serving locally on the same generation).
 * **Backpressure.**  A full queue rejects non-blocking submissions with
   :class:`QueueFullError` instead of buffering without bound; blocking
   submission with a timeout is also supported.
@@ -55,6 +61,12 @@ from repro.applications.service import (
     ServiceStats,
 )
 from repro.core.config import SynthesisConfig
+from repro.exec.backend import (
+    ExecutionBackend,
+    ProcessBackend,
+    create_backend,
+    parse_executor_spec,
+)
 
 __all__ = [
     "DaemonError",
@@ -72,6 +84,32 @@ REQUEST_KINDS = ("autofill", "autojoin", "autocorrect")
 
 #: Sentinel instructing a worker thread to exit its loop.
 _STOP = object()
+
+
+# -- Process-pool serving workers ---------------------------------------------------------
+# Each process worker rebuilds the generation's MappingService once (via the
+# backend's spawn-safe initializer, from the picklable mapping pool + threshold
+# kwargs) and then serves frozen request envelopes.  Serving is deterministic,
+# so worker-built services answer byte-identically to the daemon's own.
+_WORKER_SERVICE: MappingService | None = None
+
+
+def _init_serving_worker(
+    service_cls: type,
+    mappings: list,
+    serving_kwargs: dict,
+    source: str,
+) -> None:
+    global _WORKER_SERVICE
+    _WORKER_SERVICE = service_cls(mappings, source=source, **serving_kwargs)
+
+
+def _serve_batch_in_worker(
+    kind: str,
+    requests: tuple[FillRequest | JoinRequest | CorrectRequest, ...],
+) -> list[ServedResponse]:
+    assert _WORKER_SERVICE is not None
+    return getattr(_WORKER_SERVICE, kind)(list(requests))
 
 
 class DaemonError(RuntimeError):
@@ -104,6 +142,12 @@ class ServiceGeneration:
     source: str = "memory"
     fingerprint: str = ""
     activated_at: float = 0.0
+    #: The generation's process-serving backend (``None`` in thread mode).
+    #: Tying the pool to the generation is what keeps hot reloads atomic in
+    #: process mode too: a batch that snapshotted this generation serves on
+    #: this pool's workers, whose services were built from exactly this
+    #: generation's mappings.
+    backend: ExecutionBackend | None = None
 
     @property
     def stats(self) -> ServiceStats:
@@ -187,7 +231,15 @@ class SynthesisDaemon:
     service:
         The initial service to serve (generation 1).
     workers:
-        Worker-thread count; clamped to at least 1.
+        Dispatcher-thread count (and, in process mode, the process-pool
+        width).  When ``None``, the count comes from the ``executor`` spec
+        (default 2).
+    executor:
+        Execution-backend spec (see :mod:`repro.exec`): ``"thread:4"`` serves
+        on the dispatcher threads themselves (the historical behavior);
+        ``"process:4"`` attaches a :class:`~repro.exec.ProcessBackend` per
+        generation so CPU-bound serving scales past the GIL; ``"serial"`` is
+        one dispatcher thread.  ``None`` means thread mode.
     queue_size:
         Bound on the request queue, in batches.
     default_deadline:
@@ -202,12 +254,22 @@ class SynthesisDaemon:
         self,
         service: MappingService,
         *,
-        workers: int = 2,
+        workers: int | None = None,
         queue_size: int = 64,
         default_deadline: float | None = None,
         source: str = "memory",
         fingerprint: str = "",
+        executor: str | None = None,
     ) -> None:
+        if executor is not None:
+            kind, spec_workers = parse_executor_spec(executor)
+        else:
+            kind, spec_workers = "thread", 0
+        if workers is None:
+            # Spec-derived sizing; "serial" means one dispatcher.  An
+            # *explicitly* passed workers count always wins (a serial spec
+            # with workers=4 serves in-process on 4 dispatcher threads).
+            workers = 1 if kind == "serial" else (spec_workers or 2)
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if queue_size < 1:
@@ -217,6 +279,14 @@ class SynthesisDaemon:
                 f"default_deadline must be >= 0 or None, got {default_deadline}"
             )
         self.workers = workers
+        #: Backend kind batches are served on: "thread"/"serial" serve on the
+        #: dispatcher threads; anything else gets a per-generation
+        #: repro.exec backend built by :meth:`_make_serving_backend`.
+        self.executor_kind = kind
+        #: Times a backend-served batch fell back to in-process serving
+        #: (pool shutdown race during reload, broken pool); answers are
+        #: identical either way, the counter keeps the degradation observable.
+        self.backend_fallbacks = 0
         self.queue_size = queue_size
         self.default_deadline = default_deadline or 0.0
         self._queue: queue.Queue = queue.Queue(maxsize=queue_size)
@@ -237,6 +307,7 @@ class SynthesisDaemon:
             source=source,
             fingerprint=fingerprint,
             activated_at=time.monotonic(),
+            backend=self._make_serving_backend(service),
         )
         self._threads = [
             threading.Thread(
@@ -247,6 +318,41 @@ class SynthesisDaemon:
         for thread in self._threads:
             thread.start()
 
+    def _make_serving_backend(self, service: MappingService) -> ExecutionBackend | None:
+        """Build the per-generation serving backend (``None`` in thread mode).
+
+        The backend's pool is created lazily on first use, so a reload storm
+        that retires generations before they serve anything never spawns their
+        worker processes.  Workers rebuild the service from its picklable
+        ``(class, mapping pool, threshold kwargs)`` spec — spawn-safe: nothing
+        is inherited ambiently from this process.
+        """
+        if self.executor_kind in ("thread", "serial"):
+            return None
+        initargs = (
+            type(service),
+            service.mapping_pool,
+            service.serving_kwargs,
+            f"{service.stats.source}#worker",
+        )
+        if self.executor_kind == "process":
+            # The daemon is multi-threaded by construction (dispatchers,
+            # watcher, client threads), so forking here could snapshot another
+            # thread's held lock into the child; spawn starts workers from a
+            # clean interpreter — the initializer/initargs contract above is
+            # what makes that safe.
+            return ProcessBackend(
+                self.workers,
+                initializer=_init_serving_worker,
+                initargs=initargs,
+                start_method="spawn",
+            )
+        return create_backend(
+            f"{self.executor_kind}:{self.workers}",
+            initializer=_init_serving_worker,
+            initargs=initargs,
+        )
+
     # -- Construction -------------------------------------------------------------------
     @classmethod
     def from_artifact(
@@ -256,6 +362,7 @@ class SynthesisDaemon:
         config: SynthesisConfig | None = None,
         watch: bool = True,
         workers: int | None = None,
+        executor: str | None = None,
         queue_size: int | None = None,
         default_deadline: float | None = None,
         poll_seconds: float | None = None,
@@ -264,8 +371,9 @@ class SynthesisDaemon:
     ) -> "SynthesisDaemon":
         """Start a daemon serving a persisted artifact, optionally hot-reloading.
 
-        ``config`` supplies defaults for every unset knob: the worker count
-        mirrors :attr:`SynthesisConfig.num_workers` (``0``/``1`` → one worker),
+        ``config`` supplies defaults for every unset knob: backend kind and
+        worker count come from :attr:`SynthesisConfig.executor` (the deprecated
+        ``num_workers`` maps onto worker threads; ``0``/``1`` → one worker),
         and queue bound / default deadline / watcher poll interval come from the
         ``daemon_*`` fields.  With ``watch=True`` an
         :class:`~repro.serving.watcher.ArtifactWatcher` is attached that
@@ -275,7 +383,16 @@ class SynthesisDaemon:
         from repro.store.artifact import load_artifact
 
         config = config or SynthesisConfig()
-        workers = max(1, config.num_workers) if workers is None else workers
+        if executor is None:
+            spec = config.effective_executor(default_kind="thread")
+            if spec != "serial" or config.executor:
+                # An explicit "serial" (field or REPRO_EXECUTOR) must produce
+                # the single serial dispatcher — it outranks the legacy
+                # num_workers sizing below, which only applies when the config
+                # says nothing about executors at all.
+                executor = spec
+        if workers is None and executor is None:
+            workers = max(1, config.num_workers)
         queue_size = config.daemon_queue_size if queue_size is None else queue_size
         if default_deadline is None:
             default_deadline = config.daemon_deadline_seconds
@@ -299,6 +416,7 @@ class SynthesisDaemon:
         daemon = cls(
             service,
             workers=workers,
+            executor=executor,
             queue_size=queue_size,
             default_deadline=default_deadline,
             source=f"artifact:{path}",
@@ -380,9 +498,28 @@ class SynthesisDaemon:
                 source=source,
                 fingerprint=fingerprint,
                 activated_at=time.monotonic(),
+                backend=self._make_serving_backend(service),
             )
-            self._retired_stats.append(self._generation.stats)
+            retired = self._generation
+            self._retired_stats.append(retired.stats)
             self._generation = generation
+        if retired.backend is not None:
+            # Batches that already snapshotted the retired generation hold its
+            # backend: shutting it down lets tasks they submitted run to
+            # completion, and a submit losing the race to the shutdown falls
+            # back to serving locally on the same (retired) generation — the
+            # answers are identical either way.  The wait=True join happens on
+            # a side thread so reload never blocks on in-flight batches, while
+            # the pool's pipes still close only after its management thread
+            # exits (a wait=False close can otherwise race interpreter
+            # shutdown into "Exception ignored ... Bad file descriptor"
+            # noise from concurrent.futures' atexit hook).
+            threading.Thread(
+                target=retired.backend.close,
+                kwargs={"wait": True},
+                name=f"retire-generation-{retired.number}",
+                daemon=True,
+            ).start()
         return generation
 
     # -- Submission ---------------------------------------------------------------------
@@ -495,7 +632,16 @@ class SynthesisDaemon:
             # alone: the survivors keep draining (or cancelling) it and exit on
             # their sentinels; sweeping now would cancel batches close(drain=
             # True) promised to serve and strand workers without sentinels.
+            # The serving backend stays open for them too (interpreter
+            # shutdown reaps it).
             return
+        generation_backend = self._generation.backend
+        if generation_backend is not None:
+            # Retired generations' backends were shut down at reload time; all
+            # dispatchers have exited, so the current pool is idle and a
+            # waiting close is cheap (and leaves nothing for interpreter
+            # shutdown to race against).
+            generation_backend.close(wait=True)
         # All workers have exited.  A submit racing with close can still have
         # slipped a batch in behind the sentinels; fail anything left so no
         # ticket is abandoned unresolved (the racing submitter does the same
@@ -518,6 +664,41 @@ class SynthesisDaemon:
         self.close(drain=True)
 
     # -- Worker internals ---------------------------------------------------------------
+    def _serve_on_generation(
+        self,
+        generation: ServiceGeneration,
+        kind: str,
+        requests: tuple[FillRequest | JoinRequest | CorrectRequest, ...],
+    ) -> list[ServedResponse]:
+        """Serve one batch on its snapshotted generation.
+
+        Process mode dispatches the frozen envelopes to the generation's
+        worker pool (the dispatcher thread blocks GIL-free on the result) and
+        folds the returned per-request outcomes into the daemon-side
+        generation stats, which the workers' separate processes cannot reach.
+        Any pool-level failure — shutdown race with a reload, broken pool,
+        unpicklable payload — serves in-process instead: byte-identical
+        answers, just without the parallelism.
+        """
+        backend = generation.backend
+        if backend is not None:
+            try:
+                responses = backend.submit(
+                    _serve_batch_in_worker, kind, requests
+                ).result()
+            except Exception:
+                with self._pending_lock:
+                    self.backend_fallbacks += 1
+            else:
+                stats = generation.service.stats
+                stats.record_batch()
+                for response in responses:
+                    stats.record(
+                        response.kind, response.elapsed_seconds, response.ok
+                    )
+                return responses
+        return getattr(generation.service, kind)(list(requests))
+
     def _fail_ticket(self, ticket: DaemonTicket, error: DaemonError) -> None:
         if not ticket.future.done():
             ticket.future.set_exception(error)
@@ -556,10 +737,11 @@ class SynthesisDaemon:
             return
         # One atomic snapshot of the served generation per batch: the whole
         # batch — and its generation/fingerprint tags — comes from exactly one
-        # consistent service, no matter how many reloads happen meanwhile.
+        # consistent service (and, in process mode, exactly one worker pool
+        # built from it), no matter how many reloads happen meanwhile.
         generation = self._generation
         try:
-            responses = getattr(generation.service, ticket.kind)(list(requests))
+            responses = self._serve_on_generation(generation, ticket.kind, requests)
             result = DaemonResult(
                 kind=ticket.kind,
                 responses=responses,

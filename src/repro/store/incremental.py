@@ -50,6 +50,7 @@ __all__ = ["RefreshStats", "refresh_artifact"]
 #: fields only shape how the serving daemon queues and reloads — never what a
 #: pipeline run computes.
 _RESULT_NEUTRAL_FIELDS = {
+    "executor",
     "num_workers",
     "artifact_path",
     "artifact_compress",
@@ -130,7 +131,7 @@ def refresh_artifact(
     """
     # Imports are local for the same reason as in the pipeline: this module sits
     # below repro.core but orchestrates every other subpackage.
-    from repro.extraction.candidates import CandidateExtractor, ExtractionStats
+    from repro.extraction.candidates import CandidateExtractor
     from repro.extraction.cooccurrence import CooccurrenceIndex
     from repro.synthesis.curation import curate_mappings
     from repro.synthesis.synthesizer import TableSynthesizer
@@ -183,8 +184,20 @@ def refresh_artifact(
     pmi_index = (
         CooccurrenceIndex.from_corpus(corpus) if config.use_pmi_filter else None
     )
-    extraction_stats = ExtractionStats()
     reused_by_source = artifact.candidates_by_source()
+    # Changed/added tables go through the same (possibly sharded) extraction
+    # entry point as a cold run — the executor backend fans them out exactly
+    # like blocked-pair scoring; extraction is per-table, so regrouping the
+    # results by source table cannot change any candidate.
+    changed_tables = [
+        table for table in corpus if table.table_id not in unchanged_sources
+    ]
+    extracted, extraction_stats = extractor.extract_tables(
+        changed_tables, index=pmi_index
+    )
+    extracted_by_source: dict[str, list] = {}
+    for candidate in extracted:
+        extracted_by_source.setdefault(candidate.source_table_id, []).append(candidate)
     candidates = []
     reused_candidate_ids: set[str] = set()
     # Iterate the corpus in its own order so the refreshed candidate list lines
@@ -195,9 +208,7 @@ def refresh_artifact(
             candidates.extend(kept)
             reused_candidate_ids.update(candidate.table_id for candidate in kept)
         else:
-            candidates.extend(
-                extractor.extract_from_table(table, index=pmi_index, stats=extraction_stats)
-            )
+            candidates.extend(extracted_by_source.get(table.table_id, []))
     stats.candidates_total = len(candidates)
     stats.candidates_reused = len(reused_candidate_ids)
     stats.candidates_extracted = stats.candidates_total - stats.candidates_reused

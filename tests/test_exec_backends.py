@@ -1,0 +1,449 @@
+"""Unit tests for the :mod:`repro.exec` execution-backend API.
+
+Covers spec parsing, the backend registry, the three built-in backends'
+protocol methods (ordered ``map_blocks``, unordered ``map_unordered``,
+``submit``, lifecycle), initializer plumbing, and the
+:class:`~repro.core.config.SynthesisConfig` integration — the ``executor``
+field, the ``REPRO_EXECUTOR`` environment hook, and the deprecated
+``num_workers`` shim.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.config import EXECUTOR_ENV_VAR, SynthesisConfig
+from repro.exec import (
+    ExecutionBackend,
+    ExecutorSpecError,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    chunk_evenly,
+    create_backend,
+    parse_executor_spec,
+    register_backend,
+    registered_backends,
+)
+from repro.exec import backend as backend_module
+
+
+def _square(value: int) -> int:
+    return value * value
+
+
+def _read_token(_: object = None) -> str:
+    # Reads state installed by _install_token — exercises initializer plumbing.
+    return os.environ.get("_REPRO_EXEC_TEST_TOKEN", "missing")
+
+
+def _install_token(token: str) -> None:
+    # Environ survives in forked/spawned workers and threads alike.
+    os.environ["_REPRO_EXEC_TEST_TOKEN"] = token
+
+
+ALL_SPECS = ("serial", "thread:3", "process:2")
+
+
+class TestSpecParsing:
+    def test_kinds_and_counts(self):
+        assert parse_executor_spec("serial") == ("serial", 1)
+        assert parse_executor_spec("thread:8") == ("thread", 8)
+        assert parse_executor_spec("process:4") == ("process", 4)
+        assert parse_executor_spec(" Thread:2 ") == ("thread", 2)
+
+    def test_bare_parallel_kind_defaults_to_cpu_count(self):
+        kind, workers = parse_executor_spec("process")
+        assert kind == "process"
+        assert workers == (os.cpu_count() or 1)
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["", "  ", "rocket:4", "thread:0", "thread:-1", "thread:two", "serial:3",
+         "thread:", "process: "],
+    )
+    def test_invalid_specs_rejected(self, spec):
+        with pytest.raises(ExecutorSpecError):
+            parse_executor_spec(spec)
+
+    def test_spec_error_is_a_value_error(self):
+        assert issubclass(ExecutorSpecError, ValueError)
+
+
+class TestChunkEvenly:
+    def test_contiguous_and_complete(self):
+        items = list(range(10))
+        chunks = chunk_evenly(items, 3)
+        assert [x for chunk in chunks for x in chunk] == items
+        assert len(chunks) <= 4  # ceil-sized contiguous slices
+
+    def test_fewer_items_than_chunks(self):
+        assert chunk_evenly([1, 2], 8) == [[1], [2]]
+
+    def test_empty(self):
+        assert chunk_evenly([], 4) == []
+
+    def test_invalid_chunks(self):
+        with pytest.raises(ValueError):
+            chunk_evenly([1], 0)
+
+
+class TestBackendProtocol:
+    @pytest.mark.parametrize("spec", ALL_SPECS)
+    def test_map_blocks_preserves_order(self, spec):
+        with create_backend(spec) as backend:
+            assert backend.map_blocks(sum, [[1, 2], [3], [4, 5, 6]]) == [3, 3, 15]
+
+    @pytest.mark.parametrize("spec", ALL_SPECS)
+    def test_map_unordered_covers_all_items(self, spec):
+        with create_backend(spec) as backend:
+            assert sorted(backend.map_unordered(_square, range(6))) == [
+                0, 1, 4, 9, 16, 25,
+            ]
+
+    @pytest.mark.parametrize("spec", ALL_SPECS)
+    def test_submit_returns_future(self, spec):
+        with create_backend(spec) as backend:
+            assert backend.submit(_square, 7).result(timeout=30) == 49
+
+    @pytest.mark.parametrize("spec", ALL_SPECS)
+    def test_submit_propagates_exceptions(self, spec):
+        with create_backend(spec) as backend:
+            future = backend.submit(_square, "not-an-int")
+            with pytest.raises(TypeError):
+                future.result(timeout=30)
+
+    @pytest.mark.parametrize("spec", ALL_SPECS)
+    def test_initializer_runs_before_tasks(self, spec):
+        backend = create_backend(
+            spec, initializer=_install_token, initargs=(f"token-{spec}",)
+        )
+        with backend:
+            results = set(backend.map_unordered(_read_token, range(3)))
+        assert results == {f"token-{spec}"}
+
+    def test_all_backends_agree(self):
+        blocks = [list(range(i, i + 4)) for i in range(0, 20, 4)]
+        reference = SerialBackend().map_blocks(sum, blocks)
+        for spec in ("thread:2", "process:2"):
+            with create_backend(spec) as backend:
+                assert backend.map_blocks(sum, blocks) == reference
+
+    def test_workers_validated(self):
+        with pytest.raises(ValueError):
+            ThreadBackend(0)
+
+    def test_close_is_idempotent_and_final(self):
+        backend = ProcessBackend(2)
+        backend.close()
+        backend.close()
+        with pytest.raises(RuntimeError):
+            backend.submit(_square, 1)
+
+    def test_serial_backend_is_always_single_worker(self):
+        assert SerialBackend(workers=1).workers == 1
+
+    def test_pool_is_lazy(self):
+        # A backend that never runs anything must never spawn its pool.
+        backend = ProcessBackend(2)
+        assert backend._pool is None
+        backend.close()
+        assert backend._pool is None
+
+    def test_process_pool_uses_spawn_when_other_threads_are_alive(self):
+        # Forking a multi-threaded process can clone a held lock into the
+        # child and hang the pool; with any other thread alive the backend
+        # must pick the spawn start method instead of the platform default.
+        import threading
+
+        release = threading.Event()
+        keeper = threading.Thread(target=release.wait, daemon=True)
+        keeper.start()
+        backend = ProcessBackend(1)
+        try:
+            assert backend.pool._mp_context.get_start_method() == "spawn"
+            assert backend.submit(_square, 5).result(timeout=60) == 25
+        finally:
+            backend.close()
+            release.set()
+            keeper.join()
+
+    def test_explicit_start_method_is_respected(self):
+        backend = ProcessBackend(1, start_method="fork")
+        try:
+            assert backend.pool._mp_context.get_start_method() == "fork"
+        finally:
+            backend.close()
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert {"serial", "thread", "process"} <= set(registered_backends())
+
+    def test_register_custom_backend(self):
+        class EchoBackend(SerialBackend):
+            kind = "echo"
+
+        register_backend("echo", EchoBackend)
+        try:
+            backend = create_backend("echo:1")
+            assert isinstance(backend, EchoBackend)
+            assert backend.map_blocks(sum, [[1, 2]]) == [3]
+        finally:
+            backend_module._BACKENDS.pop("echo", None)
+
+    def test_register_rejects_spec_like_names(self):
+        with pytest.raises(ValueError):
+            register_backend("bad:name", SerialBackend)
+
+    def test_create_backend_unknown_kind(self):
+        with pytest.raises(ExecutorSpecError):
+            create_backend("warp:9")
+
+
+class TestConfigExecutorField:
+    @pytest.fixture(autouse=True)
+    def _clean_executor_env(self, monkeypatch):
+        # These tests pin the *default* resolution order; a REPRO_EXECUTOR set
+        # in the environment (the CI process matrix leg exports process:2
+        # job-wide) would legitimately pre-empt it, so clear it here and test
+        # the env behavior explicitly via monkeypatch.setenv below.
+        monkeypatch.delenv(EXECUTOR_ENV_VAR, raising=False)
+
+    def test_hash_regression_with_extra_dict(self):
+        # `extra` is a dict field on a frozen dataclass: without hash=False the
+        # generated __hash__ raised TypeError (the PR 4 latent bug).
+        assert isinstance(hash(SynthesisConfig()), int)
+        assert isinstance(hash(SynthesisConfig(extra={"sweep": 1})), int)
+        assert hash(SynthesisConfig()) == hash(SynthesisConfig())
+
+    def test_extra_still_participates_in_equality(self):
+        assert SynthesisConfig(extra={"a": 1}) != SynthesisConfig(extra={"a": 2})
+
+    def test_invalid_executor_spec_rejected_at_config_time(self):
+        with pytest.raises(ValueError):
+            SynthesisConfig(executor="rocket:4")
+        with pytest.raises(ValueError):
+            SynthesisConfig(executor="thread:0")
+
+    def test_effective_executor_explicit_spec_wins(self):
+        config = SynthesisConfig(executor="thread:3", num_workers=8)
+        assert config.effective_executor("process") == "thread:3"
+        assert config.executor_workers("process") == 3
+
+    def test_effective_executor_defaults_to_serial(self):
+        config = SynthesisConfig()
+        assert config.effective_executor("process") == "serial"
+        assert config.executor_workers() == 1
+
+    def test_legacy_num_workers_warns_once_at_construction(self):
+        import warnings
+
+        with pytest.deprecated_call():
+            config = SynthesisConfig(num_workers=4)
+        # The shim maps per stage without further warnings — the deprecation
+        # notice points at the config's construction site, not at whichever
+        # pipeline stage happens to consult it first.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            assert config.effective_executor("process") == "process:4"
+            assert config.effective_executor("thread") == "thread:4"
+
+    def test_explicit_executor_silences_the_num_workers_deprecation(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            SynthesisConfig(executor="thread:2", num_workers=8)
+
+    def test_legacy_num_workers_stays_serial_for_opted_out_stages(self):
+        # Stages that never parallelized under num_workers (extraction) pass
+        # default_kind=None: the shim must leave them serial — the "configs
+        # that still set it behave exactly as before" contract.
+        config = SynthesisConfig(num_workers=8)
+        assert config.effective_executor(default_kind=None) == "serial"
+
+    def test_explicit_spec_still_wins_for_opted_out_stages(self):
+        config = SynthesisConfig(executor="process:2", num_workers=8)
+        assert config.effective_executor(default_kind=None) == "process:2"
+
+    def test_env_override_fills_unset_executor(self, monkeypatch):
+        monkeypatch.setenv(EXECUTOR_ENV_VAR, "process:2")
+        config = SynthesisConfig()
+        assert config.executor == "process:2"
+        assert config.effective_executor("thread") == "process:2"
+
+    def test_env_override_loses_to_explicit_executor(self, monkeypatch):
+        monkeypatch.setenv(EXECUTOR_ENV_VAR, "process:2")
+        assert SynthesisConfig(executor="thread:3").executor == "thread:3"
+
+    def test_env_override_beats_num_workers_shim(self, monkeypatch):
+        monkeypatch.setenv(EXECUTOR_ENV_VAR, "serial")
+        config = SynthesisConfig(num_workers=8)
+        assert config.effective_executor("process") == "serial"
+
+    def test_invalid_env_spec_fails_loudly(self, monkeypatch):
+        monkeypatch.setenv(EXECUTOR_ENV_VAR, "bogus:2")
+        with pytest.raises(ValueError):
+            SynthesisConfig()
+
+    def test_with_overrides_preserves_executor(self):
+        config = SynthesisConfig(executor="process:2").with_overrides(fd_theta=0.9)
+        assert config.executor == "process:2"
+
+
+class TestExecutionBackendBase:
+    def test_base_methods_are_abstract(self):
+        backend = ExecutionBackend(1)
+        with pytest.raises(NotImplementedError):
+            backend.map_blocks(sum, [[1]])
+        with pytest.raises(NotImplementedError):
+            backend.submit(sum, [1])
+
+    def test_concurrent_first_use_creates_one_pool(self):
+        # The lazy pool property is shared by many threads (daemon dispatchers
+        # submit to one per-generation backend); a check-then-create race must
+        # not construct (and orphan) a second executor.
+        from concurrent.futures import ThreadPoolExecutor
+
+        backend = ThreadBackend(2)
+        try:
+            with ThreadPoolExecutor(max_workers=8) as racers:
+                pools = list(
+                    racers.map(lambda _: backend.pool, range(16))
+                )
+            assert len({id(pool) for pool in pools}) == 1
+        finally:
+            backend.close()
+
+
+class TestDaemonExecutorSizing:
+    def test_executor_spec_worker_count_is_honored(self):
+        # Regression: the old `workers: int = 2` default silently overrode the
+        # count in an explicit spec, quietly serving "process:8" on 2 workers.
+        from repro.applications.service import MappingService
+        from repro.serving import SynthesisDaemon
+
+        daemon = SynthesisDaemon(MappingService([]), executor="process:3")
+        try:
+            assert daemon.workers == 3
+            assert daemon.executor_kind == "process"
+        finally:
+            daemon.close()
+
+    def test_explicit_workers_still_win_over_spec(self):
+        from repro.applications.service import MappingService
+        from repro.serving import SynthesisDaemon
+
+        daemon = SynthesisDaemon(MappingService([]), workers=2, executor="process:8")
+        try:
+            assert daemon.workers == 2
+        finally:
+            daemon.close()
+
+    def test_explicit_workers_survive_a_serial_spec(self):
+        # Regression: a serial spec used to clamp an explicitly requested
+        # worker count down to 1 with no error — an io-bound deployment that
+        # asked for 4 overlapping dispatchers silently lost 3 of them.
+        from repro.applications.service import MappingService
+        from repro.serving import SynthesisDaemon
+
+        daemon = SynthesisDaemon(MappingService([]), workers=4, executor="serial")
+        try:
+            assert daemon.workers == 4
+        finally:
+            daemon.close()
+
+    def test_default_without_executor_is_two_thread_workers(self):
+        from repro.applications.service import MappingService
+        from repro.serving import SynthesisDaemon
+
+        daemon = SynthesisDaemon(MappingService([]))
+        try:
+            assert daemon.workers == 2
+            assert daemon.executor_kind == "thread"
+        finally:
+            daemon.close()
+
+    def test_from_artifact_explicit_serial_beats_legacy_num_workers(
+        self, tmp_path, monkeypatch
+    ):
+        # Regression: from_artifact used to map an explicit "serial" spec to
+        # None and let the deprecated num_workers resurrect a 4-worker daemon.
+        from repro.core.config import SynthesisConfig
+        from repro.core.pipeline import SynthesisPipeline
+        from repro.corpus.corpus import TableCorpus
+        from repro.corpus.seeds import get_seed_relation
+        from repro.corpus.table import Table
+        from repro.serving import SynthesisDaemon
+
+        monkeypatch.delenv(EXECUTOR_ENV_VAR, raising=False)
+        corpus = TableCorpus(
+            [
+                Table.from_rows(
+                    table_id=f"t{i}",
+                    header=["name", "code"],
+                    rows=[list(r) for r in get_seed_relation("state_abbrev").pairs[:6]],
+                    domain=f"d{i}.example",
+                )
+                for i in range(2)
+            ],
+            name="tiny",
+        )
+        config = SynthesisConfig(
+            executor="serial", num_workers=4, use_pmi_filter=False,
+            min_domains=1, min_mapping_size=2,
+        )
+        pipeline = SynthesisPipeline(config)
+        pipeline.run(corpus)
+        path = pipeline.save_artifact(tmp_path / "tiny.gz")
+        daemon = SynthesisDaemon.from_artifact(path, config=config, watch=False)
+        try:
+            assert daemon.executor_kind == "serial"
+            assert daemon.workers == 1
+        finally:
+            daemon.close()
+
+
+class TestMapReducePicklabilityProbe:
+    def test_closure_job_degrades_to_threads_without_pool_churn(self):
+        # A closure-capturing job cannot pickle; the engine must detect that
+        # before spawning a process pool and still fan out (threads), with the
+        # degradation observable and the output identical to serial.
+        from repro.mapreduce.engine import MapReduceEngine, MapReduceJob
+
+        bonus = 10  # captured -> mapper is a closure -> unpicklable
+
+        def mapper(record):
+            yield record % 3, record + bonus
+
+        def reducer(key, values):
+            yield (key, sorted(values))
+
+        job = MapReduceJob(mapper=mapper, reducer=reducer, name="closure")
+        records = list(range(20))
+        serial = MapReduceEngine().run(job, records)
+        engine = MapReduceEngine(executor="process:2")
+        assert engine.run(job, records) == serial
+        assert engine.last_map_fallback
+
+    def test_picklable_job_runs_on_process_backend(self):
+        from repro.mapreduce.engine import MapReduceEngine, MapReduceJob
+
+        job = MapReduceJob(mapper=_count_mapper, reducer=_sum_reducer, name="wc")
+        records = ["a b a", "b c", "a"] * 4
+        serial = MapReduceEngine().run(job, records)
+        engine = MapReduceEngine(executor="process:2")
+        assert engine.run(job, records) == serial
+        assert not engine.last_map_fallback
+
+
+def _count_mapper(line):
+    for word in line.split():
+        yield word, 1
+
+
+def _sum_reducer(key, values):
+    yield (key, sum(values))
