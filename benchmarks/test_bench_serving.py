@@ -4,16 +4,19 @@ Measures, at the headline bench scale, the three costs the artifact store is
 built to separate:
 
 1. **cold** — a full pipeline run (extraction → scoring → synthesis → curation);
-2. **artifact** — saving that run, then loading it back and standing up a
-   :class:`MappingService` (what a serving process pays at startup);
+2. **artifact** — saving that run in both formats (v1 eager JSON blob, v2
+   sectioned lazy container), then loading each back and standing up a
+   :class:`MappingService` (what a serving process pays at startup, and what
+   every daemon hot-reload swap pays again);
 3. **serving** — batched autofill/autojoin/autocorrect against the prebuilt
    index (what each request batch pays), plus an incremental refresh against a
    grown corpus versus the cold rebuild it replaces.
 
 Results are recorded in ``BENCH_serving.json`` at the repository root.  The
-acceptance bar from the PR issue is asserted here: artifact load must be at
-least 5x faster than the cold pipeline, and the loaded service must answer
-batches identically to one built from the fresh in-process run.
+acceptance bars from the PR issues are asserted here: artifact load must be at
+least 5x faster than the cold pipeline, the loaded service must answer batches
+identically to one built from the fresh in-process run, and the v2 artifact
+must be measurably smaller than the v1 encoding of the same run.
 """
 
 from __future__ import annotations
@@ -28,7 +31,7 @@ from repro.applications import CorrectRequest, FillRequest, JoinRequest, Mapping
 from repro.core.pipeline import SynthesisPipeline
 from repro.corpus.seeds import get_seed_relation
 from repro.evaluation.experiments import ExperimentScale, experiment_config, make_web_corpus
-from repro.store import load_artifact, refresh_artifact
+from repro.store import load_artifact, refresh_artifact, save_artifact
 
 pytestmark = pytest.mark.slow
 
@@ -97,17 +100,33 @@ def test_serving_bench(benchmark, tmp_path_factory):
         cold_seconds = time.perf_counter() - start
 
         start = time.perf_counter()
-        pipeline.save_artifact(artifact_file)
+        pipeline.save_artifact(artifact_file)  # v2 (sectioned) by default
         save_seconds = time.perf_counter() - start
 
-        # 2. Artifact load (the ISSUE's >= 5x criterion) and service startup.
+        v1_file = artifact_file.with_name("web.artifact.v1.gz")
+        start = time.perf_counter()
+        save_artifact(pipeline.last_artifact, v1_file, version=1)
+        v1_save_seconds = time.perf_counter() - start
+
+        # 2. Artifact load (the >= 5x criterion) and service startup, for both
+        # formats.  For v2 "load" is the lazy open (TOC parse only); the
+        # serving decode happens inside the service start, which is also
+        # exactly what every daemon hot-reload swap pays.
         start = time.perf_counter()
         load_artifact(artifact_file)
         load_seconds = time.perf_counter() - start
 
         start = time.perf_counter()
+        load_artifact(v1_file)
+        v1_load_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
         loaded_service = MappingService.from_artifact(artifact_file)
         service_start_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        MappingService.from_artifact(v1_file)
+        v1_service_start_seconds = time.perf_counter() - start
 
         # 3. Batched serving, answers checked against the fresh in-process run.
         fresh_service = MappingService.from_result(result)
@@ -145,11 +164,26 @@ def test_serving_bench(benchmark, tmp_path_factory):
             "num_curated": len(result.curated),
             "index_size": len(loaded_service),
             "artifact_bytes": artifact_file.stat().st_size,
+            "artifact_v1_bytes": v1_file.stat().st_size,
+            "v2_size_ratio_vs_v1": artifact_file.stat().st_size / v1_file.stat().st_size,
             "cold_pipeline_seconds": cold_seconds,
             "artifact_save_seconds": save_seconds,
+            "artifact_v1_save_seconds": v1_save_seconds,
             "artifact_load_seconds": load_seconds,
+            "artifact_v1_load_seconds": v1_load_seconds,
             "service_start_seconds": service_start_seconds,
+            "v1_service_start_seconds": v1_service_start_seconds,
+            "lazy_swap_speedup_vs_v1": (
+                v1_service_start_seconds / service_start_seconds
+                if service_start_seconds
+                else 0.0
+            ),
             "load_speedup_vs_cold": cold_seconds / load_seconds if load_seconds else 0.0,
+            "serving_startup_speedup_vs_cold": (
+                cold_seconds / (load_seconds + service_start_seconds)
+                if load_seconds + service_start_seconds
+                else 0.0
+            ),
             "num_requests": num_requests,
             "batched_serve_seconds": serve_seconds,
             "mean_request_ms": serve_seconds / num_requests * 1000.0,
@@ -175,10 +209,18 @@ def test_serving_bench(benchmark, tmp_path_factory):
         f"{row['num_tables']} tables -> {row['num_curated']} curated mappings"
     )
     print(
-        f"artifact       save {row['artifact_save_seconds']:.2f}s, "
-        f"load {row['artifact_load_seconds']:.3f}s "
+        f"artifact v2    save {row['artifact_save_seconds']:.2f}s, "
+        f"lazy open {row['artifact_load_seconds'] * 1000:.1f} ms "
         f"({row['load_speedup_vs_cold']:.0f}x faster than cold), "
-        f"{row['artifact_bytes'] / 1024:.0f} KiB"
+        f"{row['artifact_bytes'] / 1024:.0f} KiB "
+        f"({row['v2_size_ratio_vs_v1']:.2f}x of v1's "
+        f"{row['artifact_v1_bytes'] / 1024:.0f} KiB)"
+    )
+    print(
+        f"swap           v2 service start {row['service_start_seconds'] * 1000:.0f} ms"
+        f" vs v1 {row['v1_service_start_seconds'] * 1000:.0f} ms "
+        f"({row['lazy_swap_speedup_vs_v1']:.1f}x: lazy decode pays only for "
+        f"mappings + curation)"
     )
     print(
         f"serving        {row['num_requests']} requests in "
@@ -192,7 +234,15 @@ def test_serving_bench(benchmark, tmp_path_factory):
         f"{row['refresh_pairs_reused']} pair scores reused)"
     )
 
-    assert row["load_speedup_vs_cold"] >= 5.0, (
-        f"artifact load must be >= 5x faster than the cold pipeline, got "
-        f"{row['load_speedup_vs_cold']:.1f}x"
+    # The lazy open alone is near-free (TOC parse), so the >= 5x bar is held
+    # against the full serving-startup cost — open + section decode + index
+    # build — which is what a v1-era "artifact load" actually paid.
+    assert row["serving_startup_speedup_vs_cold"] >= 5.0, (
+        f"serving startup (lazy open + decode + index build) must be >= 5x "
+        f"faster than the cold pipeline, got "
+        f"{row['serving_startup_speedup_vs_cold']:.1f}x"
+    )
+    assert row["artifact_bytes"] < row["artifact_v1_bytes"], (
+        f"the v2 artifact must be smaller than v1 at bench scale, got "
+        f"{row['artifact_bytes']} vs {row['artifact_v1_bytes']} bytes"
     )

@@ -283,30 +283,39 @@ class MappingService:
 
         This is the cold-start path for serving processes: no extraction,
         scoring, or synthesis — just artifact deserialization plus one index
-        build.  The load time is recorded in :attr:`ServiceStats.load_seconds`.
+        build.  Sectioned (v2) artifacts load lazily, so this decodes **only**
+        the mappings + curation sections; candidates, profiles, and edges stay
+        encoded on disk.  The load-and-decode time (everything but the index
+        build) is recorded in :attr:`ServiceStats.load_seconds`.
         """
         from repro.store.artifact import load_artifact
 
         start = time.perf_counter()
         artifact = load_artifact(path)
-        load_seconds = time.perf_counter() - start
         kwargs.setdefault("source", f"artifact:{path}")
         service = cls.from_artifact_object(
             artifact, prefer_curated=prefer_curated, **kwargs
         )
-        service.stats.load_seconds = load_seconds
+        # Lazy artifacts decode their served sections inside from_artifact_object,
+        # so "load" is everything up to here minus the index build itself.
+        service.stats.load_seconds = (
+            time.perf_counter() - start - service.stats.build_seconds
+        )
         return service
 
     @classmethod
     def from_artifact_object(
         cls, artifact: "SynthesisArtifact", *, prefer_curated: bool = True, **kwargs
     ) -> "MappingService":
-        """Build a service from an already-deserialized artifact.
+        """Build a service from an already-loaded artifact.
 
         Used by callers that need the artifact itself as well as the service —
         the serving daemon's hot-reload path loads the artifact once, tags the
         new generation with its corpus fingerprint, and builds the service from
-        the same object.
+        the same object.  Touches only :attr:`SynthesisArtifact.curated` /
+        :attr:`~SynthesisArtifact.mappings`, so a lazy artifact's cold
+        sections (profiles, edges, candidates) are never decoded — a hot
+        reload pays for exactly what it serves.
         """
         curated = artifact.curated
         pool = curated if prefer_curated and curated else artifact.mappings

@@ -7,6 +7,10 @@ serving daemon's hand-rolled worker threads — behind a single
 (:attr:`repro.core.config.SynthesisConfig.executor`): ``"serial"``,
 ``"thread:8"``, ``"process:4"``.  Every backend produces byte-identical
 results to :class:`SerialBackend`; only the wall-clock differs.
+
+:class:`FanOut` (:mod:`repro.exec.fanout`) is the shared gate + chunk +
+serial-fallback skeleton the fan-out call sites (scoring, extraction
+sharding, the Map-Reduce map phase) run their backends through.
 """
 
 from repro.exec.backend import (
@@ -21,6 +25,7 @@ from repro.exec.backend import (
     register_backend,
     registered_backends,
 )
+from repro.exec.fanout import FanOut
 
 __all__ = [
     "ExecutionBackend",
@@ -28,6 +33,7 @@ __all__ = [
     "SerialBackend",
     "ThreadBackend",
     "ProcessBackend",
+    "FanOut",
     "parse_executor_spec",
     "create_backend",
     "register_backend",

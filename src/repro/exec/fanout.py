@@ -1,0 +1,127 @@
+"""Shared fan-out skeleton for the pipeline's blocked parallel call sites.
+
+Three stages fan work across a :class:`~repro.exec.backend.ExecutionBackend` —
+blocked-pair scoring (:mod:`repro.graph.build`), candidate-extraction sharding
+(:mod:`repro.extraction.candidates`), and the Map-Reduce map phase
+(:mod:`repro.mapreduce.engine`).  Each kept re-implementing the same three
+steps with slightly different constants:
+
+1. **gate** — don't spin up a pool unless the backend is parallel *and* there
+   is enough work to amortize it;
+2. **chunk** — split the items into contiguous blocks sized to the worker
+   count (contiguity is what lets in-order callers recover the exact
+   sequential output by concatenation);
+3. **serial fallback** — any pool failure (pickling, sandboxed ``/dev/shm``,
+   broken executor) must degrade to the caller's sequential path, with a flag
+   so the degradation stays observable in stats and tests.
+
+:class:`FanOut` is that skeleton.  The call sites stay deliberately in charge
+of *what* runs — thread backends can share live objects while process backends
+need module-level tasks plus a spawn-safe initializer — so the helper takes
+the task/initializer per call and never inspects them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from typing import Any
+
+from repro.exec.backend import chunk_evenly, create_backend, parse_executor_spec
+
+__all__ = ["FanOut"]
+
+
+class FanOut:
+    """Gate + chunk + run-with-serial-fallback for one executor spec.
+
+    Parameters
+    ----------
+    spec:
+        The executor spec (``"serial"``, ``"thread:8"``, ...) — validated here,
+        so a typo fails at the call site's entry, not mid-build.
+    chunks_per_worker:
+        How many chunks each worker should see.  Oversplitting (the scoring
+        and extraction sites use 4) smooths skewed chunk costs; the Map-Reduce
+        site uses 1 to preserve its historical one-slice-per-worker layout.
+
+    Attributes
+    ----------
+    fallback:
+        True once a :meth:`run_blocks` / :meth:`run_unordered` call failed and
+        the caller must compute sequentially.  Callers surface it in their own
+        stats (``BuildStats.parallel_fallback``, ``last_parallel_fallback``,
+        ``last_map_fallback``).
+    """
+
+    def __init__(self, spec: str, *, chunks_per_worker: int = 4) -> None:
+        if chunks_per_worker < 1:
+            raise ValueError(f"chunks_per_worker must be >= 1, got {chunks_per_worker}")
+        self.spec = spec
+        self.kind, self.workers = parse_executor_spec(spec)
+        self.chunks_per_worker = chunks_per_worker
+        self.fallback = False
+
+    def should_fan_out(self, num_items: int, *, min_items: int | None = None) -> bool:
+        """True when the spec is parallel and the workload clears the gate.
+
+        The default gate — at least two items per worker — keeps tiny
+        workloads on the sequential path where pool startup would dominate.
+        """
+        if self.kind == "serial" or self.workers <= 1:
+            return False
+        if min_items is None:
+            min_items = 2 * self.workers
+        return num_items >= min_items
+
+    def chunk(self, items: Sequence[Any]) -> list[list[Any]]:
+        """Split ``items`` into contiguous blocks sized for this fan-out."""
+        return chunk_evenly(items, self.workers * self.chunks_per_worker)
+
+    def run_blocks(
+        self,
+        task: Callable[[Any], Any],
+        blocks: Sequence[Any],
+        *,
+        spec: str | None = None,
+        initializer: Callable[..., None] | None = None,
+        initargs: tuple = (),
+    ) -> list[Any] | None:
+        """``map_blocks`` across the backend; results come back in block order.
+
+        Returns ``None`` — with :attr:`fallback` set — when the pool fails for
+        any reason; the caller then runs its sequential path, which computes
+        the identical result.  ``spec`` overrides the construction spec (the
+        Map-Reduce site clamps the worker count to the record count).
+        """
+        try:
+            with create_backend(
+                spec or self.spec, initializer=initializer, initargs=initargs
+            ) as backend:
+                return backend.map_blocks(task, blocks)
+        except Exception:
+            self.fallback = True
+            return None
+
+    def run_unordered(
+        self,
+        task: Callable[[Any], Any],
+        blocks: Sequence[Any],
+        *,
+        spec: str | None = None,
+        initializer: Callable[..., None] | None = None,
+        initargs: tuple = (),
+    ) -> list[Any] | None:
+        """``map_unordered`` across the backend, collected in completion order.
+
+        For callers whose results carry their own keys, so ordering cannot
+        matter.  Same ``None``-plus-:attr:`fallback` contract as
+        :meth:`run_blocks`.
+        """
+        try:
+            with create_backend(
+                spec or self.spec, initializer=initializer, initargs=initargs
+            ) as backend:
+                return list(backend.map_unordered(task, blocks))
+        except Exception:
+            self.fallback = True
+            return None

@@ -19,7 +19,7 @@ from repro.core.binary_table import BinaryTable
 from repro.core.config import SynthesisConfig
 from repro.corpus.corpus import TableCorpus
 from repro.corpus.table import Table
-from repro.exec.backend import chunk_evenly, create_backend, parse_executor_spec
+from repro.exec.fanout import FanOut
 from repro.extraction.cooccurrence import CooccurrenceIndex
 from repro.extraction.fd import column_pair_fd_ratio
 from repro.extraction.pmi import column_coherence
@@ -250,30 +250,25 @@ class CandidateExtractor:
         self.last_parallel_fallback = False
         # default_kind=None: extraction never parallelized under the legacy
         # num_workers knob, so only an explicit executor spec shards it.
-        spec = self.config.effective_executor(default_kind=None)
-        kind, workers = parse_executor_spec(spec)
-        if kind != "serial" and workers > 1 and len(tables) >= 2 * workers:
-            shards = chunk_evenly(tables, workers * 4)
-            if kind == "thread":
-                backend = create_backend(spec)
-                task = _ShardTask(self.config, index)
+        fan = FanOut(self.config.effective_executor(default_kind=None))
+        if fan.should_fan_out(len(tables)):
+            shards = fan.chunk(tables)
+            if fan.kind == "thread":
+                # Threads share config + PMI index through one bound task
+                # object (no serialization); pickling backends ship them once
+                # per worker through the initializer, not once per shard task.
+                task, initializer, initargs = _ShardTask(self.config, index), None, ()
             else:
-                # Pickling backends ship config + PMI index once per worker
-                # through the initializer, not once per shard task.
-                backend = create_backend(
-                    spec,
-                    initializer=_init_extract_worker,
-                    initargs=(self.config, index),
-                )
                 task = _extract_shard_in_worker
-            try:
-                # map_blocks preserves shard order, so concatenation recovers
-                # the exact sequential candidate ordering.
-                with backend:
-                    shard_results = backend.map_blocks(task, shards)
-            except Exception:
-                # Unpicklable tables/index under a process backend, or an
-                # environmentally broken pool: extract in-process instead.
+                initializer, initargs = _init_extract_worker, (self.config, index)
+            # map_blocks preserves shard order, so concatenation recovers the
+            # exact sequential candidate ordering.  A pool failure (unpicklable
+            # tables/index under a process backend, environmentally broken
+            # pool) returns None and extraction runs in-process instead.
+            shard_results = fan.run_blocks(
+                task, shards, initializer=initializer, initargs=initargs
+            )
+            if shard_results is None:
                 self.last_parallel_fallback = True
             else:
                 stats = ExtractionStats()

@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 
 from repro.core.binary_table import BinaryTable
 from repro.core.config import SynthesisConfig
-from repro.exec.backend import chunk_evenly, create_backend, parse_executor_spec
+from repro.exec.fanout import FanOut
 from repro.graph.compatibility import CompatibilityScorer
 from repro.graph.connected import connected_components
 from repro.graph.profile import TableProfile
@@ -291,25 +291,22 @@ class GraphBuilder:
         self, tables: list[BinaryTable], tasks: list[tuple[int, int, bool, bool, int, int]]
     ) -> dict[tuple[int, int], tuple[float, float]]:
         """Score blocked pairs, fanning out across the configured backend."""
-        spec = self.config.effective_executor(default_kind="process")
-        kind, workers = parse_executor_spec(spec)
-        if (
-            kind != "serial"
-            and workers > 1
-            and len(tasks) >= 2 * workers
+        fan = FanOut(self.config.effective_executor(default_kind="process"))
+        if fan.should_fan_out(len(tasks)) and (
             # Thread workers share this builder's scorer object, so an injected
             # scorer subclass is fine there; process workers rebuild a plain
             # CompatibilityScorer from config and would silently mis-mirror a
             # subclass, so they require the stock scorer.
-            and (kind == "thread" or type(self.scorer) is CompatibilityScorer)
+            fan.kind == "thread"
+            or type(self.scorer) is CompatibilityScorer
         ):
-            try:
-                return self._score_with_backend(spec, kind, workers, tables, tasks)
-            except Exception:
-                # Pools can fail for environmental reasons (pickling, sandboxing,
-                # missing /dev/shm); the sequential path computes the same result.
-                # The flag keeps the degradation observable in stats and tests.
-                self.last_build_stats.parallel_fallback = True
+            results = self._score_with_backend(fan, tables, tasks)
+            if results is not None:
+                return results
+            # Pools can fail for environmental reasons (pickling, sandboxing,
+            # missing /dev/shm); the sequential path computes the same result.
+            # The flag keeps the degradation observable in stats and tests.
+            self.last_build_stats.parallel_fallback = True
         results: dict[tuple[int, int], tuple[float, float]] = {}
         hits_before = self.scorer.match_cache_hits
         misses_before = self.scorer.match_cache_misses
@@ -328,21 +325,21 @@ class GraphBuilder:
 
     def _score_with_backend(
         self,
-        spec: str,
-        kind: str,
-        workers: int,
+        fan: FanOut,
         tables: list[BinaryTable],
         tasks: list[tuple[int, int, bool, bool, int, int]],
-    ) -> dict[tuple[int, int], tuple[float, float]]:
+    ) -> dict[tuple[int, int], tuple[float, float]] | None:
         """Fan chunks of blocked pairs across a :mod:`repro.exec` backend.
 
         Results are keyed by the ``(first, second)`` pair each chunk entry
         carries, so the unordered completion order cannot change the graph.
+        Returns ``None`` (with ``fan.fallback`` set) when the pool fails and
+        the caller must score sequentially.
         """
-        chunks = chunk_evenly(tasks, workers * 4)
+        chunks = fan.chunk(tasks)
         results: dict[tuple[int, int], tuple[float, float]] = {}
         hits = misses = 0
-        if kind == "thread":
+        if fan.kind == "thread":
             # Threads score on this builder's own scorer: its verdict memo is
             # deterministic (pure function of the value pair), so concurrent
             # fills converge on identical entries.  Cache counters are read as
@@ -361,10 +358,12 @@ class GraphBuilder:
                     for task in chunk
                 ]
 
-            with create_backend(spec) as backend:
-                for chunk_results in backend.map_unordered(run_chunk, chunks):
-                    for first, second, positive, negative in chunk_results:
-                        results[(first, second)] = (positive, negative)
+            chunk_outputs = fan.run_unordered(run_chunk, chunks)
+            if chunk_outputs is None:
+                return None
+            for chunk_results in chunk_outputs:
+                for first, second, positive, negative in chunk_results:
+                    results[(first, second)] = (positive, negative)
             hits = self.scorer.match_cache_hits - hits_before
             misses = self.scorer.match_cache_misses - misses_before
         else:
@@ -373,23 +372,23 @@ class GraphBuilder:
             # task envelopes.  Workers must mirror the *scorer* doing the
             # sequential scoring, which an injected scorer may configure
             # differently from the builder.
-            backend = create_backend(
-                spec,
+            chunk_outputs = fan.run_unordered(
+                _score_pair_chunk,
+                chunks,
                 initializer=_init_scoring_worker,
                 initargs=(tables, self.scorer.config, self.scorer.synonyms),
             )
-            with backend:
-                for chunk_results, chunk_hits, chunk_misses in backend.map_unordered(
-                    _score_pair_chunk, chunks
-                ):
-                    hits += chunk_hits
-                    misses += chunk_misses
-                    for first, second, positive, negative in chunk_results:
-                        results[(first, second)] = (positive, negative)
+            if chunk_outputs is None:
+                return None
+            for chunk_results, chunk_hits, chunk_misses in chunk_outputs:
+                hits += chunk_hits
+                misses += chunk_misses
+                for first, second, positive, negative in chunk_results:
+                    results[(first, second)] = (positive, negative)
         self.last_build_stats.match_cache_hits = hits
         self.last_build_stats.match_cache_misses = misses
-        self.last_build_stats.num_workers = workers
-        self.last_build_stats.executor = spec
+        self.last_build_stats.num_workers = fan.workers
+        self.last_build_stats.executor = fan.spec
         return results
 
     # -- Public API --------------------------------------------------------------------

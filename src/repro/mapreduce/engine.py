@@ -18,7 +18,8 @@ from dataclasses import dataclass, field
 from functools import partial
 from typing import Any
 
-from repro.exec.backend import chunk_evenly, create_backend, parse_executor_spec
+from repro.exec.backend import parse_executor_spec
+from repro.exec.fanout import FanOut
 
 __all__ = ["MapReduceJob", "MapReduceEngine"]
 
@@ -122,8 +123,10 @@ class MapReduceEngine:
         records = list(records)
         counters.input_records += len(records)
         self.last_map_fallback = False
-        kind, workers = parse_executor_spec(self.effective_executor)
-        if kind != "serial" and workers > 1 and len(records) > 1:
+        # chunks_per_worker=1 preserves this engine's historical layout: one
+        # contiguous record slice per (record-count-clamped) worker.
+        fan = FanOut(self.effective_executor, chunks_per_worker=1)
+        if fan.should_fan_out(len(records), min_items=2):
             # The map phase fans contiguous record slices across the configured
             # repro.exec backend.  Threads share closure-based mappers safely
             # (and, under CPython's GIL, buy throughput only for mappers that
@@ -133,8 +136,8 @@ class MapReduceEngine:
             # mappers past the GIL.  Chunks are merged in input order either
             # way, so the shuffle sees the exact same value ordering as the
             # sequential path.
-            workers = min(workers, len(records))
-            chunks = chunk_evenly(records, workers)
+            kind = fan.kind
+            workers = min(fan.workers, len(records))
             task = partial(_map_chunk, job)
             if kind not in ("serial", "thread"):
                 # A process (or custom pickling) backend needs the whole job to
@@ -147,14 +150,15 @@ class MapReduceEngine:
                 except Exception:
                     self.last_map_fallback = True
                     kind = "thread"
-            try:
-                with create_backend(f"{kind}:{workers}") as backend:
-                    mapped_chunks = backend.map_blocks(task, chunks)
-                mapped = [pair for chunk in mapped_chunks for pair in chunk]
-            except Exception:
+            mapped_chunks = fan.run_blocks(
+                task, fan.chunk(records), spec=f"{kind}:{workers}"
+            )
+            if mapped_chunks is None:
                 # An environmentally broken pool computes identically in-process.
                 self.last_map_fallback = True
                 mapped = self._map_records(job, records)
+            else:
+                mapped = [pair for chunk in mapped_chunks for pair in chunk]
         else:
             mapped = self._map_records(job, records)
         counters.mapped_pairs += len(mapped)

@@ -12,10 +12,14 @@ combines two signals:
   signature every ``poll_seconds``, which covers artifacts published by other
   processes.
 
-Either way the artifact is re-read through :func:`load_artifact`, so a damaged
-or half-published file (impossible with ``save_artifact``'s atomic rename, but
-possible with foreign writers) fails its checksum, is skipped, and is retried
-on the next tick instead of ever being swapped in.
+Either way the artifact is re-read through :func:`load_artifact` and
+checksum-validated **before** the callback sees it, so a damaged or
+half-published file (impossible with ``save_artifact``'s atomic rename, but
+possible with foreign writers) is skipped and retried on the next tick instead
+of ever being swapped in.  For sectioned (v2) artifacts the validation walks
+the table of contents and hashes each section's stored bytes — no section is
+decoded — so a reload candidate is vetted at hashing speed and the swap
+itself only ever decodes the mappings + curation sections it serves.
 """
 
 from __future__ import annotations
@@ -125,6 +129,10 @@ class ArtifactWatcher:
             load_started = time.perf_counter()
             try:
                 artifact = load_artifact(self.path)
+                # v2 artifacts load lazily (TOC only); verify() checksums every
+                # section without decoding any, so damaged bytes are rejected
+                # here — not mid-swap when the consumer first touches them.
+                artifact.verify()
             except (ArtifactError, OSError):
                 # Damaged or foreign bytes at the path: never swap them in;
                 # keep the old signature so the next poll retries.

@@ -9,11 +9,19 @@ only need the *outputs* of that run, so this package persists them:
   used both to stamp artifacts with their input and to detect which tables
   changed between runs;
 * :mod:`repro.store.artifact` — :class:`SynthesisArtifact`, a versioned,
-  checksummed, optionally gzip-compressed on-disk snapshot of one pipeline run
-  (corpus fingerprint, candidate tables, table profiles, compatibility-graph
-  edges, synthesized + curated mappings, stats and timings);
+  checksummed on-disk snapshot of one pipeline run (corpus fingerprint,
+  candidate tables, table profiles, compatibility-graph edges, synthesized +
+  curated mappings, stats and timings), loaded as a **lazy facade** over the
+  sectioned v2 container;
+* :mod:`repro.store.format` / :mod:`repro.store.sections` /
+  :mod:`repro.store.codec` — the v2 container: a table of contents over
+  independently checksummed, individually gzip'd sections, with a compact
+  interned-string binary encoding for the value-pair and edge sections
+  (:class:`ArtifactReader` decodes sections on first access;
+  :class:`ArtifactWriter` copies untouched sections verbatim);
 * :mod:`repro.store.incremental` — Δ-maintenance: refresh an artifact against an
-  updated corpus, re-extracting and re-scoring only what changed.
+  updated corpus, re-extracting and re-scoring only what changed (and, for v2
+  artifacts, decoding/rewriting only the sections the refresh touches).
 
 Loading an artifact is orders of magnitude faster than re-running the pipeline,
 which is what makes the batched :class:`~repro.applications.service.MappingService`
@@ -22,6 +30,7 @@ practical: one saved run amortized over many requests.
 
 from repro.store.artifact import (
     ARTIFACT_VERSION,
+    SUPPORTED_VERSIONS,
     ArtifactCorruptionError,
     ArtifactError,
     ArtifactVersionError,
@@ -31,13 +40,20 @@ from repro.store.artifact import (
     subscribe_artifact,
 )
 from repro.store.fingerprint import fingerprint_corpus, fingerprint_table
+from repro.store.format import ArtifactReader, ArtifactWriter, SectionInfo
 from repro.store.incremental import RefreshStats, refresh_artifact
+from repro.store.sections import SECTION_ORDER
 
 __all__ = [
     "ARTIFACT_VERSION",
+    "SUPPORTED_VERSIONS",
+    "SECTION_ORDER",
     "ArtifactError",
     "ArtifactVersionError",
     "ArtifactCorruptionError",
+    "ArtifactReader",
+    "ArtifactWriter",
+    "SectionInfo",
     "SynthesisArtifact",
     "save_artifact",
     "load_artifact",

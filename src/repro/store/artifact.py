@@ -12,12 +12,24 @@ A :class:`SynthesisArtifact` captures everything downstream consumers need:
 * the synthesized and curated :class:`~repro.core.mapping.MappingRelationship`s
   plus the run's extraction stats, timings, and metadata.
 
-The file format is a JSON document ``{"magic", "version", "checksum",
-"payload"}``, optionally gzip-compressed.  ``checksum`` is the SHA-256 of the
-canonical payload encoding, so bit rot and truncation surface as
-:class:`ArtifactCorruptionError` instead of silently wrong mappings, and a
-``version`` bump surfaces as :class:`ArtifactVersionError` instead of a
-``KeyError`` deep in deserialization.
+Two on-disk formats are supported:
+
+* **v2 (default)** — a sectioned binary container
+  (:mod:`repro.store.format`): header + table of contents + independently
+  checksummed, individually gzip'd sections, with a compact interned-string
+  binary encoding for the value-pair and edge sections that dominate artifact
+  size.  :func:`load_artifact` returns a **lazy** artifact: each section is
+  decoded on first attribute access, so a consumer that only serves mappings
+  never pays for profiles or edges.
+* **v1 (read + explicit write)** — the original single JSON document
+  ``{"magic", "version", "checksum", "payload"}``, optionally
+  gzip-compressed, decoded eagerly.  :func:`load_artifact` detects it
+  transparently, and ``save_artifact(..., version=1)`` still writes it (the
+  compat tests and fixtures rely on this).
+
+Corruption surfaces as :class:`ArtifactCorruptionError` (naming the damaged
+section for v2) instead of silently wrong mappings, and an unsupported format
+version surfaces as :class:`ArtifactVersionError` carrying the supported set.
 """
 
 from __future__ import annotations
@@ -26,15 +38,39 @@ import gzip
 import hashlib
 import json
 import threading
-from dataclasses import dataclass, field, fields as dataclass_fields
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Iterable, Mapping
 
-from repro.core.binary_table import BinaryTable, ValuePair
+from repro.core.binary_table import BinaryTable
 from repro.core.config import SynthesisConfig
 from repro.core.mapping import MappingRelationship
 from repro.graph.build import CompatibilityGraph
 from repro.graph.profile import TableProfile
+from repro.store.errors import (
+    ArtifactCorruptionError,
+    ArtifactError,
+    ArtifactVersionError,
+)
+from repro.store.format import (
+    CONTAINER_MAGIC,
+    CONTAINER_VERSION,
+    ArtifactReader,
+    ArtifactWriter,
+)
+from repro.store.sections import (
+    FIELD_SECTION,
+    SECTION_FIELDS,
+    SECTION_ORDER,
+    decode_binary_table,
+    decode_config,
+    decode_mapping,
+    encode_binary_table,
+    encode_config,
+    encode_mapping,
+    encode_section,
+    jsonable,
+    section_item_count,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
     from repro.core.pipeline import PipelineResult
@@ -42,6 +78,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers onl
 __all__ = [
     "ARTIFACT_MAGIC",
     "ARTIFACT_VERSION",
+    "SUPPORTED_VERSIONS",
     "ArtifactError",
     "ArtifactVersionError",
     "ArtifactCorruptionError",
@@ -52,100 +89,23 @@ __all__ = [
 ]
 
 ARTIFACT_MAGIC = "repro-synthesis-artifact"
-ARTIFACT_VERSION = 1
 
-#: gzip member header magic; used to sniff compressed artifacts on load.
+#: The format version :func:`save_artifact` writes by default.
+ARTIFACT_VERSION = CONTAINER_VERSION
+
+#: Every format version :func:`load_artifact` can read.
+SUPPORTED_VERSIONS = frozenset({1, CONTAINER_VERSION})
+
+#: Sections stored with the compact binary pair encoding (the rest are JSON).
+_BINARY_SECTIONS = frozenset({"candidates", "profiles", "edges", "mappings"})
+
+#: gzip member header magic; used to sniff compressed v1 artifacts on load.
 _GZIP_MAGIC = b"\x1f\x8b"
 
 
-class ArtifactError(Exception):
-    """Base class for artifact store failures."""
-
-
-class ArtifactVersionError(ArtifactError):
-    """The artifact was written by an incompatible format version."""
-
-
-class ArtifactCorruptionError(ArtifactError):
-    """The artifact bytes are damaged, truncated, or fail the checksum."""
-
-
 # ---------------------------------------------------------------------------------------
-# JSON codecs for the model objects
+# Profile reconstruction (model-level; the stored form is a plain dict)
 # ---------------------------------------------------------------------------------------
-def _jsonable(value: object) -> object:
-    """Best-effort conversion of metadata values to JSON-encodable forms."""
-    if isinstance(value, (str, int, float, bool)) or value is None:
-        return value
-    if isinstance(value, (list, tuple)):
-        return [_jsonable(item) for item in value]
-    if isinstance(value, (set, frozenset)):
-        return sorted(str(item) for item in value)
-    if isinstance(value, dict):
-        return {str(key): _jsonable(item) for key, item in value.items()}
-    return str(value)
-
-
-def _encode_binary_table(table: BinaryTable) -> dict:
-    return {
-        "table_id": table.table_id,
-        "pairs": [[pair.left, pair.right] for pair in table.pairs],
-        "left_name": table.left_name,
-        "right_name": table.right_name,
-        "source_table_id": table.source_table_id,
-        "domain": table.domain,
-        "metadata": _jsonable(table.metadata),
-    }
-
-
-def _decode_binary_table(data: Mapping) -> BinaryTable:
-    return BinaryTable(
-        table_id=data["table_id"],
-        pairs=[ValuePair(left, right) for left, right in data["pairs"]],
-        left_name=data.get("left_name", ""),
-        right_name=data.get("right_name", ""),
-        source_table_id=data.get("source_table_id", ""),
-        domain=data.get("domain", ""),
-        metadata=dict(data.get("metadata", {})),
-    )
-
-
-def _encode_mapping(mapping: MappingRelationship) -> dict:
-    return {
-        "mapping_id": mapping.mapping_id,
-        "pairs": [[pair.left, pair.right] for pair in mapping.pairs],
-        "source_tables": list(mapping.source_tables),
-        "domains": sorted(mapping.domains),
-        "column_names": list(mapping.column_names),
-        "metadata": _jsonable(mapping.metadata),
-    }
-
-
-def _decode_mapping(data: Mapping) -> MappingRelationship:
-    column_names = data.get("column_names", ["", ""])
-    return MappingRelationship(
-        mapping_id=data["mapping_id"],
-        pairs=[ValuePair(left, right) for left, right in data["pairs"]],
-        source_tables=list(data.get("source_tables", [])),
-        domains=set(data.get("domains", [])),
-        column_names=(column_names[0], column_names[1]),
-        metadata=dict(data.get("metadata", {})),
-    )
-
-
-def _encode_config(config: SynthesisConfig) -> dict:
-    return {
-        spec.name: _jsonable(getattr(config, spec.name))
-        for spec in dataclass_fields(config)
-    }
-
-
-def _decode_config(data: Mapping) -> SynthesisConfig:
-    known = {spec.name for spec in dataclass_fields(SynthesisConfig)}
-    kwargs = {key: value for key, value in data.items() if key in known}
-    return SynthesisConfig(**kwargs)
-
-
 def _encode_profile(profile: TableProfile) -> dict:
     # lefts/rights are recoverable from the candidate's pairs; only the
     # matcher-derived strings (the expensive part) need to be stored.
@@ -189,34 +149,246 @@ def _edge_key(first_id: str, second_id: str) -> tuple[str, str]:
     return (first_id, second_id) if first_id <= second_id else (second_id, first_id)
 
 
+def edges_from_graph(
+    graph: CompatibilityGraph,
+) -> tuple[dict[tuple[str, str], float], dict[tuple[str, str], float]]:
+    """Convert a graph's index-keyed edges to sorted table-id-pair keys."""
+    positive: dict[tuple[str, str], float] = {}
+    negative: dict[tuple[str, str], float] = {}
+    for (first, second), weight in graph.positive_edges.items():
+        positive[_edge_key(graph.tables[first].table_id, graph.tables[second].table_id)] = weight
+    for (first, second), weight in graph.negative_edges.items():
+        negative[_edge_key(graph.tables[first].table_id, graph.tables[second].table_id)] = weight
+    return positive, negative
+
+
 # ---------------------------------------------------------------------------------------
-# The artifact model
+# The artifact model: a lazy facade over the sectioned store
 # ---------------------------------------------------------------------------------------
-@dataclass
 class SynthesisArtifact:
     """Everything persisted from one pipeline run.
+
+    Constructed eagerly (all fields in memory — :meth:`from_run`,
+    :meth:`from_payload`, or the keyword constructor) or lazily over an
+    :class:`~repro.store.format.ArtifactReader` (:meth:`from_reader`, the
+    :func:`load_artifact` path for v2 files).  A lazy artifact materializes a
+    section's field group on first attribute access and never touches the
+    rest: serving consumers that read only :attr:`mappings` + ``curated_ids``
+    leave candidates, profiles, and edges encoded on the reader.  First access
+    is not synchronized — share a lazy artifact across threads only after the
+    sections you need have been touched once.
 
     Edges are keyed by **candidate table ids** (sorted pairs), not vertex
     indices, so they remain meaningful when the candidate list is reordered or
     partially reused by the incremental refresh path.
     """
 
+    # Materialized lazily from the reader; listed for documentation.
     config: SynthesisConfig
     corpus_name: str
     corpus_fingerprint: str
-    table_fingerprints: dict[str, str]
-    candidates: list[BinaryTable]
     #: Hash of the synonym dictionary the run used ("" = none); profiles and
     #: scores embed synonym canonicalization, so refresh must compare it.
-    synonyms_fingerprint: str = ""
-    profiles: dict[str, dict] = field(default_factory=dict)
-    positive_edges: dict[tuple[str, str], float] = field(default_factory=dict)
-    negative_edges: dict[tuple[str, str], float] = field(default_factory=dict)
-    mappings: list[MappingRelationship] = field(default_factory=list)
-    curated_ids: list[str] = field(default_factory=list)
-    extraction_stats: dict[str, float] = field(default_factory=dict)
-    timings: dict[str, float] = field(default_factory=dict)
-    metadata: dict[str, float] = field(default_factory=dict)
+    synonyms_fingerprint: str
+    table_fingerprints: dict[str, str]
+    candidates: list[BinaryTable]
+    profiles: dict[str, dict]
+    positive_edges: dict[tuple[str, str], float]
+    negative_edges: dict[tuple[str, str], float]
+    mappings: list[MappingRelationship]
+    curated_ids: list[str]
+    extraction_stats: dict[str, float]
+    timings: dict[str, float]
+    metadata: dict[str, float]
+
+    def __init__(
+        self,
+        config: SynthesisConfig,
+        corpus_name: str,
+        corpus_fingerprint: str,
+        table_fingerprints: Mapping[str, str],
+        candidates: list[BinaryTable],
+        synonyms_fingerprint: str = "",
+        profiles: Mapping[str, dict] | None = None,
+        positive_edges: Mapping[tuple[str, str], float] | None = None,
+        negative_edges: Mapping[tuple[str, str], float] | None = None,
+        mappings: list[MappingRelationship] | None = None,
+        curated_ids: list[str] | None = None,
+        extraction_stats: Mapping[str, float] | None = None,
+        timings: Mapping[str, float] | None = None,
+        metadata: Mapping[str, float] | None = None,
+    ) -> None:
+        self._reader: ArtifactReader | None = None
+        self._dirty: set[str] = set(SECTION_ORDER)
+        #: Pre-encoded stored sections carried over from a detached reader
+        #: (section name -> (stored bytes, codec, item count, checksum));
+        #: consulted by :meth:`stored_section_for_reuse` so save-side verbatim
+        #: copying survives :meth:`evolve` dropping the reader.
+        self._raw_sections: dict[str, tuple[bytes, str, int | None, str]] = {}
+        self.config = config
+        self.corpus_name = corpus_name
+        self.corpus_fingerprint = corpus_fingerprint
+        self.synonyms_fingerprint = synonyms_fingerprint
+        self.table_fingerprints = dict(table_fingerprints)
+        self.candidates = list(candidates)
+        self.profiles = dict(profiles or {})
+        self.positive_edges = dict(positive_edges or {})
+        self.negative_edges = dict(negative_edges or {})
+        self.mappings = list(mappings or [])
+        self.curated_ids = list(curated_ids or [])
+        self.extraction_stats = dict(extraction_stats or {})
+        self.timings = dict(timings or {})
+        self.metadata = dict(metadata or {})
+
+    @classmethod
+    def from_reader(cls, reader: ArtifactReader) -> "SynthesisArtifact":
+        """Wrap a sectioned container; every field group decodes on first use."""
+        artifact = cls.__new__(cls)
+        artifact._reader = reader
+        artifact._dirty = set()
+        artifact._raw_sections = {}
+        return artifact
+
+    # -- Laziness machinery -------------------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        # Assigning a model field dirties its section, so a mutate-then-save on
+        # a lazy artifact persists the change instead of silently re-copying
+        # the old stored bytes (the v1 dataclass was freely mutable; direct
+        # assignment must keep working).  In-place *container* mutation on a
+        # clean lazy section is still invisible to save-side reuse — reassign
+        # the field or go through evolve() for that.
+        section = FIELD_SECTION.get(name)
+        if section is not None:
+            dirty = self.__dict__.get("_dirty")
+            if dirty is not None:
+                dirty.add(section)
+                self.__dict__.get("_raw_sections", {}).pop(section, None)
+        object.__setattr__(self, name, value)
+
+    def __getattr__(self, name: str):
+        # Only reached when the attribute is not in __dict__: materialize the
+        # owning section's whole field group from the reader.
+        if name.startswith("_"):
+            raise AttributeError(name)
+        section = FIELD_SECTION.get(name)
+        reader = self.__dict__.get("_reader")
+        if section is None or reader is None:
+            raise AttributeError(name)
+        fields = reader.decode(section)
+        for field_name, value in fields.items():
+            # Shallow-copy containers so artifacts sharing one reader (evolve)
+            # never alias each other's top-level lists/dicts.
+            if isinstance(value, list):
+                value = list(value)
+            elif isinstance(value, dict):
+                value = dict(value)
+            self.__dict__.setdefault(field_name, value)
+        return self.__dict__[name]
+
+    @property
+    def reader(self) -> ArtifactReader | None:
+        """The backing section reader (``None`` for eager/v1 artifacts)."""
+        return self._reader
+
+    def verify(self) -> None:
+        """Checksum the backing container without decoding (no-op when eager).
+
+        v1 artifacts were fully checksummed at load; for v2 this validates
+        every section's stored bytes against the table of contents, raising
+        :class:`ArtifactCorruptionError` naming the damaged section.
+        """
+        if self._reader is not None:
+            self._reader.verify()
+
+    def candidate_count(self) -> int:
+        """Number of stored candidates, without decoding them when lazy."""
+        if "candidates" not in self.__dict__ and self._reader is not None:
+            count = self._reader.item_count("candidates")
+            if count is not None:
+                return count
+        return len(self.candidates)
+
+    def evolve(self, **changes) -> "SynthesisArtifact":
+        """A copy with ``changes`` applied, sharing unchanged lazy sections.
+
+        Only the sections owning a changed field are marked dirty; on the next
+        :func:`save_artifact` every clean section is copied verbatim from the
+        backing reader (no decode, no re-encode).  This is how
+        :func:`repro.store.incremental.refresh_artifact` rewrites only the
+        sections it actually touched.
+        """
+        unknown = set(changes) - set(FIELD_SECTION)
+        if unknown:
+            raise TypeError(f"unknown artifact fields: {sorted(unknown)}")
+        def own_copy(value):
+            # Same no-aliasing guarantee as __getattr__: artifacts never share
+            # top-level lists/dicts, whether a field came from the reader or
+            # from an already-materialized base.
+            if isinstance(value, list):
+                return list(value)
+            if isinstance(value, dict):
+                return dict(value)
+            return value
+
+        clone = type(self).__new__(type(self))
+        clone._reader = self._reader
+        clone._dirty = set(self._dirty)
+        clone._raw_sections = dict(self._raw_sections)
+        touched = {FIELD_SECTION[field_name] for field_name in changes}
+        clone._dirty |= touched
+        # object.__setattr__ throughout: evolve manages _dirty explicitly and
+        # must not let the assignment hook dirty the clean copied sections.
+        for section, group in SECTION_FIELDS.items():
+            if section in touched:
+                for field_name in group:
+                    if field_name in changes:
+                        object.__setattr__(
+                            clone, field_name, own_copy(changes[field_name])
+                        )
+                    else:
+                        # Group-level copy-on-write: an untouched field of a
+                        # dirty section must come along (possibly decoding it).
+                        object.__setattr__(
+                            clone, field_name, own_copy(getattr(self, field_name))
+                        )
+            else:
+                for field_name in group:
+                    if field_name in self.__dict__:
+                        object.__setattr__(
+                            clone, field_name, own_copy(self.__dict__[field_name])
+                        )
+        if clone._reader is not None:
+            clean = [name for name in SECTION_ORDER if name not in clone._dirty]
+            if all(
+                field_name in clone.__dict__
+                for name in clean
+                for field_name in SECTION_FIELDS[name]
+            ):
+                # Every clean section is materialized on the clone, so the
+                # reader is only needed for save-side verbatim copying.  Carry
+                # just those sections' stored bytes and drop the reader — an
+                # incremental refresh must not pin the entire old container in
+                # memory for the lifetime of the refreshed artifact.
+                for name in clean:
+                    info = clone._reader.sections.get(name)
+                    if info is not None:
+                        clone._raw_sections[name] = (
+                            clone._reader.stored_bytes(name),
+                            info.codec,
+                            info.items,
+                            info.checksum,
+                        )
+                clone._reader = None
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "lazy" if self._reader is not None else "eager"
+        loaded = sorted(
+            section
+            for section, group in SECTION_FIELDS.items()
+            if group[0] in self.__dict__
+        )
+        return f"SynthesisArtifact({state}, loaded={loaded})"
 
     # -- Views ------------------------------------------------------------------------
     @property
@@ -302,19 +474,13 @@ class SynthesisArtifact:
         metadata: Mapping[str, float] | None = None,
     ) -> "SynthesisArtifact":
         """Assemble an artifact from live pipeline objects (no serialization)."""
-        candidates = list(candidates)
-        positive: dict[tuple[str, str], float] = {}
-        negative: dict[tuple[str, str], float] = {}
-        for (first, second), weight in graph.positive_edges.items():
-            positive[_edge_key(graph.tables[first].table_id, graph.tables[second].table_id)] = weight
-        for (first, second), weight in graph.negative_edges.items():
-            negative[_edge_key(graph.tables[first].table_id, graph.tables[second].table_id)] = weight
+        positive, negative = edges_from_graph(graph)
         return cls(
             config=config,
             corpus_name=corpus_name,
             corpus_fingerprint=corpus_fingerprint,
             table_fingerprints=dict(table_fingerprints),
-            candidates=candidates,
+            candidates=list(candidates),
             synonyms_fingerprint=synonyms_fingerprint,
             profiles={
                 table_id: _encode_profile(profile)
@@ -329,16 +495,19 @@ class SynthesisArtifact:
             metadata=dict(metadata or {}),
         )
 
-    # -- Serialization ------------------------------------------------------------------
+    # -- v1 payload (de)serialization ---------------------------------------------------
     def to_payload(self) -> dict:
-        """Encode the artifact as a plain JSON-encodable payload dict."""
+        """Encode the artifact as the v1 plain JSON-encodable payload dict.
+
+        Materializes every lazy section — the v1 blob is eager by definition.
+        """
         return {
-            "config": _encode_config(self.config),
+            "config": encode_config(self.config),
             "corpus_name": self.corpus_name,
             "corpus_fingerprint": self.corpus_fingerprint,
             "table_fingerprints": dict(self.table_fingerprints),
             "synonyms_fingerprint": self.synonyms_fingerprint,
-            "candidates": [_encode_binary_table(c) for c in self.candidates],
+            "candidates": [encode_binary_table(c) for c in self.candidates],
             "profiles": {table_id: dict(data) for table_id, data in self.profiles.items()},
             "positive_edges": [
                 [first, second, weight]
@@ -348,23 +517,23 @@ class SynthesisArtifact:
                 [first, second, weight]
                 for (first, second), weight in sorted(self.negative_edges.items())
             ],
-            "mappings": [_encode_mapping(m) for m in self.mappings],
+            "mappings": [encode_mapping(m) for m in self.mappings],
             "curated_ids": list(self.curated_ids),
-            "extraction_stats": _jsonable(self.extraction_stats),
-            "timings": _jsonable(self.timings),
-            "metadata": _jsonable(self.metadata),
+            "extraction_stats": jsonable(self.extraction_stats),
+            "timings": jsonable(self.timings),
+            "metadata": jsonable(self.metadata),
         }
 
     @classmethod
     def from_payload(cls, payload: Mapping) -> "SynthesisArtifact":
-        """Decode a payload dict produced by :meth:`to_payload`."""
+        """Decode a payload dict produced by :meth:`to_payload` (eagerly)."""
         try:
             return cls(
-                config=_decode_config(payload["config"]),
+                config=decode_config(payload["config"]),
                 corpus_name=payload["corpus_name"],
                 corpus_fingerprint=payload["corpus_fingerprint"],
                 table_fingerprints=dict(payload["table_fingerprints"]),
-                candidates=[_decode_binary_table(c) for c in payload["candidates"]],
+                candidates=[decode_binary_table(c) for c in payload["candidates"]],
                 synonyms_fingerprint=payload.get("synonyms_fingerprint", ""),
                 profiles={
                     table_id: dict(data)
@@ -378,7 +547,7 @@ class SynthesisArtifact:
                     (first, second): weight
                     for first, second, weight in payload["negative_edges"]
                 },
-                mappings=[_decode_mapping(m) for m in payload["mappings"]],
+                mappings=[decode_mapping(m) for m in payload["mappings"]],
                 curated_ids=list(payload["curated_ids"]),
                 extraction_stats=dict(payload.get("extraction_stats", {})),
                 timings=dict(payload.get("timings", {})),
@@ -386,6 +555,33 @@ class SynthesisArtifact:
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ArtifactCorruptionError(f"malformed artifact payload: {exc}") from exc
+
+    # -- Save-side section reuse --------------------------------------------------------
+    def stored_section_for_reuse(
+        self, name: str, compress: bool
+    ) -> tuple[bytes, str, int | None, str] | None:
+        """The section's raw stored bytes when they can be copied verbatim.
+
+        Available when the section is clean (not overridden via
+        :meth:`evolve` or field assignment), its stored bytes are at hand —
+        on the backing reader or carried over from one by :meth:`evolve` —
+        and the stored compression matches the requested one.  Returns
+        ``(stored bytes, codec, item count, checksum)``; the checksum is the
+        already-verified digest, so the writer need not rehash the bytes.
+        """
+        if name in self._dirty:
+            return None
+        carried = self._raw_sections.get(name)
+        if carried is not None:
+            if carried[1].endswith("+gz") == compress:
+                return carried
+            return None
+        if self._reader is None:
+            return None
+        info = self._reader.sections.get(name)
+        if info is None or info.codec.endswith("+gz") != compress:
+            return None
+        return self._reader.stored_bytes(name), info.codec, info.items, info.checksum
 
 
 # ---------------------------------------------------------------------------------------
@@ -446,21 +642,12 @@ def _canonical_bytes(payload: dict) -> bytes:
     return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
 
 
-def save_artifact(
-    artifact: SynthesisArtifact, path: str | Path, *, compress: bool = True
-) -> Path:
-    """Write ``artifact`` to ``path`` and return the path.
-
-    The parent directory is created if needed.  The write goes through a
-    temporary sibling file and an atomic rename, so a crash mid-write never
-    leaves a half-written artifact at the target path.
-    """
-    path = Path(path)
+def _save_v1(artifact: SynthesisArtifact, path: Path, compress: bool) -> None:
     payload = artifact.to_payload()
     body = _canonical_bytes(payload)
     document = {
         "magic": ARTIFACT_MAGIC,
-        "version": ARTIFACT_VERSION,
+        "version": 1,
         "checksum": hashlib.sha256(body).hexdigest(),
         "payload": payload,
     }
@@ -472,28 +659,59 @@ def save_artifact(
     temp = path.with_name(path.name + ".tmp")
     temp.write_bytes(encoded)
     temp.replace(path)
+
+
+def save_artifact(
+    artifact: SynthesisArtifact,
+    path: str | Path,
+    *,
+    compress: bool = True,
+    version: int = ARTIFACT_VERSION,
+) -> Path:
+    """Write ``artifact`` to ``path`` and return the path.
+
+    ``version`` selects the format: 2 (default) writes the sectioned
+    container, 1 writes the legacy single-blob JSON document.  The parent
+    directory is created if needed, and the write goes through a temporary
+    sibling file and an atomic rename, so a crash mid-write never leaves a
+    half-written artifact at the target path.
+
+    When the artifact is backed by a v2 reader (loaded from disk, or an
+    :meth:`SynthesisArtifact.evolve` of one), sections it never overrode are
+    copied to the new file verbatim — no decode, no re-encode.
+    """
+    path = Path(path)
+    if version == 1:
+        _save_v1(artifact, path, compress)
+    elif version == CONTAINER_VERSION:
+        writer = ArtifactWriter(path, compress=compress)
+        for name in SECTION_ORDER:
+            reusable = artifact.stored_section_for_reuse(name, compress)
+            if reusable is not None:
+                stored, codec, items, checksum = reusable
+                writer.add_stored(name, stored, codec, items=items, checksum=checksum)
+                continue
+            fields = {
+                field_name: getattr(artifact, field_name)
+                for field_name in SECTION_FIELDS[name]
+            }
+            writer.add(
+                name,
+                encode_section(name, fields),
+                codec="bin" if name in _BINARY_SECTIONS else "json",
+                items=section_item_count(name, fields),
+            )
+        writer.commit()
+    else:
+        raise ValueError(
+            f"cannot write artifact version {version!r}; writable versions: "
+            f"{sorted(SUPPORTED_VERSIONS)}"
+        )
     _notify_artifact_published(path)
     return path
 
 
-def load_artifact(path: str | Path) -> SynthesisArtifact:
-    """Load an artifact written by :func:`save_artifact`.
-
-    Raises
-    ------
-    ArtifactError
-        If the file is not an artifact at all (wrong magic).
-    ArtifactVersionError
-        If the artifact was written by a different format version.
-    ArtifactCorruptionError
-        If the bytes are damaged or the checksum does not match.
-    """
-    raw = Path(path).read_bytes()
-    if raw[:2] == _GZIP_MAGIC:
-        try:
-            raw = gzip.decompress(raw)
-        except (OSError, EOFError) as exc:
-            raise ArtifactCorruptionError(f"damaged gzip stream in {path}") from exc
+def _load_v1(raw: bytes, path: str | Path) -> SynthesisArtifact:
     try:
         document = json.loads(raw.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -501,10 +719,14 @@ def load_artifact(path: str | Path) -> SynthesisArtifact:
     if not isinstance(document, dict) or document.get("magic") != ARTIFACT_MAGIC:
         raise ArtifactError(f"{path} is not a synthesis artifact")
     version = document.get("version")
-    if version != ARTIFACT_VERSION:
+    if version != 1:
+        # JSON-document artifacts only ever carried version 1; anything else
+        # is a future (or mislabeled) format this build cannot decode.
         raise ArtifactVersionError(
-            f"artifact {path} has format version {version!r}; "
-            f"this build reads version {ARTIFACT_VERSION}"
+            f"artifact {path} has format version {version!r}; this build reads "
+            f"versions {sorted(SUPPORTED_VERSIONS)}",
+            found=version if isinstance(version, int) else None,
+            supported=SUPPORTED_VERSIONS,
         )
     payload = document.get("payload")
     if not isinstance(payload, dict):
@@ -513,3 +735,34 @@ def load_artifact(path: str | Path) -> SynthesisArtifact:
     if checksum != document.get("checksum"):
         raise ArtifactCorruptionError(f"artifact {path} failed its checksum")
     return SynthesisArtifact.from_payload(payload)
+
+
+def load_artifact(path: str | Path) -> SynthesisArtifact:
+    """Load an artifact written by :func:`save_artifact` (either version).
+
+    v2 containers come back **lazy**: only the table of contents is parsed
+    here; each section decodes on first attribute access.  v1 documents are
+    decoded eagerly (their single checksum requires it).
+
+    Raises
+    ------
+    ArtifactError
+        If the file is not an artifact at all (wrong magic).
+    ArtifactVersionError
+        If the artifact was written by an unsupported format version
+        (``.supported`` carries the versions this build reads).
+    ArtifactCorruptionError
+        If the bytes are damaged or a checksum does not match (``.section``
+        names the damaged section for v2 files).
+    """
+    raw = Path(path).read_bytes()
+    if raw.startswith(CONTAINER_MAGIC):
+        return SynthesisArtifact.from_reader(ArtifactReader(raw, source=str(path)))
+    if raw[:2] == _GZIP_MAGIC:
+        try:
+            raw = gzip.decompress(raw)
+        except (OSError, EOFError) as exc:
+            raise ArtifactCorruptionError(f"damaged gzip stream in {path}") from exc
+        if raw.startswith(CONTAINER_MAGIC):  # a gzip-wrapped v2 container
+            return SynthesisArtifact.from_reader(ArtifactReader(raw, source=str(path)))
+    return _load_v1(raw, path)

@@ -1,0 +1,182 @@
+"""Low-level binary primitives for the v2 artifact's compact sections.
+
+The value-pair sections of an artifact (candidates, profiles, mappings) and the
+edge section are dominated by strings that repeat heavily — the same value
+appears in several candidates, its normalized form appears again in the
+profiles, table ids appear in every edge.  The v2 encoding therefore writes
+each section as:
+
+* an **interned string pool** — every distinct string stored once;
+* **struct-packed records** — string *references* (LEB128 varints into the
+  pool), varint counts, and raw little-endian float64 scores.
+
+Varints keep references to the (overwhelmingly small) pool indices at 1–2
+bytes, and float64 keeps scores bit-exact across a round trip.  Everything here
+is deliberately order-preserving and deterministic: identical inputs encode to
+identical bytes, which the artifact writer relies on for reproducible files.
+
+All read-side failures raise :class:`CodecError` (a ``ValueError``); the
+container layer wraps them into
+:class:`~repro.store.errors.ArtifactCorruptionError` naming the section.
+"""
+
+from __future__ import annotations
+
+import struct
+
+__all__ = ["CodecError", "ByteWriter", "ByteReader", "StringPool"]
+
+_FLOAT64 = struct.Struct("<d")
+
+#: Sanity bound on decoded counts/lengths: no section legitimately contains a
+#: single collection with more than a billion entries, so a larger decoded
+#: varint is corruption — fail fast instead of attempting a huge allocation.
+_MAX_COUNT = 1 << 30
+
+
+class CodecError(ValueError):
+    """The binary stream is truncated or structurally invalid."""
+
+
+class ByteWriter:
+    """Append-only little binary builder (varints, strings, float64)."""
+
+    __slots__ = ("_buffer",)
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def write_uvarint(self, value: int) -> None:
+        """LEB128-encode one unsigned integer."""
+        if value < 0:
+            raise ValueError(f"uvarint cannot encode negative value {value}")
+        while True:
+            byte = value & 0x7F
+            value >>= 7
+            if value:
+                self._buffer.append(byte | 0x80)
+            else:
+                self._buffer.append(byte)
+                return
+
+    def write_str(self, text: str) -> None:
+        """Write one raw string: uvarint byte length + UTF-8 bytes."""
+        data = text.encode("utf-8")
+        self.write_uvarint(len(data))
+        self._buffer += data
+
+    def write_float(self, value: float) -> None:
+        """Write one little-endian IEEE-754 float64 (bit-exact round trip)."""
+        self._buffer += _FLOAT64.pack(value)
+
+    def getvalue(self) -> bytes:
+        return bytes(self._buffer)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+
+class ByteReader:
+    """Bounds-checked reader over one section's decoded byte string."""
+
+    __slots__ = ("_data", "_pos")
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    def read_uvarint(self) -> int:
+        value = 0
+        shift = 0
+        data, pos = self._data, self._pos
+        while True:
+            if pos >= len(data):
+                raise CodecError("truncated varint")
+            byte = data[pos]
+            pos += 1
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                break
+            shift += 7
+            if shift > 63:
+                raise CodecError("varint too long")
+        self._pos = pos
+        if value > _MAX_COUNT and shift > 0:
+            # Counts and pool references share this bound; a stray huge value
+            # means the stream lost framing.
+            raise CodecError(f"implausible varint value {value}")
+        return value
+
+    def read_str(self) -> str:
+        length = self.read_uvarint()
+        end = self._pos + length
+        if end > len(self._data):
+            raise CodecError("truncated string")
+        try:
+            text = self._data[self._pos : end].decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise CodecError(f"invalid UTF-8 in string: {exc}") from exc
+        self._pos = end
+        return text
+
+    def read_float(self) -> float:
+        end = self._pos + _FLOAT64.size
+        if end > len(self._data):
+            raise CodecError("truncated float64")
+        value = _FLOAT64.unpack_from(self._data, self._pos)[0]
+        self._pos = end
+        return value
+
+    def expect_eof(self) -> None:
+        """Require the stream to be fully consumed (framing check)."""
+        if self._pos != len(self._data):
+            raise CodecError(
+                f"{len(self._data) - self._pos} trailing bytes after section payload"
+            )
+
+
+class StringPool:
+    """Write-side string interner: every distinct string is stored once.
+
+    ``ref()`` returns the stable pool index for a string; ``write_to()`` emits
+    the pool itself (count + raw strings, in first-interned order) — call it
+    *after* interning everything, *before* the records that reference it.
+    Read-side, :meth:`read` reconstructs the pool as a plain list and
+    :meth:`lookup` resolves references with bounds checking.
+    """
+
+    __slots__ = ("_indexes", "_strings")
+
+    def __init__(self) -> None:
+        self._indexes: dict[str, int] = {}
+        self._strings: list[str] = []
+
+    def ref(self, text: str) -> int:
+        index = self._indexes.get(text)
+        if index is None:
+            index = len(self._strings)
+            self._indexes[text] = index
+            self._strings.append(text)
+        return index
+
+    def __len__(self) -> int:
+        return len(self._strings)
+
+    def write_to(self, writer: ByteWriter) -> None:
+        writer.write_uvarint(len(self._strings))
+        for text in self._strings:
+            writer.write_str(text)
+
+    @staticmethod
+    def read(reader: ByteReader) -> list[str]:
+        count = reader.read_uvarint()
+        return [reader.read_str() for _ in range(count)]
+
+    @staticmethod
+    def lookup(pool: list[str], reference: int) -> str:
+        try:
+            return pool[reference]
+        except IndexError:
+            raise CodecError(
+                f"string reference {reference} outside pool of {len(pool)}"
+            ) from None

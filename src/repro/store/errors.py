@@ -1,0 +1,57 @@
+"""Artifact-store error types.
+
+Kept in their own module so the low-level container/codec layers
+(:mod:`repro.store.codec`, :mod:`repro.store.format`) can raise them without
+importing the model-level :mod:`repro.store.artifact`, which imports those
+layers in turn.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = [
+    "ArtifactError",
+    "ArtifactVersionError",
+    "ArtifactCorruptionError",
+]
+
+
+class ArtifactError(Exception):
+    """Base class for artifact store failures."""
+
+
+class ArtifactVersionError(ArtifactError):
+    """The artifact was written by a format version this build cannot read.
+
+    Attributes
+    ----------
+    found:
+        The version recorded in the file (``None`` when it could not be read).
+    supported:
+        The set of format versions this build reads.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        found: int | None = None,
+        supported: Iterable[int] = (),
+    ) -> None:
+        super().__init__(message)
+        self.found = found
+        self.supported = frozenset(supported)
+
+
+class ArtifactCorruptionError(ArtifactError):
+    """The artifact bytes are damaged, truncated, or fail a checksum.
+
+    When the damage is localized to one v2 section, :attr:`section` names it
+    (and the message includes it), so operators know whether the hot serving
+    payload or only a cold section is affected.
+    """
+
+    def __init__(self, message: str, *, section: str | None = None) -> None:
+        super().__init__(message)
+        self.section = section

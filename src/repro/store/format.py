@@ -1,0 +1,378 @@
+"""The sectioned (v2) artifact container: header + TOC + checksummed sections.
+
+Layout::
+
+    +---------------------------------------------------------------+
+    | magic  b"reproartifact\\x00"                        (14 bytes) |
+    | TOC length, big-endian uint32                       ( 4 bytes) |
+    | SHA-256 of the TOC bytes                            (32 bytes) |
+    | TOC: canonical JSON                                            |
+    |   {"format", "format_version", "sections": [                   |
+    |      {"name", "offset", "length", "checksum", "codec", "items"}|
+    |   ]}                                                           |
+    | section payloads, back to back (offsets relative to here)      |
+    +---------------------------------------------------------------+
+
+Every section is independently encoded (:mod:`repro.store.sections`),
+optionally gzip-compressed, and checksummed (SHA-256 of the *stored* bytes) —
+so a reader can:
+
+* **validate without decoding** — :meth:`ArtifactReader.verify` hashes each
+  section's stored bytes against the TOC, which is what the serving watcher
+  uses to reject damaged files without paying for a full decode;
+* **decode lazily** — :meth:`ArtifactReader.decode` decompresses and decodes a
+  section on first access only, so a consumer that serves mappings never
+  touches the (much larger) profile and edge sections;
+* **copy sections wholesale** — :meth:`ArtifactWriter.add_stored` re-emits a
+  section's stored bytes unchanged, so a writer refreshing an artifact
+  re-encodes only the sections it actually touched.
+
+Corruption anywhere surfaces as
+:class:`~repro.store.errors.ArtifactCorruptionError` carrying the damaged
+section's name; a future ``format_version`` surfaces as
+:class:`~repro.store.errors.ArtifactVersionError` with the supported set.
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import json
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.store.codec import CodecError
+from repro.store.errors import (
+    ArtifactCorruptionError,
+    ArtifactError,
+    ArtifactVersionError,
+)
+from repro.store.sections import decode_section
+
+__all__ = [
+    "CONTAINER_MAGIC",
+    "CONTAINER_VERSION",
+    "SectionInfo",
+    "ArtifactReader",
+    "ArtifactWriter",
+]
+
+CONTAINER_MAGIC = b"reproartifact\x00"
+CONTAINER_VERSION = 2
+
+#: Format name recorded in the TOC (matches the v1 document magic).
+_FORMAT_NAME = "repro-synthesis-artifact"
+
+_TOC_LENGTH = struct.Struct(">I")
+_HEADER_FIXED = len(CONTAINER_MAGIC) + _TOC_LENGTH.size + hashlib.sha256().digest_size
+
+
+@dataclass(frozen=True)
+class SectionInfo:
+    """One TOC entry: where a section's stored bytes live and how to check them."""
+
+    name: str
+    #: Byte offset of the stored section, relative to the end of the TOC.
+    offset: int
+    #: Stored (possibly compressed) length in bytes.
+    length: int
+    #: SHA-256 hex digest of the stored bytes.
+    checksum: str
+    #: ``"json"`` / ``"bin"``, with ``"+gz"`` appended when gzip-compressed.
+    codec: str
+    #: Top-level item count (candidates, mappings, ...) or ``None`` if unsized.
+    items: int | None = None
+
+
+def _checksum(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+class ArtifactReader:
+    """Random access to one v2 container's sections, decoded lazily.
+
+    The whole file is held as one in-memory byte string (artifacts are small
+    relative to the corpora that produce them, and the file on disk may be
+    atomically replaced underneath us at any time), but *decoding* — gunzip +
+    section codec + model-object construction, the expensive part — happens
+    per section on first access and is cached.  :attr:`decode_counts` records
+    how many times each section was actually decoded, which the tests use to
+    assert that serving consumers never touch the cold sections.
+    """
+
+    def __init__(self, data: bytes, *, source: str = "artifact") -> None:
+        self.source = source
+        self._data = data
+        self._decoded: dict[str, dict] = {}
+        #: section name -> number of times its payload was decoded (0 = lazy
+        #: section never touched; >1 impossible through this class's cache).
+        self.decode_counts: dict[str, int] = {}
+        self.sections: dict[str, SectionInfo] = {}
+        if not data.startswith(CONTAINER_MAGIC):
+            raise ArtifactError(f"{source} is not a sectioned synthesis artifact")
+        if len(data) < _HEADER_FIXED:
+            raise ArtifactCorruptionError(f"{source} is truncated before its TOC")
+        toc_length = _TOC_LENGTH.unpack_from(data, len(CONTAINER_MAGIC))[0]
+        digest_start = len(CONTAINER_MAGIC) + _TOC_LENGTH.size
+        toc_start = _HEADER_FIXED
+        toc_end = toc_start + toc_length
+        if toc_end > len(data):
+            raise ArtifactCorruptionError(f"{source} is truncated inside its TOC")
+        toc_bytes = data[toc_start:toc_end]
+        if hashlib.sha256(toc_bytes).digest() != data[digest_start:toc_start]:
+            raise ArtifactCorruptionError(
+                f"{source} failed its table-of-contents checksum"
+            )
+        try:
+            toc = json.loads(toc_bytes.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ArtifactCorruptionError(
+                f"{source} has an unreadable table of contents: {exc}"
+            ) from exc
+        if not isinstance(toc, dict) or toc.get("format") != _FORMAT_NAME:
+            raise ArtifactError(f"{source} is not a synthesis artifact container")
+        version = toc.get("format_version")
+        if version != CONTAINER_VERSION:
+            # Import here to avoid a cycle: artifact.py imports this module.
+            from repro.store.artifact import SUPPORTED_VERSIONS
+
+            raise ArtifactVersionError(
+                f"artifact {source} has format version {version!r}; this build "
+                f"reads versions {sorted(SUPPORTED_VERSIONS)}",
+                found=version if isinstance(version, int) else None,
+                supported=SUPPORTED_VERSIONS,
+            )
+        self._body_start = toc_end
+        try:
+            for entry in toc["sections"]:
+                info = SectionInfo(
+                    name=entry["name"],
+                    offset=int(entry["offset"]),
+                    length=int(entry["length"]),
+                    checksum=entry["checksum"],
+                    codec=entry["codec"],
+                    items=entry.get("items"),
+                )
+                self.sections[info.name] = info
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ArtifactCorruptionError(
+                f"{source} has a malformed table of contents: {exc}"
+            ) from exc
+        for info in self.sections.values():
+            # Extent check at open time (no hashing): a truncated file fails
+            # here instead of surfacing later on some unlucky first access.
+            if info.offset < 0 or self._body_start + info.offset + info.length > len(
+                data
+            ):
+                raise ArtifactCorruptionError(
+                    f"section {info.name!r} extends past the end of {source}",
+                    section=info.name,
+                )
+
+    @classmethod
+    def from_path(cls, path: str | Path) -> "ArtifactReader":
+        return cls(Path(path).read_bytes(), source=str(path))
+
+    # -- Section access -----------------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self.sections
+
+    def item_count(self, name: str) -> int | None:
+        """The section's TOC item count, without decoding it (None if unsized)."""
+        info = self.sections.get(name)
+        return info.items if info is not None else None
+
+    def section_span(self, name: str) -> tuple[int, int]:
+        """The section's absolute ``(start, end)`` byte range in the container.
+
+        Lets tooling (and the corruption tests) address a section's stored
+        bytes in the file without re-deriving the header layout.
+        """
+        info = self._info(name)
+        start = self._body_start + info.offset
+        return start, start + info.length
+
+    def _info(self, name: str) -> SectionInfo:
+        info = self.sections.get(name)
+        if info is None:
+            raise ArtifactCorruptionError(
+                f"{self.source} has no {name!r} section", section=name
+            )
+        return info
+
+    def stored_bytes(self, name: str, *, verify: bool = True) -> bytes:
+        """The section's stored (possibly compressed) bytes, checksum-verified."""
+        info = self._info(name)
+        start = self._body_start + info.offset
+        end = start + info.length
+        if info.offset < 0 or end > len(self._data):
+            raise ArtifactCorruptionError(
+                f"section {name!r} extends past the end of {self.source}",
+                section=name,
+            )
+        stored = self._data[start:end]
+        if verify and _checksum(stored) != info.checksum:
+            raise ArtifactCorruptionError(
+                f"section {name!r} of {self.source} failed its checksum",
+                section=name,
+            )
+        return stored
+
+    def payload_bytes(self, name: str) -> bytes:
+        """The section's decompressed payload bytes (checksum-verified)."""
+        stored = self.stored_bytes(name)
+        if self._info(name).codec.endswith("+gz"):
+            try:
+                return gzip.decompress(stored)
+            except (OSError, EOFError) as exc:
+                raise ArtifactCorruptionError(
+                    f"section {name!r} of {self.source} has a damaged gzip stream",
+                    section=name,
+                ) from exc
+        return stored
+
+    def decode(self, name: str) -> dict:
+        """Decode the section into its field group (cached; counted once)."""
+        cached = self._decoded.get(name)
+        if cached is not None:
+            return cached
+        payload = self.payload_bytes(name)
+        self.decode_counts[name] = self.decode_counts.get(name, 0) + 1
+        try:
+            fields = decode_section(name, payload)
+        except ArtifactCorruptionError:
+            raise
+        except (CodecError, KeyError, TypeError, ValueError) as exc:
+            raise ArtifactCorruptionError(
+                f"section {name!r} of {self.source} is malformed: {exc}",
+                section=name,
+            ) from exc
+        self._decoded[name] = fields
+        return fields
+
+    def verify(self) -> None:
+        """Checksum every section's stored bytes **without decoding any**.
+
+        This is the cheap integrity gate the artifact watcher runs before
+        handing a freshly published file to the serving swap: bit rot or
+        truncation anywhere in the file raises
+        :class:`ArtifactCorruptionError` naming the damaged section.
+        """
+        for name in self.sections:
+            self.stored_bytes(name)
+
+
+class ArtifactWriter:
+    """Assembles and atomically publishes one v2 container.
+
+    Sections are added in call order — freshly encoded via :meth:`add`, or
+    copied verbatim from another container via :meth:`add_stored` (the
+    incremental-refresh path uses this to avoid re-encoding sections it never
+    touched; :attr:`sections_reused` counts them).  :meth:`commit` writes the
+    file through a temporary sibling + atomic rename, so a crash mid-write
+    never leaves a half-written artifact at the target path.
+    """
+
+    def __init__(self, path: str | Path, *, compress: bool = True) -> None:
+        self.path = Path(path)
+        self.compress = compress
+        self.sections_reused = 0
+        self._entries: list[tuple[SectionInfo, bytes]] = []
+        self._names: set[str] = set()
+
+    def _record(self, info: SectionInfo, stored: bytes) -> None:
+        if info.name in self._names:
+            raise ValueError(f"section {info.name!r} added twice")
+        self._names.add(info.name)
+        self._entries.append((info, stored))
+
+    def add(
+        self,
+        name: str,
+        payload: bytes,
+        *,
+        codec: str = "bin",
+        items: int | None = None,
+    ) -> None:
+        """Add one freshly encoded section (compressed here if configured)."""
+        stored = payload
+        if self.compress:
+            # mtime=0 keeps compressed bytes deterministic for identical payloads.
+            stored = gzip.compress(payload, mtime=0)
+            codec = f"{codec}+gz"
+        offset = sum(len(data) for _, data in self._entries)
+        self._record(
+            SectionInfo(
+                name=name,
+                offset=offset,
+                length=len(stored),
+                checksum=_checksum(stored),
+                codec=codec,
+                items=items,
+            ),
+            stored,
+        )
+
+    def add_stored(
+        self,
+        name: str,
+        stored: bytes,
+        codec: str,
+        *,
+        items: int | None = None,
+        checksum: str | None = None,
+    ) -> None:
+        """Copy an already-stored section verbatim (no re-encode, no re-gzip).
+
+        ``checksum`` lets a caller that just verified the bytes against a
+        source TOC pass the digest through instead of paying a second hash of
+        the (deliberately large) section.
+        """
+        offset = sum(len(data) for _, data in self._entries)
+        self._record(
+            SectionInfo(
+                name=name,
+                offset=offset,
+                length=len(stored),
+                checksum=checksum if checksum is not None else _checksum(stored),
+                codec=codec,
+                items=items,
+            ),
+            stored,
+        )
+        self.sections_reused += 1
+
+    def commit(self) -> Path:
+        """Write the container to :attr:`path` atomically and return the path."""
+        toc = {
+            "format": _FORMAT_NAME,
+            "format_version": CONTAINER_VERSION,
+            "sections": [
+                {
+                    "name": info.name,
+                    "offset": info.offset,
+                    "length": info.length,
+                    "checksum": info.checksum,
+                    "codec": info.codec,
+                    "items": info.items,
+                }
+                for info, _ in self._entries
+            ],
+        }
+        toc_bytes = json.dumps(toc, sort_keys=True, separators=(",", ":")).encode(
+            "utf-8"
+        )
+        parts = [
+            CONTAINER_MAGIC,
+            _TOC_LENGTH.pack(len(toc_bytes)),
+            hashlib.sha256(toc_bytes).digest(),
+            toc_bytes,
+        ]
+        parts.extend(data for _, data in self._entries)
+        encoded = b"".join(parts)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        temp = self.path.with_name(self.path.name + ".tmp")
+        temp.write_bytes(encoded)
+        temp.replace(self.path)
+        return self.path

@@ -36,7 +36,7 @@ from dataclasses import dataclass, fields as dataclass_fields
 
 from repro.core.config import SynthesisConfig
 from repro.corpus.corpus import TableCorpus
-from repro.store.artifact import SynthesisArtifact
+from repro.store.artifact import SynthesisArtifact, _encode_profile, edges_from_graph
 from repro.store.fingerprint import (
     corpus_digest,
     fingerprint_synonyms,
@@ -174,8 +174,10 @@ def refresh_artifact(
         stats.reason = "synonym dictionary changed; cached scores invalidated"
         unchanged_sources = set()
     elif stats.noop:
-        stats.candidates_total = len(artifact.candidates)
-        stats.candidates_reused = len(artifact.candidates)
+        # candidate_count() reads the TOC of a lazy (v2) artifact, so a no-op
+        # refresh never decodes the candidates section at all.
+        stats.candidates_total = artifact.candidate_count()
+        stats.candidates_reused = stats.candidates_total
         stats.elapsed_seconds = time.perf_counter() - started
         return artifact, stats
 
@@ -184,7 +186,12 @@ def refresh_artifact(
     pmi_index = (
         CooccurrenceIndex.from_corpus(corpus) if config.use_pmi_filter else None
     )
-    reused_by_source = artifact.candidates_by_source()
+    # On a full rebuild nothing is reused, so a lazy (v2) artifact's
+    # candidates/profiles/edges sections are never even decoded; with reuse,
+    # only the sections whose contents feed the refresh are touched — the
+    # mappings/curation/stats sections stay encoded either way (refresh
+    # re-synthesizes them from scratch).
+    reused_by_source = artifact.candidates_by_source() if unchanged_sources else {}
     # Changed/added tables go through the same (possibly sharded) extraction
     # entry point as a cold run — the executor backend fans them out exactly
     # like blocked-pair scoring; extraction is per-table, so regrouping the
@@ -225,7 +232,7 @@ def refresh_artifact(
 
     synthesis = synthesizer.synthesize(
         candidates,
-        reusable_scores=artifact.edge_scores(),
+        reusable_scores=artifact.edge_scores() if reused_candidate_ids else {},
         reusable_ids=reused_candidate_ids,
     )
     build_stats = synthesizer.graph_builder.last_build_stats
@@ -237,20 +244,21 @@ def refresh_artifact(
         mappings, min_domains=config.min_domains, min_size=config.min_mapping_size
     )
 
-    profiles = {
-        candidate.table_id: scorer.profile(candidate) for candidate in candidates
-    }
-    refreshed = SynthesisArtifact.from_run(
-        config=config,
+    positive_edges, negative_edges = edges_from_graph(synthesis.graph)
+    changes = dict(
         corpus_name=corpus.name,
         corpus_fingerprint=corpus_digest(new_fingerprints),
         table_fingerprints=new_fingerprints,
-        candidates=candidates,
-        graph=synthesis.graph,
         synonyms_fingerprint=synonyms_fingerprint,
-        profiles=profiles,
+        candidates=candidates,
+        profiles={
+            candidate.table_id: _encode_profile(scorer.profile(candidate))
+            for candidate in candidates
+        },
+        positive_edges=positive_edges,
+        negative_edges=negative_edges,
         mappings=mappings,
-        curated=curation.kept,
+        curated_ids=[mapping.mapping_id for mapping in curation.kept],
         extraction_stats=extraction_stats.as_dict(),
         timings={"refresh": time.perf_counter() - started},
         metadata={
@@ -262,5 +270,11 @@ def refresh_artifact(
             "num_negative_edges": synthesis.metadata.get("num_negative_edges", 0.0),
         },
     )
+    if config != artifact.config:
+        changes["config"] = config
+    # evolve() marks only the sections above dirty: when the base artifact is a
+    # lazy (v2) file and the config is unchanged, the next save_artifact copies
+    # the config section's stored bytes verbatim instead of re-encoding it.
+    refreshed = artifact.evolve(**changes)
     stats.elapsed_seconds = time.perf_counter() - started
     return refreshed, stats

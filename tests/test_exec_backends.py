@@ -447,3 +447,109 @@ def _count_mapper(line):
 
 def _sum_reducer(key, values):
     yield (key, sum(values))
+
+
+# ---------------------------------------------------------------------------------------
+# FanOut: the shared gate + chunk + serial-fallback skeleton
+# ---------------------------------------------------------------------------------------
+class _BrokenBackend(ExecutionBackend):
+    """A registered backend whose every operation fails (pool-failure stand-in)."""
+
+    kind = "broken"
+
+    def map_blocks(self, fn, blocks):
+        raise RuntimeError("broken pool")
+
+    def map_unordered(self, fn, items):
+        raise RuntimeError("broken pool")
+        yield  # pragma: no cover - makes this a generator like the real ones
+
+
+class TestFanOut:
+    def test_serial_and_single_worker_never_fan_out(self):
+        from repro.exec import FanOut
+
+        assert not FanOut("serial").should_fan_out(10_000)
+        assert not FanOut("thread:1").should_fan_out(10_000)
+
+    def test_gate_requires_two_items_per_worker_by_default(self):
+        from repro.exec import FanOut
+
+        fan = FanOut("thread:3")
+        assert not fan.should_fan_out(5)
+        assert fan.should_fan_out(6)
+        # Call sites with historically different gates pass min_items.
+        assert fan.should_fan_out(2, min_items=2)
+
+    def test_chunking_matches_chunk_evenly(self):
+        from repro.exec import FanOut
+
+        fan = FanOut("thread:2", chunks_per_worker=4)
+        items = list(range(100))
+        assert fan.chunk(items) == chunk_evenly(items, 8)
+        one_per_worker = FanOut("thread:3", chunks_per_worker=1)
+        assert one_per_worker.chunk(items) == chunk_evenly(items, 3)
+
+    @pytest.mark.parametrize("spec", ["thread:2", "process:2"])
+    def test_run_blocks_matches_serial(self, spec):
+        from repro.exec import FanOut
+
+        fan = FanOut(spec)
+        blocks = [[1, 2], [3], [4, 5, 6]]
+        assert fan.run_blocks(_sum_block, blocks) == [3, 3, 15]
+        assert not fan.fallback
+
+    def test_run_unordered_covers_all_blocks(self):
+        from repro.exec import FanOut
+
+        fan = FanOut("thread:2")
+        blocks = [[n] for n in range(10)]
+        results = fan.run_unordered(_sum_block, blocks)
+        assert sorted(results) == list(range(10))
+        assert not fan.fallback
+
+    def test_pool_failure_returns_none_and_sets_fallback(self):
+        from repro.exec import FanOut
+
+        register_backend("broken", _BrokenBackend)
+        try:
+            fan = FanOut("broken:2")
+            assert fan.run_blocks(_sum_block, [[1], [2]]) is None
+            assert fan.fallback
+            fan_unordered = FanOut("broken:2")
+            assert fan_unordered.run_unordered(_sum_block, [[1], [2]]) is None
+            assert fan_unordered.fallback
+        finally:
+            backend_module._BACKENDS.pop("broken", None)
+
+    def test_spec_override_clamps_workers(self):
+        from repro.exec import FanOut
+
+        fan = FanOut("thread:8", chunks_per_worker=1)
+        # The Map-Reduce site clamps pool width to the record count via spec=.
+        assert fan.run_blocks(_sum_block, [[1], [2]], spec="thread:2") == [1, 2]
+        assert not fan.fallback
+
+    def test_invalid_spec_fails_at_construction(self):
+        from repro.exec import FanOut
+
+        with pytest.raises(ExecutorSpecError):
+            FanOut("thread:zero")
+        with pytest.raises(ValueError, match="chunks_per_worker"):
+            FanOut("thread:2", chunks_per_worker=0)
+
+    def test_initializer_reaches_workers(self):
+        from repro.exec import FanOut
+
+        fan = FanOut("process:2")
+        results = fan.run_blocks(
+            _read_token, [None, None], initializer=_install_token, initargs=("fanout",)
+        )
+        if results is None:  # pragma: no cover - sandboxed environments
+            assert fan.fallback
+        else:
+            assert results == ["fanout", "fanout"]
+
+
+def _sum_block(block):
+    return sum(block)

@@ -1,0 +1,151 @@
+"""v1 → v2 compatibility: old artifacts must load and serve identically.
+
+Two layers of protection:
+
+* a **committed v1 fixture** (``tests/fixtures/v1_sample.artifact.json``) —
+  the exact bytes an old build wrote.  If decoding of the frozen v1 format
+  ever drifts, these tests fail on the fixture even though every round-trip
+  test (which writes with the *current* code) would still pass.
+* **cross-format property tests** — the same artifact saved as v1 and as v2
+  must serve byte-identical responses, both through the synchronous
+  :class:`MappingService` and through a live :class:`SynthesisDaemon` (the
+  ISSUE's compat criterion).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from test_store_roundtrip import assert_artifacts_identical, make_sample_artifact
+
+from repro.applications.service import (
+    CorrectRequest,
+    FillRequest,
+    JoinRequest,
+    MappingService,
+)
+from repro.core.config import SynthesisConfig
+from repro.core.pipeline import SynthesisPipeline
+from repro.corpus.seeds import get_seed_relation
+from repro.serving.daemon import SynthesisDaemon
+from repro.store import load_artifact, save_artifact
+
+FIXTURE = Path(__file__).parent / "fixtures" / "v1_sample.artifact.json"
+
+
+def _response_views(responses):
+    """The deterministic parts of served responses (latency excluded)."""
+    return [(r.kind, r.request_index, r.result, r.error) for r in responses]
+
+
+# ---------------------------------------------------------------------------------------
+# The committed fixture
+# ---------------------------------------------------------------------------------------
+class TestCommittedV1Fixture:
+    def test_fixture_loads_and_matches_its_source(self):
+        loaded = load_artifact(FIXTURE)
+        assert loaded.reader is None, "v1 loads through the eager compat path"
+        assert_artifacts_identical(loaded, make_sample_artifact())
+
+    def test_fixture_upgrades_to_v2_losslessly(self, tmp_path):
+        loaded = load_artifact(FIXTURE)
+        v2 = save_artifact(loaded, tmp_path / "upgraded.artifact")
+        upgraded = load_artifact(v2)
+        assert upgraded.reader is not None
+        assert_artifacts_identical(upgraded, loaded)
+
+    def test_fixture_serves(self):
+        service = MappingService.from_artifact(FIXTURE)
+        assert len(service) == 1
+        responses = service.autofill([FillRequest(keys=("a", "c"))])
+        assert all(r.ok for r in responses)
+
+    @pytest.mark.daemon
+    def test_fixture_serves_identically_through_daemon(self, tmp_path):
+        v2 = save_artifact(load_artifact(FIXTURE), tmp_path / "up.artifact")
+        requests = [FillRequest(keys=("a", "c")), FillRequest(keys=("c",))]
+        with SynthesisDaemon.from_artifact(FIXTURE, watch=False, workers=1) as old:
+            from_v1 = old.autofill(requests).result(timeout=30)
+        with SynthesisDaemon.from_artifact(v2, watch=False, workers=1) as new:
+            from_v2 = new.autofill(requests).result(timeout=30)
+        assert _response_views(from_v1.responses) == _response_views(from_v2.responses)
+
+
+# ---------------------------------------------------------------------------------------
+# Cross-format properties on a real pipeline artifact
+# ---------------------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def format_pair(tmp_path_factory):
+    """One pipeline run saved as both v1 and v2 files."""
+    from store_helpers import make_fragment_corpus, seed_fragments
+
+    fragments = {}
+    fragments.update(seed_fragments("state_abbrev", "sa"))
+    fragments.update(seed_fragments("country_iso3", "ci"))
+    corpus = make_fragment_corpus(fragments, name="compat-corpus")
+    config = SynthesisConfig(
+        use_pmi_filter=False, min_domains=1, min_mapping_size=2, min_rows=4
+    )
+    pipeline = SynthesisPipeline(config)
+    pipeline.run(corpus)
+    base = tmp_path_factory.mktemp("compat")
+    v1 = save_artifact(pipeline.last_artifact, base / "run.v1", version=1)
+    v2 = save_artifact(pipeline.last_artifact, base / "run.v2")
+    return v1, v2
+
+
+_states = [left for left, _ in get_seed_relation("state_abbrev").pairs[:20]]
+_abbrevs = [right for _, right in get_seed_relation("state_abbrev").pairs[:20]]
+_values = st.sampled_from(_states + _abbrevs + ["unknown-value"])
+_fill = st.builds(
+    FillRequest, keys=st.lists(_values, min_size=1, max_size=5).map(tuple)
+)
+_join = st.builds(
+    JoinRequest,
+    left_keys=st.lists(_values, min_size=1, max_size=4).map(tuple),
+    right_keys=st.lists(_values, min_size=1, max_size=4).map(tuple),
+)
+_correct = st.builds(
+    CorrectRequest, values=st.lists(_values, min_size=1, max_size=5).map(tuple)
+)
+_program = st.lists(
+    st.one_of(
+        st.tuples(st.just("autofill"), st.lists(_fill, min_size=1, max_size=3)),
+        st.tuples(st.just("autojoin"), st.lists(_join, min_size=1, max_size=3)),
+        st.tuples(st.just("autocorrect"), st.lists(_correct, min_size=1, max_size=3)),
+    ),
+    min_size=1,
+    max_size=4,
+)
+
+
+class TestCrossFormatServing:
+    @given(program=_program)
+    @settings(max_examples=15, deadline=None)
+    def test_v1_and_v2_services_answer_identically(self, format_pair, program):
+        v1, v2 = format_pair
+        old = MappingService.from_artifact(v1)
+        new = MappingService.from_artifact(v2)
+        for kind, batch in program:
+            assert _response_views(getattr(old, kind)(batch)) == _response_views(
+                getattr(new, kind)(batch)
+            )
+
+    @pytest.mark.daemon
+    @given(program=_program)
+    @settings(max_examples=5, deadline=None)
+    def test_v1_file_serves_byte_identical_daemon_responses(self, format_pair, program):
+        """The ISSUE's compat criterion, against a live daemon on each format."""
+        v1, v2 = format_pair
+        with SynthesisDaemon.from_artifact(v1, watch=False, workers=2) as old:
+            with SynthesisDaemon.from_artifact(v2, watch=False, workers=2) as new:
+                for kind, batch in program:
+                    old_result = old.submit(kind, batch).result(timeout=30)
+                    new_result = new.submit(kind, batch).result(timeout=30)
+                    assert _response_views(old_result.responses) == _response_views(
+                        new_result.responses
+                    )

@@ -283,9 +283,14 @@ class TestPipelineRoundTrip:
 # ---------------------------------------------------------------------------------------
 @pytest.fixture()
 def saved(tmp_path):
+    """A v1 (single JSON document) artifact — these tests tamper with its JSON.
+
+    The v2 container's section-level corruption/version paths are covered in
+    test_store_v2.py.
+    """
     artifact = make_sample_artifact()
     path = tmp_path / "run.artifact"
-    save_artifact(artifact, path, compress=False)
+    save_artifact(artifact, path, compress=False, version=1)
     return path
 
 
@@ -304,7 +309,7 @@ class TestErrorPaths:
 
     def test_truncated_gzip(self, tmp_path):
         path = tmp_path / "run.artifact.gz"
-        save_artifact(make_sample_artifact(), path, compress=True)
+        save_artifact(make_sample_artifact(), path, compress=True, version=1)
         path.write_bytes(path.read_bytes()[: -(path.stat().st_size // 2)])
         with pytest.raises(ArtifactCorruptionError):
             load_artifact(path)
@@ -338,9 +343,8 @@ class TestErrorPaths:
         assert not issubclass(ArtifactVersionError, ArtifactCorruptionError)
 
     def test_missing_payload(self, saved):
-        saved.write_text(
-            json.dumps({"magic": ARTIFACT_MAGIC, "version": ARTIFACT_VERSION})
-        )
+        # Version literal 1: this exercises the v1 document path specifically.
+        saved.write_text(json.dumps({"magic": ARTIFACT_MAGIC, "version": 1}))
         with pytest.raises(ArtifactCorruptionError, match="no payload"):
             load_artifact(saved)
 
