@@ -30,6 +30,14 @@ Measures what the serving daemon adds over the synchronous
    per-batch p50/p95 latency is recorded before/after the swap, along with the
    swap pickup time, and post-swap answers are asserted byte-identical to a
    synchronous service over the new artifact.
+
+4. **Latency under low-rate fault injection** (the chaos CI leg).  The same
+   workload through a process-backed daemon with a deterministic
+   :class:`repro.faults.FaultPlan` (seeded by ``REPRO_FAULT_SEED``) injecting
+   a small rate of in-worker task errors and slow calls.  The recovery ladder
+   retries them invisibly; the recorded ``fault_injection`` row shows p50
+   staying flat relative to the fault-free baseline (asserted within a
+   generous bound — retries may move the tail, never the median answer).
 """
 
 from __future__ import annotations
@@ -248,6 +256,79 @@ def _hot_reload_latency(pipeline: SynthesisPipeline, corpus, path: Path) -> dict
     }
 
 
+#: Deterministic chaos seed for the bench leg (CI pins REPRO_FAULT_SEED).
+FAULT_BENCH_SEED = int(os.environ.get("REPRO_FAULT_SEED", "20260808"))
+
+
+def _fault_latency(artifact_path: Path) -> dict[str, object]:
+    """Per-batch latency through a process-backed daemon, clean vs faulted.
+
+    Low-rate injected task errors are retried by the backend's recovery
+    ladder and slow calls only stretch the tail, so the served answers — and
+    the p50 — must not move.  Recorded as the ``fault_injection`` row; when
+    process pools are unavailable there are no injection sites (thread-mode
+    daemons serve on dispatcher threads) and the row says so instead.
+    """
+    from repro.faults import FaultPlan, injected_faults
+
+    if not _process_pools_available():
+        return {"skipped": "process pools unavailable; no injection sites"}
+
+    plan = FaultPlan(
+        seed=FAULT_BENCH_SEED,
+        task_error_rate=0.05,
+        slow_call_rate=0.05,
+        slow_call_seconds=0.002,
+    )
+    reference = MappingService.from_artifact(artifact_path)
+    probe = [FillRequest(keys=("California", "Texas", "Ohio", "Washington"))]
+    expected = repr([(r.result, r.error) for r in reference.autofill(probe)])
+
+    def run() -> tuple[list[float], dict[str, object]]:
+        service = MappingService.from_artifact(artifact_path)
+        workload = _request_batches(batches=60)
+        samples: list[float] = []
+        with SynthesisDaemon(
+            service, workers=2, queue_size=64, source="bench", executor="process:2"
+        ) as daemon:
+            for kind, batch in workload:
+                result = daemon.submit(kind, batch, block=True).result(timeout=60)
+                samples.append(result.total_seconds / max(1, len(batch)))
+            served = daemon.autofill(probe).result(timeout=60)
+            assert (
+                repr([(r.result, r.error) for r in served.responses]) == expected
+            ), "faulted serving must stay byte-identical to the sync service"
+            backend = daemon.generation.backend
+            recovery = {
+                "tasks_retried": getattr(backend, "tasks_retried", 0),
+                "crash_recoveries": getattr(backend, "crash_recoveries", 0),
+                "faults_injected": getattr(backend, "faults_injected", 0),
+                "fallback_reason": getattr(backend, "fallback_reason", None),
+            }
+        return samples, recovery
+
+    clean, _ = run()
+    # Activation is process-global, so the with-block scopes injection across
+    # the daemon's dispatcher threads and its worker processes' dispatch path.
+    with injected_faults(plan) as injector:
+        faulted, recovery = run()
+        injected = injector.total_injected
+
+    row = {
+        "seed": FAULT_BENCH_SEED,
+        "task_error_rate": plan.task_error_rate,
+        "slow_call_rate": plan.slow_call_rate,
+        "faults_injected": injected,
+        "recovery": recovery,
+        "p50_clean_ms": _percentile(clean, 0.50) * 1000.0,
+        "p95_clean_ms": _percentile(clean, 0.95) * 1000.0,
+        "p50_faulted_ms": _percentile(faulted, 0.50) * 1000.0,
+        "p95_faulted_ms": _percentile(faulted, 0.95) * 1000.0,
+    }
+    row["p50_ratio"] = row["p50_faulted_ms"] / max(1e-9, row["p50_clean_ms"])
+    return row
+
+
 def test_daemon_bench(benchmark, tmp_path_factory):
     def measure() -> dict[str, object]:
         config = experiment_config().with_overrides(daemon_poll_seconds=0.05)
@@ -275,6 +356,7 @@ def test_daemon_bench(benchmark, tmp_path_factory):
             for workers in WORKER_COUNTS
         ]
         reload_row = _hot_reload_latency(pipeline, corpus, artifact_file)
+        fault_row = _fault_latency(artifact_file)
 
         io_speedup = (
             io_rows[-1]["requests_per_second"] / io_rows[0]["requests_per_second"]
@@ -292,6 +374,7 @@ def test_daemon_bench(benchmark, tmp_path_factory):
             "throughput_io_inclusive": io_rows,
             "io_speedup_max_vs_single_worker": io_speedup,
             "hot_reload": reload_row,
+            "fault_injection": fault_row,
         }
 
     row = benchmark.pedantic(measure, rounds=1, iterations=1)
@@ -322,6 +405,22 @@ def test_daemon_bench(benchmark, tmp_path_factory):
         f"{reload_row['p95_before_reload_ms']:.1f} ms -> after "
         f"{reload_row['p50_after_reload_ms']:.1f}/{reload_row['p95_after_reload_ms']:.1f} ms"
     )
+
+    fault_row = row["fault_injection"]
+    if "skipped" not in fault_row:
+        print(
+            f"fault inject   seed {fault_row['seed']}, "
+            f"{fault_row['faults_injected']} fault(s); p50 "
+            f"{fault_row['p50_clean_ms']:.1f} -> {fault_row['p50_faulted_ms']:.1f} ms "
+            f"({fault_row['p50_ratio']:.2f}x)"
+        )
+        # Low-rate faults are absorbed by retries: the median batch never sees
+        # one, so p50 must stay flat (generous bound — shared runners jitter).
+        assert fault_row["p50_ratio"] < 5.0, (
+            "p50 latency must stay flat under low-rate fault injection, got "
+            f"{fault_row['p50_ratio']:.2f}x"
+        )
+        assert fault_row["recovery"]["fallback_reason"] is None
 
     assert row["hot_reload"]["generations_observed"] >= 2
     assert row["io_speedup_max_vs_single_worker"] >= 2.0, (

@@ -90,7 +90,39 @@ def main() -> None:
     for thread in clients:
         thread.join()
 
-    # 5. Mixed batches against the new generation, then a clean drain + close.
+    # 5. Operators poll health(): one JSON-able snapshot of generation, queue,
+    #    breaker, shed-load counters, and watcher degradation.
+    health = daemon.health()
+    print(f"health: {health['status']}, generation {health['generation']}, "
+          f"queue {health['queue_depth']}/{health['queue_size']}, "
+          f"breaker {health['breaker']['state']}")
+
+    # 6. Chaos drill: every publish in this block is deterministically treated
+    #    as failed.  The watcher backs off, then pins the last good generation
+    #    — the daemon keeps serving and health() says exactly what is wrong.
+    from repro.faults import FaultPlan, injected_faults
+
+    pinned_generation = daemon.generation.number
+    with injected_faults(FaultPlan(seed=7, publish_failure_rate=1.0)):
+        for _ in range(4):  # a storm of failed publishes
+            time.sleep(0.01)  # distinct mtime per publish
+            pipeline.save_artifact(artifact_path)
+            daemon.watcher.check_now(force=True)
+        health = daemon.health()
+        watcher_health = health["watcher"]
+        print(f"failed-publish storm: status {health['status']}, "
+              f"still serving generation {daemon.generation.number}, "
+              f"pinned={watcher_health['pinned']} after "
+              f"{watcher_health['consecutive_failures']} consecutive failures")
+        assert daemon.generation.number == pinned_generation
+    # Chaos over: the very next good publish recovers automatically.
+    time.sleep(0.01)
+    pipeline.save_artifact(artifact_path)
+    daemon.watcher.check_now(force=True)
+    print(f"recovered: status {daemon.health()['status']}, "
+          f"generation {daemon.generation.number}")
+
+    # 7. Mixed batches against the new generation, then a clean drain + close.
     join = daemon.autojoin(
         [JoinRequest(left_keys=("California", "Texas"), right_keys=("TX", "CA"))]
     ).result(timeout=30)

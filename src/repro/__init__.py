@@ -15,6 +15,8 @@ The package implements the full pipeline from Wang & He (SIGMOD 2017):
 * :mod:`repro.applications` — auto-correction, auto-fill, auto-join on top of mappings.
 * :mod:`repro.store` — versioned on-disk synthesis artifacts + incremental refresh.
 * :mod:`repro.serving` — concurrent service daemon with artifact hot-reload.
+* :mod:`repro.faults` — retry/backoff, circuit breaking, and deterministic
+  fault injection backing the exec and serving tiers' fault tolerance.
 * :mod:`repro.evaluation` — metrics, benchmarks, and experiment drivers.
 """
 

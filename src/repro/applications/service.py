@@ -141,9 +141,41 @@ class ServiceStats:
     errors: dict[str, int] = field(default_factory=dict)
     serve_seconds: dict[str, float] = field(default_factory=dict)
     recent_seconds: dict[str, deque[float]] = field(default_factory=dict)
+    # -- Shed-load counters: work the service *refused* rather than served, so
+    #    operators see degradation directly instead of inferring it from a
+    #    throughput dip.  Bumped via :meth:`bump` by the daemon front-end.
+    #: Batches rejected at submit time because the queue was full.
+    rejected: int = 0
+    #: Batches failed because their deadline expired while still queued.
+    expired: int = 0
+    #: Batches re-submitted by a retrying client wrapper.
+    retried: int = 0
+    #: Times this generation's circuit breaker transitioned to open.
+    breaker_opened: int = 0
+    #: Batches rejected because the circuit breaker was open.
+    breaker_rejections: int = 0
     _lock: threading.Lock = field(
         default_factory=threading.Lock, init=False, repr=False, compare=False
     )
+
+    def bump(self, counter: str, amount: int = 1) -> int:
+        """Increment one shed-load counter by name (thread-safe); returns it.
+
+        Only the shed-load counters are reachable — the served-path counters
+        must go through :meth:`record` so their dicts stay consistent.
+        """
+        if counter not in {
+            "rejected",
+            "expired",
+            "retried",
+            "breaker_opened",
+            "breaker_rejections",
+        }:
+            raise ValueError(f"unknown shed-load counter {counter!r}")
+        with self._lock:
+            value = getattr(self, counter) + amount
+            setattr(self, counter, value)
+            return value
 
     @property
     def total_requests(self) -> int:
@@ -198,6 +230,13 @@ class ServiceStats:
                 "requests": dict(self.requests),
                 "errors": dict(self.errors),
                 "serve_seconds": dict(self.serve_seconds),
+                "shed": {
+                    "rejected": self.rejected,
+                    "expired": self.expired,
+                    "retried": self.retried,
+                    "breaker_opened": self.breaker_opened,
+                    "breaker_rejections": self.breaker_rejections,
+                },
             }
 
 

@@ -13,13 +13,27 @@ from dataclasses import dataclass, field, replace
 from typing import Any
 
 from repro.exec.backend import parse_executor_spec
+from repro.faults.retry import RetryPolicy
 
-__all__ = ["SynthesisConfig", "EXECUTOR_ENV_VAR"]
+__all__ = ["SynthesisConfig", "EXECUTOR_ENV_VAR", "RETRY_ATTEMPTS_ENV_VAR"]
 
 #: Environment variable overriding :attr:`SynthesisConfig.executor` when the
 #: field is left unset — the hook CI uses to run the whole suite under
 #: ``process:2`` without touching any test's config.
 EXECUTOR_ENV_VAR = "REPRO_EXECUTOR"
+
+#: Environment variable supplying :attr:`SynthesisConfig.retry_attempts` when
+#: the field is left at its default — the hook the CI chaos leg uses to widen
+#: the recovery budget without touching any test's config.
+RETRY_ATTEMPTS_ENV_VAR = "REPRO_RETRY_ATTEMPTS"
+
+
+def _default_retry_attempts() -> int:
+    raw = os.environ.get(RETRY_ATTEMPTS_ENV_VAR, "").strip()
+    try:
+        return int(raw) if raw else 2
+    except ValueError:
+        return 2
 
 
 @dataclass(frozen=True)
@@ -113,6 +127,28 @@ class SynthesisConfig:
         time; a batch still queued past its deadline fails with
         ``DeadlineExpiredError`` instead of being served late.  ``0`` disables
         the default deadline (per-submit deadlines still apply).
+    retry_attempts:
+        Budget of the fault-tolerance :class:`~repro.faults.RetryPolicy` built
+        by :meth:`retry_policy` — how many times a broken process pool is
+        rebuilt (then the backend degrades to inline execution), how many
+        times a transient task failure is re-dispatched, and how many times
+        the daemon's watcher re-attempts a failed hot-swap before pinning the
+        last good generation.  Defaults to ``REPRO_RETRY_ATTEMPTS`` when set,
+        else 2; ``0`` disables retries (first failure degrades immediately).
+    retry_backoff_seconds / retry_backoff_cap_seconds:
+        Base and cap of the policy's exponential backoff schedule.
+    daemon_breaker_threshold:
+        Error-rate threshold of the daemon's per-generation circuit breaker:
+        when at least :attr:`daemon_breaker_min_requests` recent requests show
+        this error fraction, the breaker opens and submissions fail fast with
+        ``CircuitOpenError`` until a half-open probe succeeds.  ``0`` (the
+        default) disables the breaker — per-request errors are already
+        isolated in response envelopes, so tripping is an operator opt-in.
+    daemon_breaker_min_requests:
+        Minimum recent-request volume before the breaker may trip (guards
+        against opening on the first unlucky request).
+    daemon_breaker_cooldown_seconds:
+        How long an open breaker waits before admitting a half-open probe.
     """
 
     # --- Candidate extraction (§3) -------------------------------------------------
@@ -150,6 +186,14 @@ class SynthesisConfig:
     daemon_queue_size: int = 64
     daemon_poll_seconds: float = 0.25
     daemon_deadline_seconds: float = 0.0
+
+    # --- Fault tolerance (repro.faults) -----------------------------------------------
+    retry_attempts: int = field(default_factory=_default_retry_attempts)
+    retry_backoff_seconds: float = 0.05
+    retry_backoff_cap_seconds: float = 2.0
+    daemon_breaker_threshold: float = 0.0
+    daemon_breaker_min_requests: int = 10
+    daemon_breaker_cooldown_seconds: float = 1.0
 
     # --- Extra knobs for experiments -------------------------------------------------
     # hash=False: a dict-valued field would make the generated __hash__ of this
@@ -225,6 +269,34 @@ class SynthesisConfig:
                 "daemon_deadline_seconds must be >= 0 (0 disables the default), "
                 f"got {self.daemon_deadline_seconds}"
             )
+        if self.retry_attempts < 0:
+            raise ValueError(
+                f"retry_attempts must be >= 0, got {self.retry_attempts}"
+            )
+        if self.retry_backoff_seconds < 0:
+            raise ValueError(
+                f"retry_backoff_seconds must be >= 0, got {self.retry_backoff_seconds}"
+            )
+        if self.retry_backoff_cap_seconds < self.retry_backoff_seconds:
+            raise ValueError(
+                f"retry_backoff_cap_seconds ({self.retry_backoff_cap_seconds}) must "
+                f"be >= retry_backoff_seconds ({self.retry_backoff_seconds})"
+            )
+        if self.daemon_breaker_threshold > 1.0:
+            raise ValueError(
+                "daemon_breaker_threshold is an error rate and must be <= 1 "
+                f"(<= 0 disables the breaker), got {self.daemon_breaker_threshold}"
+            )
+        if self.daemon_breaker_min_requests < 1:
+            raise ValueError(
+                "daemon_breaker_min_requests must be >= 1, "
+                f"got {self.daemon_breaker_min_requests}"
+            )
+        if self.daemon_breaker_cooldown_seconds < 0:
+            raise ValueError(
+                "daemon_breaker_cooldown_seconds must be >= 0, "
+                f"got {self.daemon_breaker_cooldown_seconds}"
+            )
 
     def effective_executor(self, default_kind: str | None = "process") -> str:
         """Resolve the executor spec this config selects for one pipeline stage.
@@ -249,6 +321,30 @@ class SynthesisConfig:
     def executor_workers(self, default_kind: str | None = "process") -> int:
         """Worker count of :meth:`effective_executor` (1 for the serial path)."""
         return parse_executor_spec(self.effective_executor(default_kind))[1]
+
+    def retry_policy(
+        self,
+        *,
+        retry_on: tuple[type[BaseException], ...] | None = None,
+    ) -> RetryPolicy:
+        """The :class:`~repro.faults.RetryPolicy` this config's knobs select.
+
+        One policy shape feeds every resilience site — exec-backend pool
+        rebuilds, per-task transient retries, and the watcher's hot-swap
+        retries — so operators tune a single budget.  ``retry_on`` overrides
+        the covered exception types; the default defers to
+        :data:`repro.exec.DEFAULT_RETRY_POLICY`'s transient set.
+        """
+        from repro.exec.backend import DEFAULT_RETRY_POLICY
+
+        return RetryPolicy(
+            attempts=self.retry_attempts,
+            base_seconds=self.retry_backoff_seconds,
+            max_seconds=self.retry_backoff_cap_seconds,
+            retry_on=(
+                retry_on if retry_on is not None else DEFAULT_RETRY_POLICY.retry_on
+            ),
+        )
 
     def with_overrides(self, **kwargs: Any) -> "SynthesisConfig":
         """Return a copy of this configuration with selected fields replaced."""

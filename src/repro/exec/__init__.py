@@ -11,9 +11,17 @@ results to :class:`SerialBackend`; only the wall-clock differs.
 :class:`FanOut` (:mod:`repro.exec.fanout`) is the shared gate + chunk +
 serial-fallback skeleton the fan-out call sites (scoring, extraction
 sharding, the Map-Reduce map phase) run their backends through.
+
+Pooled backends are **fault-tolerant**: a broken process pool is rebuilt and
+only the lost work re-dispatched, transient task failures retry under a
+:class:`~repro.faults.RetryPolicy` (:data:`DEFAULT_RETRY_POLICY` unless the
+caller tunes it), and past the retry budget the backend completes the
+remaining work inline with a recorded ``fallback_reason`` — results stay
+byte-identical through every rung.
 """
 
 from repro.exec.backend import (
+    DEFAULT_RETRY_POLICY,
     ExecutionBackend,
     ExecutorSpecError,
     ProcessBackend,
@@ -26,6 +34,7 @@ from repro.exec.backend import (
     registered_backends,
 )
 from repro.exec.fanout import FanOut
+from repro.faults.retry import RetryPolicy
 
 __all__ = [
     "ExecutionBackend",
@@ -34,6 +43,8 @@ __all__ = [
     "ThreadBackend",
     "ProcessBackend",
     "FanOut",
+    "RetryPolicy",
+    "DEFAULT_RETRY_POLICY",
     "parse_executor_spec",
     "create_backend",
     "register_backend",

@@ -32,9 +32,11 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from collections.abc import Callable, Iterable, Iterator, Sequence
 from concurrent.futures import (
     FIRST_COMPLETED,
+    BrokenExecutor,
     Future,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
@@ -42,18 +44,65 @@ from concurrent.futures import (
 )
 from typing import Any
 
+from repro.faults.plan import InjectedFault, active_injector
+from repro.faults.retry import RetryPolicy
+
 __all__ = [
     "ExecutorSpecError",
     "ExecutionBackend",
     "SerialBackend",
     "ThreadBackend",
     "ProcessBackend",
+    "DEFAULT_RETRY_POLICY",
     "parse_executor_spec",
     "create_backend",
     "register_backend",
     "registered_backends",
     "chunk_evenly",
 ]
+
+#: Default resilience budget for pooled backends: two pool rebuilds / per-task
+#: retries with a short backoff, retrying only the transient exception classes
+#: (injected chaos faults and OS-level I/O hiccups).  Pipeline tasks are pure,
+#: so retrying a deterministic task error would just repeat it — those still
+#: propagate immediately.
+DEFAULT_RETRY_POLICY = RetryPolicy(
+    attempts=2,
+    base_seconds=0.02,
+    max_seconds=0.5,
+    retry_on=(InjectedFault, OSError),
+)
+
+
+def _injected_worker_crash() -> None:
+    """Kill the worker process hosting this task (fault injection only).
+
+    ``os._exit`` skips all cleanup, exactly like an OOM kill or segfault: the
+    pool genuinely breaks and every sibling future resolves with
+    :class:`~concurrent.futures.process.BrokenProcessPool`, which is the
+    recovery path the injection exists to exercise.
+    """
+    os._exit(73)
+
+
+def _faulty_call(
+    fn: Callable[..., Any],
+    args: tuple,
+    kwargs: dict,
+    delay: float,
+    error: bool,
+) -> Any:
+    """Run ``fn`` with an injected delay and/or transient failure.
+
+    Module-level so it pickles by reference into process-pool workers.
+    """
+    if delay:
+        time.sleep(delay)
+    if error:
+        raise InjectedFault(
+            f"injected task error in {getattr(fn, '__name__', fn)!r}"
+        )
+    return fn(*args, **kwargs)
 
 
 class ExecutorSpecError(ValueError):
@@ -129,18 +178,33 @@ class ExecutionBackend:
 
     kind: str = "base"
 
+    # -- Resilience telemetry (class-level defaults; pooled backends shadow these
+    #    with live instance counters) ---------------------------------------------------
+    #: Times a broken pool was rebuilt and its lost work re-dispatched.
+    crash_recoveries: int = 0
+    #: Individual tasks re-run after a transient (policy-covered) failure.
+    tasks_retried: int = 0
+    #: Faults this backend injected on behalf of the active FaultInjector.
+    faults_injected: int = 0
+    #: Why the backend degraded to inline execution (``None`` while healthy).
+    fallback_reason: str | None = None
+
     def __init__(
         self,
         workers: int = 1,
         *,
         initializer: Callable[..., None] | None = None,
         initargs: tuple = (),
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
         self._initializer = initializer
         self._initargs = initargs
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else DEFAULT_RETRY_POLICY
+        )
 
     # -- Protocol ----------------------------------------------------------------------
     def map_blocks(
@@ -162,6 +226,16 @@ class ExecutionBackend:
     def submit(self, fn: Callable[..., Any], /, *args: Any, **kwargs: Any) -> Future:
         """Schedule one call and return its :class:`Future`."""
         raise NotImplementedError
+
+    def call(self, fn: Callable[..., Any], /, *args: Any, **kwargs: Any) -> Any:
+        """Run one call to completion, resiliently where the backend can be.
+
+        The synchronous sibling of :meth:`submit`: pooled backends override it
+        to survive pool breakage (rebuild + re-dispatch, then inline
+        degradation), so callers that need *an answer* rather than a future —
+        the serving daemon — get the full recovery ladder.
+        """
+        return self.submit(fn, *args, **kwargs).result()
 
     def close(self, wait: bool = True) -> None:
         """Tear the backend down.  Idempotent.
@@ -198,8 +272,11 @@ class SerialBackend(ExecutionBackend):
         *,
         initializer: Callable[..., None] | None = None,
         initargs: tuple = (),
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
-        super().__init__(1, initializer=initializer, initargs=initargs)
+        super().__init__(
+            1, initializer=initializer, initargs=initargs, retry_policy=retry_policy
+        )
         self._initialized = False
 
     def _ensure_initialized(self) -> None:
@@ -227,7 +304,37 @@ class SerialBackend(ExecutionBackend):
 
 
 class _PoolBackend(ExecutionBackend):
-    """Shared plumbing for the two ``concurrent.futures``-based backends."""
+    """Shared plumbing for the two ``concurrent.futures``-based backends.
+
+    Beyond pooling, this is where the fault-tolerance ladder lives.  Every
+    fan-out entry point (:meth:`map_blocks`, :meth:`map_unordered`,
+    :meth:`call`) runs through the same recovery loop:
+
+    1. **Per-task retry** — a task failing with an exception the
+       :class:`RetryPolicy` covers (transient by construction: injected
+       faults, OS-level I/O errors) is re-dispatched after backoff, up to the
+       policy's budget.  Deterministic task errors propagate immediately.
+    2. **Pool rebuild** — a broken pool (worker killed mid-task) resolves all
+       in-flight futures with :class:`~concurrent.futures.BrokenExecutor`;
+       the loop collects whatever finished, rebuilds the pool after backoff,
+       and re-dispatches **only the lost items**.
+    3. **Inline degradation** — once pool failures exhaust the retry budget,
+       the backend stops trusting pools entirely: it runs the initializer in
+       the calling process and completes the remaining items serially, with
+       the reason recorded in :attr:`fallback_reason`.
+
+    Tasks are pure, so every rung produces byte-identical results — the
+    ladder trades wall-clock for availability, never answers.  Fault
+    injection (when a :class:`~repro.faults.FaultInjector` is active) happens
+    at dispatch time in the submitting thread; recovery rungs are never
+    injected, so degradation always lands somewhere that works.
+    """
+
+    #: Exception types that mean "the pool is dead", not "the task failed".
+    _pool_failure_types: tuple[type[BaseException], ...] = (BrokenExecutor,)
+    #: Whether the active FaultInjector may kill this backend's workers
+    #: (meaningful only where workers are processes).
+    _injects_crashes: bool = False
 
     def _make_pool(self):  # pragma: no cover - overridden
         raise NotImplementedError
@@ -238,15 +345,24 @@ class _PoolBackend(ExecutionBackend):
         *,
         initializer: Callable[..., None] | None = None,
         initargs: tuple = (),
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         super().__init__(
             workers if workers is not None else (os.cpu_count() or 1),
             initializer=initializer,
             initargs=initargs,
+            retry_policy=retry_policy,
         )
         self._pool = None
         self._pool_lock = threading.Lock()
         self._closed = False
+        self._pool_failures = 0
+        self._degraded = False
+        self._inline_initialized = False
+        self.crash_recoveries = 0
+        self.tasks_retried = 0
+        self.faults_injected = 0
+        self.fallback_reason = None
 
     @property
     def pool(self):
@@ -267,22 +383,170 @@ class _PoolBackend(ExecutionBackend):
                     self._pool = self._make_pool()
         return self._pool
 
-    def map_blocks(self, fn, blocks):
-        return list(self.pool.map(fn, blocks))
+    # -- Fault-injecting dispatch ------------------------------------------------------
+    def _dispatch(self, fn, args: tuple, kwargs: dict) -> Future:
+        """Submit one task, consulting the active fault injector first.
 
-    def map_unordered(self, fn, items):
-        pending = {self.pool.submit(fn, item) for item in items}
+        Draws happen here, in the submitting thread, so the fault schedule is
+        a deterministic function of dispatch order — never of worker timing.
+        """
+        injector = active_injector()
+        if injector is not None:
+            if self._injects_crashes and injector.worker_crash():
+                self.faults_injected += 1
+                # The real task is NOT submitted: the crash destroys the pool,
+                # this future resolves broken, and the recovery loop
+                # re-dispatches the item — exactly an OOM-killed worker.
+                return self.pool.submit(_injected_worker_crash)
+            delay = injector.slow_call()
+            error = injector.task_error()
+            if delay or error:
+                self.faults_injected += 1
+                return self.pool.submit(_faulty_call, fn, args, kwargs, delay, error)
+        return self.pool.submit(fn, *args, **kwargs)
+
+    # -- Recovery ladder ---------------------------------------------------------------
+    def _note_pool_failure(self) -> None:
+        """One pool breakage: rebuild after backoff, or degrade past budget."""
+        broken = self._pool
+        self._pool_failures += 1
+        if self._pool_failures > self.retry_policy.attempts:
+            self._degraded = True
+            self.fallback_reason = (
+                f"{self.kind} pool broke {self._pool_failures} time(s), "
+                f"exhausting the retry budget ({self.retry_policy.attempts}); "
+                "completing remaining work inline"
+            )
+            return
+        time.sleep(self.retry_policy.delay(self._pool_failures))
+        with self._pool_lock:
+            if not self._closed and self._pool is broken:
+                # Compare-and-swap: another thread may have rebuilt already,
+                # and clearing *its* fresh pool would orphan it.
+                self._pool = None
+        if broken is not None:
+            broken.shutdown(wait=False)
+        self.crash_recoveries += 1
+
+    def _ensure_inline_initialized(self) -> None:
+        """Run the worker initializer in this process (degraded mode only).
+
+        Initializers install worker state in module globals; running one in
+        the parent is safe — it is exactly what SerialBackend does.
+        """
+        if not self._inline_initialized:
+            if self._initializer is not None:
+                self._initializer(*self._initargs)
+            self._inline_initialized = True
+
+    def _run_resilient(self, fn, items: Sequence[Any]) -> Iterator[tuple[int, Any]]:
+        """Yield ``(index, result)`` in completion order, surviving pool death.
+
+        The engine behind :meth:`map_blocks` and :meth:`map_unordered`: tracks
+        which indices completed, treats :attr:`_pool_failure_types` as lost
+        work to re-dispatch, applies the per-task retry policy to transient
+        task failures, and finishes inline once the backend degrades.
+        """
+        total = len(items)
+        completed: set[int] = set()
+        task_attempts: dict[int, int] = {}
+        pending: dict[Future, int] = {}
+
+        def settle(future: Future, index: int) -> tuple[str, Any]:
+            # One future's outcome -> ("ok", result) | ("lost", None) |
+            # ("retry", None); fatal task errors raise.
+            try:
+                return "ok", future.result()
+            except self._pool_failure_types:
+                return "lost", None
+            except BaseException as exc:
+                attempts = task_attempts.get(index, 0)
+                if attempts < self.retry_policy.attempts and self.retry_policy.retries(
+                    exc
+                ):
+                    task_attempts[index] = attempts + 1
+                    self.tasks_retried += 1
+                    time.sleep(self.retry_policy.delay(attempts + 1))
+                    return "retry", None
+                raise
+
         try:
-            while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    yield future.result()
-        finally:
+            while len(completed) < total:
+                if self._degraded:
+                    self._ensure_inline_initialized()
+                    for index in range(total):
+                        if index not in completed:
+                            completed.add(index)
+                            yield index, fn(items[index])
+                    return
+                pool_broke = False
+                try:
+                    in_flight = set(pending.values())
+                    for index in range(total):
+                        if index not in completed and index not in in_flight:
+                            pending[self._dispatch(fn, (items[index],), {})] = index
+                except self._pool_failure_types:
+                    pool_broke = True
+                if pending and not pool_broke:
+                    done, _ = wait(set(pending), return_when=FIRST_COMPLETED)
+                    for future in done:
+                        index = pending.pop(future)
+                        outcome, result = settle(future, index)
+                        if outcome == "ok":
+                            completed.add(index)
+                            yield index, result
+                        elif outcome == "lost":
+                            pool_broke = True
+                if pool_broke:
+                    # A broken pool resolves every in-flight future; drain them
+                    # all so finished work is kept and lost work re-dispatches.
+                    if pending:
+                        done, _ = wait(set(pending))
+                        for future in done:
+                            index = pending.pop(future)
+                            outcome, result = settle(future, index)
+                            if outcome == "ok":
+                                completed.add(index)
+                                yield index, result
+                    self._note_pool_failure()
+        except BaseException:
             for future in pending:
                 future.cancel()
+            raise
+
+    def map_blocks(self, fn, blocks):
+        blocks = list(blocks)
+        results: list[Any] = [None] * len(blocks)
+        for index, result in self._run_resilient(fn, blocks):
+            results[index] = result
+        return results
+
+    def map_unordered(self, fn, items):
+        for _, result in self._run_resilient(fn, list(items)):
+            yield result
 
     def submit(self, fn, /, *args, **kwargs):
-        return self.pool.submit(fn, *args, **kwargs)
+        return self._dispatch(fn, args, kwargs)
+
+    def call(self, fn, /, *args, **kwargs):
+        """One call through the full recovery ladder (see class docstring)."""
+        task_attempts = 0
+        while True:
+            if self._degraded:
+                self._ensure_inline_initialized()
+                return fn(*args, **kwargs)
+            try:
+                return self._dispatch(fn, args, kwargs).result()
+            except self._pool_failure_types:
+                self._note_pool_failure()
+            except BaseException as exc:
+                task_attempts += 1
+                if task_attempts > self.retry_policy.attempts or not (
+                    self.retry_policy.retries(exc)
+                ):
+                    raise
+                self.tasks_retried += 1
+                time.sleep(self.retry_policy.delay(task_attempts))
 
     def close(self, wait: bool = True) -> None:
         with self._pool_lock:
@@ -318,6 +582,7 @@ class ProcessBackend(_PoolBackend):
     """
 
     kind = "process"
+    _injects_crashes = True
 
     def __init__(
         self,
@@ -326,8 +591,14 @@ class ProcessBackend(_PoolBackend):
         initializer: Callable[..., None] | None = None,
         initargs: tuple = (),
         start_method: str | None = None,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
-        super().__init__(workers, initializer=initializer, initargs=initargs)
+        super().__init__(
+            workers,
+            initializer=initializer,
+            initargs=initargs,
+            retry_policy=retry_policy,
+        )
         self._start_method = start_method
 
     def _make_pool(self):
@@ -384,7 +655,17 @@ def create_backend(
     *,
     initializer: Callable[..., None] | None = None,
     initargs: tuple = (),
+    retry_policy: RetryPolicy | None = None,
 ) -> ExecutionBackend:
-    """Build the backend named by ``spec`` (e.g. ``"process:8"``)."""
+    """Build the backend named by ``spec`` (e.g. ``"process:8"``).
+
+    ``retry_policy`` tunes the pooled backends' recovery ladder; ``None``
+    keeps :data:`DEFAULT_RETRY_POLICY`.  It is forwarded only when set, so
+    custom factories registered under the documented
+    ``factory(workers, initializer=..., initargs=...)`` contract keep working.
+    """
     kind, workers = parse_executor_spec(spec)
-    return _BACKENDS[kind](workers, initializer=initializer, initargs=initargs)
+    kwargs: dict[str, Any] = {"initializer": initializer, "initargs": initargs}
+    if retry_policy is not None:
+        kwargs["retry_policy"] = retry_policy
+    return _BACKENDS[kind](workers, **kwargs)

@@ -27,6 +27,7 @@ from collections.abc import Callable, Sequence
 from typing import Any
 
 from repro.exec.backend import chunk_evenly, create_backend, parse_executor_spec
+from repro.faults.retry import RetryPolicy
 
 __all__ = ["FanOut"]
 
@@ -51,15 +52,41 @@ class FanOut:
         the caller must compute sequentially.  Callers surface it in their own
         stats (``BuildStats.parallel_fallback``, ``last_parallel_fallback``,
         ``last_map_fallback``).
+    fallback_reason:
+        Why the last degradation happened — either the backend's own recorded
+        reason (pool retry budget exhausted) or the exception that escaped.
+    crash_recoveries / tasks_retried / faults_injected:
+        Totals propagated from the backends this fan-out ran, so build stats
+        can report recovery work that happened *without* falling back.
     """
 
-    def __init__(self, spec: str, *, chunks_per_worker: int = 4) -> None:
+    def __init__(
+        self,
+        spec: str,
+        *,
+        chunks_per_worker: int = 4,
+        retry_policy: RetryPolicy | None = None,
+    ) -> None:
         if chunks_per_worker < 1:
             raise ValueError(f"chunks_per_worker must be >= 1, got {chunks_per_worker}")
         self.spec = spec
         self.kind, self.workers = parse_executor_spec(spec)
         self.chunks_per_worker = chunks_per_worker
+        self.retry_policy = retry_policy
         self.fallback = False
+        self.fallback_reason: str | None = None
+        self.crash_recoveries = 0
+        self.tasks_retried = 0
+        self.faults_injected = 0
+
+    def _absorb_backend_stats(self, backend: Any) -> None:
+        # Pooled backends expose resilience counters; customs may not.
+        self.crash_recoveries += getattr(backend, "crash_recoveries", 0)
+        self.tasks_retried += getattr(backend, "tasks_retried", 0)
+        self.faults_injected += getattr(backend, "faults_injected", 0)
+        reason = getattr(backend, "fallback_reason", None)
+        if reason:
+            self.fallback_reason = reason
 
     def should_fan_out(self, num_items: int, *, min_items: int | None = None) -> bool:
         """True when the spec is parallel and the workload clears the gate.
@@ -93,14 +120,22 @@ class FanOut:
         the identical result.  ``spec`` overrides the construction spec (the
         Map-Reduce site clamps the worker count to the record count).
         """
+        backend = None
         try:
             with create_backend(
-                spec or self.spec, initializer=initializer, initargs=initargs
+                spec or self.spec,
+                initializer=initializer,
+                initargs=initargs,
+                retry_policy=self.retry_policy,
             ) as backend:
                 return backend.map_blocks(task, blocks)
-        except Exception:
+        except Exception as exc:
             self.fallback = True
+            self.fallback_reason = f"{type(exc).__name__}: {exc}"
             return None
+        finally:
+            if backend is not None:
+                self._absorb_backend_stats(backend)
 
     def run_unordered(
         self,
@@ -117,11 +152,19 @@ class FanOut:
         matter.  Same ``None``-plus-:attr:`fallback` contract as
         :meth:`run_blocks`.
         """
+        backend = None
         try:
             with create_backend(
-                spec or self.spec, initializer=initializer, initargs=initargs
+                spec or self.spec,
+                initializer=initializer,
+                initargs=initargs,
+                retry_policy=self.retry_policy,
             ) as backend:
                 return list(backend.map_unordered(task, blocks))
-        except Exception:
+        except Exception as exc:
             self.fallback = True
+            self.fallback_reason = f"{type(exc).__name__}: {exc}"
             return None
+        finally:
+            if backend is not None:
+                self._absorb_backend_stats(backend)

@@ -1,0 +1,110 @@
+"""Capped exponential backoff with deterministic jitter.
+
+One :class:`RetryPolicy` shape serves every retry site in the codebase — the
+process-pool rebuild loop in :mod:`repro.exec.backend`, the watcher's
+hot-swap retries in :mod:`repro.serving.watcher`, and client-side shed-load
+retries against the daemon — so the knobs live in one place
+(:class:`repro.core.config.SynthesisConfig`'s ``retry_*`` fields) and tests
+can reason about exact delay sequences.
+
+The jitter is **deterministic**: the multiplier for attempt *n* is a pure
+function of ``(seed, n)``, so two runs with the same policy back off on the
+same schedule.  Real deployments that want decorrelated replicas vary the
+seed per process; tests that want reproducible chaos keep it fixed (the same
+philosophy as :mod:`repro.faults.plan`).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry budget + backoff schedule + exception filter.
+
+    ``attempts`` counts *retries* — a call guarded by this policy runs at most
+    ``attempts + 1`` times.  Delays grow by ``multiplier`` from
+    ``base_seconds``, are jittered by ±``jitter`` (a fraction, deterministic
+    per attempt), and never exceed ``max_seconds``.
+    """
+
+    attempts: int = 3
+    base_seconds: float = 0.05
+    max_seconds: float = 2.0
+    multiplier: float = 2.0
+    #: Jitter amplitude as a fraction of the delay (0 disables).
+    jitter: float = 0.1
+    #: Seed of the deterministic jitter stream.
+    seed: int = 0
+    #: Exception types the policy retries; everything else propagates at once.
+    retry_on: tuple[type[BaseException], ...] = (Exception,)
+
+    def __post_init__(self) -> None:
+        if self.attempts < 0:
+            raise ValueError(f"attempts must be >= 0, got {self.attempts}")
+        if self.base_seconds < 0:
+            raise ValueError(f"base_seconds must be >= 0, got {self.base_seconds}")
+        if self.max_seconds < self.base_seconds:
+            raise ValueError(
+                f"max_seconds ({self.max_seconds}) must be >= base_seconds "
+                f"({self.base_seconds})"
+            )
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    def retries(self, exc: BaseException) -> bool:
+        """Whether the policy covers ``exc`` (the exception filter)."""
+        return isinstance(exc, self.retry_on)
+
+    def delay(self, attempt: int) -> float:
+        """The backoff before retry ``attempt`` (counted from 1), in seconds.
+
+        Deterministic: the jitter multiplier comes from ``(seed, attempt)``,
+        not a shared RNG, so schedules replay exactly.
+        """
+        if attempt < 1:
+            raise ValueError(f"attempt is counted from 1, got {attempt}")
+        raw = self.base_seconds * self.multiplier ** (attempt - 1)
+        if self.jitter:
+            # str seeding hashes via SHA-512, stable across runs/processes.
+            unit = random.Random(f"{self.seed}:retry:{attempt}").random()
+            raw *= 1.0 + self.jitter * (2.0 * unit - 1.0)
+        return min(raw, self.max_seconds)
+
+    def delays(self) -> Iterator[float]:
+        """The full backoff schedule, one delay per allowed retry."""
+        for attempt in range(1, self.attempts + 1):
+            yield self.delay(attempt)
+
+    def call(
+        self,
+        fn: Callable[[], Any],
+        *,
+        sleep: Callable[[float], None] = time.sleep,
+        on_retry: Callable[[int, BaseException], None] | None = None,
+    ) -> Any:
+        """Run ``fn`` under this policy: retry covered exceptions with backoff.
+
+        ``sleep`` is injectable so tests assert the schedule without waiting;
+        ``on_retry(attempt, exc)`` observes each retry (counters, logging).
+        """
+        attempt = 0
+        while True:
+            try:
+                return fn()
+            except BaseException as exc:
+                attempt += 1
+                if attempt > self.attempts or not self.retries(exc):
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                sleep(self.delay(attempt))

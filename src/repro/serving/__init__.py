@@ -18,10 +18,19 @@ The invariant the whole package is built around: **a batch is served entirely
 by one generation** — answers are byte-identical to synchronous
 :class:`MappingService` calls against that generation's artifact, before,
 during, and after a hot reload.
+
+The serving tier also **degrades gracefully** (see :mod:`repro.faults`): each
+generation carries an optional circuit breaker (closed → open → half-open;
+open fails fast with :class:`CircuitOpenError`), failed or corrupt hot-swaps
+retry with backoff and then pin the last good generation rather than crash
+the watcher, and :meth:`SynthesisDaemon.health` snapshots queue depth,
+breaker state, shed-load counters, and watcher degradation in one JSON-able
+dict for operators to poll.
 """
 
 from repro.serving.aio import AsyncDaemonClient
 from repro.serving.daemon import (
+    CircuitOpenError,
     DaemonError,
     DaemonResult,
     DaemonStoppedError,
@@ -42,6 +51,7 @@ __all__ = [
     "QueueFullError",
     "DeadlineExpiredError",
     "DaemonStoppedError",
+    "CircuitOpenError",
     "ArtifactWatcher",
     "AsyncDaemonClient",
 ]

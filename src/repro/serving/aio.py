@@ -23,6 +23,7 @@ from functools import partial
 from typing import Sequence
 
 from repro.applications.service import CorrectRequest, FillRequest, JoinRequest
+from repro.faults.retry import RetryPolicy
 from repro.serving.daemon import DaemonResult, SynthesisDaemon
 
 __all__ = ["AsyncDaemonClient"]
@@ -45,17 +46,28 @@ class AsyncDaemonClient:
         requests: Sequence[FillRequest | JoinRequest | CorrectRequest],
         *,
         deadline: float | None = None,
+        retry_policy: RetryPolicy | None = None,
     ) -> DaemonResult:
         """Submit one batch and await its result.
 
         Queue backpressure is absorbed off-loop: the (potentially blocking)
         enqueue runs in the default executor, so a full queue delays only this
-        coroutine, never the event loop.
+        coroutine, never the event loop.  ``retry_policy`` re-attempts shed
+        submissions (full queue, open breaker) on the policy's backoff
+        schedule before the rejection propagates — the retries (and their
+        sleeps) also run off-loop.
         """
         loop = asyncio.get_running_loop()
         ticket = await loop.run_in_executor(
             None,
-            partial(self.daemon.submit, kind, requests, deadline=deadline, block=True),
+            partial(
+                self.daemon.submit,
+                kind,
+                requests,
+                deadline=deadline,
+                block=True,
+                retry_policy=retry_policy,
+            ),
         )
         return await asyncio.wrap_future(ticket.future)
 
@@ -81,6 +93,11 @@ class AsyncDaemonClient:
         """Await completion of every outstanding batch."""
         loop = asyncio.get_running_loop()
         await loop.run_in_executor(None, partial(self.daemon.drain, timeout=timeout))
+
+    async def health(self) -> dict[str, object]:
+        """Await one :meth:`SynthesisDaemon.health` snapshot (off-loop)."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self.daemon.health)
 
     async def aclose(self, *, drain: bool = True) -> None:
         """Close the underlying daemon without blocking the event loop."""

@@ -67,12 +67,15 @@ from repro.exec.backend import (
     create_backend,
     parse_executor_spec,
 )
+from repro.faults.breaker import CircuitBreaker
+from repro.faults.retry import RetryPolicy
 
 __all__ = [
     "DaemonError",
     "QueueFullError",
     "DeadlineExpiredError",
     "DaemonStoppedError",
+    "CircuitOpenError",
     "ServiceGeneration",
     "DaemonResult",
     "DaemonTicket",
@@ -128,6 +131,10 @@ class DaemonStoppedError(DaemonError):
     """The daemon is stopped (or stopping) and will not serve this batch."""
 
 
+class CircuitOpenError(DaemonError):
+    """The generation's circuit breaker is open: failing fast, not serving."""
+
+
 @dataclass(frozen=True)
 class ServiceGeneration:
     """One immutable served generation: a service plus its provenance.
@@ -148,6 +155,10 @@ class ServiceGeneration:
     #: this pool's workers, whose services were built from exactly this
     #: generation's mappings.
     backend: ExecutionBackend | None = None
+    #: The generation's circuit breaker (``None`` when breaking is disabled).
+    #: Per-generation on purpose: a hot swap replaces the thing that was
+    #: erroring, so the replacement starts with a clean (closed) breaker.
+    breaker: CircuitBreaker | None = None
 
     @property
     def stats(self) -> ServiceStats:
@@ -248,6 +259,18 @@ class SynthesisDaemon:
     source / fingerprint:
         Provenance recorded on generation 1 (the artifact path and corpus
         fingerprint when constructed via :meth:`from_artifact`).
+    breaker_threshold / breaker_min_requests / breaker_cooldown:
+        Per-generation circuit breaker tuning (see
+        :attr:`SynthesisConfig.daemon_breaker_threshold`): once at least
+        ``breaker_min_requests`` recent requests show an error fraction of
+        ``breaker_threshold``, batches fail fast with
+        :class:`CircuitOpenError` until a half-open probe (admitted after
+        ``breaker_cooldown`` seconds) serves cleanly.  ``breaker_threshold=0``
+        (the default) disables breaking.
+    retry_policy:
+        The :class:`~repro.faults.RetryPolicy` handed to each generation's
+        serving backend (pool rebuild budget and backoff); ``None`` keeps
+        :data:`repro.exec.DEFAULT_RETRY_POLICY`.
     """
 
     def __init__(
@@ -260,6 +283,10 @@ class SynthesisDaemon:
         source: str = "memory",
         fingerprint: str = "",
         executor: str | None = None,
+        breaker_threshold: float = 0.0,
+        breaker_min_requests: int = 10,
+        breaker_cooldown: float = 1.0,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         if executor is not None:
             kind, spec_workers = parse_executor_spec(executor)
@@ -287,8 +314,17 @@ class SynthesisDaemon:
         #: (pool shutdown race during reload, broken pool); answers are
         #: identical either way, the counter keeps the degradation observable.
         self.backend_fallbacks = 0
+        if breaker_threshold > 1.0:
+            raise ValueError(
+                "breaker_threshold is an error rate and must be <= 1 "
+                f"(<= 0 disables the breaker), got {breaker_threshold}"
+            )
         self.queue_size = queue_size
         self.default_deadline = default_deadline or 0.0
+        self.breaker_threshold = breaker_threshold
+        self.breaker_min_requests = breaker_min_requests
+        self.breaker_cooldown = breaker_cooldown
+        self.retry_policy = retry_policy
         self._queue: queue.Queue = queue.Queue(maxsize=queue_size)
         self._swap_lock = threading.Lock()
         self._pending_lock = threading.Lock()
@@ -308,6 +344,7 @@ class SynthesisDaemon:
             fingerprint=fingerprint,
             activated_at=time.monotonic(),
             backend=self._make_serving_backend(service),
+            breaker=self._make_breaker(),
         )
         self._threads = [
             threading.Thread(
@@ -346,11 +383,24 @@ class SynthesisDaemon:
                 initializer=_init_serving_worker,
                 initargs=initargs,
                 start_method="spawn",
+                retry_policy=self.retry_policy,
             )
         return create_backend(
             f"{self.executor_kind}:{self.workers}",
             initializer=_init_serving_worker,
             initargs=initargs,
+            retry_policy=self.retry_policy,
+        )
+
+    def _make_breaker(self) -> CircuitBreaker | None:
+        """Build one generation's circuit breaker (``None`` when disabled)."""
+        if self.breaker_threshold <= 0.0:
+            return None
+        return CircuitBreaker(
+            error_threshold=self.breaker_threshold,
+            min_requests=self.breaker_min_requests,
+            cooldown_seconds=self.breaker_cooldown,
+            window=max(128, self.breaker_min_requests),
         )
 
     # -- Construction -------------------------------------------------------------------
@@ -367,6 +417,8 @@ class SynthesisDaemon:
         default_deadline: float | None = None,
         poll_seconds: float | None = None,
         prefer_curated: bool = True,
+        breaker_threshold: float | None = None,
+        retry_policy: RetryPolicy | None = None,
         **service_kwargs,
     ) -> "SynthesisDaemon":
         """Start a daemon serving a persisted artifact, optionally hot-reloading.
@@ -397,6 +449,10 @@ class SynthesisDaemon:
         if default_deadline is None:
             default_deadline = config.daemon_deadline_seconds
         poll = config.daemon_poll_seconds if poll_seconds is None else poll_seconds
+        if breaker_threshold is None:
+            breaker_threshold = config.daemon_breaker_threshold
+        if retry_policy is None:
+            retry_policy = config.retry_policy()
 
         path = Path(path)
         # Snapshot the change signature *before* loading: a version published
@@ -426,6 +482,10 @@ class SynthesisDaemon:
             default_deadline=default_deadline,
             source=f"artifact:{path}",
             fingerprint=artifact.corpus_fingerprint,
+            breaker_threshold=breaker_threshold,
+            breaker_min_requests=config.daemon_breaker_min_requests,
+            breaker_cooldown=config.daemon_breaker_cooldown_seconds,
+            retry_policy=retry_policy,
         )
         if watch:
 
@@ -445,7 +505,11 @@ class SynthesisDaemon:
                 )
 
             daemon._watcher = ArtifactWatcher(
-                path, swap, poll_seconds=poll, baseline=baseline
+                path,
+                swap,
+                poll_seconds=poll,
+                baseline=baseline,
+                retry_policy=retry_policy,
             )
             daemon._watcher.start()
         return daemon
@@ -479,6 +543,71 @@ class SynthesisDaemon:
     def closed(self) -> bool:
         return self._closed.is_set()
 
+    def health(self) -> dict[str, object]:
+        """One JSON-able snapshot of everything an operator needs to page on.
+
+        ``status`` is ``"ok"`` unless some degradation is live — breaker not
+        closed, watcher pinned on a poisoned artifact or mid-retry, a serving
+        backend that degraded inline, or the daemon closed — in which case it
+        is ``"degraded"`` (``"closed"`` once the daemon stopped) and the
+        contributing conditions are listed in ``degraded_reasons``.  Every
+        field reflects *this instant*; poll it, don't cache it.
+        """
+        generation = self._generation
+        stats = generation.stats
+        backend = generation.backend
+        breaker = generation.breaker
+        reasons: list[str] = []
+        breaker_state = breaker.state if breaker is not None else "disabled"
+        if breaker_state not in ("closed", "disabled"):
+            reasons.append(f"circuit breaker {breaker_state}")
+        backend_info: dict[str, object] = {
+            "kind": self.executor_kind,
+            "fallbacks": self.backend_fallbacks,
+            "crash_recoveries": getattr(backend, "crash_recoveries", 0),
+            "tasks_retried": getattr(backend, "tasks_retried", 0),
+            "fallback_reason": getattr(backend, "fallback_reason", None),
+        }
+        if backend_info["fallback_reason"]:
+            reasons.append(str(backend_info["fallback_reason"]))
+        watcher = self._watcher
+        watcher_info: dict[str, object] | None = None
+        if watcher is not None:
+            watcher_info = watcher.health()
+            if watcher_info.get("pinned"):
+                reasons.append(
+                    "watcher pinned the last good generation "
+                    f"(artifact publish failing: {watcher_info.get('last_error')})"
+                )
+            elif not watcher_info.get("last_swap_ok", True):
+                reasons.append(
+                    f"last hot-swap failed: {watcher_info.get('last_error')}"
+                )
+        stats_view = stats.as_dict()
+        if self.closed:
+            status = "closed"
+        elif reasons:
+            status = "degraded"
+        else:
+            status = "ok"
+        return {
+            "status": status,
+            "degraded_reasons": reasons,
+            "generation": generation.number,
+            "source": generation.source,
+            "fingerprint": generation.fingerprint,
+            "queue_depth": self.queue_depth(),
+            "queue_size": self.queue_size,
+            "workers": self.workers,
+            "breaker": breaker.snapshot() if breaker is not None
+            else {"state": "disabled"},
+            "requests": stats_view["requests"],
+            "errors": stats_view["errors"],
+            "shed": stats_view["shed"],
+            "backend": backend_info,
+            "watcher": watcher_info,
+        }
+
     # -- Hot reload ---------------------------------------------------------------------
     def reload(
         self,
@@ -504,6 +633,7 @@ class SynthesisDaemon:
                 fingerprint=fingerprint,
                 activated_at=time.monotonic(),
                 backend=self._make_serving_backend(service),
+                breaker=self._make_breaker(),
             )
             retired = self._generation
             self._retired_stats.append(retired.stats)
@@ -536,17 +666,63 @@ class SynthesisDaemon:
         deadline: float | None = None,
         block: bool = False,
         timeout: float | None = None,
+        retry_policy: RetryPolicy | None = None,
     ) -> DaemonTicket:
         """Enqueue one batch and return its :class:`DaemonTicket`.
 
         Raises :class:`QueueFullError` when the queue is full (immediately with
-        ``block=False``, after ``timeout`` seconds otherwise) and
+        ``block=False``, after ``timeout`` seconds otherwise),
+        :class:`CircuitOpenError` while the generation's breaker is open, and
         :class:`DaemonStoppedError` once the daemon is closed.
+
+        ``retry_policy`` turns shed load into backoff-and-retry: a rejected
+        submission (full queue or open breaker) is re-attempted on the
+        policy's schedule — each retry counted in ``ServiceStats.retried`` —
+        before the rejection finally propagates.
         """
+        if retry_policy is None:
+            return self._submit_once(
+                kind, requests, deadline=deadline, block=block, timeout=timeout
+            )
+        attempt = 0
+        while True:
+            try:
+                return self._submit_once(
+                    kind, requests, deadline=deadline, block=block, timeout=timeout
+                )
+            except (QueueFullError, CircuitOpenError):
+                attempt += 1
+                if attempt > retry_policy.attempts:
+                    raise
+                self._generation.stats.bump("retried")
+                time.sleep(retry_policy.delay(attempt))
+
+    def _submit_once(
+        self,
+        kind: str,
+        requests: Sequence[FillRequest | JoinRequest | CorrectRequest],
+        *,
+        deadline: float | None = None,
+        block: bool = False,
+        timeout: float | None = None,
+    ) -> DaemonTicket:
         if kind not in REQUEST_KINDS:
             raise ValueError(f"unknown request kind {kind!r}; expected {REQUEST_KINDS}")
         if self._closed.is_set():
             raise DaemonStoppedError("daemon is closed; no new batches accepted")
+        generation = self._generation
+        if generation.breaker is not None and generation.breaker.state == "open":
+            # Read-only fast reject: don't even queue a batch the serve-time
+            # gate would refuse.  Half-open probes are admitted here (state is
+            # not "open") and consumed at serve time, where the probe's real
+            # outcome is known.
+            rejections = generation.stats.bump("breaker_rejections")
+            raise CircuitOpenError(
+                f"generation {generation.number}'s circuit breaker is open "
+                f"(error rate {generation.breaker.snapshot()['error_rate']:.2f} "
+                f">= {generation.breaker.error_threshold}); "
+                f"{rejections} batch(es) rejected by the breaker so far"
+            )
         now = time.monotonic()
         if deadline is None:
             # The *default* deadline uses 0-disables semantics (documented on
@@ -568,9 +744,11 @@ class SynthesisDaemon:
         except queue.Full:
             with self._pending_lock:
                 self._pending.discard(ticket)
+            rejected = self._generation.stats.bump("rejected")
             raise QueueFullError(
                 f"daemon queue is full ({self.queue_size} batches queued); "
-                "retry, block, or shed load"
+                f"retry, block, or shed load ({rejected} batch(es) rejected, "
+                f"{self._generation.stats.expired} expired this generation)"
             ) from None
         if self._closed.is_set():
             # close() may have finished its leftover sweep between our closed
@@ -678,19 +856,19 @@ class SynthesisDaemon:
         """Serve one batch on its snapshotted generation.
 
         Process mode dispatches the frozen envelopes to the generation's
-        worker pool (the dispatcher thread blocks GIL-free on the result) and
-        folds the returned per-request outcomes into the daemon-side
-        generation stats, which the workers' separate processes cannot reach.
-        Any pool-level failure — shutdown race with a reload, broken pool,
-        unpicklable payload — serves in-process instead: byte-identical
-        answers, just without the parallelism.
+        worker pool through :meth:`~repro.exec.ExecutionBackend.call` — the
+        resilient entry point, so a worker crash rebuilds the pool and re-runs
+        the batch before this method ever sees a failure — and folds the
+        returned per-request outcomes into the daemon-side generation stats,
+        which the workers' separate processes cannot reach.  A failure that
+        escapes even that ladder (shutdown race with a reload, unpicklable
+        payload) serves in-process instead: byte-identical answers, just
+        without the parallelism.
         """
         backend = generation.backend
         if backend is not None:
             try:
-                responses = backend.submit(
-                    _serve_batch_in_worker, kind, requests
-                ).result()
+                responses = backend.call(_serve_batch_in_worker, kind, requests)
             except Exception:
                 with self._pending_lock:
                     self.backend_fallbacks += 1
@@ -732,11 +910,13 @@ class SynthesisDaemon:
             )
             return
         if ticket.deadline is not None and started > ticket.deadline:
+            expired = self._generation.stats.bump("expired")
             self._fail_ticket(
                 ticket,
                 DeadlineExpiredError(
                     f"batch missed its deadline by {started - ticket.deadline:.3f}s "
-                    f"after waiting {started - ticket.enqueued_at:.3f}s in queue"
+                    f"after waiting {started - ticket.enqueued_at:.3f}s in queue "
+                    f"({expired} batch(es) expired this generation)"
                 ),
             )
             return
@@ -745,6 +925,20 @@ class SynthesisDaemon:
         # consistent service (and, in process mode, exactly one worker pool
         # built from it), no matter how many reloads happen meanwhile.
         generation = self._generation
+        breaker = generation.breaker
+        if breaker is not None and not breaker.allow():
+            # The authoritative admission gate: it runs *after* the deadline
+            # check, so an already-expired ticket can never consume the
+            # half-open probe, and on the batch that will actually serve.
+            rejections = generation.stats.bump("breaker_rejections")
+            self._fail_ticket(
+                ticket,
+                CircuitOpenError(
+                    f"generation {generation.number}'s circuit breaker is open; "
+                    f"{rejections} batch(es) rejected by the breaker so far"
+                ),
+            )
+            return
         try:
             responses = self._serve_on_generation(generation, ticket.kind, requests)
             result = DaemonResult(
@@ -759,11 +953,20 @@ class SynthesisDaemon:
         except BaseException as exc:  # pragma: no cover - service-level failures
             # MappingService isolates per-request errors in their envelopes, so
             # this only fires on daemon-level bugs; surface them on the ticket.
+            if breaker is not None:
+                # Count the whole batch as errored so a half-open probe that
+                # blew up re-opens the breaker instead of wedging it.
+                if breaker.record(0, len(requests)):
+                    generation.stats.bump("breaker_opened")
             if not ticket.future.done():
                 ticket.future.set_exception(exc)
             with self._pending_lock:
                 self._pending.discard(ticket)
             return
+        if breaker is not None:
+            ok_count = sum(1 for response in responses if response.ok)
+            if breaker.record(ok_count, len(responses) - ok_count):
+                generation.stats.bump("breaker_opened")
         if not ticket.future.done():
             ticket.future.set_result(result)
         with self._pending_lock:

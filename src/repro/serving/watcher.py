@@ -20,6 +20,19 @@ of ever being swapped in.  For sectioned (v2) artifacts the validation walks
 the table of contents and hashes each section's stored bytes — no section is
 decoded — so a reload candidate is vetted at hashing speed and the swap
 itself only ever decodes the mappings + curation sections it serves.
+
+Failed swaps **degrade gracefully** instead of looping hot or wedging: each
+failure (damaged bytes, load error, callback exception) schedules the next
+unforced retry on the :class:`~repro.faults.RetryPolicy`'s backoff, and once
+the budget is exhausted the watcher *pins* the current on-disk version as
+poisoned — the daemon keeps serving the last good generation, the condition
+is reported through :meth:`ArtifactWatcher.health` (and the daemon's
+``health()``), and the next *new* publish is still tried, so recovery is
+automatic the moment a good artifact lands.  Forced checks (the in-process
+publish hook) bypass the backoff: a publisher we just heard from deserves an
+immediate look.  When a :class:`~repro.faults.FaultInjector` is active, the
+watcher is also a chaos hook point: reload candidates can be deterministically
+treated as failed publishes or fed corrupted bytes.
 """
 
 from __future__ import annotations
@@ -29,14 +42,20 @@ import time
 from pathlib import Path
 from typing import Callable
 
+from repro.faults.plan import active_injector
+from repro.faults.retry import RetryPolicy
 from repro.store.artifact import (
     ArtifactError,
     SynthesisArtifact,
     load_artifact,
     subscribe_artifact,
 )
+from repro.store.format import ArtifactReader
 
 __all__ = ["ArtifactWatcher"]
+
+#: Default hot-swap retry schedule: three backed-off retries, then pin.
+_DEFAULT_WATCH_RETRY = RetryPolicy(attempts=3, base_seconds=0.05, max_seconds=2.0)
 
 
 class ArtifactWatcher:
@@ -56,17 +75,34 @@ class ArtifactWatcher:
         poll_seconds: float = 0.25,
         subscribe: bool = True,
         baseline: tuple[int, int] | None = None,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         if poll_seconds <= 0:
             raise ValueError(f"poll_seconds must be > 0, got {poll_seconds}")
         self.path = Path(path)
         self.poll_seconds = poll_seconds
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else _DEFAULT_WATCH_RETRY
+        )
         self.reloads = 0
         self.skipped = 0
         self.callback_errors = 0
         #: Wall-clock cost of the most recent successful artifact load, for the
         #: consumer to fold into its serving stats (load_seconds).
         self.last_load_seconds = 0.0
+        # -- Degradation state (all surfaced through health()) ------------------
+        #: Swap failures since the last successful swap (any cause).
+        self.consecutive_failures = 0
+        #: Whether the most recent swap attempt succeeded (True before any).
+        self.last_swap_ok = True
+        #: Human-readable cause of the most recent swap failure, or ``None``.
+        self.last_error: str | None = None
+        #: The on-disk signature pinned as poisoned after the retry budget was
+        #: exhausted — that exact file state is never retried, but any *new*
+        #: publish (different signature) is, so recovery is automatic.
+        self._pinned_signature: tuple[int, int] | None = None
+        #: Monotonic instant before which unforced checks skip (backoff).
+        self._retry_at = 0.0
         self._on_artifact = on_artifact
         # The baseline is the signature of the version the caller has already
         # loaded and is serving.  Callers that load before constructing the
@@ -118,7 +154,10 @@ class ArtifactWatcher:
 
         Returns True when a new version was handed to the callback.  ``force``
         reloads even if the file signature looks unchanged (used by the
-        in-process publish hook, where we *know* a save just happened).
+        in-process publish hook, where we *know* a save just happened) and
+        bypasses the failure backoff — a publisher we just heard from deserves
+        an immediate look.  Failures never propagate: they are counted,
+        backed off, eventually pinned, and reported via :meth:`health`.
         """
         with self._check_lock:
             signature = self._current_signature()
@@ -126,31 +165,94 @@ class ArtifactWatcher:
                 return False
             if signature == self._signature and not force:
                 return False
+            if signature == self._pinned_signature:
+                # This exact file state exhausted its retry budget; only a new
+                # publish (which changes the signature) is worth another try.
+                return False
+            if not force and time.monotonic() < self._retry_at:
+                return False
+            injector = active_injector()
             load_started = time.perf_counter()
             try:
+                if injector is not None and injector.publish_failure():
+                    raise OSError("injected publish failure")
+                if injector is not None and injector.corrupt_publish():
+                    # Read the published bytes, flip one deterministic byte,
+                    # and vet the damage exactly as a real torn file would be
+                    # vetted — every byte region is checksummed, so this
+                    # always raises and never reaches the callback.
+                    ArtifactReader(
+                        injector.corrupt(self.path.read_bytes()),
+                        source=str(self.path),
+                    ).verify()
                 artifact = load_artifact(self.path)
                 # v2 artifacts load lazily (TOC only); verify() checksums every
                 # section without decoding any, so damaged bytes are rejected
                 # here — not mid-swap when the consumer first touches them.
                 artifact.verify()
-            except (ArtifactError, OSError):
+            except (ArtifactError, OSError) as exc:
                 # Damaged or foreign bytes at the path: never swap them in;
-                # keep the old signature so the next poll retries.
+                # keep the old signature so a later check retries.
                 self.skipped += 1
+                self._record_failure(signature, f"{type(exc).__name__}: {exc}")
                 return False
             load_seconds = time.perf_counter() - load_started
             try:
                 self.last_load_seconds = load_seconds
                 self._on_artifact(artifact, self.path)
-            except Exception:
+            except Exception as exc:
                 # A failing consumer (e.g. service build out of memory) must
-                # not kill the watcher thread; keep the old signature so the
-                # next tick retries the swap.
+                # not kill the watcher thread; keep the old signature so a
+                # later check retries the swap.
                 self.callback_errors += 1
+                self._record_failure(signature, f"{type(exc).__name__}: {exc}")
                 return False
             self._signature = signature
             self.reloads += 1
+            self._record_success()
             return True
+
+    def _record_failure(self, signature: tuple[int, int], message: str) -> None:
+        # Check lock held.
+        self.last_error = message
+        self.last_swap_ok = False
+        self.consecutive_failures += 1
+        if self.consecutive_failures > self.retry_policy.attempts:
+            # Budget exhausted: pin this exact file state as poisoned.  The
+            # daemon keeps serving the last good generation; any new publish
+            # has a different signature and is tried (once, while the storm
+            # lasts) the moment it lands.
+            self._pinned_signature = signature
+        self._retry_at = time.monotonic() + self.retry_policy.delay(
+            min(self.consecutive_failures, self.retry_policy.attempts + 1)
+        )
+
+    def _record_success(self) -> None:
+        # Check lock held.
+        self.consecutive_failures = 0
+        self.last_swap_ok = True
+        self.last_error = None
+        self._pinned_signature = None
+        self._retry_at = 0.0
+
+    @property
+    def pinned(self) -> bool:
+        """True while a poisoned on-disk version is pinned out of service."""
+        return self._pinned_signature is not None
+
+    def health(self) -> dict[str, object]:
+        """JSON-able degradation snapshot (folded into the daemon's health)."""
+        return {
+            "path": str(self.path),
+            "reloads": self.reloads,
+            "skipped": self.skipped,
+            "callback_errors": self.callback_errors,
+            "consecutive_failures": self.consecutive_failures,
+            "last_swap_ok": self.last_swap_ok,
+            "last_error": self.last_error,
+            "pinned": self.pinned,
+            "retry_in_seconds": max(0.0, self._retry_at - time.monotonic()),
+        }
 
     @staticmethod
     def signature_of(path: str | Path) -> tuple[int, int] | None:

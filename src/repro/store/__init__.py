@@ -40,7 +40,12 @@ from repro.store.artifact import (
     subscribe_artifact,
 )
 from repro.store.fingerprint import fingerprint_corpus, fingerprint_table
-from repro.store.format import ArtifactReader, ArtifactWriter, SectionInfo
+from repro.store.format import (
+    ArtifactReader,
+    ArtifactWriter,
+    SectionInfo,
+    atomic_write_bytes,
+)
 from repro.store.incremental import RefreshStats, refresh_artifact
 from repro.store.sections import SECTION_ORDER
 
@@ -54,6 +59,7 @@ __all__ = [
     "ArtifactReader",
     "ArtifactWriter",
     "SectionInfo",
+    "atomic_write_bytes",
     "SynthesisArtifact",
     "save_artifact",
     "load_artifact",

@@ -56,6 +56,7 @@ from repro.store.format import (
     CONTAINER_VERSION,
     ArtifactReader,
     ArtifactWriter,
+    atomic_write_bytes,
 )
 from repro.store.sections import (
     FIELD_SECTION,
@@ -655,10 +656,7 @@ def _save_v1(artifact: SynthesisArtifact, path: Path, compress: bool) -> None:
     if compress:
         # mtime=0 keeps the compressed bytes deterministic for identical payloads.
         encoded = gzip.compress(encoded, mtime=0)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    temp = path.with_name(path.name + ".tmp")
-    temp.write_bytes(encoded)
-    temp.replace(path)
+    atomic_write_bytes(path, encoded)
 
 
 def save_artifact(
@@ -672,9 +670,11 @@ def save_artifact(
 
     ``version`` selects the format: 2 (default) writes the sectioned
     container, 1 writes the legacy single-blob JSON document.  The parent
-    directory is created if needed, and the write goes through a temporary
-    sibling file and an atomic rename, so a crash mid-write never leaves a
-    half-written artifact at the target path.
+    directory is created if needed, and the write goes through an fsynced
+    temporary sibling, an atomic rename, and a directory fsync
+    (:func:`repro.store.format.atomic_write_bytes`), so neither a crash
+    mid-write nor power loss right after the rename leaves a torn artifact
+    at the target path.
 
     When the artifact is backed by a v2 reader (loaded from disk, or an
     :meth:`SynthesisArtifact.evolve` of one), sections it never overrode are

@@ -38,6 +38,7 @@ from __future__ import annotations
 import gzip
 import hashlib
 import json
+import os
 import struct
 from dataclasses import dataclass
 from pathlib import Path
@@ -56,7 +57,43 @@ __all__ = [
     "SectionInfo",
     "ArtifactReader",
     "ArtifactWriter",
+    "atomic_write_bytes",
 ]
+
+
+def atomic_write_bytes(path: Path, data: bytes) -> Path:
+    """Durably and atomically publish ``data`` at ``path``.
+
+    Atomicity alone (temp sibling + rename) only protects against a crash
+    mid-*write*; it does not protect against power loss after the rename, when
+    the data blocks may still sit in the page cache while the rename was
+    already journaled — a reboot can then expose a torn file at the final
+    path.  So the full sequence is:
+
+    1. write the temp sibling, ``flush`` + ``os.fsync`` it (data on disk),
+    2. ``os.replace`` onto the target (atomic within a filesystem),
+    3. ``os.fsync`` the parent directory where supported (the rename itself
+       on disk).  Directory fds are a POSIX capability; platforms that refuse
+       them (Windows) skip this step, keeping their native rename semantics.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    temp = path.with_name(path.name + ".tmp")
+    with open(temp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temp, path)
+    try:
+        directory_fd = os.open(path.parent, os.O_RDONLY)
+    except OSError:
+        return path
+    try:
+        os.fsync(directory_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(directory_fd)
+    return path
 
 CONTAINER_MAGIC = b"reproartifact\x00"
 CONTAINER_VERSION = 2
@@ -269,9 +306,10 @@ class ArtifactWriter:
     Sections are added in call order — freshly encoded via :meth:`add`, or
     copied verbatim from another container via :meth:`add_stored` (the
     incremental-refresh path uses this to avoid re-encoding sections it never
-    touched; :attr:`sections_reused` counts them).  :meth:`commit` writes the
-    file through a temporary sibling + atomic rename, so a crash mid-write
-    never leaves a half-written artifact at the target path.
+    touched; :attr:`sections_reused` counts them).  :meth:`commit` publishes
+    through :func:`atomic_write_bytes` — fsynced temp sibling + atomic rename
+    + directory fsync — so neither a crash mid-write nor power loss right
+    after the rename can leave a torn artifact at the target path.
     """
 
     def __init__(self, path: str | Path, *, compress: bool = True) -> None:
@@ -371,8 +409,4 @@ class ArtifactWriter:
         ]
         parts.extend(data for _, data in self._entries)
         encoded = b"".join(parts)
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        temp = self.path.with_name(self.path.name + ".tmp")
-        temp.write_bytes(encoded)
-        temp.replace(self.path)
-        return self.path
+        return atomic_write_bytes(self.path, encoded)
