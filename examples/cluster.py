@@ -1,0 +1,141 @@
+"""A sharded multi-daemon serving cluster with exact scatter-gather routing.
+
+Run with::
+
+    python examples/cluster.py
+
+The script runs the synthesis pipeline once and persists the artifact, then
+brings up a :class:`repro.cluster.ClusterRouter`: the published artifact is
+cut into per-replica shard artifacts on a consistent-hash ring (3 shards,
+replication 2 — every mapping lives on two replicas), and one
+:class:`SynthesisDaemon` serves each slice.  Autofill / autojoin / autocorrect
+batches scatter shard-local lookups across the replicas and the gathered
+top-k lists merge into answers **byte-identical** to a single synchronous
+:class:`MappingService` over the full artifact — the script asserts exactly
+that, then keeps asserting it while a replica is killed mid-stream (the
+router fails over onto the surviving copies) and across a rolling artifact
+rollout that advances one replica's generation at a time.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.applications import (
+    CorrectRequest,
+    FillRequest,
+    JoinRequest,
+    MappingService,
+)
+from repro.cluster import ClusterRouter
+from repro.core import SynthesisConfig, SynthesisPipeline
+from repro.corpus import CorpusGenerationSpec, WebCorpusGenerator
+
+
+def canonical(responses) -> str:
+    """Everything except timing — the byte-identity comparison key."""
+    return repr([(r.kind, r.request_index, r.result, r.error) for r in responses])
+
+
+def main() -> None:
+    # 1. One cold pipeline run, persisted as the artifact every tier serves.
+    spec = CorpusGenerationSpec(tables_per_relation=5, max_rows=20, seed=7)
+    corpus = WebCorpusGenerator(spec).generate()
+    work_dir = Path(tempfile.mkdtemp(prefix="repro-cluster-"))
+    artifact_path = work_dir / "web.artifact.json.gz"
+    config = SynthesisConfig(
+        min_domains=2,
+        min_mapping_size=5,
+        artifact_path=str(artifact_path),
+        daemon_poll_seconds=0.05,
+    )
+    pipeline = SynthesisPipeline(config)
+    result = pipeline.run(corpus)  # auto-saves to config.artifact_path
+    print(f"pipeline run: {len(result.curated)} curated mappings -> {artifact_path.name}")
+
+    # The single synchronous service is the oracle the cluster must match.
+    oracle = MappingService.from_artifact(artifact_path)
+
+    # 2. Cut shards + start the cluster: 3 daemon replicas, each serving the
+    #    two ring shards it hosts, behind one scatter-gather router.
+    router = ClusterRouter.from_artifact(
+        artifact_path,
+        num_shards=3,
+        replication=2,
+        shard_dir=work_dir / "shards",
+        watch=True,  # each replica watches its own shard file for rollouts
+        poll_seconds=0.05,
+        workers=2,
+    )
+    health = router.health()
+    print(f"cluster up: {health['num_shards']} shards x{health['replication']} "
+          f"replication, generations {health['generations']}")
+    for replica in health["replicas"]:
+        print(f"  replica {replica['index']}: shards {replica['shards']}")
+
+    # 3. Concurrent clients drive mixed batches; every envelope must equal the
+    #    oracle's, bit for bit.
+    batches = [
+        ("autofill", [FillRequest(keys=("California", "Texas", "Ohio", "Washington"))]),
+        ("autojoin", [JoinRequest(left_keys=("California", "Texas"),
+                                  right_keys=("TX", "CA"))]),
+        ("autocorrect", [CorrectRequest(values=("California", "Washington", "CA"))]),
+    ]
+
+    def client(name: str, rounds: int) -> None:
+        for index in range(rounds):
+            kind, batch = batches[index % len(batches)]
+            responses = router.serve(kind, batch)
+            assert canonical(responses) == canonical(getattr(oracle, kind)(batch))
+            if index == 0 and kind == "autofill":
+                print(f"  client {name}: {kind} -> "
+                      f"{responses[0].result.filled} (matches oracle)")
+
+    clients = [
+        threading.Thread(target=client, args=(f"c{index}", 9)) for index in range(3)
+    ]
+    for thread in clients:
+        thread.start()
+    for thread in clients:
+        thread.join()
+
+    # 4. Failover drill: kill one replica mid-stream.  Replication 2 means the
+    #    surviving replicas still cover every shard — answers do not change.
+    router.kill(0)
+    for kind, batch in batches:
+        assert canonical(router.serve(kind, batch)) == canonical(
+            getattr(oracle, kind)(batch)
+        )
+    health = router.health()
+    print(f"replica 0 killed: status {health['status']} "
+          f"({'; '.join(health['degraded_reasons'])}) — answers still exact")
+
+    # 5. Rolling rollout: republish the artifact; the router re-cuts each
+    #    surviving replica's shard file in turn and waits for its generation
+    #    tag to advance before moving on.  Serving never pauses.
+    before = [r.daemon.generation.number for r in router.replicas]
+    time.sleep(0.01)  # distinct mtime for the republished artifact
+    pipeline.save_artifact(artifact_path)
+    generations = router.rollout(artifact_path, timeout=30)
+    print(f"rolling rollout: generations {before} -> {generations}")
+    for kind, batch in batches:
+        assert canonical(router.serve(kind, batch)) == canonical(
+            getattr(oracle, kind)(batch)
+        )
+
+    # 6. One JSON-able health snapshot aggregates every replica's daemon.
+    health = router.health()
+    served = {r["index"]: r["served"] for r in health["replicas"]}
+    print(f"health: {health['status']}, requests {health['requests']}, "
+          f"reroutes {health['reroutes']}, rollouts {health['rollouts']}, "
+          f"scatter calls per replica {served}")
+
+    router.close()
+    print("cluster closed cleanly")
+
+
+if __name__ == "__main__":
+    main()

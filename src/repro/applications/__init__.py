@@ -20,6 +20,7 @@ from repro.applications.service import (
     CorrectRequest,
     FillRequest,
     JoinRequest,
+    LookupRequest,
     MappingService,
     ServedResponse,
     ServiceStats,
@@ -39,6 +40,7 @@ __all__ = [
     "FillRequest",
     "JoinRequest",
     "CorrectRequest",
+    "LookupRequest",
     "ServedResponse",
     "ServiceStats",
 ]

@@ -42,6 +42,7 @@ __all__ = [
     "FillRequest",
     "JoinRequest",
     "CorrectRequest",
+    "LookupRequest",
     "ServedResponse",
     "ServiceStats",
     "MappingService",
@@ -90,6 +91,37 @@ class CorrectRequest:
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "values", tuple(self.values))
+
+
+@dataclass(frozen=True)
+class LookupRequest:
+    """One shard-local index lookup, used by the cluster scatter-gather tier.
+
+    A :class:`~repro.cluster.ClusterRouter` decomposes every application
+    request into raw :meth:`MappingIndex.lookup` / :meth:`~MappingIndex.
+    lookup_pairs` calls, scatters them to shard replicas as ``cluster_lookup``
+    batches, and merges the returned :class:`~repro.applications.index.
+    MappingMatch` lists.  ``op`` selects the index entry point: ``"values"``
+    carries a tuple of cell values, ``"pairs"`` a tuple of ``(left, right)``
+    example pairs.
+    """
+
+    op: str
+    values: tuple = ()
+    min_containment: float = 0.5
+    top_k: int = 5
+
+    def __post_init__(self) -> None:
+        if self.op not in ("values", "pairs"):
+            raise ValueError(f"unknown lookup op {self.op!r}")
+        object.__setattr__(
+            self,
+            "values",
+            tuple(
+                tuple(value) if isinstance(value, (list, tuple)) else value
+                for value in self.values
+            ),
+        )
 
 
 @dataclass
@@ -417,3 +449,29 @@ class MappingService:
             requests,
             lambda request: self.corrector.suggest(list(request.values)),
         )
+
+    def _lookup_one(self, request: LookupRequest) -> list:
+        if request.op == "pairs":
+            return self.index.lookup_pairs(
+                list(request.values),
+                min_containment=request.min_containment,
+                top_k=request.top_k,
+            )
+        return self.index.lookup(
+            list(request.values),
+            min_containment=request.min_containment,
+            top_k=request.top_k,
+        )
+
+    def cluster_lookup(self, requests: Sequence[LookupRequest]) -> list[ServedResponse]:
+        """Serve a batch of raw index lookups for the cluster scatter-gather tier.
+
+        Each response's ``result`` is the shard-local ``list[MappingMatch]``
+        (full mapping objects — matches are picklable, so process-backed
+        replicas can return them across pool boundaries).  Because every
+        mapping's score is computed independently of the rest of the pool, a
+        router that merges shard-local top-k lists by ``(-score,
+        mapping_rank_key)`` and truncates reproduces the single-index answer
+        exactly (see :mod:`repro.cluster`).
+        """
+        return self._serve_batch("cluster_lookup", requests, self._lookup_one)

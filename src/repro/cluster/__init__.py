@@ -1,0 +1,48 @@
+"""Sharded multi-daemon serving cluster with an exact scatter-gather router.
+
+One :class:`~repro.serving.SynthesisDaemon` serves one host's worth of
+traffic; this package is the scale-out tier above it:
+
+* :mod:`repro.cluster.sharding` — :class:`HashRing` (deterministic,
+  SHA-1-based consistent hashing of mapping ids to shards) and
+  :func:`cut_shard_artifacts` (slices one published artifact into
+  per-replica shard artifacts, reusing untouched v2 sections verbatim so
+  each replica decodes only its slice);
+* :mod:`repro.cluster.router` — :class:`ClusterRouter`: scatter-gathers
+  autofill / autojoin / autocorrect batches across N daemon replicas via the
+  raw ``cluster_lookup`` request kind, merges shard-local top-k match lists
+  into the exact single-index answer, fails over around open circuit
+  breakers and dead replicas, and rolls new artifact versions out one
+  replica at a time on the daemons' generation tags.
+
+The package-level invariant (locked by ``tests/test_cluster_properties.py``):
+**every response envelope a router returns is byte-identical to the one a
+single synchronous** :class:`~repro.applications.MappingService` **over the
+full artifact would return** — before, during, and after rolling reloads,
+and with any single replica dead when ``replication >= 2``.
+
+The execution-layer counterpart is the ``cluster:N`` executor kind
+(:class:`repro.exec.ClusterBackend`): N isolated single-worker process
+replicas behind the standard backend protocol, selectable through
+``SynthesisConfig.executor`` / ``REPRO_EXECUTOR`` like any other spec.
+"""
+
+from repro.cluster.router import (
+    ClusterError,
+    ClusterRouter,
+    NoHealthyReplicaError,
+    ROUTER_REQUEST_KINDS,
+    ScatterIndex,
+)
+from repro.cluster.sharding import HashRing, cut_shard_artifacts, replica_shards
+
+__all__ = [
+    "ClusterRouter",
+    "ClusterError",
+    "NoHealthyReplicaError",
+    "ScatterIndex",
+    "ROUTER_REQUEST_KINDS",
+    "HashRing",
+    "replica_shards",
+    "cut_shard_artifacts",
+]

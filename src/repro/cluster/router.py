@@ -1,0 +1,642 @@
+"""Scatter-gather router over sharded :class:`SynthesisDaemon` replicas.
+
+The single-host serving ceiling is one :class:`~repro.serving.SynthesisDaemon`
+over one full mapping index.  This module scales past it **without changing a
+single answer**: a :class:`ClusterRouter` consistent-hashes the mapping pool
+across N daemon replicas (each serving only its shard slice, cut by
+:func:`~repro.cluster.sharding.cut_shard_artifacts`) and answers
+autofill / autojoin / autocorrect batches by running the *unmodified*
+application classes over a :class:`ScatterIndex` — an index facade whose
+``lookup`` / ``lookup_pairs`` scatter ``cluster_lookup`` batches to a healthy
+replica cover and merge the shard-local top-k lists.
+
+Why the merge is exact (the cluster's serving contract):
+
+1. Every mapping's match score is computed from that mapping's own value sets
+   alone — no term in :meth:`MappingIndex.lookup` depends on the rest of the
+   pool — so a shard replica computes the *same* score the full index would.
+2. The full index stable-sorts by score over the pool order (ascending
+   :func:`~repro.core.mapping.mapping_rank_key`), so its result order is
+   exactly ``(-score, mapping_rank_key)``.
+3. Any mapping in the global top-k ranks at least as high in every sub-pool
+   that contains it, so it survives each shard's local top-k truncation as
+   long as the queried replicas jointly cover every shard.
+
+Sorting the union of shard answers by ``(-score, mapping_rank_key)``,
+deduplicating by ``mapping_id`` (replicas overlap when ``replication > 1``),
+and truncating to ``top_k`` therefore reproduces the single-index answer
+byte-for-byte — the property ``tests/test_cluster_properties.py`` locks with
+hypothesis against a sync :class:`MappingService` oracle.
+
+Failover composes the existing fault-tolerance primitives: each replica gets
+a :class:`~repro.faults.CircuitBreaker` (a failed scatter opens it; the
+cover-picker routes around open breakers and closed daemons, and half-open
+probes re-admit recovered replicas), and scatter rounds are re-attempted on a
+:class:`~repro.faults.RetryPolicy` schedule against a recomputed cover.  With
+``replication >= 2`` any single replica can die mid-stream and every shard is
+still covered.  Rolling rollout re-cuts one replica's slice at a time and
+waits for that daemon's generation tag to advance before touching the next.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.applications.autocorrect import AutoCorrector
+from repro.applications.autofill import AutoFiller
+from repro.applications.autojoin import AutoJoiner
+from repro.applications.index import MappingMatch
+from repro.applications.service import (
+    CorrectRequest,
+    FillRequest,
+    JoinRequest,
+    LookupRequest,
+    MappingService,
+    ServedResponse,
+    ServiceStats,
+)
+from repro.cluster.sharding import HashRing, cut_shard_artifacts, replica_shards
+from repro.core.config import SynthesisConfig
+from repro.core.mapping import mapping_rank_key
+from repro.faults.breaker import CircuitBreaker
+from repro.faults.retry import RetryPolicy
+from repro.serving.daemon import SynthesisDaemon
+from repro.text.matching import normalize_value
+
+__all__ = [
+    "ClusterError",
+    "NoHealthyReplicaError",
+    "ScatterIndex",
+    "ClusterRouter",
+    "ROUTER_REQUEST_KINDS",
+]
+
+
+#: The application batch kinds the router serves (raw ``cluster_lookup`` is
+#: the router's *internal* transport kind, not a router entry point).
+ROUTER_REQUEST_KINDS = ("autofill", "autojoin", "autocorrect")
+
+#: Failover schedule: how many times one scatter is re-attempted against a
+#: recomputed healthy cover before the failure reaches the request envelope.
+DEFAULT_ROUTER_RETRY = RetryPolicy(attempts=2, base_seconds=0.01, max_seconds=0.25)
+
+
+class ClusterError(RuntimeError):
+    """A cluster-level serving failure (distinct from per-request errors)."""
+
+
+class NoHealthyReplicaError(ClusterError):
+    """No healthy replica set covers every shard right now."""
+
+
+@dataclass
+class _Replica:
+    """One daemon replica plus the router-side state that guards it."""
+
+    index: int
+    daemon: SynthesisDaemon
+    shards: frozenset[int]
+    breaker: CircuitBreaker
+    path: Path | None = None
+    #: Scatters this replica served / failed (router-side view, lock-free
+    #: monotonic counters — read for health reporting only).
+    served: int = 0
+    failed: int = 0
+
+
+class ScatterIndex:
+    """A :class:`MappingIndex` facade that scatter-gathers across replicas.
+
+    Implements exactly the two entry points the application classes use —
+    ``lookup`` and ``lookup_pairs`` — by forwarding each call as a
+    ``cluster_lookup`` batch to a covering set of healthy replicas and
+    merging the shard-local answers (see the module docstring for why the
+    merge is exact).  Input validation mirrors :class:`MappingIndex`
+    verbatim, so malformed requests produce byte-identical error envelopes
+    without ever leaving the router.
+    """
+
+    def __init__(self, router: "ClusterRouter") -> None:
+        self._router = router
+
+    def __len__(self) -> int:
+        return self._router.pool_size
+
+    def lookup(
+        self,
+        values: Iterable[str],
+        min_containment: float = 0.5,
+        top_k: int = 5,
+    ) -> list[MappingMatch]:
+        if not 0.0 <= min_containment <= 1.0:
+            raise ValueError(f"min_containment must be in [0, 1], got {min_containment}")
+        values = list(values)
+        normalized = [normalize_value(value) for value in values if value.strip()]
+        if not normalized:
+            return []
+        return self._router._scatter(
+            LookupRequest(
+                op="values",
+                values=tuple(values),
+                min_containment=min_containment,
+                top_k=top_k,
+            )
+        )
+
+    def lookup_pairs(
+        self,
+        pairs: Iterable[tuple[str, str]],
+        min_containment: float = 0.5,
+        top_k: int = 5,
+    ) -> list[MappingMatch]:
+        pair_list = [(left, right) for left, right in pairs]
+        if not pair_list:
+            return []
+        return self._router._scatter(
+            LookupRequest(
+                op="pairs",
+                values=tuple(pair_list),
+                min_containment=min_containment,
+                top_k=top_k,
+            )
+        )
+
+
+class _RouterService(MappingService):
+    """The router's serving facade: real application objects, scattered index.
+
+    Deliberately skips ``MappingService.__init__`` — the router holds no local
+    mapping pool; its "index" is a :class:`ScatterIndex`.  Everything else —
+    ``_serve_batch`` envelopes, per-request error isolation, stats recording,
+    the ``autofill`` / ``autojoin`` / ``autocorrect`` entry points — is
+    inherited verbatim, which is what makes router envelopes byte-identical
+    to a single service's (same code, same order, same error strings).
+    """
+
+    def __init__(
+        self,
+        router: "ClusterRouter",
+        *,
+        min_containment: float = 0.5,
+        min_example_agreement: float = 0.99,
+        correction_containment: float = 0.6,
+        source: str = "cluster",
+    ) -> None:
+        self.index = ScatterIndex(router)
+        self.filler = AutoFiller(self.index, min_example_agreement=min_example_agreement)
+        self.joiner = AutoJoiner(self.index, min_containment=min_containment)
+        self.corrector = AutoCorrector(
+            self.index, min_containment=correction_containment
+        )
+        self.serving_kwargs = {
+            "min_containment": min_containment,
+            "min_example_agreement": min_example_agreement,
+            "correction_containment": correction_containment,
+        }
+        self.stats = ServiceStats(source=source, index_size=len(self.index))
+
+
+class ClusterRouter:
+    """Routes application batches across sharded daemon replicas.
+
+    Construct with :meth:`from_artifact` (cuts shard artifacts, starts one
+    watching daemon per replica) or directly from pre-built daemons whose
+    pools partition the oracle pool by ``ring`` placement.
+
+    The router is thread-safe: any number of client threads may call
+    :meth:`autofill` / :meth:`autojoin` / :meth:`autocorrect` / :meth:`serve`
+    concurrently — each per-request lookup scatters independently, and
+    per-replica circuit breakers plus the retry schedule handle replicas
+    failing at any point in the stream.
+    """
+
+    def __init__(
+        self,
+        daemons: Sequence[SynthesisDaemon],
+        ring: HashRing,
+        *,
+        replication: int = 1,
+        paths: Sequence[Path] | None = None,
+        shard_dir: Path | None = None,
+        pool_size: int = 0,
+        prefer_curated: bool = True,
+        compress: bool = True,
+        request_timeout: float = 30.0,
+        retry_policy: RetryPolicy | None = None,
+        breaker_cooldown: float = 1.0,
+        **service_kwargs,
+    ) -> None:
+        if len(daemons) != ring.num_shards:
+            raise ValueError(
+                f"need one replica per shard: got {len(daemons)} daemons "
+                f"for {ring.num_shards} shards"
+            )
+        self.ring = ring
+        self.replication = min(replication, ring.num_shards)
+        self.pool_size = pool_size
+        self.prefer_curated = prefer_curated
+        self.compress = compress
+        self.shard_dir = shard_dir
+        self.request_timeout = request_timeout
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else DEFAULT_ROUTER_RETRY
+        )
+        assignments = replica_shards(ring.num_shards, self.replication)
+        self.replicas = [
+            _Replica(
+                index=index,
+                daemon=daemon,
+                shards=assignments[index],
+                breaker=CircuitBreaker(
+                    error_threshold=0.5,
+                    min_requests=1,
+                    cooldown_seconds=breaker_cooldown,
+                    window=16,
+                ),
+                path=Path(paths[index]) if paths is not None else None,
+            )
+            for index, daemon in enumerate(daemons)
+        ]
+        self._service = _RouterService(self, **service_kwargs)
+        self._lock = threading.Lock()
+        self._reroutes = 0
+        self._rollouts = 0
+        self._closed = False
+
+    # -- Construction -------------------------------------------------------------------
+    @classmethod
+    def from_artifact(
+        cls,
+        path: str | Path,
+        *,
+        num_shards: int = 3,
+        config: SynthesisConfig | None = None,
+        replication: int | None = None,
+        shard_dir: str | Path | None = None,
+        watch: bool = True,
+        workers: int | None = None,
+        executor: str | None = None,
+        queue_size: int | None = None,
+        default_deadline: float | None = None,
+        poll_seconds: float | None = None,
+        prefer_curated: bool = True,
+        service_cls: type[MappingService] = MappingService,
+        request_timeout: float | None = None,
+        retry_policy: RetryPolicy | None = None,
+        breaker_cooldown: float = 1.0,
+        **service_kwargs,
+    ) -> "ClusterRouter":
+        """Cut ``path`` into shard artifacts and start one daemon per replica.
+
+        Every serving knob a single :meth:`SynthesisDaemon.from_artifact`
+        accepts is forwarded to each replica (so ``executor="process:1"``
+        runs GIL-free replicas, ``service_cls`` swaps the served service
+        class, etc.), and the same threshold ``service_kwargs`` configure the
+        router's own application objects — both sides must agree for
+        byte-identity to hold.
+        """
+        from repro.store.artifact import load_artifact
+
+        config = config or SynthesisConfig()
+        if replication is None:
+            replication = config.cluster_replication
+        if request_timeout is None:
+            request_timeout = config.cluster_request_timeout_seconds
+        path = Path(path)
+        ring = HashRing(num_shards)
+        shard_dir = (
+            Path(shard_dir)
+            if shard_dir is not None
+            else path.parent / f"{path.name}.shards"
+        )
+        artifact = load_artifact(path)
+        pool = (
+            artifact.curated
+            if prefer_curated and artifact.curated
+            else artifact.mappings
+        )
+        paths = cut_shard_artifacts(
+            artifact,
+            shard_dir,
+            ring,
+            replication=replication,
+            compress=config.artifact_compress,
+            prefer_curated=prefer_curated,
+        )
+        daemons: list[SynthesisDaemon] = []
+        try:
+            for shard_path in paths:
+                daemons.append(
+                    SynthesisDaemon.from_artifact(
+                        shard_path,
+                        config=config,
+                        watch=watch,
+                        workers=workers,
+                        executor=executor,
+                        queue_size=queue_size,
+                        default_deadline=default_deadline,
+                        poll_seconds=poll_seconds,
+                        prefer_curated=prefer_curated,
+                        retry_policy=retry_policy,
+                        service_cls=service_cls,
+                        **service_kwargs,
+                    )
+                )
+        except BaseException:
+            for daemon in daemons:
+                daemon.close(drain=False)
+            raise
+        return cls(
+            daemons,
+            ring,
+            replication=replication,
+            paths=paths,
+            shard_dir=shard_dir,
+            pool_size=len(pool),
+            prefer_curated=prefer_curated,
+            compress=config.artifact_compress,
+            request_timeout=request_timeout,
+            retry_policy=retry_policy,
+            breaker_cooldown=breaker_cooldown,
+            **service_kwargs,
+        )
+
+    # -- Scatter-gather core ------------------------------------------------------------
+    def _pick_cover(self, excluded: set[int]) -> list[_Replica]:
+        """A minimal-ish healthy replica set jointly hosting every shard.
+
+        Greedy primary-first: walk replicas in index order, take any healthy
+        one that still contributes a needed shard.  With all replicas healthy
+        this picks ``ceil(num_shards / replication)`` replicas, each answering
+        from its own slice.
+        """
+        needed = set(range(self.ring.num_shards))
+        cover: list[_Replica] = []
+        for replica in self.replicas:
+            if not needed:
+                break
+            if replica.index in excluded or replica.daemon.closed:
+                continue
+            if not (replica.shards & needed):
+                continue
+            if not replica.breaker.allow():
+                continue
+            cover.append(replica)
+            needed -= replica.shards
+        if needed:
+            raise NoHealthyReplicaError(
+                f"no healthy replica hosts shard(s) {sorted(needed)}: "
+                f"{len(excluded)} replica(s) excluded this scatter, "
+                f"breakers {[r.breaker.state for r in self.replicas]}"
+            )
+        return cover
+
+    def _scatter(self, request: LookupRequest) -> list[MappingMatch]:
+        """Scatter one lookup to a healthy cover; merge, dedup, truncate.
+
+        On any replica failure (submit rejection, timeout, transport error,
+        or an error envelope from the shard) the failed replica's breaker
+        records the error and the whole scatter is re-attempted against a
+        recomputed cover on the retry schedule.  Overlapping answers from the
+        wider cover are absorbed by the dedup, so failover never changes the
+        merged result.
+        """
+        if self._closed:
+            raise ClusterError("cluster router is closed")
+        excluded: set[int] = set()
+        attempt = 0
+        while True:
+            cover = self._pick_cover(excluded)
+            failed: _Replica | None = None
+            failure: Exception | None = None
+            gathered: list[list[MappingMatch]] = []
+            pending: list[tuple[_Replica, object]] = []
+            for replica in cover:
+                try:
+                    pending.append(
+                        (
+                            replica,
+                            replica.daemon.submit(
+                                "cluster_lookup",
+                                (request,),
+                                block=True,
+                                timeout=self.request_timeout,
+                            ),
+                        )
+                    )
+                except Exception as exc:
+                    failed, failure = replica, exc
+                    break
+            if failed is None:
+                for replica, ticket in pending:
+                    if failed is not None:
+                        # A sibling already failed this round; still collect
+                        # the remaining tickets so their work is accounted.
+                        try:
+                            ticket.result(timeout=self.request_timeout)
+                        except Exception:
+                            pass
+                        continue
+                    try:
+                        result = ticket.result(timeout=self.request_timeout)
+                        response: ServedResponse = result.responses[0]
+                        if response.error is not None:
+                            raise ClusterError(
+                                f"replica {replica.index} lookup failed: "
+                                f"{response.error}"
+                            )
+                        gathered.append(response.result)
+                        replica.breaker.record(1, 0)
+                        replica.served += 1
+                    except Exception as exc:
+                        failed, failure = replica, exc
+            if failed is None:
+                return self._merge(gathered, request.top_k)
+            failed.breaker.record(0, 1)
+            failed.failed += 1
+            excluded.add(failed.index)
+            with self._lock:
+                self._reroutes += 1
+            attempt += 1
+            if attempt > self.retry_policy.attempts:
+                raise ClusterError(
+                    f"scatter failed after {attempt} attempt(s); last failure "
+                    f"on replica {failed.index}: {failure}"
+                ) from failure
+            if not isinstance(
+                failure, (type(None), ClusterError)
+            ) and not self.retry_policy.retries(failure):
+                raise ClusterError(
+                    f"scatter failed on replica {failed.index}: {failure}"
+                ) from failure
+            time.sleep(self.retry_policy.delay(attempt))
+
+    @staticmethod
+    def _merge(gathered: Iterable[list[MappingMatch]], top_k: int) -> list[MappingMatch]:
+        best: dict[str, MappingMatch] = {}
+        for matches in gathered:
+            for match in matches:
+                # Replicas hosting the same shard compute identical matches
+                # for the same mapping, so first-seen wins is not a choice.
+                best.setdefault(match.mapping.mapping_id, match)
+        ordered = sorted(
+            best.values(),
+            key=lambda match: (-match.score, mapping_rank_key(match.mapping)),
+        )
+        return ordered[:top_k]
+
+    # -- Serving entry points -----------------------------------------------------------
+    def autofill(self, requests: Sequence[FillRequest]) -> list[ServedResponse]:
+        """Serve an auto-fill batch; envelopes in submission order."""
+        return self._service.autofill(requests)
+
+    def autojoin(self, requests: Sequence[JoinRequest]) -> list[ServedResponse]:
+        """Serve an auto-join batch; envelopes in submission order."""
+        return self._service.autojoin(requests)
+
+    def autocorrect(self, requests: Sequence[CorrectRequest]) -> list[ServedResponse]:
+        """Serve an auto-correct batch; envelopes in submission order."""
+        return self._service.autocorrect(requests)
+
+    def serve(self, kind: str, requests: Sequence[object]) -> list[ServedResponse]:
+        """Serve one batch by kind name (the dynamic-dispatch entry point)."""
+        if kind not in ROUTER_REQUEST_KINDS:
+            raise ValueError(
+                f"unknown request kind {kind!r}; expected {ROUTER_REQUEST_KINDS}"
+            )
+        return getattr(self._service, kind)(requests)
+
+    @property
+    def stats(self) -> ServiceStats:
+        """The router-level serving stats (per-request kinds and latencies)."""
+        return self._service.stats
+
+    # -- Rollout ------------------------------------------------------------------------
+    def rollout(self, source, *, timeout: float = 30.0) -> list[int]:
+        """Rolling artifact rollout: re-cut and publish one replica at a time.
+
+        ``source`` is a new full artifact (object or path).  For each live
+        replica in index order: cut its shard slice to its watched path, then
+        wait for that daemon's generation tag to advance before moving on —
+        at any instant at most one replica is swapping, and every batch is
+        still served entirely by one generation of one replica.  Closed
+        replicas are skipped (their files are still re-cut, so a restarted
+        replica comes back on the new version).  Returns the post-rollout
+        generation numbers.
+        """
+        from repro.store.artifact import SynthesisArtifact, load_artifact
+
+        if self.shard_dir is None:
+            raise ClusterError(
+                "this router was not built from shard artifacts; nothing to roll"
+            )
+        artifact = (
+            source
+            if isinstance(source, SynthesisArtifact)
+            else load_artifact(source)
+        )
+        for replica in self.replicas:
+            alive = not replica.daemon.closed and replica.daemon.watcher is not None
+            target = replica.daemon.generation.number + 1 if alive else None
+            cut_shard_artifacts(
+                artifact,
+                self.shard_dir,
+                self.ring,
+                replication=self.replication,
+                compress=self.compress,
+                prefer_curated=self.prefer_curated,
+                only_replica=replica.index,
+            )
+            if target is None:
+                continue
+            deadline = time.monotonic() + timeout
+            while replica.daemon.generation.number < target:
+                if time.monotonic() > deadline:
+                    watcher_health = replica.daemon.watcher.health()
+                    raise ClusterError(
+                        f"replica {replica.index} did not reach generation "
+                        f"{target} within {timeout}s "
+                        f"(watcher: {watcher_health})"
+                    )
+                replica.daemon.watcher.check_now()
+                time.sleep(0.01)
+        with self._lock:
+            self._rollouts += 1
+        return [replica.daemon.generation.number for replica in self.replicas]
+
+    # -- Chaos / lifecycle --------------------------------------------------------------
+    def kill(self, index: int) -> None:
+        """Abruptly stop one replica (no drain) — the chaos-drill entry point."""
+        self.replicas[index].daemon.close(drain=False)
+
+    def health(self) -> dict[str, object]:
+        """One JSON-able snapshot aggregating every replica's health."""
+        replicas = []
+        reasons: list[str] = []
+        for replica in self.replicas:
+            daemon_health = replica.daemon.health()
+            breaker = replica.breaker.snapshot()
+            if replica.daemon.closed:
+                reasons.append(f"replica {replica.index} is closed")
+            elif breaker["state"] in ("open", "half-open"):
+                reasons.append(
+                    f"replica {replica.index} breaker is {breaker['state']}"
+                )
+            elif daemon_health["status"] != "ok":
+                reasons.append(
+                    f"replica {replica.index} daemon is {daemon_health['status']}"
+                )
+            replicas.append(
+                {
+                    "index": replica.index,
+                    "shards": sorted(replica.shards),
+                    "closed": replica.daemon.closed,
+                    "served": replica.served,
+                    "failed": replica.failed,
+                    "breaker": breaker,
+                    "daemon": daemon_health,
+                }
+            )
+        stats = self._service.stats.as_dict()
+        with self._lock:
+            reroutes = self._reroutes
+            rollouts = self._rollouts
+            closed = self._closed
+        status = "closed" if closed else ("degraded" if reasons else "ok")
+        return {
+            "status": status,
+            "degraded_reasons": reasons,
+            "num_shards": self.ring.num_shards,
+            "replication": self.replication,
+            "generations": [
+                replica.daemon.generation.number for replica in self.replicas
+            ],
+            "replicas": replicas,
+            "requests": stats["requests"],
+            "errors": stats["errors"],
+            "reroutes": reroutes,
+            "rollouts": rollouts,
+        }
+
+    def close(self, *, drain: bool = True) -> None:
+        """Stop every replica.  Idempotent."""
+        self._closed = True
+        for replica in self.replicas:
+            replica.daemon.close(drain=drain)
+
+    def __enter__(self) -> "ClusterRouter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ClusterRouter(shards={self.ring.num_shards}, "
+            f"replication={self.replication}, "
+            f"replicas={len(self.replicas)})"
+        )

@@ -1,0 +1,187 @@
+"""Consistent hashing and per-shard artifact cutting for the serving cluster.
+
+Two pieces live here:
+
+* :class:`HashRing` — a deterministic consistent-hash ring over mapping ids.
+  Placement is computed from SHA-1 digests, **never** from the builtin
+  :func:`hash` (which is salted per process — a ring built in the router
+  process must agree byte-for-byte with one built inside a replica worker,
+  and with the ring that cut the replica's artifact last week).  Virtual
+  nodes smooth the distribution so no shard ends up with a lopsided slice of
+  the mapping pool.
+
+* :func:`cut_shard_artifacts` — slices one published synthesis artifact into
+  per-replica shard artifacts.  Each cut is an
+  :meth:`~repro.store.artifact.SynthesisArtifact.evolve` that keeps only the
+  replica's mappings + curation slice and empties the pipeline-only sections
+  (candidates, profiles, edges); :func:`~repro.store.save_artifact` then
+  copies the untouched sections (config, fingerprints, stats) into the shard
+  file *verbatim* via ``ArtifactWriter.add_stored`` — no decode, no
+  re-encode — so a replica's cold start decodes exactly its slice and
+  nothing else.
+
+Replica ``i`` hosts shards ``{(i + j) % num_shards for j in range(
+replication)}``: with ``replication >= 2`` every shard lives on at least two
+replicas, so the router can still assemble a full cover with one replica
+down.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.store.artifact import SynthesisArtifact, load_artifact, save_artifact
+
+__all__ = ["HashRing", "replica_shards", "cut_shard_artifacts"]
+
+
+#: Virtual nodes per shard on the ring.  Enough to keep the largest/smallest
+#: shard ratio small for realistic pool sizes while keeping ring construction
+#: trivially cheap (num_shards * this many SHA-1 digests, computed once).
+DEFAULT_VIRTUAL_NODES = 64
+
+
+def _stable_hash(token: str) -> int:
+    """A process-independent 64-bit hash (builtin ``hash`` is salted)."""
+    return int.from_bytes(hashlib.sha1(token.encode("utf-8")).digest()[:8], "big")
+
+
+class HashRing:
+    """Deterministic consistent-hash ring mapping keys to ``num_shards`` shards.
+
+    Every instance built with the same ``(num_shards, virtual_nodes)`` places
+    every key identically, in every process, forever — shard placement is part
+    of the cluster's serving contract (the artifact cutter and the router must
+    agree on where a mapping lives).
+
+    Consistent hashing (vs ``hash(key) % n``) keeps most placements stable
+    when the shard count changes: only the keys falling in the moved ring
+    arcs migrate, which is what makes re-cutting a grown cluster an
+    incremental operation rather than a full reshuffle.
+    """
+
+    def __init__(
+        self, num_shards: int, *, virtual_nodes: int = DEFAULT_VIRTUAL_NODES
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        if virtual_nodes < 1:
+            raise ValueError(f"virtual_nodes must be >= 1, got {virtual_nodes}")
+        self.num_shards = num_shards
+        self.virtual_nodes = virtual_nodes
+        points: list[tuple[int, int]] = []
+        for shard in range(num_shards):
+            for replica_point in range(virtual_nodes):
+                points.append((_stable_hash(f"shard:{shard}:{replica_point}"), shard))
+        # Ties are broken by shard index so the ring order is total even in
+        # the (astronomically unlikely) event of a digest collision.
+        points.sort()
+        self._points = points
+        self._keys = [point for point, _ in points]
+
+    def shard_of(self, key: str) -> int:
+        """The shard hosting ``key`` (deterministic across processes)."""
+        position = _stable_hash(f"key:{key}")
+        keys = self._keys
+        # First ring point at or after the key's position, wrapping at the top.
+        lo, hi = 0, len(keys)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if keys[mid] < position:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo == len(keys):
+            lo = 0
+        return self._points[lo][1]
+
+    def shards_of(self, keys: Sequence[str]) -> dict[str, int]:
+        """Batch :meth:`shard_of` (one dict pass, handy for artifact cutting)."""
+        return {key: self.shard_of(key) for key in keys}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"HashRing(num_shards={self.num_shards}, "
+            f"virtual_nodes={self.virtual_nodes})"
+        )
+
+
+def replica_shards(num_shards: int, replication: int) -> list[frozenset[int]]:
+    """The shard set hosted by each of ``num_shards`` replicas.
+
+    Replica ``i`` hosts its primary shard ``i`` plus the next
+    ``replication - 1`` shards around the ring of replicas, so every shard is
+    hosted by exactly ``min(replication, num_shards)`` replicas and losing any
+    single replica (with ``replication >= 2``) still leaves a full cover.
+    """
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    if replication < 1:
+        raise ValueError(f"replication must be >= 1, got {replication}")
+    replication = min(replication, num_shards)
+    return [
+        frozenset((index + offset) % num_shards for offset in range(replication))
+        for index in range(num_shards)
+    ]
+
+
+def cut_shard_artifacts(
+    source: SynthesisArtifact | str | Path,
+    out_dir: str | Path,
+    ring: HashRing,
+    *,
+    replication: int = 1,
+    compress: bool = True,
+    prefer_curated: bool = True,
+    only_replica: int | None = None,
+) -> list[Path]:
+    """Cut one artifact into per-replica shard artifacts under ``out_dir``.
+
+    Returns one path per replica (``replica-<i>.artifact``), stable across
+    cuts — the rolling rollout re-cuts a new source to the same paths, and
+    each replica's :class:`~repro.serving.watcher.ArtifactWatcher` picks up
+    its own file.  ``only_replica`` restricts the cut to a single replica's
+    file (the rollout uses this to publish one replica at a time); the full
+    path list is still returned.
+
+    The slices are cut from the **served pool** — the curated mappings when
+    ``prefer_curated`` and curation kept any (matching
+    :meth:`MappingService.from_artifact_object`), the full synthesis output
+    otherwise — plus the matching curation-id slice.  Cutting the pool rather
+    than the raw mappings section matters for exactness: a replica whose
+    curated slice happens to be empty must serve an *empty* shard, never fall
+    back to non-curated mappings the single-service oracle would exclude.
+    The union of slices over any shard cover reassembles the oracle pool.
+    """
+    artifact = source if isinstance(source, SynthesisArtifact) else load_artifact(source)
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    assignments = replica_shards(ring.num_shards, replication)
+
+    curated = artifact.curated
+    pool = curated if prefer_curated and curated else artifact.mappings
+    placement = {m.mapping_id: ring.shard_of(m.mapping_id) for m in pool}
+    paths: list[Path] = []
+    for index, shards in enumerate(assignments):
+        path = out_dir / f"replica-{index}.artifact"
+        paths.append(path)
+        if only_replica is not None and index != only_replica:
+            continue
+        shard_mappings = [m for m in pool if placement[m.mapping_id] in shards]
+        shard_curated = [
+            mapping_id
+            for mapping_id in artifact.curated_ids
+            if placement.get(mapping_id, ring.shard_of(mapping_id)) in shards
+        ]
+        shard = artifact.evolve(
+            candidates=[],
+            profiles={},
+            positive_edges={},
+            negative_edges={},
+            mappings=shard_mappings,
+            curated_ids=shard_curated,
+        )
+        save_artifact(shard, path, compress=compress)
+    return paths

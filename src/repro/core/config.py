@@ -149,6 +149,17 @@ class SynthesisConfig:
         against opening on the first unlucky request).
     daemon_breaker_cooldown_seconds:
         How long an open breaker waits before admitting a half-open probe.
+    cluster_replication:
+        How many replicas host each shard in the scatter-gather serving
+        cluster (:mod:`repro.cluster`).  ``1`` is pure partitioning (any
+        replica loss makes some shard unservable); ``2`` (the default) lets
+        the :class:`~repro.cluster.ClusterRouter` keep answering with any
+        single replica down, at the cost of each replica decoding two shard
+        slices.  Capped at the shard count when a cluster is built.
+    cluster_request_timeout_seconds:
+        Per-scatter deadline the router applies to each replica submission
+        and result wait; a replica that exceeds it is treated as failed and
+        its shards are re-routed to another replica hosting them.
     """
 
     # --- Candidate extraction (§3) -------------------------------------------------
@@ -194,6 +205,10 @@ class SynthesisConfig:
     daemon_breaker_threshold: float = 0.0
     daemon_breaker_min_requests: int = 10
     daemon_breaker_cooldown_seconds: float = 1.0
+
+    # --- Cluster serving tier (repro.cluster) ------------------------------------------
+    cluster_replication: int = 2
+    cluster_request_timeout_seconds: float = 30.0
 
     # --- Extra knobs for experiments -------------------------------------------------
     # hash=False: a dict-valued field would make the generated __hash__ of this
@@ -296,6 +311,15 @@ class SynthesisConfig:
             raise ValueError(
                 "daemon_breaker_cooldown_seconds must be >= 0, "
                 f"got {self.daemon_breaker_cooldown_seconds}"
+            )
+        if self.cluster_replication < 1:
+            raise ValueError(
+                f"cluster_replication must be >= 1, got {self.cluster_replication}"
+            )
+        if self.cluster_request_timeout_seconds <= 0:
+            raise ValueError(
+                "cluster_request_timeout_seconds must be > 0, "
+                f"got {self.cluster_request_timeout_seconds}"
             )
 
     def effective_executor(self, default_kind: str | None = "process") -> str:

@@ -5,8 +5,10 @@ the graph builder's process pool, the Map-Reduce engine's thread pool, and the
 serving daemon's hand-rolled worker threads — behind a single
 :class:`ExecutionBackend` protocol selected by spec string
 (:attr:`repro.core.config.SynthesisConfig.executor`): ``"serial"``,
-``"thread:8"``, ``"process:4"``.  Every backend produces byte-identical
-results to :class:`SerialBackend`; only the wall-clock differs.
+``"thread:8"``, ``"process:4"``, ``"cluster:N"`` (N isolated single-worker
+process replicas — the serving cluster's execution shape).  Every backend
+produces byte-identical results to :class:`SerialBackend`; only the
+wall-clock differs.
 
 :class:`FanOut` (:mod:`repro.exec.fanout`) is the shared gate + chunk +
 serial-fallback skeleton the fan-out call sites (scoring, extraction
@@ -22,6 +24,7 @@ byte-identical through every rung.
 
 from repro.exec.backend import (
     DEFAULT_RETRY_POLICY,
+    ClusterBackend,
     ExecutionBackend,
     ExecutorSpecError,
     ProcessBackend,
@@ -42,6 +45,7 @@ __all__ = [
     "SerialBackend",
     "ThreadBackend",
     "ProcessBackend",
+    "ClusterBackend",
     "FanOut",
     "RetryPolicy",
     "DEFAULT_RETRY_POLICY",

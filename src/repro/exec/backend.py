@@ -30,6 +30,7 @@ that ends up serving nothing costs nothing.
 
 from __future__ import annotations
 
+import itertools
 import os
 import threading
 import time
@@ -40,6 +41,7 @@ from concurrent.futures import (
     Future,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
+    as_completed,
     wait,
 )
 from typing import Any
@@ -53,6 +55,7 @@ __all__ = [
     "SerialBackend",
     "ThreadBackend",
     "ProcessBackend",
+    "ClusterBackend",
     "DEFAULT_RETRY_POLICY",
     "parse_executor_spec",
     "create_backend",
@@ -624,6 +627,128 @@ class ProcessBackend(_PoolBackend):
         )
 
 
+class ClusterBackend(ExecutionBackend):
+    """N independent single-worker process replicas behind one backend.
+
+    Where :class:`ProcessBackend` is one pool of ``N`` workers, ``cluster:N``
+    is ``N`` pools of one worker each — the execution-layer shape of a serving
+    *cluster*: each replica has its own interpreter, its own initializer-built
+    state, and its own failure domain.  A crashed replica is rebuilt (and its
+    lost task re-dispatched) by that child's own recovery ladder without
+    disturbing the other ``N - 1`` replicas, which is exactly the isolation
+    :class:`repro.cluster.ClusterRouter` wants when ``SynthesisConfig.executor``
+    / ``REPRO_EXECUTOR`` says ``"cluster:N"``.
+
+    Tasks are routed round-robin (``map_blocks`` stripes blocks across
+    replicas and stitches results back in block order); every dispatch goes
+    through the child's :meth:`~_PoolBackend.call` so the full retry /
+    rebuild / inline-degradation ladder applies per replica.  Telemetry
+    counters aggregate across children.
+    """
+
+    kind = "cluster"
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        *,
+        initializer: Callable[..., None] | None = None,
+        initargs: tuple = (),
+        retry_policy: RetryPolicy | None = None,
+    ) -> None:
+        super().__init__(
+            workers if workers is not None else (os.cpu_count() or 1),
+            initializer=initializer,
+            initargs=initargs,
+            retry_policy=retry_policy,
+        )
+        self._children = [
+            ProcessBackend(
+                1,
+                initializer=initializer,
+                initargs=initargs,
+                retry_policy=retry_policy,
+            )
+            for _ in range(self.workers)
+        ]
+        # itertools.count is effectively atomic under CPython, which is all the
+        # round-robin cursor needs — perfect balance is not a correctness
+        # property here, per-child serialization is (each child pool has one
+        # worker, so even a skewed assignment stays ordered within a child).
+        self._cursor = itertools.count()
+
+    def _child(self) -> ProcessBackend:
+        return self._children[next(self._cursor) % len(self._children)]
+
+    # -- Aggregated resilience telemetry ------------------------------------------------
+    @property
+    def crash_recoveries(self) -> int:  # type: ignore[override]
+        return sum(child.crash_recoveries for child in self._children)
+
+    @property
+    def tasks_retried(self) -> int:  # type: ignore[override]
+        return sum(child.tasks_retried for child in self._children)
+
+    @property
+    def faults_injected(self) -> int:  # type: ignore[override]
+        return sum(child.faults_injected for child in self._children)
+
+    @property
+    def fallback_reason(self) -> str | None:  # type: ignore[override]
+        for child in self._children:
+            if child.fallback_reason is not None:
+                return child.fallback_reason
+        return None
+
+    # -- Protocol -----------------------------------------------------------------------
+    def map_blocks(self, fn, blocks):
+        blocks = list(blocks)
+        if not blocks:
+            return []
+        lanes = min(len(self._children), len(blocks))
+        results: list[Any] = [None] * len(blocks)
+
+        def run_lane(lane: int) -> list[tuple[int, Any]]:
+            child = self._children[lane]
+            return [
+                (position, child.call(fn, blocks[position]))
+                for position in range(lane, len(blocks), lanes)
+            ]
+
+        with ThreadPoolExecutor(
+            max_workers=lanes, thread_name_prefix="repro-cluster"
+        ) as dispatcher:
+            for lane_results in dispatcher.map(run_lane, range(lanes)):
+                for position, outcome in lane_results:
+                    results[position] = outcome
+        return results
+
+    def map_unordered(self, fn, items):
+        items = list(items)
+        if not items:
+            return
+        lanes = len(self._children)
+        with ThreadPoolExecutor(
+            max_workers=lanes, thread_name_prefix="repro-cluster"
+        ) as dispatcher:
+            futures = [
+                dispatcher.submit(self._children[index % lanes].call, fn, item)
+                for index, item in enumerate(items)
+            ]
+            for future in as_completed(futures):
+                yield future.result()
+
+    def submit(self, fn, /, *args, **kwargs):
+        return self._child().submit(fn, *args, **kwargs)
+
+    def call(self, fn, /, *args, **kwargs):
+        return self._child().call(fn, *args, **kwargs)
+
+    def close(self, wait: bool = True) -> None:
+        for child in self._children:
+            child.close(wait=wait)
+
+
 # ---------------------------------------------------------------------------------------
 # Registry + spec-driven construction
 # ---------------------------------------------------------------------------------------
@@ -631,6 +756,7 @@ _BACKENDS: dict[str, Callable[..., ExecutionBackend]] = {
     "serial": SerialBackend,
     "thread": ThreadBackend,
     "process": ProcessBackend,
+    "cluster": ClusterBackend,
 }
 
 

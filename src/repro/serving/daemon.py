@@ -83,7 +83,9 @@ __all__ = [
 ]
 
 #: The batch kinds the daemon can serve; each names the MappingService method.
-REQUEST_KINDS = ("autofill", "autojoin", "autocorrect")
+#: ``cluster_lookup`` is the raw index-lookup kind used by the scatter-gather
+#: router in :mod:`repro.cluster` to query shard replicas.
+REQUEST_KINDS = ("autofill", "autojoin", "autocorrect", "cluster_lookup")
 
 #: Sentinel instructing a worker thread to exit its loop.
 _STOP = object()
@@ -419,6 +421,7 @@ class SynthesisDaemon:
         prefer_curated: bool = True,
         breaker_threshold: float | None = None,
         retry_policy: RetryPolicy | None = None,
+        service_cls: type[MappingService] = MappingService,
         **service_kwargs,
     ) -> "SynthesisDaemon":
         """Start a daemon serving a persisted artifact, optionally hot-reloading.
@@ -430,6 +433,9 @@ class SynthesisDaemon:
         ``daemon_*`` fields.  With ``watch=True`` an
         :class:`~repro.serving.watcher.ArtifactWatcher` is attached that
         atomically swaps in every new artifact version published at ``path``.
+        ``service_cls`` substitutes a :class:`MappingService` subclass for both
+        the initial load and every watcher hot-swap (benchmarks use it to serve
+        an IO-weighted service; the cluster tier forwards it to replicas).
         """
         from repro.serving.watcher import ArtifactWatcher
         from repro.store.artifact import load_artifact
@@ -461,7 +467,7 @@ class SynthesisDaemon:
         baseline = ArtifactWatcher.signature_of(path)
         load_started = time.monotonic()
         artifact = load_artifact(path)
-        service = MappingService.from_artifact_object(
+        service = service_cls.from_artifact_object(
             artifact,
             prefer_curated=prefer_curated,
             source=f"artifact:{path}",
@@ -490,7 +496,7 @@ class SynthesisDaemon:
         if watch:
 
             def swap(new_artifact, artifact_path: Path) -> None:
-                service = MappingService.from_artifact_object(
+                service = service_cls.from_artifact_object(
                     new_artifact,
                     prefer_curated=prefer_curated,
                     source=f"artifact:{artifact_path}",

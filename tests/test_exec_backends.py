@@ -13,6 +13,8 @@ from __future__ import annotations
 import os
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.core.config import EXECUTOR_ENV_VAR, SynthesisConfig
 from repro.exec import (
@@ -88,6 +90,48 @@ class TestChunkEvenly:
     def test_invalid_chunks(self):
         with pytest.raises(ValueError):
             chunk_evenly([1], 0)
+
+
+class TestChunkEvenlyProperties:
+    """Hypothesis invariants for the chunker every fan-out path relies on."""
+
+    @given(
+        items=st.lists(st.integers(), max_size=50),
+        chunks=st.integers(min_value=1, max_value=64),
+    )
+    def test_order_preserved_and_nothing_lost(self, items, chunks):
+        result = chunk_evenly(items, chunks)
+        assert [x for chunk in result for x in chunk] == items
+
+    @given(
+        items=st.lists(st.integers(), max_size=50),
+        chunks=st.integers(min_value=1, max_value=64),
+    )
+    def test_no_empty_chunks_and_at_most_requested(self, items, chunks):
+        result = chunk_evenly(items, chunks)
+        assert all(chunk for chunk in result)
+        assert len(result) <= chunks
+
+    @given(
+        items=st.lists(st.integers(), min_size=1, max_size=50),
+        chunks=st.integers(min_value=1, max_value=64),
+    )
+    def test_sizes_even_within_one(self, items, chunks):
+        sizes = [len(chunk) for chunk in chunk_evenly(items, chunks)]
+        assert max(sizes) - min(sizes) <= 1
+
+    @given(items=st.lists(st.integers(), max_size=20))
+    def test_more_chunks_than_items_yields_singletons(self, items):
+        result = chunk_evenly(items, len(items) + 5)
+        assert result == [[item] for item in items]
+
+    @given(
+        items=st.lists(st.integers(), max_size=10),
+        chunks=st.integers(max_value=0),
+    )
+    def test_nonpositive_chunks_always_raise(self, items, chunks):
+        with pytest.raises(ValueError):
+            chunk_evenly(items, chunks)
 
 
 class TestBackendProtocol:

@@ -1,0 +1,106 @@
+"""Golden schema tests for the health endpoints.
+
+Operational dashboards and alert rules key on the exact field names that
+``SynthesisDaemon.health()``, ``ArtifactWatcher.health()``, and
+``ClusterRouter.health()`` emit.  These tests freeze those key sets: adding a
+field is a deliberate one-line update here; renaming or dropping one fails
+loudly instead of silently blinding a monitor.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ClusterRouter
+from repro.core.config import SynthesisConfig
+from repro.core.pipeline import SynthesisPipeline
+from repro.serving import SynthesisDaemon
+
+pytestmark = pytest.mark.cluster
+
+DAEMON_HEALTH_KEYS = {
+    "status",
+    "degraded_reasons",
+    "generation",
+    "source",
+    "fingerprint",
+    "queue_depth",
+    "queue_size",
+    "workers",
+    "breaker",
+    "requests",
+    "errors",
+    "shed",
+    "backend",
+    "watcher",
+}
+
+WATCHER_HEALTH_KEYS = {
+    "path",
+    "reloads",
+    "skipped",
+    "callback_errors",
+    "consecutive_failures",
+    "last_swap_ok",
+    "last_error",
+    "pinned",
+    "retry_in_seconds",
+}
+
+ROUTER_HEALTH_KEYS = {
+    "status",
+    "degraded_reasons",
+    "num_shards",
+    "replication",
+    "generations",
+    "replicas",
+    "requests",
+    "errors",
+    "reroutes",
+    "rollouts",
+}
+
+ROUTER_REPLICA_KEYS = {
+    "index",
+    "shards",
+    "closed",
+    "served",
+    "failed",
+    "breaker",
+    "daemon",
+}
+
+
+@pytest.fixture(scope="module")
+def artifact_path(store_corpus, tmp_path_factory):
+    config = SynthesisConfig(
+        use_pmi_filter=False, min_domains=1, min_mapping_size=2, min_rows=4
+    )
+    pipeline = SynthesisPipeline(config)
+    pipeline.run(store_corpus)
+    return pipeline.save_artifact(tmp_path_factory.mktemp("health") / "a.gz")
+
+
+def test_daemon_and_watcher_health_schema(artifact_path):
+    with SynthesisDaemon.from_artifact(artifact_path, watch=True) as daemon:
+        health = daemon.health()
+        assert set(health) == DAEMON_HEALTH_KEYS
+        assert set(health["watcher"]) == WATCHER_HEALTH_KEYS
+        assert set(daemon.watcher.health()) == WATCHER_HEALTH_KEYS
+
+
+def test_router_health_schema(artifact_path, tmp_path):
+    with ClusterRouter.from_artifact(
+        artifact_path,
+        num_shards=2,
+        replication=2,
+        shard_dir=tmp_path / "shards",
+        watch=False,
+    ) as router:
+        health = router.health()
+        assert set(health) == ROUTER_HEALTH_KEYS
+        assert len(health["replicas"]) == 2
+        for replica in health["replicas"]:
+            assert set(replica) == ROUTER_REPLICA_KEYS
+            # Each embedded daemon snapshot keeps the daemon schema too.
+            assert set(replica["daemon"]) == DAEMON_HEALTH_KEYS
