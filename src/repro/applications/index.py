@@ -48,16 +48,65 @@ class MappingIndex:
         self._left_blooms: list[BloomFilter] = []
         self._right_blooms: list[BloomFilter] = []
         for mapping in self.mappings:
-            left = {normalize_value(pair.left) for pair in mapping.pairs}
-            right = {normalize_value(pair.right) for pair in mapping.pairs}
+            left, right, left_bloom, right_bloom = self._entry(
+                mapping, bloom_false_positive_rate
+            )
             self._left_sets.append(left)
             self._right_sets.append(right)
-            left_bloom = BloomFilter(max(1, len(left)), bloom_false_positive_rate)
-            left_bloom.update(left)
-            right_bloom = BloomFilter(max(1, len(right)), bloom_false_positive_rate)
-            right_bloom.update(right)
             self._left_blooms.append(left_bloom)
             self._right_blooms.append(right_bloom)
+
+    @staticmethod
+    def _entry(mapping: MappingRelationship, bloom_false_positive_rate: float):
+        """One mapping's index entry — a pure function of the mapping."""
+        left = {normalize_value(pair.left) for pair in mapping.pairs}
+        right = {normalize_value(pair.right) for pair in mapping.pairs}
+        left_bloom = BloomFilter(max(1, len(left)), bloom_false_positive_rate)
+        left_bloom.update(left)
+        right_bloom = BloomFilter(max(1, len(right)), bloom_false_positive_rate)
+        right_bloom.update(right)
+        return left, right, left_bloom, right_bloom
+
+    @classmethod
+    def patched(
+        cls,
+        base: "MappingIndex",
+        mappings: Iterable[MappingRelationship],
+        bloom_false_positive_rate: float = 0.01,
+    ) -> "MappingIndex":
+        """An index over ``mappings`` reusing ``base``'s per-mapping entries.
+
+        Entries are pure functions of the mapping object, so any mapping that
+        is *the same object* as one ``base`` already indexed copies its
+        normalized value sets and Bloom filters instead of recomputing them —
+        this is what keeps the serving daemon's in-place delta patch
+        O(changed mappings) instead of O(pool).  The shared entries are never
+        mutated after construction (lookups only read them), so sharing is
+        safe and the result is indistinguishable from a cold build.
+        """
+        index = cls.__new__(cls)
+        index.mappings = list(mappings)
+        index._left_sets = []
+        index._right_sets = []
+        index._left_blooms = []
+        index._right_blooms = []
+        positions = {id(mapping): at for at, mapping in enumerate(base.mappings)}
+        for mapping in index.mappings:
+            at = positions.get(id(mapping))
+            if at is None:
+                entry = cls._entry(mapping, bloom_false_positive_rate)
+            else:
+                entry = (
+                    base._left_sets[at],
+                    base._right_sets[at],
+                    base._left_blooms[at],
+                    base._right_blooms[at],
+                )
+            index._left_sets.append(entry[0])
+            index._right_sets.append(entry[1])
+            index._left_blooms.append(entry[2])
+            index._right_blooms.append(entry[3])
+        return index
 
     def __len__(self) -> int:
         return len(self.mappings)

@@ -393,6 +393,43 @@ class MappingService:
         kwargs.setdefault("source", "artifact")
         return cls(pool, **kwargs)
 
+    def with_pool(
+        self, mappings: Iterable[MappingRelationship], *, source: str | None = None
+    ) -> "MappingService":
+        """A new service over ``mappings``, sharing this one's thresholds.
+
+        The streaming-update fast path: per-mapping index entries are reused
+        (:meth:`MappingIndex.patched`) for every mapping object this service
+        already serves, so the cost is O(changed mappings), not O(pool).
+        Answers are identical to ``type(self)(mappings, **serving_kwargs)`` —
+        ``_serving_order`` is a total order and index entries are pure
+        per-mapping.  Subclasses that add construction-time state must
+        override this method (the base implementation only wires the fields
+        ``MappingService.__init__`` sets).
+        """
+        start = time.perf_counter()
+        service = type(self).__new__(type(self))
+        pool = _serving_order(mappings)
+        service.index = MappingIndex.patched(self.index, pool)
+        service.filler = AutoFiller(
+            service.index,
+            min_example_agreement=self.serving_kwargs["min_example_agreement"],
+        )
+        service.joiner = AutoJoiner(
+            service.index, min_containment=self.serving_kwargs["min_containment"]
+        )
+        service.corrector = AutoCorrector(
+            service.index,
+            min_containment=self.serving_kwargs["correction_containment"],
+        )
+        service.serving_kwargs = dict(self.serving_kwargs)
+        service.stats = ServiceStats(
+            source=source or self.stats.source,
+            index_size=len(service.index),
+            build_seconds=time.perf_counter() - start,
+        )
+        return service
+
     # -- Batched serving ----------------------------------------------------------------
     def _serve_batch(
         self, kind: str, requests: Sequence[object], handler: Callable[[object], object]

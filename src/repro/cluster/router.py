@@ -64,7 +64,7 @@ from repro.core.config import SynthesisConfig
 from repro.core.mapping import mapping_rank_key
 from repro.faults.breaker import CircuitBreaker
 from repro.faults.retry import RetryPolicy
-from repro.serving.daemon import SynthesisDaemon
+from repro.serving.daemon import DaemonStoppedError, SynthesisDaemon
 from repro.text.matching import normalize_value
 
 __all__ = [
@@ -266,6 +266,10 @@ class ClusterRouter:
         self._reroutes = 0
         self._rollouts = 0
         self._closed = False
+        # Streaming-update accounting (repro.updates).
+        self._deltas_applied = 0
+        self._last_delta_seq: int | None = None
+        self._last_delta_at = 0.0
 
     # -- Construction -------------------------------------------------------------------
     @classmethod
@@ -515,6 +519,63 @@ class ClusterRouter:
         """The router-level serving stats (per-request kinds and latencies)."""
         return self._service.stats
 
+    # -- Live delta application (repro.updates) -----------------------------------------
+    def apply_delta(
+        self,
+        upserts: Iterable[object],
+        removed: Iterable[str],
+        *,
+        seq: int,
+        escalation_ratio: float = 0.25,
+        pool_size: int | None = None,
+    ) -> None:
+        """Scatter one update-stream delta to the replicas owning its shards.
+
+        Each mapping id is routed by the same :meth:`HashRing.shard_of`
+        placement the artifact cutter uses, so every replica receives exactly
+        the slice of the patch that falls in its shards (upserts **and**
+        removals) and patches its daemon in place via
+        :meth:`SynthesisDaemon.apply_delta`.  Replicas whose slice is empty
+        are not touched; closed replicas are skipped (a restarted replica
+        catches up from the compacted artifact).  ``pool_size`` updates the
+        router's advertised global pool size after the patch.
+        """
+        if self._closed:
+            raise ClusterError("cluster router is closed")
+        upserts = list(upserts)
+        removed = list(removed)
+        for replica in self.replicas:
+            if replica.daemon.closed:
+                continue
+            shard_upserts = [
+                mapping
+                for mapping in upserts
+                if self.ring.shard_of(mapping.mapping_id) in replica.shards
+            ]
+            shard_removed = [
+                mapping_id
+                for mapping_id in removed
+                if self.ring.shard_of(mapping_id) in replica.shards
+            ]
+            if not shard_upserts and not shard_removed:
+                continue
+            try:
+                replica.daemon.apply_delta(
+                    shard_upserts,
+                    shard_removed,
+                    seq=seq,
+                    escalation_ratio=escalation_ratio,
+                )
+            except DaemonStoppedError:
+                # Closed between the check and the call — same as skipping.
+                continue
+        if pool_size is not None:
+            self.pool_size = pool_size
+        with self._lock:
+            self._deltas_applied += 1
+            self._last_delta_seq = seq
+            self._last_delta_at = time.monotonic()
+
     # -- Rollout ------------------------------------------------------------------------
     def rollout(self, source, *, timeout: float = 30.0) -> list[int]:
         """Rolling artifact rollout: re-cut and publish one replica at a time.
@@ -620,6 +681,13 @@ class ClusterRouter:
             "errors": stats["errors"],
             "reroutes": reroutes,
             "rollouts": rollouts,
+            "deltas_applied": self._deltas_applied,
+            "last_delta_seq": self._last_delta_seq,
+            "update_lag": (
+                time.monotonic() - self._last_delta_at
+                if self._last_delta_at
+                else 0.0
+            ),
         }
 
     def close(self, *, drain: bool = True) -> None:

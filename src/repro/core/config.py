@@ -160,6 +160,17 @@ class SynthesisConfig:
         Per-scatter deadline the router applies to each replica submission
         and result wait; a replica that exceeds it is treated as failed and
         its shards are re-routed to another replica hosting them.
+    delta_escalation_ratio:
+        Largest fraction of a daemon's served pool a single delta may touch
+        while still being applied in place (index splice under the swap lock,
+        same generation number).  Bigger patches escalate to a full
+        generation swap via ``reload`` so oversized updates keep the
+        drain/rollback semantics of a redeploy.
+    delta_compact_threshold:
+        Number of entries the streaming delta log may accumulate before
+        :class:`~repro.updates.UpdateStream` folds them back into the base
+        artifact (a plain re-save, byte-identical to a cold rebuild) and
+        truncates the log.
     """
 
     # --- Candidate extraction (§3) -------------------------------------------------
@@ -209,6 +220,10 @@ class SynthesisConfig:
     # --- Cluster serving tier (repro.cluster) ------------------------------------------
     cluster_replication: int = 2
     cluster_request_timeout_seconds: float = 30.0
+
+    # --- Streaming updates (repro.updates) ---------------------------------------------
+    delta_escalation_ratio: float = 0.25
+    delta_compact_threshold: int = 64
 
     # --- Extra knobs for experiments -------------------------------------------------
     # hash=False: a dict-valued field would make the generated __hash__ of this
@@ -320,6 +335,16 @@ class SynthesisConfig:
             raise ValueError(
                 "cluster_request_timeout_seconds must be > 0, "
                 f"got {self.cluster_request_timeout_seconds}"
+            )
+        if not 0 < self.delta_escalation_ratio <= 1:
+            raise ValueError(
+                "delta_escalation_ratio must be in (0, 1], "
+                f"got {self.delta_escalation_ratio}"
+            )
+        if self.delta_compact_threshold < 1:
+            raise ValueError(
+                "delta_compact_threshold must be >= 1, "
+                f"got {self.delta_compact_threshold}"
             )
 
     def effective_executor(self, default_kind: str | None = "process") -> str:

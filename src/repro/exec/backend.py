@@ -166,8 +166,14 @@ def chunk_evenly(items: Sequence[Any], chunks: int) -> list[list[Any]]:
     count = min(len(items), chunks)
     if count == 0:
         return []
-    size = (len(items) + count - 1) // count
-    return [list(items[i : i + size]) for i in range(0, len(items), size)]
+    base, extra = divmod(len(items), count)
+    result: list[list[Any]] = []
+    start = 0
+    for index in range(count):
+        size = base + (1 if index < extra else 0)
+        result.append(list(items[start : start + size]))
+        start += size
+    return result
 
 
 class ExecutionBackend:

@@ -102,6 +102,12 @@ class FaultPlan:
     #: Probability a watcher reload candidate's bytes are corrupted (a
     #: deterministic byte flip) before validation.
     corrupt_publish_rate: float = 0.0
+    #: Probability a delta-log append tears mid-record and raises (the torn
+    #: tail is truncated away on the next open, like a crashed writer).
+    delta_append_failure_rate: float = 0.0
+    #: Probability a delta-log record's bytes are corrupted (a deterministic
+    #: byte flip) on the way to disk — replay must stop at the damaged record.
+    corrupt_delta_rate: float = 0.0
     #: Hard cap on total injected faults (``None`` = unlimited).  Lets a chaos
     #: test guarantee eventual success no matter the rates.
     max_faults: int | None = None
@@ -113,6 +119,8 @@ class FaultPlan:
             "slow_call_rate",
             "publish_failure_rate",
             "corrupt_publish_rate",
+            "delta_append_failure_rate",
+            "corrupt_delta_rate",
         ):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
@@ -201,6 +209,16 @@ class FaultInjector:
     def corrupt_publish(self) -> bool:
         """Should this watcher reload candidate's bytes be corrupted?"""
         return self.decide("corrupt_publish", self.plan.corrupt_publish_rate)
+
+    def delta_append_failure(self) -> bool:
+        """Should this delta-log append tear mid-record and raise?"""
+        return self.decide(
+            "delta_append_failure", self.plan.delta_append_failure_rate
+        )
+
+    def corrupt_delta(self) -> bool:
+        """Should this delta-log record's bytes be corrupted on the way to disk?"""
+        return self.decide("corrupt_delta", self.plan.corrupt_delta_rate)
 
     def corrupt(self, data: bytes) -> bytes:
         """Flip one deterministic byte of ``data`` (position from the seed).

@@ -61,6 +61,7 @@ from repro.applications.service import (
     ServiceStats,
 )
 from repro.core.config import SynthesisConfig
+from repro.core.mapping import MappingRelationship
 from repro.exec.backend import (
     ExecutionBackend,
     ProcessBackend,
@@ -330,6 +331,12 @@ class SynthesisDaemon:
         self._queue: queue.Queue = queue.Queue(maxsize=queue_size)
         self._swap_lock = threading.Lock()
         self._pending_lock = threading.Lock()
+        # Streaming-update accounting (repro.updates): guarded by its own lock
+        # because the in-place patch path already holds _swap_lock.
+        self._delta_lock = threading.Lock()
+        self._deltas_applied = 0
+        self._last_delta_seq: int | None = None
+        self._last_delta_at = 0.0
         self._pending: set[DaemonTicket] = set()
         self._closed = threading.Event()
         self._cancel_queued = threading.Event()
@@ -612,6 +619,13 @@ class SynthesisDaemon:
             "shed": stats_view["shed"],
             "backend": backend_info,
             "watcher": watcher_info,
+            "deltas_applied": self._deltas_applied,
+            "last_delta_seq": self._last_delta_seq,
+            "update_lag": (
+                time.monotonic() - self._last_delta_at
+                if self._last_delta_at
+                else 0.0
+            ),
         }
 
     # -- Hot reload ---------------------------------------------------------------------
@@ -662,6 +676,94 @@ class SynthesisDaemon:
                 daemon=True,
             ).start()
         return generation
+
+    # -- Live delta application (repro.updates) -----------------------------------------
+    def apply_delta(
+        self,
+        upserts: Iterable[MappingRelationship],
+        removed: Iterable[str],
+        *,
+        seq: int,
+        escalation_ratio: float = 0.25,
+        source: str | None = None,
+    ) -> ServiceGeneration:
+        """Patch the served mapping pool in place from one update-stream delta.
+
+        ``upserts`` replace-or-add mappings by id; ``removed`` ids are dropped.
+        A small patch (change ratio at most ``escalation_ratio`` of the served
+        pool) on an in-process generation (thread/serial mode) is applied
+        **without** a generation swap: the service's index is spliced from the
+        patched pool under the swap lock (unchanged mappings keep their index
+        entries — see :meth:`MappingService.with_pool`) and the generation is
+        re-issued with its stats, breaker, and number intact — in-flight
+        batches still snapshot one consistent service, and observability
+        counters keep accumulating.  A large patch, or any patch in process
+        mode (worker pools are built per generation and cannot be patched),
+        escalates to a normal :meth:`reload` swap.
+
+        Daemons driven through this method should be constructed with
+        ``watch=False``: an artifact watcher swaps in the *base* artifact,
+        which silently discards every delta applied since the last compaction.
+        """
+        if self._closed.is_set():
+            raise DaemonStoppedError("daemon is closed; no deltas accepted")
+        upserts = list(upserts)
+        removed = list(removed)
+        with self._swap_lock:
+            current = self._generation
+            if not upserts and not removed:
+                self._note_delta(seq)
+                return current
+            base_pool = current.service.mapping_pool
+            by_id = {mapping.mapping_id: mapping for mapping in base_pool}
+            for mapping_id in removed:
+                by_id.pop(mapping_id, None)
+            for mapping in upserts:
+                by_id[mapping.mapping_id] = mapping
+            new_pool = list(by_id.values())
+            ratio = (len(upserts) + len(removed)) / max(1, len(base_pool))
+            if current.backend is None and ratio <= escalation_ratio:
+                old_service = current.service
+                # with_pool reuses per-mapping index entries for the unchanged
+                # pool, so the splice costs O(changed mappings), not O(pool).
+                service = old_service.with_pool(new_pool, source=current.source)
+                # Transplant the old stats object so request/error counters
+                # (and the breaker window keyed off them) survive the patch —
+                # from an operator's view this is still the same generation.
+                stats = old_service.stats
+                stats.index_size = len(service.index)
+                service.stats = stats
+                self._generation = ServiceGeneration(
+                    service=service,
+                    number=current.number,
+                    source=current.source,
+                    fingerprint=current.fingerprint,
+                    activated_at=current.activated_at,
+                    backend=None,
+                    breaker=current.breaker,
+                )
+                self._note_delta(seq)
+                return self._generation
+        # Escalation: too much churn for an in-place patch (or a per-generation
+        # worker pool is serving) — build a fresh service and swap generations.
+        service = type(current.service)(
+            new_pool,
+            source=source or f"delta:{seq}",
+            **current.service.serving_kwargs,
+        )
+        generation = self.reload(
+            service,
+            source=source or f"delta:{seq}",
+            fingerprint=current.fingerprint,
+        )
+        self._note_delta(seq)
+        return generation
+
+    def _note_delta(self, seq: int) -> None:
+        with self._delta_lock:
+            self._deltas_applied += 1
+            self._last_delta_seq = seq
+            self._last_delta_at = time.monotonic()
 
     # -- Submission ---------------------------------------------------------------------
     def submit(

@@ -57,6 +57,8 @@ _RESULT_NEUTRAL_FIELDS = {
     "daemon_queue_size",
     "daemon_poll_seconds",
     "daemon_deadline_seconds",
+    "delta_escalation_ratio",
+    "delta_compact_threshold",
     "extra",
 }
 

@@ -98,6 +98,19 @@ class TableSynthesizer:
         mapping.source_tables = [table.table_id for table in original]
         return mapping
 
+    def materialize_partition(
+        self, tables: list[BinaryTable], index: int
+    ) -> MappingRelationship:
+        """Resolve conflicts and materialize one partition's mapping.
+
+        Pure function of ``(tables, index)`` — the incremental update engine
+        (:mod:`repro.updates.engine`) relies on that to memoize unchanged
+        partitions across deltas while staying byte-identical to
+        :meth:`synthesize`, which routes every partition through here.
+        """
+        resolved = self._resolve_partition(tables)
+        return self._materialize(resolved, index, tables)
+
     # -- Public API ------------------------------------------------------------------------
     def build_graph(
         self,
@@ -133,8 +146,7 @@ class TableSynthesizer:
         mappings: list[MappingRelationship] = []
         for index, partition in enumerate(partition_result.partitions):
             tables = [graph.tables[vertex] for vertex in partition]
-            resolved = self._resolve_partition(tables)
-            mappings.append(self._materialize(resolved, index, tables))
+            mappings.append(self.materialize_partition(tables, index))
         elapsed = time.perf_counter() - start
         return SynthesisResult(
             mappings=mappings,

@@ -1,0 +1,54 @@
+"""Streaming updates: durable delta log, incremental repair, live delta serving.
+
+The update path keeps a served corpus fresh without cold rebuilds:
+
+* :mod:`repro.updates.deltalog` — :class:`TableDelta` (one table's change) and
+  :class:`DeltaLog` (append-only, fsync'd, checksummed, crash-safe).
+* :mod:`repro.updates.engine` — :class:`IncrementalEngine`, which repairs the
+  compatibility graph and only the touched partitions, producing a
+  :class:`PoolPatch` byte-identical to a cold rebuild's pool.
+* :mod:`repro.updates.journal` — ``delta.N`` sections appended to v2
+  artifacts, plus :class:`ArtifactDeltaView` for base + journal reads.
+* :mod:`repro.updates.stream` — :class:`UpdateStream`, the writer that
+  sequences log -> engine -> journal -> daemon/router and auto-compacts.
+"""
+
+from repro.updates.deltalog import (
+    DeltaLog,
+    DeltaLogError,
+    TableDelta,
+    decode_delta_record,
+    encode_delta_record,
+)
+from repro.updates.engine import (
+    EngineStats,
+    IncrementalEngine,
+    PoolPatch,
+    diff_pool,
+)
+from repro.updates.journal import (
+    DELTA_SECTION_PREFIX,
+    ArtifactDeltaView,
+    DeltaRecord,
+    append_delta_section,
+    read_delta_sections,
+)
+from repro.updates.stream import UpdateStream
+
+__all__ = [
+    "TableDelta",
+    "DeltaLog",
+    "DeltaLogError",
+    "encode_delta_record",
+    "decode_delta_record",
+    "IncrementalEngine",
+    "PoolPatch",
+    "EngineStats",
+    "diff_pool",
+    "DELTA_SECTION_PREFIX",
+    "DeltaRecord",
+    "append_delta_section",
+    "read_delta_sections",
+    "ArtifactDeltaView",
+    "UpdateStream",
+]

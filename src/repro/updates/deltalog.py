@@ -1,0 +1,418 @@
+"""Durable streaming delta log: sequenced, checksummed per-table updates.
+
+A :class:`TableDelta` describes one table's change — row upserts and deletes
+keyed by the row's first cell, a whole-table drop, or a brand-new table — and
+is deterministic to apply: the same delta over the same corpus always yields
+the same corpus (:meth:`TableDelta.apply_to` preserves corpus insertion order,
+so downstream candidate/section ordering matches a cold rebuild byte for
+byte).
+
+:class:`DeltaLog` persists deltas as an append-only file of monotonically
+sequenced, SHA-256-checksummed records, each fsync'd before :meth:`DeltaLog.append`
+returns.  The framing is crash-safe by construction::
+
+    +--------------------------------------------------------------+
+    | magic  b"reprodeltalog\\x00\\x01"                  (15 bytes) |
+    | base sequence, big-endian uint64  (last compacted seq)        |
+    | records, back to back:                                        |
+    |   payload length, big-endian uint32               ( 4 bytes)  |
+    |   SHA-256 of the payload                          (32 bytes)  |
+    |   payload: ByteWriter(seq uvarint, delta fields)              |
+    +--------------------------------------------------------------+
+
+Replay walks records in order and **stops at the first torn or checksum-failed
+record** — a crash mid-append (or a corrupted byte anywhere in a record) can
+lose the tail of the log but can never surface a half-written delta as valid.
+Reopening the log truncates the torn tail so appends continue from the last
+durable record.
+
+Fault injection (:mod:`repro.faults`) hooks two sites here:
+``delta_append_failure`` (the append tears mid-record and raises — the
+in-process log refuses further appends until reopened, exactly like a crashed
+writer) and ``corrupt_delta`` (the record's bytes are silently damaged on the
+way to disk; the writer does not notice, and recovery discards the record at
+replay).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import struct
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.corpus.corpus import TableCorpus
+from repro.corpus.table import Table
+from repro.faults.plan import active_injector
+from repro.store.codec import ByteReader, ByteWriter, CodecError
+from repro.store.format import atomic_write_bytes
+
+__all__ = [
+    "LOG_MAGIC",
+    "DeltaLogError",
+    "TableDelta",
+    "DeltaLog",
+    "encode_delta_record",
+    "decode_delta_record",
+]
+
+LOG_MAGIC = b"reprodeltalog\x00\x01"
+
+_BASE_SEQ = struct.Struct(">Q")
+_RECORD_LENGTH = struct.Struct(">I")
+_DIGEST_SIZE = hashlib.sha256().digest_size
+_HEADER_SIZE = len(LOG_MAGIC) + _BASE_SEQ.size
+#: Upper bound on one record's payload length; anything larger is corruption.
+_MAX_RECORD = 1 << 30
+
+_FLAG_DROP = 1
+_FLAG_CREATE = 2
+
+
+class DeltaLogError(RuntimeError):
+    """A delta log file is unusable, or an append could not complete."""
+
+
+@dataclass(frozen=True)
+class TableDelta:
+    """One table's streamed change: row upserts/deletes, a drop, or a create.
+
+    Rows are keyed by their **first cell** (the natural key of the binary
+    relations this corpus models): an upsert replaces the first existing row
+    with the same key, else appends; a delete removes every row with the key.
+    Deletes apply before upserts, so a delta may atomically delete-and-replace
+    one key.  For a table not present in the corpus, ``header`` must be given
+    and the delta creates the table (appended at the end of the corpus) from
+    the upsert rows.
+    """
+
+    table_id: str
+    upserts: tuple[tuple[str, ...], ...] = ()
+    deletes: tuple[str, ...] = ()
+    drop: bool = False
+    #: Column headers — required (and only used) when creating a new table.
+    header: tuple[str, ...] | None = None
+    domain: str = ""
+    title: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "upserts",
+            tuple(tuple(str(cell) for cell in row) for row in self.upserts),
+        )
+        object.__setattr__(self, "deletes", tuple(str(key) for key in self.deletes))
+        if self.header is not None:
+            object.__setattr__(
+                self, "header", tuple(str(name) for name in self.header)
+            )
+        if not self.table_id:
+            raise ValueError("TableDelta requires a table_id")
+        if self.drop and (self.upserts or self.deletes or self.header is not None):
+            raise ValueError("a drop delta carries no rows and no header")
+
+    # -- Application --------------------------------------------------------------------
+    def apply_to(self, corpus: TableCorpus) -> TableCorpus:
+        """Return a new corpus with this delta applied (input is untouched)."""
+        tables: list[Table] = []
+        found = False
+        for table in corpus:
+            if table.table_id != self.table_id:
+                tables.append(table)
+                continue
+            found = True
+            if not self.drop:
+                tables.append(self._patched(table))
+        if not found:
+            if self.drop:
+                raise DeltaLogError(
+                    f"delta drops table {self.table_id!r} which is not in the corpus"
+                )
+            tables.append(self._created())
+        return TableCorpus(tables, name=corpus.name)
+
+    def _patched(self, table: Table) -> Table:
+        header = table.column_names()
+        self._check_widths(len(header))
+        deleted = set(self.deletes)
+        rows = [row for row in table.rows() if not (row and row[0] in deleted)]
+        for upsert in self.upserts:
+            key = upsert[0] if upsert else ""
+            for position, row in enumerate(rows):
+                if row and row[0] == key:
+                    rows[position] = upsert
+                    break
+            else:
+                rows.append(upsert)
+        return Table.from_rows(
+            table_id=table.table_id,
+            header=header,
+            rows=rows,
+            domain=table.domain,
+            title=table.title,
+        )
+
+    def _created(self) -> Table:
+        if self.header is None:
+            raise DeltaLogError(
+                f"delta targets unknown table {self.table_id!r} and has no "
+                "header to create it with"
+            )
+        self._check_widths(len(self.header))
+        deleted = set(self.deletes)
+        rows = [row for row in self.upserts if not (row and row[0] in deleted)]
+        return Table.from_rows(
+            table_id=self.table_id,
+            header=list(self.header),
+            rows=rows,
+            domain=self.domain,
+            title=self.title,
+        )
+
+    def _check_widths(self, width: int) -> None:
+        for row in self.upserts:
+            if len(row) != width:
+                raise DeltaLogError(
+                    f"delta for table {self.table_id!r}: upsert row has "
+                    f"{len(row)} cells, table has {width} columns"
+                )
+
+    # -- JSON converters (used by the artifact delta sections) --------------------------
+    def as_json(self) -> dict:
+        payload: dict = {
+            "table_id": self.table_id,
+            "upserts": [list(row) for row in self.upserts],
+            "deletes": list(self.deletes),
+            "drop": self.drop,
+        }
+        if self.header is not None:
+            payload["header"] = list(self.header)
+            payload["domain"] = self.domain
+            payload["title"] = self.title
+        return payload
+
+    @classmethod
+    def from_json(cls, data: Mapping) -> "TableDelta":
+        header = data.get("header")
+        return cls(
+            table_id=data["table_id"],
+            upserts=tuple(tuple(row) for row in data.get("upserts", [])),
+            deletes=tuple(data.get("deletes", [])),
+            drop=bool(data.get("drop", False)),
+            header=tuple(header) if header is not None else None,
+            domain=data.get("domain", ""),
+            title=data.get("title", ""),
+        )
+
+
+# ---------------------------------------------------------------------------------------
+# Binary record codec (repro.store.codec primitives)
+# ---------------------------------------------------------------------------------------
+def encode_delta_record(seq: int, delta: TableDelta) -> bytes:
+    """Encode one ``(seq, delta)`` record payload (length/checksum framed by the log)."""
+    writer = ByteWriter()
+    writer.write_uvarint(seq)
+    writer.write_str(delta.table_id)
+    flags = (_FLAG_DROP if delta.drop else 0) | (
+        _FLAG_CREATE if delta.header is not None else 0
+    )
+    writer.write_uvarint(flags)
+    if delta.header is not None:
+        writer.write_uvarint(len(delta.header))
+        for name in delta.header:
+            writer.write_str(name)
+        writer.write_str(delta.domain)
+        writer.write_str(delta.title)
+    writer.write_uvarint(len(delta.upserts))
+    for row in delta.upserts:
+        writer.write_uvarint(len(row))
+        for cell in row:
+            writer.write_str(cell)
+    writer.write_uvarint(len(delta.deletes))
+    for key in delta.deletes:
+        writer.write_str(key)
+    return writer.getvalue()
+
+
+def decode_delta_record(payload: bytes) -> tuple[int, TableDelta]:
+    """Decode one record payload back to ``(seq, delta)``; raises CodecError."""
+    reader = ByteReader(payload)
+    seq = reader.read_uvarint()
+    table_id = reader.read_str()
+    flags = reader.read_uvarint()
+    header: tuple[str, ...] | None = None
+    domain = ""
+    title = ""
+    if flags & _FLAG_CREATE:
+        header = tuple(reader.read_str() for _ in range(reader.read_uvarint()))
+        domain = reader.read_str()
+        title = reader.read_str()
+    upserts = tuple(
+        tuple(reader.read_str() for _ in range(reader.read_uvarint()))
+        for _ in range(reader.read_uvarint())
+    )
+    deletes = tuple(reader.read_str() for _ in range(reader.read_uvarint()))
+    reader.expect_eof()
+    try:
+        delta = TableDelta(
+            table_id=table_id,
+            upserts=upserts,
+            deletes=deletes,
+            drop=bool(flags & _FLAG_DROP),
+            header=header,
+            domain=domain,
+            title=title,
+        )
+    except ValueError as exc:
+        raise CodecError(f"delta record is inconsistent: {exc}") from exc
+    return seq, delta
+
+
+# ---------------------------------------------------------------------------------------
+# The log
+# ---------------------------------------------------------------------------------------
+@dataclass
+class DeltaLog:
+    """Append-only, fsync'd, checksummed log of :class:`TableDelta` records.
+
+    Opening an existing log replays it: valid records populate
+    :meth:`records`, and any torn/corrupt tail is truncated away
+    (:attr:`truncated_on_open` reports how many bytes were discarded) so new
+    appends continue the valid chain.  Sequence numbers are contiguous and
+    survive compaction: :meth:`truncate` persists the last folded sequence in
+    the header, so a log reopened after compaction keeps counting from there.
+    """
+
+    path: Path
+    truncated_on_open: int = field(default=0, init=False)
+    _base_seq: int = field(default=0, init=False)
+    _records: list[tuple[int, TableDelta]] = field(default_factory=list, init=False)
+    _broken: bool = field(default=False, init=False)
+
+    def __post_init__(self) -> None:
+        self.path = Path(self.path)
+        if self.path.exists():
+            self._replay_file()
+        else:
+            atomic_write_bytes(self.path, LOG_MAGIC + _BASE_SEQ.pack(0))
+
+    # -- Introspection ------------------------------------------------------------------
+    @property
+    def base_seq(self) -> int:
+        """The last sequence folded into the base artifact by compaction (0 = none)."""
+        return self._base_seq
+
+    @property
+    def last_seq(self) -> int:
+        return self._records[-1][0] if self._records else self._base_seq
+
+    @property
+    def next_seq(self) -> int:
+        return self.last_seq + 1
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(self) -> list[tuple[int, TableDelta]]:
+        """The durable, valid ``(seq, delta)`` records, in sequence order."""
+        return list(self._records)
+
+    # -- Replay / recovery --------------------------------------------------------------
+    def _replay_file(self) -> None:
+        data = self.path.read_bytes()
+        if len(data) < _HEADER_SIZE or not data.startswith(LOG_MAGIC):
+            raise DeltaLogError(f"{self.path} is not a repro delta log")
+        self._base_seq = _BASE_SEQ.unpack_from(data, len(LOG_MAGIC))[0]
+        offset = _HEADER_SIZE
+        expected = self._base_seq + 1
+        while True:
+            if offset + _RECORD_LENGTH.size > len(data):
+                break
+            (length,) = _RECORD_LENGTH.unpack_from(data, offset)
+            start = offset + _RECORD_LENGTH.size
+            end = start + _DIGEST_SIZE + length
+            if length > _MAX_RECORD or end > len(data):
+                break
+            digest = data[start : start + _DIGEST_SIZE]
+            payload = data[start + _DIGEST_SIZE : end]
+            if hashlib.sha256(payload).digest() != digest:
+                break
+            try:
+                seq, delta = decode_delta_record(payload)
+            except CodecError:
+                break
+            if seq != expected:
+                break
+            self._records.append((seq, delta))
+            expected += 1
+            offset = end
+        # Truncate any torn/corrupt tail so appends continue the valid chain.
+        self.truncated_on_open = len(data) - offset
+        if self.truncated_on_open:
+            with open(self.path, "r+b") as handle:
+                handle.truncate(offset)
+                handle.flush()
+                os.fsync(handle.fileno())
+
+    # -- Mutation -----------------------------------------------------------------------
+    def append(self, delta: TableDelta) -> int:
+        """Durably append one delta; returns its sequence number.
+
+        The record is flushed and fsync'd before returning, so a crash after
+        ``append`` can never lose the delta.  Raises :class:`DeltaLogError` if
+        the write fails mid-record (the log then refuses further appends until
+        reopened — reopening truncates the torn tail).
+        """
+        if self._broken:
+            raise DeltaLogError(
+                f"{self.path} has a torn tail from a failed append; reopen the "
+                "log to recover"
+            )
+        seq = self.next_seq
+        payload = encode_delta_record(seq, delta)
+        record = (
+            _RECORD_LENGTH.pack(len(payload))
+            + hashlib.sha256(payload).digest()
+            + payload
+        )
+        injector = active_injector()
+        torn = injector is not None and injector.delta_append_failure()
+        if injector is not None and not torn and injector.corrupt_delta():
+            # The bytes are damaged on the way to disk; the writer does not
+            # notice.  Replay stops at this record and discards it.
+            record = injector.corrupt(record)
+        with open(self.path, "ab") as handle:
+            if torn:
+                handle.write(record[: max(1, len(record) // 2)])
+                handle.flush()
+                os.fsync(handle.fileno())
+                self._broken = True
+                raise DeltaLogError(
+                    f"append of delta seq {seq} to {self.path} tore mid-record"
+                )
+            handle.write(record)
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._records.append((seq, delta))
+        return seq
+
+    def truncate(self, through_seq: int | None = None) -> None:
+        """Drop all records, recording ``through_seq`` as folded into the base.
+
+        Called after compaction: the deltas now live in the base artifact
+        sections, so the log restarts empty with its base sequence advanced
+        (sequence numbers stay monotonic across compactions and reopens).
+        """
+        base = self.last_seq if through_seq is None else through_seq
+        atomic_write_bytes(self.path, LOG_MAGIC + _BASE_SEQ.pack(base))
+        self._base_seq = base
+        self._records = []
+        self._broken = False
+
+    def replay(self, corpus: TableCorpus) -> TableCorpus:
+        """Apply every valid record, in order, to ``corpus`` (crash recovery)."""
+        for _, delta in self._records:
+            corpus = delta.apply_to(corpus)
+        return corpus

@@ -1,0 +1,656 @@
+"""Incremental graph/partition repair: re-synthesize only what a delta touched.
+
+:class:`IncrementalEngine` keeps the whole synthesis state of one corpus live
+in memory and repairs it in place when a
+:class:`~repro.updates.deltalog.TableDelta` arrives.  The repair exploits the
+locality the paper's pipeline already has:
+
+* **Blocking is a pure pair function.**  A pair of candidates is blocked iff
+  their profile key sets share ``overlap_threshold`` keys — a property of the
+  two candidates alone.  The engine maintains the inverted-index postings and
+  shared-key counts incrementally, so only pairs whose postings actually
+  changed (pairs touching a changed candidate) are re-examined.
+* **Scores are pure pair functions too.**  Edges between two unchanged
+  candidates are carried over verbatim — the same reuse contract
+  :meth:`GraphBuilder.build` exposes through ``reusable_scores`` and
+  :func:`repro.store.incremental.refresh_artifact` relies on.  Only the
+  blocked pairs involving a changed candidate are re-scored.
+* **Partitioning is per positive component.**  Components whose membership
+  and internal edges did not change (no member candidate changed) reuse
+  their previous grouping; dirty components are re-partitioned through the
+  real :class:`GreedyPartitioner` over an order-preserving subgraph, which
+  reproduces the global algorithm's tie-breaking exactly.
+* **Materialization is a pure partition function.**  Unchanged partitions at
+  an unchanged global index reuse their previous
+  :class:`MappingRelationship` object via
+  :meth:`TableSynthesizer.materialize_partition`.
+
+The result is **exactly** what a cold pipeline run over the updated corpus
+would produce (the equivalence suite locks this byte-for-byte), at a cost
+proportional to the delta's blast radius instead of the corpus size — which
+is what gets update-to-servable latency from a pipeline run to milliseconds.
+
+The engine requires ``use_pmi_filter=False`` (the PMI filter is corpus-global,
+so per-table candidate reuse would only approximate a cold rebuild — the same
+restriction incremental refresh documents) and ``expand_tables=False``
+(expansion depends on trusted sources outside the corpus).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from dataclasses import dataclass, replace
+
+from repro.core.binary_table import BinaryTable
+from repro.core.config import SynthesisConfig
+from repro.core.mapping import MappingRelationship
+from repro.corpus.corpus import TableCorpus
+from repro.extraction.candidates import CandidateExtractor, ExtractionStats
+from repro.graph.build import CompatibilityGraph
+from repro.graph.connected import UnionFind
+from repro.store.fingerprint import (
+    corpus_digest,
+    fingerprint_synonyms,
+    fingerprint_table,
+)
+from repro.synthesis.curation import curate_mappings
+from repro.synthesis.synthesizer import TableSynthesizer
+from repro.updates.deltalog import TableDelta
+
+__all__ = ["PoolPatch", "EngineStats", "IncrementalEngine", "diff_pool"]
+
+
+@dataclass(frozen=True)
+class PoolPatch:
+    """The served-pool difference one delta caused: upserts + removals.
+
+    ``upserts`` carries every mapping that is new or changed in the updated
+    pool; ``removed`` the ids no longer present.  Applying the patch to the
+    old pool (remove, then upsert) reproduces the new pool as a set — serving
+    layers re-sort by the total rank order, so set equality is enough for
+    byte-identical responses.
+    """
+
+    upserts: tuple[MappingRelationship, ...]
+    removed: tuple[str, ...]
+    #: Size of the updated served pool (after the patch).
+    pool_size: int
+
+    @property
+    def change_count(self) -> int:
+        return len(self.upserts) + len(self.removed)
+
+    @property
+    def is_empty(self) -> bool:
+        return self.change_count == 0
+
+
+def diff_pool(
+    old: list[MappingRelationship], new: list[MappingRelationship]
+) -> PoolPatch:
+    """Diff two served pools by mapping id + full value equality."""
+    old_by_id = {mapping.mapping_id: mapping for mapping in old}
+    upserts = tuple(
+        mapping
+        for mapping in new
+        if (previous := old_by_id.get(mapping.mapping_id)) is None
+        or (previous is not mapping and previous != mapping)
+    )
+    new_ids = {mapping.mapping_id for mapping in new}
+    removed = tuple(
+        mapping_id for mapping_id in old_by_id if mapping_id not in new_ids
+    )
+    return PoolPatch(upserts=upserts, removed=removed, pool_size=len(new))
+
+
+@dataclass
+class EngineStats:
+    """Accounting for one :meth:`IncrementalEngine.apply` call."""
+
+    tables_touched: int = 0
+    candidates_total: int = 0
+    candidates_changed: int = 0
+    pairs_dirty: int = 0
+    pairs_scored: int = 0
+    partitions_recomputed: int = 0
+    partitions_reused: int = 0
+    mappings_rematerialized: int = 0
+    mappings_reused: int = 0
+    patch_upserts: int = 0
+    patch_removed: int = 0
+    seconds: float = 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "tables_touched": float(self.tables_touched),
+            "candidates_total": float(self.candidates_total),
+            "candidates_changed": float(self.candidates_changed),
+            "pairs_dirty": float(self.pairs_dirty),
+            "pairs_scored": float(self.pairs_scored),
+            "partitions_recomputed": float(self.partitions_recomputed),
+            "partitions_reused": float(self.partitions_reused),
+            "mappings_rematerialized": float(self.mappings_rematerialized),
+            "mappings_reused": float(self.mappings_reused),
+            "patch_upserts": float(self.patch_upserts),
+            "patch_removed": float(self.patch_removed),
+            "seconds": self.seconds,
+        }
+
+
+def _id_key(first: str, second: str) -> tuple[str, str]:
+    return (first, second) if first <= second else (second, first)
+
+
+def _same_candidate(old: BinaryTable, new: BinaryTable) -> bool:
+    """Full content equality (``BinaryTable.__eq__`` only compares ids)."""
+    return (
+        old.pairs == new.pairs
+        and old.left_name == new.left_name
+        and old.right_name == new.right_name
+        and old.source_table_id == new.source_table_id
+        and old.domain == new.domain
+        and old.metadata == new.metadata
+    )
+
+
+class IncrementalEngine:
+    """Live synthesis state with delta-sized repair cost (see module docstring)."""
+
+    def __init__(
+        self,
+        corpus: TableCorpus,
+        config: SynthesisConfig | None = None,
+        synonyms=None,
+        *,
+        prefer_curated: bool = True,
+    ) -> None:
+        self.config = config or SynthesisConfig()
+        if self.config.use_pmi_filter:
+            raise ValueError(
+                "IncrementalEngine requires use_pmi_filter=False: the PMI "
+                "filter is corpus-global, so per-table candidate reuse would "
+                "only approximate a cold rebuild"
+            )
+        if self.config.expand_tables:
+            raise ValueError(
+                "IncrementalEngine does not support expand_tables: expansion "
+                "depends on trusted sources outside the corpus"
+            )
+        self.synonyms = synonyms
+        self.prefer_curated = prefer_curated
+        self._extractor = CandidateExtractor(self.config)
+        self._synthesizer = TableSynthesizer(self.config, synonyms)
+        self._corpus = corpus
+        self._fingerprints: dict[str, str] = {}
+        self._cands_by_source: dict[str, list[BinaryTable]] = {}
+        self._stats_by_source: dict[str, ExtractionStats] = {}
+        self.last_stats = EngineStats()
+
+        for table in corpus:
+            self._fingerprints[table.table_id] = fingerprint_table(table)
+            self._extract_one(table)
+        self._candidates: list[BinaryTable] = []
+        self._assemble_candidates()
+
+        # Cold start: one full synthesis through the standard builder, then
+        # derive the incremental indexes (postings, shared-key counts,
+        # id-keyed edges, per-component partition cache, per-partition
+        # mapping cache) from its outputs.
+        synthesis = self._synthesizer.synthesize(self._candidates)
+        self._pos_edges: dict[tuple[str, str], float] = {}
+        self._neg_edges: dict[tuple[str, str], float] = {}
+        graph = synthesis.graph
+        for (i, j), weight in graph.positive_edges.items():
+            key = _id_key(graph.tables[i].table_id, graph.tables[j].table_id)
+            self._pos_edges[key] = weight
+        for (i, j), weight in graph.negative_edges.items():
+            key = _id_key(graph.tables[i].table_id, graph.tables[j].table_id)
+            self._neg_edges[key] = weight
+        self._rebuild_blocking_index()
+        # Dirty pairs whose negative side is blocked but not yet scored.
+        # Negative edges only influence partitioning *within* a positive
+        # component (the conflict constraint) and the persisted edges section,
+        # so scoring them is deferred until a dirty component or
+        # :meth:`graph` actually needs them — w− is by far the most expensive
+        # score, and most negative-blocked pairs span unrelated components.
+        self._pending_neg: set[tuple[str, str]] = set()
+        self._mappings = synthesis.mappings
+        self._seed_caches(synthesis)
+        self._finish_outputs()
+
+    # -- State views --------------------------------------------------------------------
+    @property
+    def corpus(self) -> TableCorpus:
+        return self._corpus
+
+    @property
+    def candidates(self) -> list[BinaryTable]:
+        return list(self._candidates)
+
+    @property
+    def mappings(self) -> list[MappingRelationship]:
+        return list(self._mappings)
+
+    @property
+    def curated(self) -> list[MappingRelationship]:
+        return list(self._curated)
+
+    @property
+    def pool(self) -> list[MappingRelationship]:
+        """The served pool (curated when preferred and non-empty, else all)."""
+        return list(self._pool)
+
+    # -- Cold-start helpers -------------------------------------------------------------
+    def _extract_one(self, table) -> None:
+        cands, stats = self._extractor.extract_tables([table])
+        self._cands_by_source[table.table_id] = cands
+        self._stats_by_source[table.table_id] = stats
+
+    def _assemble_candidates(self) -> None:
+        candidates: list[BinaryTable] = []
+        for table in self._corpus:
+            candidates.extend(self._cands_by_source.get(table.table_id, ()))
+        self._candidates = candidates
+        self._index_of = {c.table_id: i for i, c in enumerate(candidates)}
+        self._by_id = {c.table_id: c for c in candidates}
+
+    def _rebuild_blocking_index(self) -> None:
+        """Postings + shared-key counts over all current candidates (cold path)."""
+        scorer = self._synthesizer.graph_builder.scorer
+        self._pair_posting: dict[tuple[str, str], set[str]] = defaultdict(set)
+        self._left_posting: dict[str, set[str]] = defaultdict(set)
+        self._pair_counts: dict[tuple[str, str], int] = {}
+        self._left_counts: dict[tuple[str, str], int] = {}
+        for candidate in self._candidates:
+            profile = scorer.profile(candidate)
+            cid = candidate.table_id
+            for key in profile.pair_keys:
+                posting = self._pair_posting[key]
+                for other in posting:
+                    pk = _id_key(cid, other)
+                    self._pair_counts[pk] = self._pair_counts.get(pk, 0) + 1
+                posting.add(cid)
+            for key in profile.left_key_set:
+                posting = self._left_posting[key]
+                for other in posting:
+                    pk = _id_key(cid, other)
+                    self._left_counts[pk] = self._left_counts.get(pk, 0) + 1
+                posting.add(cid)
+
+    def _seed_caches(self, synthesis) -> None:
+        """Per-component partition groups + per-partition mappings from a cold run."""
+        finder = UnionFind(c.table_id for c in self._candidates)
+        for first, second in self._pos_edges:
+            finder.union(first, second)
+        groups_by_component: dict[frozenset, list[frozenset]] = defaultdict(list)
+        self._mapping_cache: dict[tuple, MappingRelationship] = {}
+        partitions = synthesis.partition_result.partitions
+        for index, partition in enumerate(partitions):
+            member_ids = [self._candidates[v].table_id for v in partition]
+            root = finder.find(member_ids[0])
+            groups_by_component[root].append(frozenset(member_ids))
+            self._mapping_cache[tuple(member_ids)] = self._mappings[index]
+        self._partition_cache: dict[frozenset, tuple[frozenset, ...]] = {}
+        components: dict = defaultdict(list)
+        for candidate in self._candidates:
+            components[finder.find(candidate.table_id)].append(candidate.table_id)
+        for root, members in components.items():
+            self._partition_cache[frozenset(members)] = tuple(
+                groups_by_component[root]
+            )
+
+    # -- Blocking maintenance -----------------------------------------------------------
+    def _blocking_remove(self, candidate: BinaryTable) -> set[tuple[str, str]]:
+        scorer = self._synthesizer.graph_builder.scorer
+        profile = scorer.profile(candidate)
+        cid = candidate.table_id
+        dirty: set[tuple[str, str]] = set()
+        for key in profile.pair_keys:
+            posting = self._pair_posting.get(key)
+            if posting is None:
+                continue
+            posting.discard(cid)
+            if not posting:
+                del self._pair_posting[key]
+                continue
+            for other in posting:
+                pk = _id_key(cid, other)
+                dirty.add(pk)
+                remaining = self._pair_counts.get(pk, 0) - 1
+                if remaining > 0:
+                    self._pair_counts[pk] = remaining
+                else:
+                    self._pair_counts.pop(pk, None)
+        for key in profile.left_key_set:
+            posting = self._left_posting.get(key)
+            if posting is None:
+                continue
+            posting.discard(cid)
+            if not posting:
+                del self._left_posting[key]
+                continue
+            for other in posting:
+                pk = _id_key(cid, other)
+                dirty.add(pk)
+                remaining = self._left_counts.get(pk, 0) - 1
+                if remaining > 0:
+                    self._left_counts[pk] = remaining
+                else:
+                    self._left_counts.pop(pk, None)
+        return dirty
+
+    def _blocking_add(self, candidate: BinaryTable) -> set[tuple[str, str]]:
+        scorer = self._synthesizer.graph_builder.scorer
+        profile = scorer.profile(candidate)
+        cid = candidate.table_id
+        dirty: set[tuple[str, str]] = set()
+        for key in profile.pair_keys:
+            posting = self._pair_posting[key]
+            for other in posting:
+                pk = _id_key(cid, other)
+                dirty.add(pk)
+                self._pair_counts[pk] = self._pair_counts.get(pk, 0) + 1
+            posting.add(cid)
+        for key in profile.left_key_set:
+            posting = self._left_posting[key]
+            for other in posting:
+                pk = _id_key(cid, other)
+                dirty.add(pk)
+                self._left_counts[pk] = self._left_counts.get(pk, 0) + 1
+            posting.add(cid)
+        return dirty
+
+    # -- Delta application --------------------------------------------------------------
+    def apply(self, delta: TableDelta | list[TableDelta]) -> PoolPatch:
+        """Apply one delta (or a batch) and return the served-pool patch.
+
+        Raises :class:`~repro.updates.deltalog.DeltaLogError` (before any
+        state changes) if a delta is inconsistent with the corpus; the engine
+        is never left half-updated.
+        """
+        start = time.perf_counter()
+        deltas = [delta] if isinstance(delta, TableDelta) else list(delta)
+        corpus = self._corpus
+        touched: set[str] = set()
+        for one in deltas:
+            corpus = one.apply_to(corpus)
+            touched.add(one.table_id)
+        old_pool = self._pool
+        stats = EngineStats(tables_touched=len(touched))
+        self.last_stats = stats
+
+        # 1. Re-fingerprint and re-extract only the touched tables.  A
+        #    re-extracted candidate whose content is unchanged keeps its old
+        #    object: the scorer's identity-keyed profile cache, the carried
+        #    edges, and the partition/mapping caches all stay valid for it.
+        new_tables = {table.table_id: table for table in corpus}
+        removed_cands: list[BinaryTable] = []
+        added_cands: list[BinaryTable] = []
+        for source in sorted(touched):
+            previous = self._cands_by_source.pop(source, [])
+            self._stats_by_source.pop(source, None)
+            self._fingerprints.pop(source, None)
+            table = new_tables.get(source)
+            if table is None:
+                removed_cands.extend(previous)
+                continue
+            self._fingerprints[source] = fingerprint_table(table)
+            fresh, fresh_stats = self._extractor.extract_tables([table])
+            previous_by_id = {c.table_id: c for c in previous}
+            kept: list[BinaryTable] = []
+            for candidate in fresh:
+                old = previous_by_id.pop(candidate.table_id, None)
+                if old is not None and _same_candidate(old, candidate):
+                    kept.append(old)
+                else:
+                    kept.append(candidate)
+                    added_cands.append(candidate)
+                    if old is not None:
+                        removed_cands.append(old)
+            removed_cands.extend(previous_by_id.values())
+            self._cands_by_source[source] = kept
+            self._stats_by_source[source] = fresh_stats
+        changed_ids = {c.table_id for c in removed_cands} | {
+            c.table_id for c in added_cands
+        }
+        stats.candidates_changed = len(changed_ids)
+
+        # 2. Update postings/counts; every pair whose postings changed is
+        #    dirty.  Edges between unchanged candidates are untouched.
+        dirty: set[tuple[str, str]] = set()
+        for candidate in removed_cands:
+            dirty |= self._blocking_remove(candidate)
+        for candidate in added_cands:
+            dirty |= self._blocking_add(candidate)
+        for pk in dirty:
+            self._pos_edges.pop(pk, None)
+            self._neg_edges.pop(pk, None)
+        stats.pairs_dirty = len(dirty)
+
+        self._corpus = corpus
+        self._assemble_candidates()
+
+        # 3. Re-score only the dirty pairs that are currently blocked,
+        #    mirroring GraphBuilder's task semantics (compute only the sides
+        #    the blocking asked for; argument order follows candidate order).
+        scorer = self._synthesizer.graph_builder.scorer
+        overlap = self.config.overlap_threshold
+        use_negative = self.config.use_negative_edges
+        edge_threshold = self.config.edge_threshold
+        for pk in dirty:
+            self._pending_neg.discard(pk)
+            first_id, second_id = pk
+            first = self._by_id.get(first_id)
+            second = self._by_id.get(second_id)
+            if first is None or second is None:
+                continue
+            blocked_pos = self._pair_counts.get(pk, 0) >= overlap
+            blocked_neg = use_negative and self._left_counts.get(pk, 0) >= overlap
+            if blocked_pos:
+                # Positive edges define component membership, so they must be
+                # exact *now*.  Profile arguments follow candidate order,
+                # mirroring the cold builder's task layout.
+                if self._index_of[first_id] > self._index_of[second_id]:
+                    first, second = second, first
+                positive = scorer.positive_profiles(
+                    scorer.profile(first), scorer.profile(second)
+                )
+                stats.pairs_scored += 1
+                if positive >= edge_threshold:
+                    self._pos_edges[pk] = positive
+            if blocked_neg:
+                self._pending_neg.add(pk)
+
+        # 4. Re-partition only dirty components; reuse groupings elsewhere.
+        self._repair_partitions(changed_ids, stats)
+
+        self._finish_outputs()
+        patch = diff_pool(old_pool, self._pool)
+        stats.candidates_total = len(self._candidates)
+        stats.patch_upserts = len(patch.upserts)
+        stats.patch_removed = len(patch.removed)
+        stats.seconds = time.perf_counter() - start
+        self.last_stats = stats
+        return patch
+
+    # -- Partition / materialization repair ---------------------------------------------
+    def _repair_partitions(self, changed_ids: set[str], stats: EngineStats) -> None:
+        finder = UnionFind(c.table_id for c in self._candidates)
+        for first, second in self._pos_edges:
+            finder.union(first, second)
+        # UnionFind.groups() lists members in insertion order == candidate
+        # (global index) order — the same within-component order the global
+        # partitioner sees, so local tie-breaking is reproduced exactly.
+        new_partition_cache: dict[frozenset, tuple[frozenset, ...]] = {}
+        groups_global: list[list[int]] = []
+        for component in finder.groups():
+            key = frozenset(component)
+            if len(component) == 1:
+                groups = (key,)
+            elif key in self._partition_cache and key.isdisjoint(changed_ids):
+                groups = self._partition_cache[key]
+                stats.partitions_reused += len(groups)
+            else:
+                groups = self._partition_component(component)
+                stats.partitions_recomputed += len(groups)
+            new_partition_cache[key] = groups
+            for group in groups:
+                groups_global.append(
+                    sorted(self._index_of[cid] for cid in group)
+                )
+        self._partition_cache = new_partition_cache
+        groups_global.sort(key=lambda vertices: (-len(vertices), vertices))
+
+        new_mapping_cache: dict[tuple, MappingRelationship] = {}
+        mappings: list[MappingRelationship] = []
+        for index, vertices in enumerate(groups_global):
+            ids_key = tuple(self._candidates[v].table_id for v in vertices)
+            mapping_id = f"mapping-{index:05d}"
+            cached = self._mapping_cache.get(ids_key)
+            if cached is not None and changed_ids.isdisjoint(ids_key):
+                if cached.mapping_id == mapping_id:
+                    mapping = cached
+                else:
+                    # The partition itself is unchanged; only its position in
+                    # the global size-sorted order moved.  The id is the sole
+                    # index-dependent output of materialization, so a renamed
+                    # copy is exact (and skips conflict re-resolution).
+                    mapping = replace(cached, mapping_id=mapping_id)
+                stats.mappings_reused += 1
+            else:
+                tables = [self._candidates[v] for v in vertices]
+                mapping = self._synthesizer.materialize_partition(tables, index)
+                stats.mappings_rematerialized += 1
+            new_mapping_cache[ids_key] = mapping
+            mappings.append(mapping)
+        self._mapping_cache = new_mapping_cache
+        self._mappings = mappings
+
+    def _partition_component(self, component: list[str]) -> tuple[frozenset, ...]:
+        """Partition one dirty component through the real greedy partitioner.
+
+        The subgraph preserves the component's global candidate order, so the
+        partitioner's local-index tie-breaking matches what it would do inside
+        a full-graph run.
+        """
+        tables = [self._by_id[cid] for cid in component]
+        sub = CompatibilityGraph(tables=tables)
+        size = len(component)
+        for i in range(size):
+            for j in range(i + 1, size):
+                pk = _id_key(component[i], component[j])
+                if pk in self._pending_neg:
+                    self._resolve_negative(pk)
+                positive = self._pos_edges.get(pk)
+                if positive is not None:
+                    sub.add_positive(i, j, positive)
+                negative = self._neg_edges.get(pk)
+                if negative is not None:
+                    sub.add_negative(i, j, negative)
+        result = self._synthesizer.partitioner.partition(sub)
+        return tuple(
+            frozenset(component[v] for v in partition.vertices)
+            for partition in result.partitions
+        )
+
+    def _resolve_negative(self, pk: tuple[str, str]) -> None:
+        """Score one deferred negative pair (see ``_pending_neg``).
+
+        Pending pairs are maintained so that both candidates exist and the
+        pair is negative-blocked whenever this runs: any delta that changes
+        either side re-dirties the pair, which removes and (only if still
+        blocked) re-defers it.
+        """
+        self._pending_neg.discard(pk)
+        first = self._by_id[pk[0]]
+        second = self._by_id[pk[1]]
+        if self._index_of[first.table_id] > self._index_of[second.table_id]:
+            first, second = second, first
+        scorer = self._synthesizer.graph_builder.scorer
+        negative = scorer.negative_profiles(
+            scorer.profile(first), scorer.profile(second)
+        )
+        self.last_stats.pairs_scored += 1
+        if negative < 0.0:
+            self._neg_edges[pk] = negative
+
+    def _finish_outputs(self) -> None:
+        curation = curate_mappings(
+            self._mappings,
+            min_domains=self.config.min_domains,
+            min_size=self.config.min_mapping_size,
+        )
+        self._curated = curation.kept
+        self._pool = (
+            curation.kept
+            if self.prefer_curated and curation.kept
+            else self._mappings
+        )
+
+    # -- Artifact materialization -------------------------------------------------------
+    def extraction_stats(self) -> ExtractionStats:
+        """Exact whole-corpus extraction stats, merged from the per-table shards."""
+        merged = ExtractionStats()
+        for table in self._corpus:
+            stats = self._stats_by_source.get(table.table_id)
+            if stats is not None:
+                merged.merge(stats)
+        return merged
+
+    def graph(self) -> CompatibilityGraph:
+        """The current compatibility graph (rebuilt from the id-keyed edges)."""
+        for pk in list(self._pending_neg):
+            self._resolve_negative(pk)
+        graph = CompatibilityGraph(tables=list(self._candidates))
+        for (first_id, second_id), weight in self._pos_edges.items():
+            graph.add_positive(
+                self._index_of[first_id], self._index_of[second_id], weight
+            )
+        for (first_id, second_id), weight in self._neg_edges.items():
+            graph.add_negative(
+                self._index_of[first_id], self._index_of[second_id], weight
+            )
+        return graph
+
+    def artifact(self):
+        """The current state as an eager :class:`SynthesisArtifact`.
+
+        Everything except the ``stats`` section (wall-clock timings) is
+        byte-identical to what a cold :class:`SynthesisPipeline` run over the
+        current corpus would persist — candidates are assembled in corpus
+        order, profiles come from the same scorer that computed them for
+        blocking, and edges carry the reuse-exact scores.
+        """
+        from repro.store.artifact import SynthesisArtifact
+
+        scorer = self._synthesizer.graph_builder.scorer
+        fingerprints = {
+            table.table_id: self._fingerprints[table.table_id]
+            for table in self._corpus
+        }
+        extraction = self.extraction_stats()
+        graph = self.graph()  # resolves pending negative scores first
+        metadata = {
+            "num_tables": float(len(self._corpus)),
+            "num_candidates": float(len(self._candidates)),
+            "num_mappings": float(len(self._mappings)),
+            "num_curated": float(len(self._curated)),
+            "num_positive_edges": float(len(self._pos_edges)),
+            "num_negative_edges": float(len(self._neg_edges)),
+        }
+        return SynthesisArtifact.from_run(
+            config=self.config,
+            corpus_name=self._corpus.name,
+            corpus_fingerprint=corpus_digest(fingerprints),
+            table_fingerprints=fingerprints,
+            candidates=self._candidates,
+            graph=graph,
+            synonyms_fingerprint=fingerprint_synonyms(self.synonyms),
+            profiles={c.table_id: scorer.profile(c) for c in self._candidates},
+            mappings=self._mappings,
+            curated=self._curated,
+            extraction_stats=extraction.as_dict(),
+            timings={"incremental_apply": self.last_stats.seconds},
+            metadata=metadata,
+        )

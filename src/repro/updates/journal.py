@@ -1,0 +1,186 @@
+"""Delta sections inside v2 artifacts: journal appends + merged views + compaction.
+
+A served artifact and its live update stream must survive a restart together.
+Rewriting the whole artifact per delta would make update durability cost
+O(corpus); this module instead appends each delta as an extra ``delta.N``
+section to the existing sectioned container (:mod:`repro.store.format`):
+
+* every *base* section's stored bytes are copied **verbatim** (no decode, no
+  re-encode — the same reuse path :func:`repro.store.artifact.save_artifact`
+  uses for clean sections), so the append costs one file rewrite but zero
+  re-encoding work;
+* the new ``delta.N`` section carries the table delta *and* the served-pool
+  patch it produced, canonically JSON-encoded and checksummed like any other
+  section — :meth:`ArtifactReader.verify` covers delta sections for free.
+
+:class:`ArtifactDeltaView` is the read side: the lazily-decoded base artifact
+plus every delta section in order, with :meth:`ArtifactDeltaView.merged_pool`
+reproducing the pool a live daemon that applied the same patches serves.
+
+**Compaction is a plain save**: :func:`repro.store.artifact.save_artifact`
+iterates only the base section names, so saving the update engine's current
+artifact to the same path folds every delta into the base sections and drops
+the journal — byte-identical, section by section, to an artifact written by a
+cold rebuild over the updated corpus, except the ``stats`` section whose
+timings record *how* the artifact was produced (the equivalence suite locks
+this).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.mapping import MappingRelationship
+from repro.store.artifact import SynthesisArtifact
+from repro.store.format import ArtifactReader, ArtifactWriter
+from repro.store.sections import decode_mapping, encode_mapping
+from repro.updates.deltalog import TableDelta
+from repro.updates.engine import PoolPatch
+
+__all__ = [
+    "DELTA_SECTION_PREFIX",
+    "DeltaRecord",
+    "append_delta_section",
+    "read_delta_sections",
+    "ArtifactDeltaView",
+]
+
+#: Section-name prefix for journal entries: ``delta.0``, ``delta.1``, ...
+DELTA_SECTION_PREFIX = "delta."
+
+
+def _canonical_bytes(payload: dict) -> bytes:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+@dataclass(frozen=True)
+class DeltaRecord:
+    """One decoded ``delta.N`` section: the table delta plus its pool patch."""
+
+    #: Delta-log sequence number this section mirrors.
+    seq: int
+    #: The corpus-level change.
+    delta: TableDelta
+    #: The served-pool patch the update engine derived from it.
+    patch: PoolPatch
+
+
+def _delta_section_count(reader: ArtifactReader) -> int:
+    return sum(
+        1 for name in reader.sections if name.startswith(DELTA_SECTION_PREFIX)
+    )
+
+
+def append_delta_section(
+    path: str | Path,
+    *,
+    seq: int,
+    delta: TableDelta,
+    patch: PoolPatch,
+    compress: bool = True,
+) -> Path:
+    """Append one delta as a ``delta.N`` section to the artifact at ``path``.
+
+    Base sections (and previously appended deltas) are carried over verbatim
+    from their stored bytes; only the new section is encoded.  The rewrite
+    itself goes through the container writer's fsynced atomic commit, so a
+    crash mid-append leaves the previous artifact version intact.
+    """
+    path = Path(path)
+    reader = ArtifactReader.from_path(path)
+    writer = ArtifactWriter(path, compress=compress)
+    for name, info in reader.sections.items():
+        writer.add_stored(
+            name,
+            reader.stored_bytes(name, verify=False),
+            info.codec,
+            items=info.items,
+            checksum=info.checksum,
+        )
+    payload = {
+        "seq": seq,
+        "delta": delta.as_json(),
+        "patch": {
+            "upserts": [encode_mapping(mapping) for mapping in patch.upserts],
+            "removed": list(patch.removed),
+            "pool_size": patch.pool_size,
+        },
+    }
+    writer.add(
+        f"{DELTA_SECTION_PREFIX}{_delta_section_count(reader)}",
+        _canonical_bytes(payload),
+        codec="json",
+        items=1,
+    )
+    writer.commit()
+    return path
+
+
+def read_delta_sections(source: ArtifactReader | str | Path) -> list[DeltaRecord]:
+    """Decode every ``delta.N`` section of an artifact, in append order."""
+    reader = (
+        source
+        if isinstance(source, ArtifactReader)
+        else ArtifactReader.from_path(source)
+    )
+    records: list[DeltaRecord] = []
+    for index in range(_delta_section_count(reader)):
+        payload = json.loads(
+            reader.payload_bytes(f"{DELTA_SECTION_PREFIX}{index}")
+        )
+        patch = payload["patch"]
+        records.append(
+            DeltaRecord(
+                seq=int(payload["seq"]),
+                delta=TableDelta.from_json(payload["delta"]),
+                patch=PoolPatch(
+                    upserts=tuple(
+                        decode_mapping(data) for data in patch["upserts"]
+                    ),
+                    removed=tuple(patch["removed"]),
+                    pool_size=int(patch["pool_size"]),
+                ),
+            )
+        )
+    return records
+
+
+class ArtifactDeltaView:
+    """Merged base + journal view of an artifact carrying delta sections."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.reader = ArtifactReader.from_path(self.path)
+        #: The base artifact (lazily decoded; delta sections are ignored by it).
+        self.base = SynthesisArtifact.from_reader(self.reader)
+        #: Journal entries in append order.
+        self.records = read_delta_sections(self.reader)
+
+    @property
+    def last_seq(self) -> int | None:
+        """Sequence number of the newest journal entry (``None`` when empty)."""
+        return self.records[-1].seq if self.records else None
+
+    def merged_pool(
+        self, *, prefer_curated: bool = True
+    ) -> list[MappingRelationship]:
+        """The served pool after replaying every journal patch over the base.
+
+        Matches what a daemon that applied the same patches via
+        :meth:`~repro.serving.SynthesisDaemon.apply_delta` serves (the serving
+        index re-sorts, so pool order here is insertion order, not rank
+        order).
+        """
+        curated = self.base.curated
+        pool = (
+            curated if prefer_curated and curated else self.base.mappings
+        )
+        by_id = {mapping.mapping_id: mapping for mapping in pool}
+        for record in self.records:
+            for mapping_id in record.patch.removed:
+                by_id.pop(mapping_id, None)
+            for mapping in record.patch.upserts:
+                by_id[mapping.mapping_id] = mapping
+        return list(by_id.values())

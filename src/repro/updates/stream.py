@@ -1,0 +1,164 @@
+"""Live update stream: delta log -> incremental engine -> serving tier, in order.
+
+:class:`UpdateStream` is the one writer that keeps the four update-path pieces
+consistent for a served corpus:
+
+1. **Durability first.**  Every delta is appended to the fsync'd
+   :class:`~repro.updates.deltalog.DeltaLog` *before* any state changes.  If
+   the append fails (crash, injected ``delta_append_failure``), nothing else
+   moves — the engine, artifact, and serving tier still agree with the log.
+2. **Exact repair.**  The :class:`~repro.updates.engine.IncrementalEngine`
+   applies the delta and returns the :class:`~repro.updates.engine.PoolPatch`
+   (mapping upserts/removals) that makes the served pool byte-identical to a
+   cold rebuild over the updated corpus.
+3. **Restart story.**  When an artifact path is attached, the patch is
+   journaled as a ``delta.N`` section
+   (:func:`~repro.updates.journal.append_delta_section`), so a restarted
+   server can load base + journal without replaying extraction.
+4. **Live serving.**  The patch fans out to an attached
+   :class:`~repro.serving.SynthesisDaemon` and/or
+   :class:`~repro.cluster.ClusterRouter` via their ``apply_delta`` — in-place
+   index splices for small patches, full generation swaps past the
+   escalation ratio.
+
+Once the log holds :attr:`~repro.core.config.SynthesisConfig.delta_compact_threshold`
+entries, :meth:`UpdateStream.apply` folds them back automatically:
+:meth:`UpdateStream.compact` re-saves the engine's current artifact (dropping
+the ``delta.N`` sections — :func:`~repro.store.artifact.save_artifact` only
+writes base sections) and truncates the log, preserving sequence numbers.
+
+Daemons fed through this stream must run with ``watch=False``: a file watcher
+would observe the journal rewrite and swap in the *base* artifact, discarding
+the live patches it already carries.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.config import SynthesisConfig
+from repro.corpus.corpus import TableCorpus
+from repro.store.artifact import save_artifact
+from repro.updates.deltalog import DeltaLog, TableDelta
+from repro.updates.engine import IncrementalEngine, PoolPatch
+from repro.updates.journal import append_delta_section
+
+__all__ = ["UpdateStream"]
+
+
+class UpdateStream:
+    """Sequences deltas through log, engine, artifact journal, and serving tier."""
+
+    def __init__(
+        self,
+        engine: IncrementalEngine,
+        log: DeltaLog,
+        *,
+        artifact_path: str | Path | None = None,
+        daemon=None,
+        router=None,
+        auto_compact: bool = True,
+    ) -> None:
+        self.engine = engine
+        self.log = log
+        self.artifact_path = Path(artifact_path) if artifact_path else None
+        self.daemon = daemon
+        self.router = router
+        self.auto_compact = auto_compact
+        self.compactions = 0
+
+    # -- Construction -------------------------------------------------------------------
+    @classmethod
+    def recover(
+        cls,
+        corpus: TableCorpus,
+        log_path: str | Path,
+        config: SynthesisConfig | None = None,
+        synonyms=None,
+        **kwargs,
+    ) -> "UpdateStream":
+        """Rebuild a stream from the base corpus plus the durable delta log.
+
+        Opening the log truncates any torn tail from a crashed append, then the
+        surviving records replay through a fresh engine — the recovered state
+        is exactly the state after the last *durable* delta.  ``corpus`` must
+        be the corpus as of the log's base sequence (the last compaction).
+        """
+        log = DeltaLog(Path(log_path))
+        engine = IncrementalEngine(corpus, config, synonyms)
+        for _, delta in log.records():
+            engine.apply(delta)
+        return cls(engine, log, **kwargs)
+
+    # -- Properties ----------------------------------------------------------------------
+    @property
+    def config(self) -> SynthesisConfig:
+        return self.engine.config
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the newest durable delta."""
+        return self.log.last_seq
+
+    # -- The write path -----------------------------------------------------------------
+    def apply(self, delta: TableDelta) -> PoolPatch:
+        """Durably log ``delta``, repair the pool, journal + serve the patch.
+
+        The log append happens first and is the commit point: a
+        :class:`~repro.updates.deltalog.DeltaLogError` (real or injected)
+        propagates before the engine or any serving surface is touched.
+        Auto-compacts afterwards when the log reaches
+        :attr:`~repro.core.config.SynthesisConfig.delta_compact_threshold`.
+        """
+        seq = self.log.append(delta)
+        patch = self.engine.apply(delta)
+        if self.artifact_path is not None:
+            append_delta_section(
+                self.artifact_path,
+                seq=seq,
+                delta=delta,
+                patch=patch,
+                compress=self.config.artifact_compress,
+            )
+        self._fan_out(patch, seq)
+        if self.auto_compact and len(self.log) >= self.config.delta_compact_threshold:
+            self.compact()
+        return patch
+
+    def _fan_out(self, patch: PoolPatch, seq: int) -> None:
+        ratio = self.config.delta_escalation_ratio
+        if self.daemon is not None:
+            self.daemon.apply_delta(
+                patch.upserts, patch.removed, seq=seq, escalation_ratio=ratio
+            )
+        if self.router is not None:
+            self.router.apply_delta(
+                patch.upserts,
+                patch.removed,
+                seq=seq,
+                escalation_ratio=ratio,
+                pool_size=patch.pool_size,
+            )
+
+    # -- Compaction ----------------------------------------------------------------------
+    def compact(self) -> Path | None:
+        """Fold the journal into the base artifact and truncate the log.
+
+        Re-saves the engine's current artifact over the journaled file —
+        :func:`~repro.store.artifact.save_artifact` writes only the base
+        sections, so every ``delta.N`` section is dropped and every section
+        except ``stats`` (whose timings record how the artifact was produced)
+        is byte-identical to one written by a cold rebuild over the updated
+        corpus.  The log restarts empty with its base sequence advanced,
+        keeping sequence numbers monotonic across compactions.
+        """
+        path = None
+        if self.artifact_path is not None:
+            path = save_artifact(
+                self.engine.artifact(),
+                self.artifact_path,
+                compress=self.config.artifact_compress,
+            )
+        self.log.truncate()
+        self.compactions += 1
+        return path

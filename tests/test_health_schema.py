@@ -33,6 +33,9 @@ DAEMON_HEALTH_KEYS = {
     "shed",
     "backend",
     "watcher",
+    "deltas_applied",
+    "last_delta_seq",
+    "update_lag",
 }
 
 WATCHER_HEALTH_KEYS = {
@@ -58,6 +61,9 @@ ROUTER_HEALTH_KEYS = {
     "errors",
     "reroutes",
     "rollouts",
+    "deltas_applied",
+    "last_delta_seq",
+    "update_lag",
 }
 
 ROUTER_REPLICA_KEYS = {

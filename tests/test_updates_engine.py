@@ -1,0 +1,291 @@
+"""Equivalence suite for the incremental update engine, journal, and stream.
+
+The update path's central promise is **exactness**: after any sequence of
+streamed deltas, the incremental engine's outputs are equal to a cold
+:class:`~repro.core.pipeline.SynthesisPipeline` run over the updated corpus —
+not approximately, but mapping-for-mapping (and, at the artifact level,
+byte-for-byte per section, except ``stats`` whose timings record *how* the
+artifact was produced).  Hypothesis drives arbitrary interleavings of a delta
+catalog (row upserts, deletes, table creates, table drops) to lock that
+promise; directed tests cover the journal round-trip, auto-compaction, crash
+recovery, and the no-op refresh decode-counter regression.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import SynthesisConfig
+from repro.core.pipeline import SynthesisPipeline
+from repro.store.artifact import SynthesisArtifact, save_artifact
+from repro.store.format import ArtifactReader
+from repro.store.incremental import refresh_artifact
+from repro.updates import (
+    ArtifactDeltaView,
+    DeltaLog,
+    IncrementalEngine,
+    TableDelta,
+    UpdateStream,
+    append_delta_section,
+    read_delta_sections,
+)
+
+from store_helpers import make_fragment_corpus, seed_fragments
+
+pytestmark = pytest.mark.updates
+
+CONFIG = SynthesisConfig(
+    use_pmi_filter=False, min_domains=1, min_mapping_size=2, min_rows=4
+)
+
+#: Deltas designed so any subset, in any order, applies cleanly to the base
+#: corpus: upserted tables are never dropped, each drop/create targets a
+#: dedicated table, and deletes of absent keys are no-ops by construction.
+DELTA_CATALOG = [
+    TableDelta(
+        table_id="sa0-state_abbrev", upserts=(("Zorblat", "ZB"), ("Quux", "QX"))
+    ),
+    TableDelta(table_id="ci0-country_iso3", deletes=("Albania",)),
+    TableDelta(
+        table_id="ci1-country_iso3",
+        deletes=("Algeria",),
+        upserts=(("Algeria", "DZZ"),),
+    ),
+    TableDelta(
+        table_id="nt-fresh",
+        header=("name", "code"),
+        upserts=(
+            ("Arcadia", "ARC"),
+            ("Borduria", "BOR"),
+            ("Carpathia", "CAR"),
+            ("Drachmland", "DRA"),
+            ("Elbonia", "ELB"),
+        ),
+        domain="nt.example",
+        title="fresh table",
+    ),
+    TableDelta(table_id="sa2-state_abbrev", drop=True),
+    TableDelta(table_id="sa1-state_abbrev", upserts=(("Alabama", "AX"),)),
+    TableDelta(
+        table_id="nt-tiny",
+        header=("name", "code"),
+        upserts=(
+            ("Arcadia", "ARC"),
+            ("Borduria", "BOR"),
+            ("Carpathia", "CAR"),
+            ("Drachmland", "DRA"),
+        ),
+        domain="tiny.example",
+    ),
+    TableDelta(table_id="ci2-country_iso3", deletes=("Angola", "Argentina")),
+]
+
+
+@pytest.fixture(scope="module")
+def base_corpus():
+    fragments = {}
+    fragments.update(seed_fragments("state_abbrev", "sa"))
+    fragments.update(seed_fragments("country_iso3", "ci"))
+    return make_fragment_corpus(fragments, name="updates-engine-corpus")
+
+
+def cold_outputs(corpus):
+    pipeline = SynthesisPipeline(CONFIG)
+    result = pipeline.run(corpus)
+    return result, pipeline
+
+
+# ---------------------------------------------------------------------------------------
+# Engine guardrails
+# ---------------------------------------------------------------------------------------
+def test_engine_rejects_corpus_global_configs(base_corpus):
+    with pytest.raises(ValueError):
+        IncrementalEngine(base_corpus, SynthesisConfig(use_pmi_filter=True))
+    with pytest.raises(ValueError):
+        IncrementalEngine(
+            base_corpus, SynthesisConfig(use_pmi_filter=False, expand_tables=True)
+        )
+
+
+def test_identity_upsert_is_an_empty_patch(base_corpus):
+    engine = IncrementalEngine(base_corpus, CONFIG)
+    table = next(iter(base_corpus))
+    row = next(iter(table.rows()))
+    patch = engine.apply(TableDelta(table_id=table.table_id, upserts=(row,)))
+    assert patch.is_empty
+    assert engine.last_stats.candidates_changed == 0
+    assert engine.last_stats.partitions_recomputed == 0
+
+
+def test_inconsistent_delta_changes_nothing(base_corpus):
+    engine = IncrementalEngine(base_corpus, CONFIG)
+    pool_before = list(engine.pool)
+    with pytest.raises(Exception):
+        engine.apply(TableDelta(table_id="no-such-table", drop=True))
+    assert engine.pool == pool_before
+
+
+# ---------------------------------------------------------------------------------------
+# The equivalence property (satellite of record for the whole subsystem)
+# ---------------------------------------------------------------------------------------
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    picks=st.lists(
+        st.sampled_from(range(len(DELTA_CATALOG))),
+        unique=True,
+        min_size=1,
+        max_size=len(DELTA_CATALOG),
+    )
+)
+def test_any_delta_interleaving_equals_cold_rebuild(picks, base_corpus):
+    """Any interleaving of catalog deltas converges to the cold pipeline."""
+    engine = IncrementalEngine(base_corpus, CONFIG)
+    for pick in picks:
+        engine.apply(DELTA_CATALOG[pick])
+    cold, _ = cold_outputs(engine.corpus)
+    assert engine.mappings == cold.mappings
+    assert engine.curated == cold.curated
+
+
+def test_accumulated_deltas_artifact_matches_cold_sections(base_corpus, tmp_path):
+    """After every catalog delta, the artifact is section-byte-identical.
+
+    Every section except ``stats`` — the one section recording run timings,
+    which legitimately differ between an incremental apply and a cold run —
+    must match a cold rebuild byte for byte.
+    """
+    engine = IncrementalEngine(base_corpus, CONFIG)
+    for delta in DELTA_CATALOG:
+        engine.apply(delta)
+    incremental_path = save_artifact(engine.artifact(), tmp_path / "inc.bin")
+
+    _, pipeline = cold_outputs(engine.corpus)
+    cold_path = pipeline.save_artifact(tmp_path / "cold.bin")
+
+    incremental = ArtifactReader.from_path(incremental_path)
+    cold = ArtifactReader.from_path(cold_path)
+    assert list(incremental.sections) == list(cold.sections)
+    for name in incremental.sections:
+        if name == "stats":
+            continue
+        assert incremental.payload_bytes(name) == cold.payload_bytes(name), name
+
+
+# ---------------------------------------------------------------------------------------
+# Journal: delta sections on the artifact
+# ---------------------------------------------------------------------------------------
+def test_journal_roundtrip_and_merged_view(base_corpus, tmp_path):
+    engine = IncrementalEngine(base_corpus, CONFIG)
+    path = save_artifact(engine.artifact(), tmp_path / "served.bin")
+
+    applied = []
+    for seq, delta in enumerate(DELTA_CATALOG[:4], start=1):
+        patch = engine.apply(delta)
+        applied.append((seq, delta, patch))
+        append_delta_section(path, seq=seq, delta=delta, patch=patch)
+
+    records = read_delta_sections(path)
+    assert [(r.seq, r.delta) for r in records] == [
+        (seq, delta) for seq, delta, _ in applied
+    ]
+    for record, (_, _, patch) in zip(records, applied):
+        assert list(record.patch.upserts) == list(patch.upserts)
+        assert record.patch.removed == patch.removed
+        assert record.patch.pool_size == patch.pool_size
+
+    view = ArtifactDeltaView(path)
+    assert view.last_seq == 4
+    merged = {m.mapping_id: m for m in view.merged_pool()}
+    assert merged == {m.mapping_id: m for m in engine.pool}
+    # Checksums cover delta sections like any other section.
+    view.reader.verify()
+    # The base artifact under the journal still decodes cleanly.
+    assert view.base.candidate_count() > 0
+
+
+# ---------------------------------------------------------------------------------------
+# Stream: auto-compaction and crash recovery
+# ---------------------------------------------------------------------------------------
+def test_stream_auto_compaction_folds_journal(base_corpus, tmp_path):
+    config = SynthesisConfig(
+        use_pmi_filter=False,
+        min_domains=1,
+        min_mapping_size=2,
+        min_rows=4,
+        delta_compact_threshold=3,
+    )
+    engine = IncrementalEngine(base_corpus, config)
+    path = save_artifact(engine.artifact(), tmp_path / "served.bin")
+    stream = UpdateStream(
+        engine, DeltaLog(tmp_path / "served.log"), artifact_path=path
+    )
+
+    for delta in DELTA_CATALOG[:2]:
+        stream.apply(delta)
+    assert len(read_delta_sections(path)) == 2
+    stream.apply(DELTA_CATALOG[2])
+
+    # Threshold reached: the journal folded into the base and the log reset,
+    # with sequence numbers preserved for the next append.
+    assert stream.compactions == 1
+    assert len(stream.log) == 0 and stream.log.base_seq == 3
+    assert read_delta_sections(path) == []
+    assert stream.apply(DELTA_CATALOG[3]) is not None
+    assert stream.last_seq == 4
+
+    # The compacted base equals a cold artifact, section for section (the cold
+    # run must carry the same config for the config section to match).
+    stream.compact()
+    pipeline = SynthesisPipeline(config)
+    pipeline.run(engine.corpus)
+    cold_path = pipeline.save_artifact(tmp_path / "cold.bin")
+    compacted = ArtifactReader.from_path(path)
+    cold = ArtifactReader.from_path(cold_path)
+    for name in compacted.sections:
+        if name == "stats":
+            continue
+        assert compacted.payload_bytes(name) == cold.payload_bytes(name), name
+
+
+def test_recovery_replays_durable_log(base_corpus, tmp_path):
+    stream = UpdateStream(
+        IncrementalEngine(base_corpus, CONFIG), DeltaLog(tmp_path / "r.log")
+    )
+    for delta in DELTA_CATALOG[:5]:
+        stream.apply(delta)
+
+    recovered = UpdateStream.recover(base_corpus, tmp_path / "r.log", CONFIG)
+    assert recovered.last_seq == stream.last_seq
+    assert recovered.engine.pool == stream.engine.pool
+    assert [t.table_id for t in recovered.engine.corpus] == [
+        t.table_id for t in stream.engine.corpus
+    ]
+
+
+# ---------------------------------------------------------------------------------------
+# Satellite regression: a no-op refresh decodes (almost) nothing
+# ---------------------------------------------------------------------------------------
+def test_noop_refresh_short_circuit_decodes_only_metadata(base_corpus, tmp_path):
+    """An unchanged corpus must not force decoding of any heavy section.
+
+    The no-op path needs the stored config (for the scoring-config check) and
+    the table fingerprints (to see that nothing changed); candidates,
+    profiles, edges, mappings, and curation must stay encoded.
+    """
+    _, pipeline = cold_outputs(base_corpus)
+    path = pipeline.save_artifact(tmp_path / "noop.bin")
+
+    reader = ArtifactReader.from_path(path)
+    artifact = SynthesisArtifact.from_reader(reader)
+    refreshed, stats = refresh_artifact(artifact, base_corpus, CONFIG)
+
+    assert stats.noop
+    assert refreshed is artifact
+    assert set(reader.decode_counts) <= {"config", "fingerprints"}
+    assert all(count == 1 for count in reader.decode_counts.values())

@@ -1,0 +1,213 @@
+"""Delta-log suite: durable framing, crash recovery, and injected write faults.
+
+The streaming delta log (:mod:`repro.updates.deltalog`) is the commit point of
+the whole update path, so this suite locks its two safety properties:
+
+* **no half-written delta is ever valid** — replay stops at the first torn or
+  checksum-failed record, and reopening truncates the damaged tail so appends
+  continue the valid chain;
+* **log-first ordering** — when an append fails (injected
+  ``delta_append_failure``), the engine and serving tier are untouched, so a
+  recovered process replaying the log reconstructs exactly the state the
+  writer reached.
+
+Chaos scenarios run under a pinned :class:`FaultPlan` seed (``REPRO_FAULT_SEED``
+in the chaos CI leg) so every injected tear and corruption is replayable.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.config import SynthesisConfig
+from repro.faults import FaultPlan, injected_faults
+from repro.updates import (
+    DeltaLog,
+    DeltaLogError,
+    IncrementalEngine,
+    TableDelta,
+    UpdateStream,
+    decode_delta_record,
+    encode_delta_record,
+)
+
+from store_helpers import make_fragment_corpus, seed_fragments
+
+pytestmark = [pytest.mark.updates, pytest.mark.faults]
+
+FAULT_SEED = int(os.environ.get("REPRO_FAULT_SEED", "20260808"))
+
+DELTAS = [
+    TableDelta(table_id="t-a", upserts=(("Alpha", "AA"), ("Beta", "BB"))),
+    TableDelta(table_id="t-b", deletes=("Gamma",)),
+    TableDelta(
+        table_id="t-new",
+        header=("name", "code"),
+        upserts=(("Delta", "DD"),),
+        domain="new.example",
+        title="created",
+    ),
+    TableDelta(table_id="t-a", drop=True),
+]
+
+
+# ---------------------------------------------------------------------------------------
+# Codec + framing
+# ---------------------------------------------------------------------------------------
+def test_record_codec_roundtrip():
+    for seq, delta in enumerate(DELTAS, start=1):
+        assert decode_delta_record(encode_delta_record(seq, delta)) == (seq, delta)
+
+
+def test_delta_validation():
+    with pytest.raises(ValueError):
+        TableDelta(table_id="")
+    with pytest.raises(ValueError):
+        TableDelta(table_id="t", drop=True, upserts=(("a", "b"),))
+
+
+def test_append_replay_roundtrip(tmp_path):
+    log = DeltaLog(tmp_path / "updates.log")
+    for delta in DELTAS:
+        log.append(delta)
+    assert [seq for seq, _ in log.records()] == [1, 2, 3, 4]
+
+    reopened = DeltaLog(tmp_path / "updates.log")
+    assert reopened.records() == log.records()
+    assert reopened.truncated_on_open == 0
+    assert reopened.next_seq == 5
+
+
+def test_truncate_preserves_sequence_numbers(tmp_path):
+    log = DeltaLog(tmp_path / "updates.log")
+    for delta in DELTAS[:3]:
+        log.append(delta)
+    log.truncate()
+    assert len(log) == 0 and log.base_seq == 3
+
+    # Sequence numbers keep counting after compaction, even across a reopen.
+    assert log.append(DELTAS[3]) == 4
+    reopened = DeltaLog(tmp_path / "updates.log")
+    assert reopened.base_seq == 3
+    assert [seq for seq, _ in reopened.records()] == [4]
+
+
+def test_torn_tail_is_truncated_on_open(tmp_path):
+    path = tmp_path / "updates.log"
+    log = DeltaLog(path)
+    for delta in DELTAS[:2]:
+        log.append(delta)
+    intact = path.stat().st_size
+    log.append(DELTAS[2])
+    # Chop the last record mid-payload, as a crash mid-append would.
+    with open(path, "r+b") as handle:
+        handle.truncate(intact + 7)
+
+    recovered = DeltaLog(path)
+    assert [seq for seq, _ in recovered.records()] == [1, 2]
+    assert recovered.truncated_on_open == 7
+    assert path.stat().st_size == intact
+    # Appends continue the valid chain.
+    assert recovered.append(DELTAS[2]) == 3
+
+
+def test_flipped_byte_discards_record_and_tail(tmp_path):
+    path = tmp_path / "updates.log"
+    log = DeltaLog(path)
+    before_second = None
+    for index, delta in enumerate(DELTAS[:3]):
+        if index == 1:
+            before_second = path.stat().st_size
+        log.append(delta)
+    data = bytearray(path.read_bytes())
+    data[before_second + 40] ^= 0xFF  # inside record 2's payload
+    path.write_bytes(bytes(data))
+
+    recovered = DeltaLog(path)
+    # The checksum catches the flip; record 2 and everything after it go.
+    assert [seq for seq, _ in recovered.records()] == [1]
+
+
+# ---------------------------------------------------------------------------------------
+# Injected write faults (chaos)
+# ---------------------------------------------------------------------------------------
+def test_injected_append_failure_then_reopen_recovers(tmp_path):
+    path = tmp_path / "updates.log"
+    log = DeltaLog(path)
+    log.append(DELTAS[0])
+
+    plan = FaultPlan(seed=FAULT_SEED, delta_append_failure_rate=1.0, max_faults=1)
+    with injected_faults(plan):
+        with pytest.raises(DeltaLogError):
+            log.append(DELTAS[1])
+        # The in-process log behaves like a crashed writer: no appends until
+        # reopened, even though the injector's fault budget is spent.
+        with pytest.raises(DeltaLogError):
+            log.append(DELTAS[1])
+
+    recovered = DeltaLog(path)
+    assert recovered.truncated_on_open > 0
+    assert [seq for seq, _ in recovered.records()] == [1]
+    assert recovered.append(DELTAS[1]) == 2
+
+
+def test_injected_corruption_is_discarded_at_replay(tmp_path):
+    path = tmp_path / "updates.log"
+    log = DeltaLog(path)
+    log.append(DELTAS[0])
+    plan = FaultPlan(seed=FAULT_SEED, corrupt_delta_rate=1.0, max_faults=1)
+    with injected_faults(plan):
+        # The writer does not notice silent corruption...
+        assert log.append(DELTAS[1]) == 2
+    log.append(DELTAS[2])
+
+    # ...but replay's checksum does: the damaged record and its tail are gone.
+    recovered = DeltaLog(path)
+    assert [seq for seq, _ in recovered.records()] == [1]
+
+
+def test_delta_fault_rates_validated():
+    with pytest.raises(ValueError):
+        FaultPlan(delta_append_failure_rate=1.5)
+    with pytest.raises(ValueError):
+        FaultPlan(corrupt_delta_rate=-0.1)
+
+
+# ---------------------------------------------------------------------------------------
+# Log-first ordering through the stream
+# ---------------------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def stream_corpus():
+    fragments = {}
+    fragments.update(seed_fragments("state_abbrev", "sa"))
+    fragments.update(seed_fragments("country_iso3", "ci"))
+    return make_fragment_corpus(fragments, name="updates-log-corpus")
+
+
+def test_failed_append_leaves_engine_untouched(stream_corpus, tmp_path):
+    """The log append is the commit point: on failure nothing else moves."""
+    config = SynthesisConfig(
+        use_pmi_filter=False, min_domains=1, min_mapping_size=2, min_rows=4
+    )
+    stream = UpdateStream(
+        IncrementalEngine(stream_corpus, config), DeltaLog(tmp_path / "s.log")
+    )
+    stream.apply(TableDelta(table_id="sa0-state_abbrev", upserts=(("Zor", "ZR"),)))
+    pool_before = list(stream.engine.pool)
+    tables_before = [table.table_id for table in stream.engine.corpus]
+
+    plan = FaultPlan(seed=FAULT_SEED, delta_append_failure_rate=1.0, max_faults=1)
+    with injected_faults(plan):
+        with pytest.raises(DeltaLogError):
+            stream.apply(
+                TableDelta(table_id="ci0-country_iso3", deletes=("Albania",))
+            )
+    assert stream.engine.pool == pool_before
+    assert [table.table_id for table in stream.engine.corpus] == tables_before
+
+    # Recovery replays only the durable prefix and reconstructs the same state.
+    recovered = UpdateStream.recover(stream_corpus, tmp_path / "s.log", config)
+    assert recovered.last_seq == 1
+    assert recovered.engine.pool == pool_before

@@ -1,0 +1,249 @@
+"""Live delta serving suite: daemon and cluster answers track the update stream.
+
+Locks the serving half of the update path's exactness promise: after any
+interleaving of streamed deltas, a live :class:`SynthesisDaemon` (patched in
+place, no generation swap) and a sharded :class:`ClusterRouter` (scatter
+patches routed by the same hash ring as the artifact cutter) serve responses
+byte-identical to a synchronous :class:`MappingService` built from a **cold
+pipeline rebuild** over the updated corpus — including with one replica killed
+mid-stream (replication 2 keeps every shard covered).
+
+Also covers the in-place/escalation split (small patches keep the generation
+number; oversized ones take the full reload path) and delta rejection on a
+closed daemon.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.applications import (
+    CorrectRequest,
+    FillRequest,
+    JoinRequest,
+    MappingService,
+)
+from repro.cluster import ClusterRouter
+from repro.core.config import SynthesisConfig
+from repro.core.pipeline import SynthesisPipeline
+from repro.serving import DaemonStoppedError, SynthesisDaemon
+from repro.store.artifact import save_artifact
+from repro.updates import DeltaLog, IncrementalEngine, UpdateStream
+
+from store_helpers import make_fragment_corpus, seed_fragments
+from test_updates_engine import CONFIG, DELTA_CATALOG
+
+pytestmark = pytest.mark.updates
+
+#: Probe batches touching both seed values and values only deltas introduce,
+#: plus malformed shapes that must error identically through every tier.
+PROBES = [
+    ("autofill", [FillRequest(keys=("Alabama", "Zorblat", "Arcadia", "nope"))]),
+    (
+        "autojoin",
+        [
+            JoinRequest(
+                left_keys=("Alabama", "Albania", "Quux"),
+                right_keys=("AL", "ZB", "DZZ"),
+            )
+        ],
+    ),
+    (
+        "autocorrect",
+        [CorrectRequest(values=("AL", "ZB", "ARC", "DZZ", "junk"))],
+    ),
+    ("autofill", [FillRequest(keys=(), examples={-3: "bad"})]),
+]
+
+
+def canonical(responses) -> str:
+    """Byte-comparable form of a batch: everything except timing."""
+    return repr([(r.kind, r.request_index, r.result, r.error) for r in responses])
+
+
+def make_corpus():
+    fragments = {}
+    fragments.update(seed_fragments("state_abbrev", "sa"))
+    fragments.update(seed_fragments("country_iso3", "ci"))
+    return make_fragment_corpus(fragments, name="updates-serving-corpus")
+
+
+@pytest.fixture(scope="module")
+def base_corpus():
+    return make_corpus()
+
+
+def cold_oracle(corpus) -> MappingService:
+    pipeline = SynthesisPipeline(CONFIG)
+    pipeline.run(corpus)
+    return MappingService.from_artifact_object(pipeline.last_artifact)
+
+
+def daemon_for(engine: IncrementalEngine) -> SynthesisDaemon:
+    service = MappingService.from_artifact_object(engine.artifact())
+    return SynthesisDaemon(service, workers=1, source="updates-test")
+
+
+def assert_serves_like(daemon: SynthesisDaemon, oracle: MappingService) -> None:
+    for kind, batch in PROBES:
+        got = daemon.submit(kind, batch).result(30).responses
+        assert canonical(got) == canonical(getattr(oracle, kind)(batch))
+
+
+# ---------------------------------------------------------------------------------------
+# Daemon: in-place patch vs escalation
+# ---------------------------------------------------------------------------------------
+def test_small_patch_applies_in_place(base_corpus, tmp_path):
+    # The test pool is a handful of mappings, so any real patch exceeds the
+    # default 25% escalation ratio; raising it to 1.0 forces the in-place path.
+    config = SynthesisConfig(
+        use_pmi_filter=False,
+        min_domains=1,
+        min_mapping_size=2,
+        min_rows=4,
+        delta_escalation_ratio=1.0,
+    )
+    engine = IncrementalEngine(base_corpus, config)
+    daemon = daemon_for(engine)
+    try:
+        stream = UpdateStream(
+            engine, DeltaLog(tmp_path / "d.log"), daemon=daemon
+        )
+        generation_before = daemon.generation.number
+        stream.apply(DELTA_CATALOG[0])
+
+        # In-place: same generation number, patched pool, counted in health.
+        assert daemon.generation.number == generation_before
+        health = daemon.health()
+        assert health["deltas_applied"] == 1
+        assert health["last_delta_seq"] == 1
+        assert health["update_lag"] >= 0.0
+        pool = daemon.generation.service.mapping_pool
+        assert {m.mapping_id: m for m in pool} == {
+            m.mapping_id: m for m in engine.pool
+        }
+        assert_serves_like(daemon, cold_oracle(engine.corpus))
+    finally:
+        daemon.close()
+
+
+def test_oversized_patch_escalates_to_reload(base_corpus, tmp_path):
+    config = SynthesisConfig(
+        use_pmi_filter=False,
+        min_domains=1,
+        min_mapping_size=2,
+        min_rows=4,
+        delta_escalation_ratio=0.001,
+    )
+    engine = IncrementalEngine(base_corpus, config)
+    daemon = daemon_for(engine)
+    try:
+        stream = UpdateStream(
+            engine, DeltaLog(tmp_path / "d.log"), daemon=daemon
+        )
+        generation_before = daemon.generation.number
+        patch = stream.apply(DELTA_CATALOG[0])
+        assert not patch.is_empty
+        # Past the escalation ratio the daemon takes the full reload path.
+        assert daemon.generation.number == generation_before + 1
+        assert daemon.health()["deltas_applied"] == 1
+        assert_serves_like(daemon, cold_oracle(engine.corpus))
+    finally:
+        daemon.close()
+
+
+def test_closed_daemon_rejects_deltas(base_corpus):
+    engine = IncrementalEngine(base_corpus, CONFIG)
+    daemon = daemon_for(engine)
+    daemon.close()
+    with pytest.raises(DaemonStoppedError):
+        daemon.apply_delta([], ["mapping-00000"], seq=1)
+
+
+# ---------------------------------------------------------------------------------------
+# Property: delta interleavings serve byte-identically to a cold rebuild
+# ---------------------------------------------------------------------------------------
+@settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    picks=st.lists(
+        st.sampled_from(range(len(DELTA_CATALOG))),
+        unique=True,
+        min_size=1,
+        max_size=len(DELTA_CATALOG),
+    )
+)
+def test_daemon_delta_stream_equals_cold_rebuild(picks, base_corpus, tmp_path_factory):
+    tmp_path = tmp_path_factory.mktemp("daemon-stream")
+    engine = IncrementalEngine(base_corpus, CONFIG)
+    daemon = daemon_for(engine)
+    try:
+        stream = UpdateStream(
+            engine, DeltaLog(tmp_path / "d.log"), daemon=daemon
+        )
+        for pick in picks:
+            stream.apply(DELTA_CATALOG[pick])
+        assert daemon.health()["deltas_applied"] == len(picks)
+        assert daemon.health()["last_delta_seq"] == len(picks)
+        assert_serves_like(daemon, cold_oracle(engine.corpus))
+    finally:
+        daemon.close()
+
+
+@settings(
+    max_examples=4,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    picks=st.lists(
+        st.sampled_from(range(len(DELTA_CATALOG))),
+        unique=True,
+        min_size=2,
+        max_size=len(DELTA_CATALOG),
+    ),
+    kill_at=st.integers(0, len(DELTA_CATALOG)),
+)
+def test_cluster_delta_stream_with_kill_equals_cold_rebuild(
+    picks, kill_at, tmp_path_factory
+):
+    """Scatter-patched cluster == cold oracle, even losing a replica mid-stream."""
+    tmp_path = tmp_path_factory.mktemp("cluster-stream")
+    corpus = make_corpus()
+    engine = IncrementalEngine(corpus, CONFIG)
+    path = save_artifact(engine.artifact(), tmp_path / "served.bin")
+    router = ClusterRouter.from_artifact(
+        path,
+        num_shards=3,
+        replication=2,
+        config=CONFIG,
+        shard_dir=tmp_path / "shards",
+        watch=False,
+        workers=1,
+    )
+    try:
+        stream = UpdateStream(
+            engine, DeltaLog(tmp_path / "c.log"), router=router
+        )
+        kill_index = kill_at % (len(picks) + 1)
+        for position, pick in enumerate(picks):
+            if position == kill_index:
+                router.kill(0)
+            stream.apply(DELTA_CATALOG[pick])
+        if kill_index == len(picks):
+            router.kill(0)
+
+        health = router.health()
+        assert health["deltas_applied"] == len(picks)
+        assert health["last_delta_seq"] == len(picks)
+        oracle = cold_oracle(engine.corpus)
+        for kind, batch in PROBES:
+            got = router.serve(kind, batch)
+            assert canonical(got) == canonical(getattr(oracle, kind)(batch))
+    finally:
+        router.close()
