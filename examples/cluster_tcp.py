@@ -1,0 +1,154 @@
+"""A serving cluster whose replicas are real subprocess servers over TCP.
+
+Run with::
+
+    python examples/cluster_tcp.py
+
+Same contract as ``examples/cluster.py`` — a 3-shard, replication-2
+scatter-gather cluster whose answers are **byte-identical** to one
+synchronous :class:`MappingService` — but here each replica is a
+``python -m repro.net.server`` subprocess serving its shard artifact behind
+a framed binary socket protocol (:mod:`repro.net.codec`: length-prefixed,
+sha256-checksummed frames).  The router speaks to each replica through a
+:class:`repro.net.RemoteReplica` client, so everything below crosses a real
+process + socket boundary: lookups, health, the rolling rollout handshake,
+and the failover drill (killing a replica takes its server process down with
+it — the router re-scatters onto live sockets).
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.applications import (
+    CorrectRequest,
+    FillRequest,
+    JoinRequest,
+    MappingService,
+)
+from repro.cluster import ClusterRouter
+from repro.core import SynthesisConfig, SynthesisPipeline
+from repro.corpus import CorpusGenerationSpec, WebCorpusGenerator
+
+
+def canonical(responses) -> str:
+    """Everything except timing — the byte-identity comparison key."""
+    return repr([(r.kind, r.request_index, r.result, r.error) for r in responses])
+
+
+def main() -> None:
+    # 1. One cold pipeline run, persisted as the artifact every tier serves.
+    spec = CorpusGenerationSpec(tables_per_relation=5, max_rows=20, seed=7)
+    corpus = WebCorpusGenerator(spec).generate()
+    work_dir = Path(tempfile.mkdtemp(prefix="repro-cluster-tcp-"))
+    artifact_path = work_dir / "web.artifact.json.gz"
+    config = SynthesisConfig(
+        min_domains=2,
+        min_mapping_size=5,
+        artifact_path=str(artifact_path),
+        daemon_poll_seconds=0.05,
+    )
+    pipeline = SynthesisPipeline(config)
+    result = pipeline.run(corpus)  # auto-saves to config.artifact_path
+    print(f"pipeline run: {len(result.curated)} curated mappings -> {artifact_path.name}")
+
+    # The single synchronous service is the oracle the cluster must match.
+    oracle = MappingService.from_artifact(artifact_path)
+
+    # 2. transport="tcp" makes from_artifact spawn one replica server
+    #    subprocess per ring slot (it prints a READY line with its ephemeral
+    #    port) and wire a RemoteReplica socket client to each.  The router,
+    #    the merge, and every assertion below are identical to the inproc
+    #    example — transport is invisible to answers.
+    router = ClusterRouter.from_artifact(
+        artifact_path,
+        num_shards=3,
+        replication=2,
+        shard_dir=work_dir / "shards",
+        watch=True,  # each replica subprocess watches its own shard file
+        poll_seconds=0.05,
+        workers=2,
+        transport="tcp",
+    )
+    health = router.health()
+    print(f"cluster up over tcp: {health['num_shards']} shards "
+          f"x{health['replication']} replication, "
+          f"generations {health['generations']}")
+    for replica, process in zip(health["replicas"], router.processes):
+        print(f"  replica {replica['index']}: shards {replica['shards']}, "
+              f"server pid {process.pid}")
+
+    # 3. Concurrent clients drive mixed batches through the sockets; every
+    #    envelope must equal the oracle's, bit for bit.
+    batches = [
+        ("autofill", [FillRequest(keys=("California", "Texas", "Ohio", "Washington"))]),
+        ("autojoin", [JoinRequest(left_keys=("California", "Texas"),
+                                  right_keys=("TX", "CA"))]),
+        ("autocorrect", [CorrectRequest(values=("California", "Washington", "CA"))]),
+    ]
+
+    def client(name: str, rounds: int) -> None:
+        for index in range(rounds):
+            kind, batch = batches[index % len(batches)]
+            responses = router.serve(kind, batch)
+            assert canonical(responses) == canonical(getattr(oracle, kind)(batch))
+            if index == 0 and kind == "autofill":
+                print(f"  client {name}: {kind} -> "
+                      f"{responses[0].result.filled} (matches oracle)")
+
+    clients = [
+        threading.Thread(target=client, args=(f"c{index}", 9)) for index in range(3)
+    ]
+    for thread in clients:
+        thread.start()
+    for thread in clients:
+        thread.join()
+
+    # 4. Failover drill: kill replica 0.  Over tcp this closes the client AND
+    #    kills the server process, so the router fails over onto sockets that
+    #    are genuinely dead — replication 2 still covers every shard.
+    router.kill(0)
+    for kind, batch in batches:
+        assert canonical(router.serve(kind, batch)) == canonical(
+            getattr(oracle, kind)(batch)
+        )
+    health = router.health()
+    print(f"replica 0 killed: status {health['status']} "
+          f"({'; '.join(health['degraded_reasons'])}) — answers still exact")
+
+    # 5. Rolling rollout across the surviving subprocesses: the router re-cuts
+    #    each shard file in turn and waits on the NOTIFY RPC for the replica's
+    #    own watcher to report the new generation.  Serving never pauses.
+    before = router.health()["generations"]
+    time.sleep(0.01)  # distinct mtime for the republished artifact
+    pipeline.save_artifact(artifact_path)
+    generations = router.rollout(artifact_path, timeout=30)
+    print(f"rolling rollout: generations {before} -> {generations}")
+    for kind, batch in batches:
+        assert canonical(router.serve(kind, batch)) == canonical(
+            getattr(oracle, kind)(batch)
+        )
+
+    # 6. Health now carries the transport layer: per-replica socket counters
+    #    plus an aggregate (frames, bytes, reconnects, client-observed rtt).
+    health = router.health()
+    transport = health["transport"]
+    print(f"health: {health['status']}, requests {health['requests']}, "
+          f"reroutes {health['reroutes']}, rollouts {health['rollouts']}")
+    print(f"transport {transport['kind']}: {transport['frames_sent']} frames out "
+          f"/ {transport['frames_received']} in, "
+          f"{transport['bytes_sent']}B out / {transport['bytes_received']}B in, "
+          f"{transport['reconnects']} reconnect(s), "
+          f"rtt p50/p90 {transport['rtt_ms_p50']:.1f}/{transport['rtt_ms_p90']:.1f} ms")
+
+    # close() drains the live clients and reaps every server subprocess; it is
+    # idempotent and never raises, even with replica 0 already gone.
+    router.close()
+    print("cluster closed cleanly, all server processes reaped")
+
+
+if __name__ == "__main__":
+    main()

@@ -36,6 +36,17 @@ probes re-admit recovered replicas), and scatter rounds are re-attempted on a
 ``replication >= 2`` any single replica can die mid-stream and every shard is
 still covered.  Rolling rollout re-cuts one replica's slice at a time and
 waits for that daemon's generation tag to advance before touching the next.
+
+Replicas need not share the router's process: ``transport="tcp"`` (or
+``SynthesisConfig.cluster_transport``) spawns one ``python -m repro.net.server``
+process per replica and talks :mod:`repro.net`'s framed binary protocol
+through :class:`~repro.net.RemoteReplica` clients — the same duck-typed
+``submit`` / ``apply_delta`` / ``health`` surface, so nothing in the scatter,
+merge, failover, rollout, or delta logic knows which transport it runs on.
+Each scatter attempt carries **one** deadline: the remaining budget is passed
+to in-process submits and encoded into lookup frames alike, and replicas
+re-enforce it at serve time, so a slow network can only shrink a batch's
+budget — never let an expired ticket consume daemon work.
 """
 
 from __future__ import annotations
@@ -228,13 +239,26 @@ class ClusterRouter:
         request_timeout: float = 30.0,
         retry_policy: RetryPolicy | None = None,
         breaker_cooldown: float = 1.0,
+        transport: str = "inproc",
+        processes: Sequence[object] | None = None,
         **service_kwargs,
     ) -> None:
+        # ``daemons`` is duck-typed: in-process ``SynthesisDaemon`` objects or
+        # ``repro.net.RemoteReplica`` clients — both expose the same submit /
+        # apply_delta / health / close surface the router programs against.
         if len(daemons) != ring.num_shards:
             raise ValueError(
                 f"need one replica per shard: got {len(daemons)} daemons "
                 f"for {ring.num_shards} shards"
             )
+        if transport not in ("inproc", "tcp"):
+            raise ValueError(
+                f"transport must be 'inproc' or 'tcp', got {transport!r}"
+            )
+        self.transport = transport
+        #: Replica server subprocesses this router owns (tcp transport only);
+        #: reaped by :meth:`close` / :meth:`kill`.
+        self._processes: list[object] = list(processes) if processes else []
         self.ring = ring
         self.replication = min(replication, ring.num_shards)
         self.pool_size = pool_size
@@ -271,6 +295,11 @@ class ClusterRouter:
         self._last_delta_seq: int | None = None
         self._last_delta_at = 0.0
 
+    @property
+    def processes(self) -> tuple[object, ...]:
+        """Replica server subprocesses this router owns (tcp transport only)."""
+        return tuple(self._processes)
+
     # -- Construction -------------------------------------------------------------------
     @classmethod
     def from_artifact(
@@ -292,6 +321,7 @@ class ClusterRouter:
         request_timeout: float | None = None,
         retry_policy: RetryPolicy | None = None,
         breaker_cooldown: float = 1.0,
+        transport: str | None = None,
         **service_kwargs,
     ) -> "ClusterRouter":
         """Cut ``path`` into shard artifacts and start one daemon per replica.
@@ -302,6 +332,12 @@ class ClusterRouter:
         class, etc.), and the same threshold ``service_kwargs`` configure the
         router's own application objects — both sides must agree for
         byte-identity to hold.
+
+        ``transport`` (default: ``config.cluster_transport``) picks where the
+        replicas live: ``"inproc"`` starts daemons in this process, ``"tcp"``
+        spawns one :mod:`repro.net.server` subprocess per replica and wires
+        :class:`~repro.net.RemoteReplica` clients in their place.  Merge
+        semantics, failover, rollout, and deltas are identical either way.
         """
         from repro.store.artifact import load_artifact
 
@@ -310,6 +346,12 @@ class ClusterRouter:
             replication = config.cluster_replication
         if request_timeout is None:
             request_timeout = config.cluster_request_timeout_seconds
+        if transport is None:
+            transport = config.cluster_transport
+        if transport not in ("inproc", "tcp"):
+            raise ValueError(
+                f"transport must be 'inproc' or 'tcp', got {transport!r}"
+            )
         path = Path(path)
         ring = HashRing(num_shards)
         shard_dir = (
@@ -332,10 +374,16 @@ class ClusterRouter:
             prefer_curated=prefer_curated,
         )
         daemons: list[SynthesisDaemon] = []
+        processes: list[object] = []
         try:
-            for shard_path in paths:
-                daemons.append(
-                    SynthesisDaemon.from_artifact(
+            if transport == "tcp":
+                # Deferred import: the inproc cluster stays importable even if
+                # a trimmed deployment drops the net package.
+                from repro.net.client import RemoteReplica
+                from repro.net.server import spawn_replica_process
+
+                for shard_path in paths:
+                    process, host, port = spawn_replica_process(
                         shard_path,
                         config=config,
                         watch=watch,
@@ -345,14 +393,49 @@ class ClusterRouter:
                         default_deadline=default_deadline,
                         poll_seconds=poll_seconds,
                         prefer_curated=prefer_curated,
-                        retry_policy=retry_policy,
-                        service_cls=service_cls,
+                        request_timeout=request_timeout,
+                        service_cls=(
+                            service_cls if service_cls is not MappingService else None
+                        ),
                         **service_kwargs,
                     )
-                )
+                    processes.append(process)
+                    daemons.append(
+                        RemoteReplica(
+                            host,
+                            port,
+                            name=f"replica-{len(daemons)}",
+                            connect_timeout=config.net_connect_timeout_seconds,
+                            request_timeout=request_timeout,
+                        )
+                    )
+            else:
+                for shard_path in paths:
+                    daemons.append(
+                        SynthesisDaemon.from_artifact(
+                            shard_path,
+                            config=config,
+                            watch=watch,
+                            workers=workers,
+                            executor=executor,
+                            queue_size=queue_size,
+                            default_deadline=default_deadline,
+                            poll_seconds=poll_seconds,
+                            prefer_curated=prefer_curated,
+                            retry_policy=retry_policy,
+                            service_cls=service_cls,
+                            **service_kwargs,
+                        )
+                    )
         except BaseException:
             for daemon in daemons:
                 daemon.close(drain=False)
+            for process in processes:
+                try:
+                    process.kill()
+                    process.wait(timeout=10)
+                except Exception:
+                    pass
             raise
         return cls(
             daemons,
@@ -366,6 +449,8 @@ class ClusterRouter:
             request_timeout=request_timeout,
             retry_policy=retry_policy,
             breaker_cooldown=breaker_cooldown,
+            transport=transport,
+            processes=processes,
             **service_kwargs,
         )
 
@@ -408,6 +493,13 @@ class ClusterRouter:
         recomputed cover on the retry schedule.  Overlapping answers from the
         wider cover are absorbed by the dedup, so failover never changes the
         merged result.
+
+        Each attempt runs against **one** deadline — ``request_timeout`` from
+        the attempt's first submit.  The remaining budget is what each submit
+        and each gather wait gets (in-process as the ticket ``deadline``, over
+        tcp encoded into the lookup frame and re-enforced replica-side), so
+        time burned submitting, stalling on the network, or waiting on one
+        replica is never re-granted to the next.
         """
         if self._closed:
             raise ClusterError("cluster router is closed")
@@ -415,11 +507,13 @@ class ClusterRouter:
         attempt = 0
         while True:
             cover = self._pick_cover(excluded)
+            attempt_deadline = time.monotonic() + self.request_timeout
             failed: _Replica | None = None
             failure: Exception | None = None
             gathered: list[list[MappingMatch]] = []
             pending: list[tuple[_Replica, object]] = []
             for replica in cover:
+                remaining = max(attempt_deadline - time.monotonic(), 0.0)
                 try:
                     pending.append(
                         (
@@ -427,8 +521,9 @@ class ClusterRouter:
                             replica.daemon.submit(
                                 "cluster_lookup",
                                 (request,),
+                                deadline=remaining,
                                 block=True,
-                                timeout=self.request_timeout,
+                                timeout=max(remaining, 0.001),
                             ),
                         )
                     )
@@ -437,16 +532,17 @@ class ClusterRouter:
                     break
             if failed is None:
                 for replica, ticket in pending:
+                    remaining = max(attempt_deadline - time.monotonic(), 0.0)
                     if failed is not None:
                         # A sibling already failed this round; still collect
                         # the remaining tickets so their work is accounted.
                         try:
-                            ticket.result(timeout=self.request_timeout)
+                            ticket.result(timeout=remaining)
                         except Exception:
                             pass
                         continue
                     try:
-                        result = ticket.result(timeout=self.request_timeout)
+                        result = ticket.result(timeout=remaining)
                         response: ServedResponse = result.responses[0]
                         if response.error is not None:
                             raise ClusterError(
@@ -614,6 +710,17 @@ class ClusterRouter:
             )
             if target is None:
                 continue
+            await_generation = getattr(replica.daemon, "await_generation", None)
+            if await_generation is not None:
+                # Remote replicas block server-side (one NOTIFY round trip)
+                # instead of polling the generation over the wire.
+                reached = await_generation(target, timeout=timeout)
+                if reached < target:
+                    raise ClusterError(
+                        f"replica {replica.index} did not reach generation "
+                        f"{target} within {timeout}s (reached {reached})"
+                    )
+                continue
             deadline = time.monotonic() + timeout
             while replica.daemon.generation.number < target:
                 if time.monotonic() > deadline:
@@ -631,13 +738,39 @@ class ClusterRouter:
 
     # -- Chaos / lifecycle --------------------------------------------------------------
     def kill(self, index: int) -> None:
-        """Abruptly stop one replica (no drain) — the chaos-drill entry point."""
-        self.replicas[index].daemon.close(drain=False)
+        """Abruptly stop one replica (no drain) — the chaos-drill entry point.
+
+        Idempotent and never raises: killing an already-dead replica (or one
+        whose server process is gone) is a no-op.  Over tcp this also kills
+        the replica's server process, so the drill severs real sockets.
+        """
+        try:
+            self.replicas[index].daemon.close(drain=False)
+        except Exception:
+            pass
+        self._reap_process(index, graceful=False)
+
+    def _reap_process(self, index: int, *, graceful: bool) -> None:
+        """Terminate and wait one replica's server process.  Never raises."""
+        if index >= len(self._processes):
+            return
+        process = self._processes[index]
+        try:
+            if process.poll() is None:
+                process.terminate() if graceful else process.kill()
+            process.wait(timeout=10)
+        except Exception:
+            try:
+                process.kill()
+                process.wait(timeout=5)
+            except Exception:
+                pass
 
     def health(self) -> dict[str, object]:
         """One JSON-able snapshot aggregating every replica's health."""
         replicas = []
         reasons: list[str] = []
+        transports: list[dict[str, object]] = []
         for replica in self.replicas:
             daemon_health = replica.daemon.health()
             breaker = replica.breaker.snapshot()
@@ -651,6 +784,9 @@ class ClusterRouter:
                 reasons.append(
                     f"replica {replica.index} daemon is {daemon_health['status']}"
                 )
+            transport = daemon_health.get("transport")
+            if isinstance(transport, dict):
+                transports.append(transport)
             replicas.append(
                 {
                     "index": replica.index,
@@ -668,9 +804,30 @@ class ClusterRouter:
             rollouts = self._rollouts
             closed = self._closed
         status = "closed" if closed else ("degraded" if reasons else "ok")
+        # Fleet-wide transport aggregate: counters sum across replicas, rtt
+        # percentiles take the worst replica (the one a slow tail hides in).
+        # Keys mirror repro.net.TRANSPORT_HEALTH_KEYS.
+        transport_aggregate: dict[str, object] = {"kind": self.transport}
+        for key in (
+            "connections",
+            "frames_sent",
+            "frames_received",
+            "bytes_sent",
+            "bytes_received",
+            "reconnects",
+        ):
+            transport_aggregate[key] = sum(
+                int(snapshot.get(key, 0)) for snapshot in transports
+            )
+        for key in ("rtt_ms_p50", "rtt_ms_p90"):
+            transport_aggregate[key] = max(
+                (float(snapshot.get(key, 0.0)) for snapshot in transports),
+                default=0.0,
+            )
         return {
             "status": status,
             "degraded_reasons": reasons,
+            "transport": transport_aggregate,
             "num_shards": self.ring.num_shards,
             "replication": self.replication,
             "generations": [
@@ -691,10 +848,21 @@ class ClusterRouter:
         }
 
     def close(self, *, drain: bool = True) -> None:
-        """Stop every replica.  Idempotent."""
+        """Stop every replica and reap any replica server processes.
+
+        Idempotent and never raises: a double close (or a close racing
+        :meth:`kill`, or an exit path running after a partial failure) finds
+        every daemon, socket, and subprocess already released and does
+        nothing.  One replica failing to stop never strands the rest.
+        """
         self._closed = True
         for replica in self.replicas:
-            replica.daemon.close(drain=drain)
+            try:
+                replica.daemon.close(drain=drain)
+            except Exception:
+                pass
+        for index in range(len(self._processes)):
+            self._reap_process(index, graceful=True)
 
     def __enter__(self) -> "ClusterRouter":
         return self

@@ -159,7 +159,24 @@ class SynthesisConfig:
     cluster_request_timeout_seconds:
         Per-scatter deadline the router applies to each replica submission
         and result wait; a replica that exceeds it is treated as failed and
-        its shards are re-routed to another replica hosting them.
+        its shards are re-routed to another replica hosting them.  The
+        *remaining* budget travels inside every lookup frame and is enforced
+        replica-side too (see :mod:`repro.net`), so one number is the single
+        source of truth across transports.
+    cluster_transport:
+        How the router reaches its replicas: ``"inproc"`` (the default) keeps
+        every replica an in-process :class:`~repro.serving.SynthesisDaemon`;
+        ``"tcp"`` spawns one ``python -m repro.net.server`` process per
+        replica and talks the framed binary protocol — same merge, same
+        answers, real process/host isolation.
+    net_connect_timeout_seconds:
+        TCP connect timeout for each :class:`~repro.net.RemoteReplica`
+        connection attempt (reconnects after a drop use the same bound, under
+        the client's retry schedule).
+    net_request_timeout_seconds:
+        Default per-request wait on a replica socket for calls that carry no
+        scatter deadline of their own (health, delta, drain, rollout
+        notification).
     delta_escalation_ratio:
         Largest fraction of a daemon's served pool a single delta may touch
         while still being applied in place (index splice under the swap lock,
@@ -217,9 +234,12 @@ class SynthesisConfig:
     daemon_breaker_min_requests: int = 10
     daemon_breaker_cooldown_seconds: float = 1.0
 
-    # --- Cluster serving tier (repro.cluster) ------------------------------------------
+    # --- Cluster serving tier (repro.cluster / repro.net) ------------------------------
     cluster_replication: int = 2
     cluster_request_timeout_seconds: float = 30.0
+    cluster_transport: str = "inproc"
+    net_connect_timeout_seconds: float = 5.0
+    net_request_timeout_seconds: float = 30.0
 
     # --- Streaming updates (repro.updates) ---------------------------------------------
     delta_escalation_ratio: float = 0.25
@@ -335,6 +355,21 @@ class SynthesisConfig:
             raise ValueError(
                 "cluster_request_timeout_seconds must be > 0, "
                 f"got {self.cluster_request_timeout_seconds}"
+            )
+        if self.cluster_transport not in ("inproc", "tcp"):
+            raise ValueError(
+                "cluster_transport must be 'inproc' or 'tcp', "
+                f"got {self.cluster_transport!r}"
+            )
+        if self.net_connect_timeout_seconds <= 0:
+            raise ValueError(
+                "net_connect_timeout_seconds must be > 0, "
+                f"got {self.net_connect_timeout_seconds}"
+            )
+        if self.net_request_timeout_seconds <= 0:
+            raise ValueError(
+                "net_request_timeout_seconds must be > 0, "
+                f"got {self.net_request_timeout_seconds}"
             )
         if not 0 < self.delta_escalation_ratio <= 1:
             raise ValueError(

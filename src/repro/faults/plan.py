@@ -108,6 +108,20 @@ class FaultPlan:
     #: Probability a delta-log record's bytes are corrupted (a deterministic
     #: byte flip) on the way to disk — replay must stop at the damaged record.
     corrupt_delta_rate: float = 0.0
+    #: Probability a cluster transport send hits a connection reset (the
+    #: :class:`repro.net.RemoteReplica` tears its connection down and raises
+    #: ``ConnectionResetError`` — the router's failover path).
+    conn_reset_rate: float = 0.0
+    #: Probability a cluster transport response is torn mid-frame (connection
+    #: cut after the request went out; raises
+    #: :class:`repro.net.TornFrameError`).
+    torn_frame_rate: float = 0.0
+    #: Probability a cluster transport send stalls for
+    #: :attr:`slow_network_seconds` first — the stall consumes the request's
+    #: remaining deadline budget exactly like real network latency.
+    slow_network_rate: float = 0.0
+    #: Injected network stall, in seconds.
+    slow_network_seconds: float = 0.01
     #: Hard cap on total injected faults (``None`` = unlimited).  Lets a chaos
     #: test guarantee eventual success no matter the rates.
     max_faults: int | None = None
@@ -121,6 +135,9 @@ class FaultPlan:
             "corrupt_publish_rate",
             "delta_append_failure_rate",
             "corrupt_delta_rate",
+            "conn_reset_rate",
+            "torn_frame_rate",
+            "slow_network_rate",
         ):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
@@ -128,6 +145,10 @@ class FaultPlan:
         if self.slow_call_seconds < 0:
             raise ValueError(
                 f"slow_call_seconds must be >= 0, got {self.slow_call_seconds}"
+            )
+        if self.slow_network_seconds < 0:
+            raise ValueError(
+                f"slow_network_seconds must be >= 0, got {self.slow_network_seconds}"
             )
         if self.max_faults is not None and self.max_faults < 0:
             raise ValueError(f"max_faults must be >= 0, got {self.max_faults}")
@@ -219,6 +240,20 @@ class FaultInjector:
     def corrupt_delta(self) -> bool:
         """Should this delta-log record's bytes be corrupted on the way to disk?"""
         return self.decide("corrupt_delta", self.plan.corrupt_delta_rate)
+
+    def conn_reset(self) -> bool:
+        """Should this cluster transport send hit a connection reset?"""
+        return self.decide("conn_reset", self.plan.conn_reset_rate)
+
+    def torn_frame(self) -> bool:
+        """Should this cluster transport response be torn mid-frame?"""
+        return self.decide("torn_frame", self.plan.torn_frame_rate)
+
+    def slow_network(self) -> float:
+        """Injected network stall (seconds) for this transport send, or 0.0."""
+        if self.decide("slow_network", self.plan.slow_network_rate):
+            return self.plan.slow_network_seconds
+        return 0.0
 
     def corrupt(self, data: bytes) -> bytes:
         """Flip one deterministic byte of ``data`` (position from the seed).

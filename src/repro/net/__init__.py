@@ -1,0 +1,71 @@
+"""Cross-host cluster transport: framed binary wire protocol over TCP.
+
+The cluster tier (:mod:`repro.cluster`) scatters ``cluster_lookup`` batches to
+shard replicas and merges their answers byte-identically to one synchronous
+:class:`~repro.applications.MappingService`.  Until this package existed every
+replica was an in-process :class:`~repro.serving.SynthesisDaemon`, so the
+cluster could never leave one Python process, let alone one host.  ``repro.net``
+adds the missing network boundary without touching the merge semantics:
+
+* :mod:`repro.net.codec` — a versioned, length-prefixed framed binary protocol
+  (magic + frame type + request id + sha256-checksummed payload) built on the
+  same varint / string-pool primitives as the v2 artifact store, covering the
+  full replica surface: lookup batches, delta patches, health, rollout
+  notification, ping, and drain.
+* :mod:`repro.net.server` — :class:`ReplicaServer`, a threaded TCP accept loop
+  wrapping one daemon per shard artifact (``python -m repro.net.server
+  --artifact ...`` runs a replica as a real separate process).
+* :mod:`repro.net.client` — :class:`RemoteReplica`, a socket client exposing
+  the same ``submit`` / ``apply_delta`` / ``health`` surface the router calls
+  on in-process daemons, with reconnects, deadline fail-fast, and transport
+  counters.
+
+``ClusterRouter.from_artifact(..., transport="tcp")`` wires the three together:
+replicas become subprocesses, the router talks frames, and every existing
+equivalence property holds across the wire.
+"""
+
+from repro.net.codec import (
+    ChecksumError,
+    Frame,
+    ProtocolError,
+    TornFrameError,
+    TransportStats,
+    TRANSPORT_HEALTH_KEYS,
+)
+
+# client / server exports resolve lazily (PEP 562) so that importing the
+# package never pre-imports repro.net.server — ``python -m repro.net.server``
+# must execute the module fresh in replica processes (runpy warns, and module
+# state would split, if the package import got there first).
+_LAZY = {
+    "RemoteReplica": "repro.net.client",
+    "RemoteReplicaError": "repro.net.client",
+    "ReplicaServer": "repro.net.server",
+    "serve_shard": "repro.net.server",
+    "spawn_replica_process": "repro.net.server",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.net' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+__all__ = [
+    "Frame",
+    "ProtocolError",
+    "TornFrameError",
+    "ChecksumError",
+    "TransportStats",
+    "TRANSPORT_HEALTH_KEYS",
+    "ReplicaServer",
+    "serve_shard",
+    "spawn_replica_process",
+    "RemoteReplica",
+    "RemoteReplicaError",
+]

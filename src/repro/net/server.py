@@ -1,0 +1,603 @@
+"""TCP replica server: one :class:`SynthesisDaemon` behind a framed socket.
+
+A :class:`ReplicaServer` wraps one daemon (one shard artifact) in a threaded
+accept loop speaking the :mod:`repro.net.codec` frame protocol.  Each
+connection gets its own handler thread; lookup frames are served on further
+per-request threads (responses may complete out of order — the request id in
+the frame header is the correlation), so one slow batch never blocks the
+connection's other traffic or its control frames.
+
+Deadline propagation is replica-side enforced: the router encodes its
+remaining per-scatter budget into every lookup frame, and the server hands it
+to :meth:`SynthesisDaemon.submit` as the batch deadline — a batch whose budget
+was eaten by the network (or the queue) fails fast with
+:class:`DeadlineExpiredError` instead of consuming daemon work the client has
+already given up on.
+
+Replicas run as real separate processes via the module entry point::
+
+    python -m repro.net.server --artifact shard.artifact --port 0
+
+which prints one ``REPRO-NET READY host=... port=...`` line to stdout once the
+socket is listening (the handshake :func:`spawn_replica_process` waits for).
+A malformed or damaged frame (bad magic, torn stream, checksum mismatch) kills
+only its connection — the accept loop and the daemon keep serving.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import json
+import os
+import select
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.net import codec
+from repro.net.codec import Frame, ProtocolError, TransportStats, read_frame
+from repro.serving.daemon import DeadlineExpiredError, SynthesisDaemon
+
+__all__ = ["ReplicaServer", "serve_shard", "spawn_replica_process", "main"]
+
+#: Stdout handshake line prefix a freshly spawned replica prints once listening.
+READY_PREFIX = "REPRO-NET READY"
+
+
+class ReplicaServer:
+    """Serve one daemon's replica surface over framed TCP.
+
+    The server owns neither the artifact nor the daemon's lifecycle policy —
+    it is a transport shim: frames in, daemon calls, frames out.  ``close``
+    (and the ``DRAIN`` frame) drains the daemon before the socket goes away,
+    so a politely-stopped replica finishes every batch it accepted.
+    """
+
+    def __init__(
+        self,
+        daemon: SynthesisDaemon,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        backlog: int = 16,
+        request_timeout: float = 30.0,
+    ) -> None:
+        self.daemon = daemon
+        self.request_timeout = request_timeout
+        self.stats = TransportStats(kind="tcp")
+        self._listener = socket.create_server((host, port), backlog=backlog)
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._lock = threading.Lock()
+        self._connections: set[socket.socket] = set()
+        self._stopped = threading.Event()
+        self._draining = False
+        self._accept_thread: threading.Thread | None = None
+        # Surface this server's transport counters in the daemon's own health
+        # snapshot, so ``daemon.health()["transport"]`` reports real traffic
+        # instead of the inproc zeros.
+        daemon.transport_stats_provider = self.stats.snapshot
+
+    # -- Lifecycle ----------------------------------------------------------------------
+    def start(self) -> "ReplicaServer":
+        """Start the accept loop on a background thread; returns self."""
+        if self._accept_thread is None:
+            self._accept_thread = threading.Thread(
+                target=self._accept_loop, name="replica-server-accept", daemon=True
+            )
+            self._accept_thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Start (if needed) and block until :meth:`close` is called."""
+        self.start()
+        self._stopped.wait()
+
+    @property
+    def closed(self) -> bool:
+        return self._stopped.is_set()
+
+    def close(self, *, drain: bool = True) -> None:
+        """Stop accepting, optionally drain the daemon, drop every connection.
+
+        Idempotent and exception-safe: a double close (or a close racing the
+        DRAIN frame's shutdown thread) is a no-op, and no failure on one
+        resource stops the others from being released.
+        """
+        with self._lock:
+            if self._draining and drain:
+                pass  # already being drained by the DRAIN frame handler
+            self._draining = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        try:
+            self.daemon.close(drain=drain)
+        except Exception:
+            pass
+        with self._lock:
+            connections = list(self._connections)
+            self._connections.clear()
+        for conn in connections:
+            _close_socket(conn)
+        self._stopped.set()
+        if (
+            self._accept_thread is not None
+            and self._accept_thread is not threading.current_thread()
+        ):
+            self._accept_thread.join(timeout=5)
+
+    def __enter__(self) -> "ReplicaServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- Health -------------------------------------------------------------------------
+    def health(self) -> dict[str, object]:
+        """One JSON-able snapshot: server status + transport + daemon health."""
+        daemon_health = self.daemon.health()
+        with self._lock:
+            connections = len(self._connections)
+            draining = self._draining
+        if self.closed:
+            status = "closed"
+        elif draining:
+            status = "draining"
+        else:
+            status = daemon_health["status"]
+        return {
+            "status": status,
+            "host": self.host,
+            "port": self.port,
+            "draining": draining,
+            "connections": connections,
+            "transport": self.stats.snapshot(),
+            "daemon": daemon_health,
+        }
+
+    # -- Accept / connection handling ---------------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._stopped.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed: shutdown
+            with self._lock:
+                if self._draining:
+                    _close_socket(conn)
+                    continue
+                self._connections.add(conn)
+            self.stats.note_connection(1)
+            threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                name="replica-server-conn",
+                daemon=True,
+            ).start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        write_lock = threading.Lock()
+        try:
+            while True:
+                try:
+                    frame = read_frame(conn)
+                except ProtocolError as exc:
+                    # Damaged/hostile stream: answer with an error envelope if
+                    # the socket still works, then cut the connection.  The
+                    # accept loop and every other connection are unaffected.
+                    self._send(conn, write_lock, codec.T_ERROR, 0, codec.encode_error(exc))
+                    return
+                if frame is None:
+                    return  # peer closed cleanly between frames
+                self.stats.note_received(len(frame))
+                if not self._dispatch(conn, write_lock, frame):
+                    return
+        except OSError:
+            return  # connection died mid-write/read; nothing to salvage
+        finally:
+            with self._lock:
+                self._connections.discard(conn)
+            _close_socket(conn)
+            self.stats.note_connection(-1)
+
+    def _dispatch(
+        self, conn: socket.socket, write_lock: threading.Lock, frame: Frame
+    ) -> bool:
+        """Handle one frame; returns False when the connection should close."""
+        if frame.frame_type == codec.T_PING:
+            self._send(conn, write_lock, codec.T_PONG, frame.request_id, frame.payload)
+        elif frame.frame_type == codec.T_LOOKUP:
+            # Per-request worker thread: responses are correlated by request
+            # id, so out-of-order completion is fine and a slow batch never
+            # blocks the connection's reads (drain, health, other lookups).
+            threading.Thread(
+                target=self._serve_lookup,
+                args=(conn, write_lock, frame),
+                name="replica-server-lookup",
+                daemon=True,
+            ).start()
+        elif frame.frame_type == codec.T_APPLY_DELTA:
+            self._reply(
+                conn, write_lock, frame, codec.T_DELTA_OK, self._apply_delta
+            )
+        elif frame.frame_type == codec.T_HEALTH:
+            self._reply(
+                conn,
+                write_lock,
+                frame,
+                codec.T_HEALTH_OK,
+                lambda _frame: codec.encode_json(self.health()),
+            )
+        elif frame.frame_type == codec.T_NOTIFY:
+            threading.Thread(
+                target=self._reply,
+                args=(conn, write_lock, frame, codec.T_NOTIFY_OK, self._notify),
+                name="replica-server-notify",
+                daemon=True,
+            ).start()
+        elif frame.frame_type == codec.T_DRAIN:
+            self._send(conn, write_lock, codec.T_DRAIN_OK, frame.request_id, b"")
+            # Drain-then-close on a side thread: the ack above must reach the
+            # client before the daemon drain (which may take a while) and the
+            # socket teardown.
+            threading.Thread(
+                target=self.close,
+                kwargs={"drain": True},
+                name="replica-server-drain",
+                daemon=True,
+            ).start()
+            return False
+        else:
+            self._send(
+                conn,
+                write_lock,
+                codec.T_ERROR,
+                frame.request_id,
+                codec.encode_error(
+                    ProtocolError(
+                        f"frame type {frame.frame_type} is not a request kind"
+                    )
+                ),
+            )
+        return True
+
+    def _reply(self, conn, write_lock, frame: Frame, ok_type: int, handler) -> None:
+        """Run ``handler(frame) -> payload`` and send the ok/error response."""
+        try:
+            payload = handler(frame)
+        except Exception as exc:
+            self._send(
+                conn, write_lock, codec.T_ERROR, frame.request_id, codec.encode_error(exc)
+            )
+            return
+        self._send(conn, write_lock, ok_type, frame.request_id, payload)
+
+    def _send(
+        self, conn, write_lock, frame_type: int, request_id: int, payload: bytes
+    ) -> None:
+        data = codec.encode_frame(frame_type, request_id, payload)
+        try:
+            with write_lock:
+                conn.sendall(data)
+        except OSError:
+            return  # client went away; its retry path owns recovery
+        self.stats.note_sent(len(data))
+
+    # -- Request handlers ---------------------------------------------------------------
+    def _serve_lookup(self, conn, write_lock, frame: Frame) -> None:
+        self._reply(conn, write_lock, frame, codec.T_LOOKUP_OK, self._lookup)
+
+    def _lookup(self, frame: Frame) -> bytes:
+        requests, remaining = codec.decode_lookup_request(frame.payload)
+        if remaining is not None and remaining <= 0:
+            # The budget was gone before the frame even arrived (slow network,
+            # queued client): fail fast without consuming daemon work, and
+            # count it where operators already look for expiries.
+            expired = self.daemon.stats.bump("expired")
+            raise DeadlineExpiredError(
+                f"lookup budget exhausted in transit ({remaining:.3f}s remaining "
+                f"at send; {expired} batch(es) expired this generation)"
+            )
+        timeout = remaining if remaining is not None else self.request_timeout
+        ticket = self.daemon.submit(
+            "cluster_lookup",
+            requests,
+            deadline=remaining,
+            block=True,
+            timeout=timeout,
+        )
+        result = ticket.result(timeout=timeout)
+        return codec.encode_lookup_response(
+            result.responses,
+            generation=result.generation,
+            fingerprint=result.fingerprint,
+        )
+
+    def _apply_delta(self, frame: Frame) -> bytes:
+        delta = codec.decode_delta_request(frame.payload)
+        generation = self.daemon.apply_delta(
+            delta["upserts"],
+            delta["removed"],
+            seq=delta["seq"],
+            escalation_ratio=delta["escalation_ratio"],
+            source=delta["source"],
+        )
+        return codec.encode_generation(generation.number)
+
+    def _notify(self, frame: Frame) -> bytes:
+        """Report the current generation, or await ``target`` (rollout wait).
+
+        ``target=0`` answers immediately.  Otherwise the server polls its own
+        watcher locally (one frame per rollout step instead of a poll storm
+        over the wire) until the generation reaches the target or the caller's
+        timeout lapses; the response always carries the generation reached.
+        """
+        target, timeout = codec.decode_notify_request(frame.payload)
+        deadline = time.monotonic() + max(0.0, timeout)
+        while True:
+            number = self.daemon.generation.number
+            if target <= 0 or number >= target or self.daemon.closed:
+                return codec.encode_generation(number)
+            if time.monotonic() >= deadline:
+                return codec.encode_generation(number)
+            watcher = self.daemon.watcher
+            if watcher is not None:
+                watcher.check_now()
+            time.sleep(0.01)
+
+
+def _close_socket(conn: socket.socket) -> None:
+    try:
+        conn.close()
+    except OSError:
+        pass
+
+
+# ---------------------------------------------------------------------------------------
+# Process entry point
+# ---------------------------------------------------------------------------------------
+def serve_shard(
+    artifact_path: str | Path,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    config=None,
+    watch: bool = True,
+    workers: int | None = None,
+    executor: str | None = None,
+    queue_size: int | None = None,
+    default_deadline: float | None = None,
+    poll_seconds: float | None = None,
+    prefer_curated: bool = True,
+    request_timeout: float | None = None,
+    service_cls=None,
+    **service_kwargs,
+) -> ReplicaServer:
+    """Build a daemon over ``artifact_path`` and a started server around it."""
+    from repro.applications.service import MappingService
+    from repro.core.config import SynthesisConfig
+
+    config = config or SynthesisConfig()
+    daemon = SynthesisDaemon.from_artifact(
+        artifact_path,
+        config=config,
+        watch=watch,
+        workers=workers,
+        executor=executor,
+        queue_size=queue_size,
+        default_deadline=default_deadline,
+        poll_seconds=poll_seconds,
+        prefer_curated=prefer_curated,
+        service_cls=service_cls or MappingService,
+        **service_kwargs,
+    )
+    try:
+        server = ReplicaServer(
+            daemon,
+            host=host,
+            port=port,
+            request_timeout=(
+                request_timeout
+                if request_timeout is not None
+                else config.cluster_request_timeout_seconds
+            ),
+        )
+    except BaseException:
+        daemon.close(drain=False)
+        raise
+    return server.start()
+
+
+def _resolve_class(spec: str):
+    """Import ``"package.module:ClassName"`` (the CLI's service-class hook)."""
+    module_name, _, class_name = spec.partition(":")
+    if not class_name:
+        module_name, _, class_name = spec.rpartition(".")
+    module = importlib.import_module(module_name)
+    return getattr(module, class_name)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.net.server",
+        description="Serve one shard artifact as a cluster replica over TCP.",
+    )
+    parser.add_argument("--artifact", required=True, help="shard artifact path")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0, help="0 = ephemeral")
+    parser.add_argument("--watch", action=argparse.BooleanOptionalAction, default=True)
+    parser.add_argument("--poll-seconds", type=float, default=None)
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--executor", default=None)
+    parser.add_argument("--queue-size", type=int, default=None)
+    parser.add_argument("--default-deadline", type=float, default=None)
+    parser.add_argument("--request-timeout", type=float, default=None)
+    parser.add_argument(
+        "--prefer-curated", action=argparse.BooleanOptionalAction, default=True
+    )
+    parser.add_argument(
+        "--service-cls",
+        default=None,
+        help="dotted path 'module:Class' of the MappingService subclass to serve",
+    )
+    parser.add_argument(
+        "--service-kwargs", default="{}", help="JSON threshold kwargs for the service"
+    )
+    parser.add_argument(
+        "--config-json", default=None, help="JSON dict of SynthesisConfig fields"
+    )
+    args = parser.parse_args(argv)
+
+    from repro.core.config import SynthesisConfig
+
+    config = (
+        SynthesisConfig(**json.loads(args.config_json))
+        if args.config_json
+        else SynthesisConfig()
+    )
+    server = serve_shard(
+        args.artifact,
+        host=args.host,
+        port=args.port,
+        config=config,
+        watch=args.watch,
+        poll_seconds=args.poll_seconds,
+        workers=args.workers,
+        executor=args.executor,
+        queue_size=args.queue_size,
+        default_deadline=args.default_deadline,
+        prefer_curated=args.prefer_curated,
+        request_timeout=args.request_timeout,
+        service_cls=_resolve_class(args.service_cls) if args.service_cls else None,
+        **json.loads(args.service_kwargs),
+    )
+
+    def _stop(_signum, _frame) -> None:
+        server.close(drain=False)
+
+    signal.signal(signal.SIGTERM, _stop)
+    print(f"{READY_PREFIX} host={server.host} port={server.port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.close(drain=False)
+    return 0
+
+
+def spawn_replica_process(
+    artifact_path: str | Path,
+    *,
+    host: str = "127.0.0.1",
+    config=None,
+    ready_timeout: float = 60.0,
+    **serve_kwargs,
+) -> tuple[subprocess.Popen, str, int]:
+    """Spawn ``python -m repro.net.server`` and wait for its READY handshake.
+
+    Returns ``(process, host, port)``.  ``serve_kwargs`` mirrors
+    :func:`serve_shard`'s keyword surface (``service_cls`` as a class — its
+    dotted path is what crosses the process boundary).  The child inherits the
+    environment plus a ``PYTHONPATH`` entry for this repro checkout, so it
+    resolves the same package no matter the parent's cwd.
+    """
+    import repro
+
+    argv = [
+        sys.executable,
+        "-m",
+        "repro.net.server",
+        "--artifact",
+        str(artifact_path),
+        "--host",
+        host,
+        "--port",
+        "0",
+    ]
+    flag_names = {
+        "poll_seconds": "--poll-seconds",
+        "workers": "--workers",
+        "executor": "--executor",
+        "queue_size": "--queue-size",
+        "default_deadline": "--default-deadline",
+        "request_timeout": "--request-timeout",
+    }
+    for key, flag in flag_names.items():
+        value = serve_kwargs.pop(key, None)
+        if value is not None:
+            argv += [flag, str(value)]
+    if not serve_kwargs.pop("watch", True):
+        argv.append("--no-watch")
+    if not serve_kwargs.pop("prefer_curated", True):
+        argv.append("--no-prefer-curated")
+    service_cls = serve_kwargs.pop("service_cls", None)
+    if service_cls is not None:
+        argv += [
+            "--service-cls",
+            f"{service_cls.__module__}:{service_cls.__qualname__}",
+        ]
+    if config is not None:
+        fields = asdict(config)
+        fields.pop("extra", None)  # may hold non-JSON experiment objects
+        argv += ["--config-json", json.dumps(fields, default=str)]
+    if serve_kwargs:  # whatever remains is service threshold kwargs
+        argv += ["--service-kwargs", json.dumps(serve_kwargs)]
+
+    env = os.environ.copy()
+    src_root = str(Path(repro.__file__).resolve().parent.parent)
+    env["PYTHONPATH"] = (
+        src_root + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else src_root
+    )
+    process = subprocess.Popen(
+        argv, stdout=subprocess.PIPE, env=env, text=True, bufsize=1
+    )
+    try:
+        ready_host, ready_port = _await_ready(process, ready_timeout)
+    except BaseException:
+        process.kill()
+        process.wait(timeout=10)
+        raise
+    return process, ready_host, ready_port
+
+
+def _await_ready(process: subprocess.Popen, timeout: float) -> tuple[str, int]:
+    deadline = time.monotonic() + timeout
+    stdout = process.stdout
+    assert stdout is not None
+    while True:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise TimeoutError(
+                f"replica server did not print its READY line within {timeout}s"
+            )
+        readable, _, _ = select.select([stdout], [], [], min(remaining, 0.5))
+        if not readable:
+            if process.poll() is not None:
+                raise RuntimeError(
+                    f"replica server exited with code {process.returncode} "
+                    "before becoming ready"
+                )
+            continue
+        line = stdout.readline()
+        if not line:
+            raise RuntimeError(
+                f"replica server closed stdout (exit code {process.poll()}) "
+                "before becoming ready"
+            )
+        if line.startswith(READY_PREFIX):
+            parts = dict(
+                part.split("=", 1) for part in line[len(READY_PREFIX) :].split()
+            )
+            return parts["host"], int(parts["port"])
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -341,6 +341,10 @@ class SynthesisDaemon:
         self._closed = threading.Event()
         self._cancel_queued = threading.Event()
         self._watcher = None  # attached by from_artifact(watch=True)
+        #: Transport counter hook: ``repro.net.ReplicaServer`` points this at
+        #: its :meth:`~repro.net.TransportStats.snapshot` so :meth:`health`
+        #: reports real socket traffic.  ``None`` means in-process serving.
+        self.transport_stats_provider = None
         # Only the retired generations' stats are retained: keeping the full
         # ServiceGeneration would pin every superseded index in memory for the
         # daemon's whole lifetime, one per hot reload.
@@ -619,6 +623,23 @@ class SynthesisDaemon:
             "shed": stats_view["shed"],
             "backend": backend_info,
             "watcher": watcher_info,
+            "transport": (
+                self.transport_stats_provider()
+                if self.transport_stats_provider is not None
+                # Keys mirror repro.net.TRANSPORT_HEALTH_KEYS; duplicated as a
+                # literal so the serving layer never imports the net layer.
+                else {
+                    "kind": "inproc",
+                    "connections": 0,
+                    "frames_sent": 0,
+                    "frames_received": 0,
+                    "bytes_sent": 0,
+                    "bytes_received": 0,
+                    "reconnects": 0,
+                    "rtt_ms_p50": 0.0,
+                    "rtt_ms_p90": 0.0,
+                }
+            ),
             "deltas_applied": self._deltas_applied,
             "last_delta_seq": self._last_delta_seq,
             "update_lag": (

@@ -69,6 +69,10 @@ class ByteWriter:
         """Write one little-endian IEEE-754 float64 (bit-exact round trip)."""
         self._buffer += _FLOAT64.pack(value)
 
+    def write_bytes(self, data: bytes) -> None:
+        """Append raw bytes verbatim (caller owns any length prefix)."""
+        self._buffer += data
+
     def getvalue(self) -> bytes:
         return bytes(self._buffer)
 
@@ -126,6 +130,17 @@ class ByteReader:
         value = _FLOAT64.unpack_from(self._data, self._pos)[0]
         self._pos = end
         return value
+
+    def read_bytes(self, count: int) -> bytes:
+        """Read exactly ``count`` raw bytes (caller decoded the length)."""
+        end = self._pos + count
+        if end > len(self._data):
+            raise CodecError(
+                f"truncated bytes: {len(self._data) - self._pos} of {count}"
+            )
+        data = self._data[self._pos : end]
+        self._pos = end
+        return data
 
     def expect_eof(self) -> None:
         """Require the stream to be fully consumed (framing check)."""

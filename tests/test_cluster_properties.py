@@ -9,6 +9,15 @@ deterministic :class:`FaultPlan` (injected publish failures exercise the
 watcher's retry path mid-roll), and with one replica killed mid-stream.
 Every batch's envelopes must be byte-identical (same ``repr``) to a direct
 synchronous :class:`MappingService` call over the full artifact.
+
+The whole module runs once per transport: ``inproc`` replicas (daemons in
+this process) and ``tcp`` replicas (one :mod:`repro.net.server` subprocess
+each, reached through framed sockets).  The oracle, the programs, and every
+assertion are transport-blind — that is the cluster's wire-level serving
+contract.  The chaos differs per transport only because fault injection is
+process-local: the inproc roll injects watcher publish failures, the tcp
+roll injects connection resets / torn frames / network stalls at the client
+sockets (faults in the router process cannot reach a subprocess watcher).
 """
 
 from __future__ import annotations
@@ -38,6 +47,28 @@ pytestmark = pytest.mark.cluster
 #: Pinned by the chaos CI leg (REPRO_FAULT_SEED) so every injected publish
 #: failure during the rolling-rollout property is reproducible.
 FAULT_SEED = int(os.environ.get("REPRO_FAULT_SEED", "20260808"))
+
+TRANSPORTS = ("inproc", "tcp")
+
+
+def chaos_plan(transport: str) -> FaultPlan:
+    """The rolling-rollout fault plan for one transport.
+
+    Injection is process-local, so each transport gets the chaos that can
+    actually reach it: inproc replicas share the router's process (watcher
+    publish failures land), tcp replicas live in subprocesses (only the
+    client-side socket sites — resets, torn frames, stalls — land).
+    """
+    if transport == "inproc":
+        return FaultPlan(seed=FAULT_SEED, publish_failure_rate=0.25)
+    return FaultPlan(
+        seed=FAULT_SEED,
+        conn_reset_rate=0.05,
+        torn_frame_rate=0.05,
+        slow_network_rate=0.10,
+        slow_network_seconds=0.005,
+        max_faults=6,
+    )
 
 # ---------------------------------------------------------------------------------------
 # Strategies (mirrors test_daemon_properties.py: same shapes, same junk)
@@ -100,15 +131,22 @@ def oracle(served_artifact_path) -> MappingService:
     return MappingService.from_artifact(served_artifact_path)
 
 
+@pytest.fixture(scope="module", params=TRANSPORTS)
+def transport(request) -> str:
+    """Run the whole module once per transport (inproc and tcp replicas)."""
+    return request.param
+
+
 @pytest.fixture(scope="module")
-def router(served_artifact_path, tmp_path_factory):
+def router(served_artifact_path, tmp_path_factory, transport):
     router = ClusterRouter.from_artifact(
         served_artifact_path,
         num_shards=3,
         replication=2,
-        shard_dir=tmp_path_factory.mktemp("cluster-props-shards"),
+        shard_dir=tmp_path_factory.mktemp(f"cluster-props-shards-{transport}"),
         watch=False,
         workers=2,
+        transport=transport,
     )
     yield router
     router.close()
@@ -168,8 +206,15 @@ def test_rolling_rollout_of_same_artifact_is_invisible(
         assert canonical(rolling_router.serve(kind, batch)) == canonical(
             getattr(oracle, kind)(batch)
         )
-    with injected_faults(FaultPlan(seed=FAULT_SEED, publish_failure_rate=0.25)):
+    with injected_faults(chaos_plan(rolling_router.transport)):
         rolling_router.rollout(served_artifact_path, timeout=60)
+        # Over tcp the socket faults land on the serve path, not the roll:
+        # a post-roll slice served *inside* the chaos window must survive
+        # injected resets / torn frames / stalls via breaker-guided retry.
+        for kind, batch in program[split:]:
+            assert canonical(rolling_router.serve(kind, batch)) == canonical(
+                getattr(oracle, kind)(batch)
+            )
     for kind, batch in program[split:]:
         assert canonical(rolling_router.serve(kind, batch)) == canonical(
             getattr(oracle, kind)(batch)
@@ -177,27 +222,33 @@ def test_rolling_rollout_of_same_artifact_is_invisible(
 
 
 @pytest.fixture(scope="module")
-def rolling_router(served_artifact_path, tmp_path_factory):
+def rolling_router(served_artifact_path, tmp_path_factory, transport):
     router = ClusterRouter.from_artifact(
         served_artifact_path,
         num_shards=3,
         replication=2,
-        shard_dir=tmp_path_factory.mktemp("cluster-props-rolling"),
+        shard_dir=tmp_path_factory.mktemp(f"cluster-props-rolling-{transport}"),
         watch=True,
         poll_seconds=0.05,
         workers=2,
+        transport=transport,
+        # Socket chaos opens breakers; a short cooldown keeps a healthy
+        # cover reachable within one retry schedule.
+        breaker_cooldown=0.1,
     )
     yield router
     router.close()
 
 
 def test_one_replica_killed_mid_stream_changes_nothing(
-    served_artifact_path, oracle, tmp_path
+    served_artifact_path, oracle, tmp_path, transport
 ):
     """Killing a replica mid-program: replication 2 still covers every shard.
 
     Directed rather than hypothesis-driven because the kill is one-way state;
     the program mixes every kind plus malformed requests either side of it.
+    Over tcp the kill takes the replica's server process down with it, so
+    failover is exercised against real dead sockets.
     """
     program = [
         ("autofill", [
@@ -218,6 +269,7 @@ def test_one_replica_killed_mid_stream_changes_nothing(
         shard_dir=tmp_path / "shards",
         watch=False,
         workers=2,
+        transport=transport,
     )
     with router:
         for kind, batch in program:
@@ -225,6 +277,7 @@ def test_one_replica_killed_mid_stream_changes_nothing(
                 getattr(oracle, kind)(batch)
             )
         router.kill(0)
+        router.kill(0)  # idempotent: a second kill is a silent no-op
         for kind, batch in program:
             assert canonical(router.serve(kind, batch)) == canonical(
                 getattr(oracle, kind)(batch)
@@ -232,3 +285,4 @@ def test_one_replica_killed_mid_stream_changes_nothing(
         health = router.health()
         assert health["status"] == "degraded"
         assert any("replica 0" in reason for reason in health["degraded_reasons"])
+    router.close()  # double close (after __exit__) must be a no-op too

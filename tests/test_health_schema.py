@@ -1,10 +1,11 @@
 """Golden schema tests for the health endpoints.
 
 Operational dashboards and alert rules key on the exact field names that
-``SynthesisDaemon.health()``, ``ArtifactWatcher.health()``, and
-``ClusterRouter.health()`` emit.  These tests freeze those key sets: adding a
-field is a deliberate one-line update here; renaming or dropping one fails
-loudly instead of silently blinding a monitor.
+``SynthesisDaemon.health()``, ``ArtifactWatcher.health()``,
+``ClusterRouter.health()``, ``ReplicaServer.health()``, and the transport
+snapshots emit.  These tests freeze those key sets: adding a field is a
+deliberate one-line update here; renaming or dropping one fails loudly
+instead of silently blinding a monitor.
 """
 
 from __future__ import annotations
@@ -14,6 +15,9 @@ import pytest
 from repro.cluster import ClusterRouter
 from repro.core.config import SynthesisConfig
 from repro.core.pipeline import SynthesisPipeline
+from repro.net import TRANSPORT_HEALTH_KEYS
+from repro.net.client import RemoteReplica
+from repro.net.server import serve_shard
 from repro.serving import SynthesisDaemon
 
 pytestmark = pytest.mark.cluster
@@ -33,9 +37,32 @@ DAEMON_HEALTH_KEYS = {
     "shed",
     "backend",
     "watcher",
+    "transport",
     "deltas_applied",
     "last_delta_seq",
     "update_lag",
+}
+
+TRANSPORT_KEYS = {
+    "kind",
+    "connections",
+    "frames_sent",
+    "frames_received",
+    "bytes_sent",
+    "bytes_received",
+    "reconnects",
+    "rtt_ms_p50",
+    "rtt_ms_p90",
+}
+
+REPLICA_SERVER_HEALTH_KEYS = {
+    "status",
+    "host",
+    "port",
+    "draining",
+    "connections",
+    "transport",
+    "daemon",
 }
 
 WATCHER_HEALTH_KEYS = {
@@ -53,6 +80,7 @@ WATCHER_HEALTH_KEYS = {
 ROUTER_HEALTH_KEYS = {
     "status",
     "degraded_reasons",
+    "transport",
     "num_shards",
     "replication",
     "generations",
@@ -93,6 +121,15 @@ def test_daemon_and_watcher_health_schema(artifact_path):
         assert set(health) == DAEMON_HEALTH_KEYS
         assert set(health["watcher"]) == WATCHER_HEALTH_KEYS
         assert set(daemon.watcher.health()) == WATCHER_HEALTH_KEYS
+        # The in-process daemon still advertises the transport schema (all
+        # zeros) so dashboards need no per-transport key-set special case.
+        assert set(health["transport"]) == TRANSPORT_KEYS
+        assert health["transport"]["kind"] == "inproc"
+
+
+def test_transport_golden_matches_codec_constant():
+    # The golden here and the constant the codec exports must be one set.
+    assert TRANSPORT_KEYS == set(TRANSPORT_HEALTH_KEYS)
 
 
 def test_router_health_schema(artifact_path, tmp_path):
@@ -105,8 +142,31 @@ def test_router_health_schema(artifact_path, tmp_path):
     ) as router:
         health = router.health()
         assert set(health) == ROUTER_HEALTH_KEYS
+        assert set(health["transport"]) == TRANSPORT_KEYS
+        assert health["transport"]["kind"] == "inproc"
         assert len(health["replicas"]) == 2
         for replica in health["replicas"]:
             assert set(replica) == ROUTER_REPLICA_KEYS
             # Each embedded daemon snapshot keeps the daemon schema too.
             assert set(replica["daemon"]) == DAEMON_HEALTH_KEYS
+            assert set(replica["daemon"]["transport"]) == TRANSPORT_KEYS
+
+
+def test_replica_server_and_remote_client_health_schema(artifact_path):
+    server = serve_shard(artifact_path, watch=False)
+    try:
+        health = server.health()
+        assert set(health) == REPLICA_SERVER_HEALTH_KEYS
+        assert set(health["transport"]) == TRANSPORT_KEYS
+        assert health["transport"]["kind"] == "tcp"
+        assert set(health["daemon"]) == DAEMON_HEALTH_KEYS
+        with RemoteReplica("127.0.0.1", server.port) as client:
+            # The router-facing view: daemon schema with the client's own
+            # transport counters swapped in.
+            remote = client.health()
+            assert set(remote) == DAEMON_HEALTH_KEYS
+            assert set(remote["transport"]) == TRANSPORT_KEYS
+            assert remote["transport"]["kind"] == "tcp"
+            assert set(client.server_health()) == REPLICA_SERVER_HEALTH_KEYS
+    finally:
+        server.close()
